@@ -1,0 +1,117 @@
+// Command latticeopt computes the optimal (snaked) lattice path for a star
+// schema and workload given on the command line.
+//
+// Usage:
+//
+//	latticeopt -dims "parts:40,5 supplier:10 time:30,12,7" \
+//	           [-workload "0,0,1:0.4 2,1,2:0.6"] [-uniform]
+//
+// Each dimension is name:fanout,fanout,… from the level above the leaves
+// upward. The workload lists class:probability pairs, a class being one
+// level per dimension; -uniform spreads probability over all classes.
+// The tool prints the optimal lattice path, its expected cost, the snaked
+// cost, and the per-class costs of both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	snakes "repro"
+)
+
+func main() {
+	dims := flag.String("dims", "parts:40,5 supplier:10 time:30,12,7", "dimensions as name:fanouts")
+	wl := flag.String("workload", "", "workload as class:prob pairs, e.g. \"0,0,1:0.4 2,1,2:0.6\"")
+	uniform := flag.Bool("uniform", false, "use the uniform workload over all classes")
+	flag.Parse()
+
+	schema, err := parseSchema(*dims)
+	fail(err)
+
+	var w *snakes.Workload
+	switch {
+	case *uniform || *wl == "":
+		w = schema.UniformWorkload()
+	default:
+		w, err = parseWorkload(schema, *wl)
+		fail(err)
+	}
+	fail(w.Validate())
+
+	opt, err := snakes.Optimize(w)
+	fail(err)
+	plain := opt.WithSnaking(false)
+
+	costSnaked, err := opt.ExpectedCost(w)
+	fail(err)
+	costPlain, err := plain.ExpectedCost(w)
+	fail(err)
+
+	fmt.Printf("optimal lattice path: %v\n", plain.Path)
+	fmt.Printf("expected cost (seeks/query): %.4f unsnaked, %.4f snaked (benefit %.3fx)\n",
+		costPlain, costSnaked, costPlain/costSnaked)
+	fmt.Println("\nper-class average cost:")
+	fmt.Printf("%-14s %12s %12s %10s\n", "class", "unsnaked", "snaked", "p")
+	for _, c := range schema.Classes() {
+		fmt.Printf("%-14v %12.4f %12.4f %10.4f\n",
+			c, plain.ClassCost(c), opt.ClassCost(c), w.Prob(c))
+	}
+}
+
+func parseSchema(s string) (*snakes.Schema, error) {
+	var dims []snakes.Dimension
+	for _, tok := range strings.Fields(s) {
+		name, fans, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("dimension %q: want name:fanouts", tok)
+		}
+		var fanouts []int
+		for _, f := range strings.Split(fans, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("dimension %q: %v", tok, err)
+			}
+			fanouts = append(fanouts, n)
+		}
+		dims = append(dims, snakes.Dim(name, fanouts...))
+	}
+	return snakes.BuildSchema(dims...)
+}
+
+func parseWorkload(s *snakes.Schema, spec string) (*snakes.Workload, error) {
+	w := s.NewWorkload()
+	for _, tok := range strings.Fields(spec) {
+		cls, prob, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("workload entry %q: want class:prob", tok)
+		}
+		var c snakes.Class
+		for _, lv := range strings.Split(cls, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(lv))
+			if err != nil {
+				return nil, fmt.Errorf("workload entry %q: %v", tok, err)
+			}
+			c = append(c, n)
+		}
+		p, err := strconv.ParseFloat(prob, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload entry %q: %v", tok, err)
+		}
+		w.Set(c, p)
+	}
+	if err := w.Normalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latticeopt:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("parts:40,5 supplier:10 time:30,12,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumCells(); got != 200*10*2520 {
+		t.Errorf("NumCells = %d", got)
+	}
+	if got := s.NumClasses(); got != 3*2*4 {
+		t.Errorf("NumClasses = %d", got)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := []string{
+		"",                 // no dimensions
+		"parts",            // missing fanouts
+		"parts:abc",        // non-numeric fanout
+		"parts:40 parts:5", // duplicate name
+		"parts:0",          // zero fanout
+	}
+	for _, c := range cases {
+		if _, err := parseSchema(c); err == nil {
+			t.Errorf("parseSchema(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseWorkload(t *testing.T) {
+	s, err := parseSchema("a:2,2 b:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := parseWorkload(s, "0,0:3 2,1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prob([]int{0, 0}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Prob(0,0) = %v, want 0.75", got)
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	s, err := parseSchema("a:2 b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"0,0",    // missing probability
+		"0,x:1",  // bad level
+		"0,0:zz", // bad probability
+		"0,0:0",  // zero mass overall
+	}
+	for _, c := range cases {
+		if _, err := parseWorkload(s, c); err == nil {
+			t.Errorf("parseWorkload(%q) should fail", c)
+		}
+	}
+}

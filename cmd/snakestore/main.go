@@ -1,0 +1,412 @@
+// Command snakestore is a miniature clustered fact store: it optimizes a
+// clustering strategy for a workload, bulk-loads CSV records into a paged
+// file clustered by that strategy, and answers grid queries with real
+// page/seek accounting.
+//
+// Workflow:
+//
+//	snakestore optimize -dims "region:4,2 day:30,12" \
+//	    -workload "0,1:0.6 1,1:0.4" -catalog cat.json
+//	snakestore build -catalog cat.json -csv facts.csv -store facts.db
+//	snakestore query -catalog cat.json -store facts.db \
+//	    -where "region=3..7" -where "day=0..30" [-sum 2]
+//
+// CSV layout: the first k columns are the record's leaf coordinates, one
+// per dimension in schema order; remaining columns are payload. The catalog
+// JSON written by optimize (and updated by build) carries the schema, the
+// chosen strategy, and the load state, so query needs no other input.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	snakes "repro"
+)
+
+// catalog is the persistent description of one snakestore database.
+type catalog struct {
+	Version     int             `json:"version"`
+	Schema      json.RawMessage `json:"schema"`
+	Strategy    json.RawMessage `json:"strategy"`
+	PageBytes   int             `json:"pageBytes"`
+	BytesPer    []int64         `json:"bytesPerCell,omitempty"`
+	LoadedBytes []int64         `json:"loadedBytes,omitempty"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snakestore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: snakestore optimize|build|query [flags]")
+	os.Exit(2)
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	dims := fs.String("dims", "", "dimensions as name:fanouts, space separated")
+	wl := fs.String("workload", "", "workload as class:prob pairs; empty = uniform")
+	page := fs.Int("page", 8192, "page size in bytes")
+	out := fs.String("catalog", "catalog.json", "catalog file to write")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	schema, err := parseSchema(*dims)
+	if err != nil {
+		return err
+	}
+	w, err := parseWorkload(schema, *wl)
+	if err != nil {
+		return err
+	}
+	st, err := snakes.Optimize(w)
+	if err != nil {
+		return err
+	}
+	cost, err := st.ExpectedCost(w)
+	if err != nil {
+		return err
+	}
+	schemaJSON, err := snakes.MarshalSchema(schema)
+	if err != nil {
+		return err
+	}
+	stratJSON, err := snakes.MarshalStrategy(st)
+	if err != nil {
+		return err
+	}
+	cat := catalog{Version: 1, Schema: schemaJSON, Strategy: stratJSON, PageBytes: *page}
+	if err := writeCatalog(*out, &cat); err != nil {
+		return err
+	}
+	fmt.Printf("strategy %v (expected %.3f seeks/query) → %s\n", st, cost, *out)
+	return nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	catPath := fs.String("catalog", "catalog.json", "catalog file from optimize")
+	csvPath := fs.String("csv", "", "input CSV: k leaf coordinates then payload columns")
+	storePath := fs.String("store", "facts.db", "output page file")
+	frames := fs.Int("frames", 1024, "buffer pool frames")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cat, schema, strat, err := loadCatalog(*catPath)
+	if err != nil {
+		return err
+	}
+	k := len(schemaDims(cat))
+
+	// Pass 1: size every cell.
+	bytesPerCell := make([]int64, schema.NumCells())
+	order, err := strat.Materialize()
+	if err != nil {
+		return err
+	}
+	if err := scanCSV(*csvPath, k, order, func(cell int, payload []byte) error {
+		bytesPerCell[cell] += snakes.FrameSize(len(payload))
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Pass 2: load.
+	store, err := strat.CreateFileStore(*storePath, bytesPerCell, cat.PageBytes, *frames)
+	if err != nil {
+		return err
+	}
+	var records int64
+	if err := scanCSV(*csvPath, k, order, func(cell int, payload []byte) error {
+		records++
+		return store.PutRecord(cell, payload)
+	}); err != nil {
+		store.Close()
+		return err
+	}
+	cat.BytesPer = bytesPerCell
+	cat.LoadedBytes = store.LoadedBytes()
+	if err := store.Close(); err != nil {
+		return err
+	}
+	if err := writeCatalog(*catPath, cat); err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d records into %s (%d pages of %d B)\n",
+		records, *storePath, store.Layout().TotalPages(), cat.PageBytes)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	catPath := fs.String("catalog", "catalog.json", "catalog file")
+	storePath := fs.String("store", "facts.db", "page file from build")
+	frames := fs.Int("frames", 1024, "buffer pool frames")
+	sumCol := fs.Int("sum", -1, "payload column to sum (0-based, after the coordinate columns)")
+	var wheres multiFlag
+	fs.Var(&wheres, "where", "dimension restriction name=lo..hi (repeatable; unrestricted dims select all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cat, schema, strat, err := loadCatalog(*catPath)
+	if err != nil {
+		return err
+	}
+	if cat.BytesPer == nil {
+		return fmt.Errorf("catalog has no load state; run build first")
+	}
+	region, err := parseRegion(schema, schemaDims(cat), wheres)
+	if err != nil {
+		return err
+	}
+	store, err := strat.OpenFileStore(*storePath, cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	var count int64
+	var total float64
+	var sumErr error
+	err = store.Scan(region, func(cell int, record []byte) error {
+		count++
+		if *sumCol >= 0 {
+			fields := strings.Split(string(record), ",")
+			if *sumCol >= len(fields) {
+				sumErr = fmt.Errorf("record has %d payload columns, -sum asked for %d", len(fields), *sumCol)
+				return sumErr
+			}
+			v, err := strconv.ParseFloat(fields[*sumCol], 64)
+			if err != nil {
+				sumErr = fmt.Errorf("column %d: %v", *sumCol, err)
+				return sumErr
+			}
+			total += v
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	io := store.Pool().Stats()
+	fmt.Printf("region %v: %d records", region, count)
+	if *sumCol >= 0 {
+		fmt.Printf(", sum(col %d) = %g", *sumCol, total)
+	}
+	fmt.Printf("  [%d page reads, %d hits]\n", io.Misses, io.Hits)
+	return nil
+}
+
+// multiFlag collects repeated -where flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// parseSchema parses "name:f1,f2 name2:f1" into a schema.
+func parseSchema(spec string) (*snakes.Schema, error) {
+	var dims []snakes.Dimension
+	for _, tok := range strings.Fields(spec) {
+		name, fans, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("dimension %q: want name:fanouts", tok)
+		}
+		var fanouts []int
+		for _, f := range strings.Split(fans, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("dimension %q: %v", tok, err)
+			}
+			fanouts = append(fanouts, n)
+		}
+		dims = append(dims, snakes.Dim(name, fanouts...))
+	}
+	return snakes.BuildSchema(dims...)
+}
+
+// parseWorkload parses "i,j:p ..." class weights; empty means uniform.
+func parseWorkload(s *snakes.Schema, spec string) (*snakes.Workload, error) {
+	if strings.TrimSpace(spec) == "" {
+		return s.UniformWorkload(), nil
+	}
+	w := s.NewWorkload()
+	for _, tok := range strings.Fields(spec) {
+		cls, prob, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("workload entry %q: want class:prob", tok)
+		}
+		var c snakes.Class
+		for _, lv := range strings.Split(cls, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(lv))
+			if err != nil {
+				return nil, fmt.Errorf("workload entry %q: %v", tok, err)
+			}
+			c = append(c, n)
+		}
+		p, err := strconv.ParseFloat(prob, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload entry %q: %v", tok, err)
+		}
+		w.Set(c, p)
+	}
+	if err := w.Normalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// parseRegion builds a region from repeated name=lo..hi restrictions;
+// unmentioned dimensions select their full range.
+func parseRegion(s *snakes.Schema, dims []snakes.Dimension, wheres []string) (snakes.Region, error) {
+	region := make(snakes.Region, len(dims))
+	for d, dim := range dims {
+		leaves := 1
+		for _, f := range dim.Fanouts {
+			leaves *= f
+		}
+		region[d] = snakes.Range{Lo: 0, Hi: leaves}
+	}
+	for _, wh := range wheres {
+		name, rng, ok := strings.Cut(wh, "=")
+		if !ok {
+			return nil, fmt.Errorf("restriction %q: want name=lo..hi", wh)
+		}
+		d := -1
+		for i, dim := range dims {
+			if dim.Name == name {
+				d = i
+				break
+			}
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("restriction %q: no dimension %q", wh, name)
+		}
+		loS, hiS, ok := strings.Cut(rng, "..")
+		if !ok {
+			return nil, fmt.Errorf("restriction %q: want lo..hi", wh)
+		}
+		lo, err := strconv.Atoi(loS)
+		if err != nil {
+			return nil, fmt.Errorf("restriction %q: %v", wh, err)
+		}
+		hi, err := strconv.Atoi(hiS)
+		if err != nil {
+			return nil, fmt.Errorf("restriction %q: %v", wh, err)
+		}
+		if lo < 0 || hi <= lo || hi > region[d].Hi {
+			return nil, fmt.Errorf("restriction %q: range [%d,%d) out of bounds [0,%d)", wh, lo, hi, region[d].Hi)
+		}
+		region[d] = snakes.Range{Lo: lo, Hi: hi}
+	}
+	return region, nil
+}
+
+// scanCSV streams the CSV, mapping each row's first k columns to a cell and
+// re-encoding the remaining columns (comma-joined) as the payload.
+func scanCSV(path string, k int, order *snakes.Order, fn func(cell int, payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.ReuseRecord = true
+	line := 0
+	coords := make([]int, k)
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		line++
+		if line == 1 && !numeric(rec[0]) {
+			continue // header row
+		}
+		if len(rec) < k {
+			return fmt.Errorf("line %d: %d columns, need at least %d coordinates", line, len(rec), k)
+		}
+		for d := 0; d < k; d++ {
+			v, err := strconv.Atoi(strings.TrimSpace(rec[d]))
+			if err != nil {
+				return fmt.Errorf("line %d: coordinate %d: %v", line, d, err)
+			}
+			coords[d] = v
+		}
+		cell := order.CellIndex(coords)
+		payload := strings.Join(rec[k:], ",")
+		if err := fn(cell, []byte(payload)); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+}
+
+func numeric(s string) bool {
+	_, err := strconv.Atoi(strings.TrimSpace(s))
+	return err == nil
+}
+
+func writeCatalog(path string, cat *catalog) error {
+	data, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func loadCatalog(path string) (*catalog, *snakes.Schema, *snakes.Strategy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var cat catalog
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return nil, nil, nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	if cat.Version != 1 {
+		return nil, nil, nil, fmt.Errorf("%s: unsupported catalog version %d", path, cat.Version)
+	}
+	schema, err := snakes.UnmarshalSchema(cat.Schema)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	strat, err := snakes.UnmarshalStrategy(schema, cat.Strategy)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &cat, schema, strat, nil
+}
+
+// schemaDims re-decodes the dimension list from the catalog's schema blob.
+func schemaDims(cat *catalog) []snakes.Dimension {
+	var sj struct {
+		Dims []snakes.Dimension `json:"dims"`
+	}
+	_ = json.Unmarshal(cat.Schema, &sj)
+	return sj.Dims
+}

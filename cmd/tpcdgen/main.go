@@ -1,0 +1,151 @@
+// Command tpcdgen generates the synthetic TPC-D warehouse, reports its
+// occupancy statistics, and optionally dumps a sample of LineItem records
+// or compares clustering layouts for one workload mix.
+//
+// Usage:
+//
+//	tpcdgen [-parts 40] [-days 30] [-years 7] [-seed 1999]
+//	        [-records n]  print the first n generated records
+//	        [-compare]    pack and compare the six row-major layouts and
+//	                      the (snaked) optimal path for the featured workload
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	parts := flag.Int("parts", 40, "parts per manufacturer")
+	days := flag.Int("days", 30, "days per month")
+	years := flag.Int("years", 7, "years of ship dates")
+	seed := flag.Uint64("seed", 1999, "generation seed")
+	records := flag.Int("records", 0, "print the first n records")
+	csvPath := flag.String("csv", "", "export all records to this CSV file")
+	compare := flag.Bool("compare", false, "compare layouts under the featured workload")
+	samples := flag.Int("samples", 32, "queries sampled per class for -compare")
+	flag.Parse()
+
+	cfg := tpcd.DefaultConfig()
+	cfg.PartsPerMfr = *parts
+	cfg.DaysPerMonth = *days
+	cfg.Years = *years
+	cfg.Seed = *seed
+
+	ds, err := tpcd.Build(cfg)
+	fail(err)
+	sum := ds.Summarize()
+	fmt.Printf("schema: %v\n", ds.Schema)
+	fmt.Printf("cells: %d   records: %d   bytes: %.1f MB   empty cells: %d (%.1f%%)   max records/cell: %d\n",
+		sum.Cells, sum.Records, float64(sum.TotalBytes)/1e6,
+		sum.EmptyCells, 100*float64(sum.EmptyCells)/float64(sum.Cells), sum.MaxCell)
+	fmt.Printf("pages at %d B/page: %d\n", cfg.PageBytes, (sum.TotalBytes+cfg.PageBytes-1)/cfg.PageBytes)
+
+	fmt.Println("\nTPC-D query classes (parts, supplier, time levels):")
+	for _, q := range tpcd.QueryClasses() {
+		fmt.Printf("  %-4s %v  %s\n", q.Name, q.Class, q.Desc)
+	}
+
+	if *csvPath != "" {
+		n, err := exportCSV(ds, *csvPath)
+		fail(err)
+		fmt.Printf("\nwrote %d records to %s\n", n, *csvPath)
+	}
+
+	if *records > 0 {
+		fmt.Printf("\nfirst %d records:\n", *records)
+		n := 0
+		ds.EachRecord(func(li *tpcd.LineItem) bool {
+			fmt.Printf("  order=%d part=%d supp=%d day=%d qty=%d price=%.2f disc=%.2f\n",
+				li.OrderKey, li.PartKey, li.SuppKey, li.ShipDay, li.Quantity, li.ExtendedPrice, li.Discount)
+			n++
+			return n < *records
+		})
+	}
+
+	if *compare {
+		mx := tpcd.PaperWorkload7()
+		w, err := ds.Workload(mx)
+		fail(err)
+		m := experiments.NewMeasurer(ds)
+		m.SamplesPerClass = *samples
+		fmt.Printf("\nlayout comparison under workload %v:\n", mx)
+		fmt.Printf("%-28s %14s %14s\n", "strategy", "norm blocks", "seeks/query")
+
+		opt, err := core.Optimal(w)
+		fail(err)
+		for _, snaked := range []bool{false, true} {
+			st, err := m.PathStats(opt.Path, snaked)
+			fail(err)
+			seeks, norm := experiments.Expected(ds.Lattice, st, w)
+			name := "optimal lattice path"
+			if snaked {
+				name = "snaked " + name
+			}
+			fmt.Printf("%-28s %14.2f %14.2f\n", name, norm, seeks)
+		}
+		for _, perm := range experiments.Permutations3 {
+			st, err := m.RowMajorStats(perm)
+			fail(err)
+			seeks, norm := experiments.Expected(ds.Lattice, st, w)
+			fmt.Printf("%-28s %14.2f %14.2f\n", fmt.Sprintf("row major %v", perm), norm, seeks)
+		}
+	}
+}
+
+// exportCSV streams every LineItem record to a CSV file with a TPC-D-ish
+// column set.
+func exportCSV(ds *tpcd.Dataset, path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{
+		"orderkey", "partkey", "suppkey", "shipday", "quantity",
+		"extendedprice", "discount", "tax", "returnflag", "linestatus",
+	}); err != nil {
+		return 0, err
+	}
+	var n int64
+	var werr error
+	ds.EachRecord(func(li *tpcd.LineItem) bool {
+		rec := []string{
+			strconv.FormatInt(li.OrderKey, 10),
+			strconv.Itoa(int(li.PartKey)),
+			strconv.Itoa(int(li.SuppKey)),
+			strconv.Itoa(int(li.ShipDay)),
+			strconv.Itoa(int(li.Quantity)),
+			strconv.FormatFloat(li.ExtendedPrice, 'f', 2, 64),
+			strconv.FormatFloat(li.Discount, 'f', 2, 64),
+			strconv.FormatFloat(li.Tax, 'f', 2, 64),
+			string(li.ReturnFlag),
+			string(li.LineStatus),
+		}
+		if werr = w.Write(rec); werr != nil {
+			return false
+		}
+		n++
+		return true
+	})
+	if werr != nil {
+		return n, werr
+	}
+	w.Flush()
+	return n, w.Error()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpcdgen:", err)
+		os.Exit(1)
+	}
+}

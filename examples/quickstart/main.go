@@ -1,0 +1,70 @@
+// Quickstart: define a star schema, describe the expected workload, and get
+// the optimal snaked clustering strategy with its disk order.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snakes "repro"
+)
+
+func main() {
+	// A sales fact table with two dimensions:
+	//   product: item → category → all     (8 items per category, 4 categories)
+	//   time:    day → month → all         (30 days per month, 12 months)
+	schema := snakes.NewSchema(
+		snakes.Dim("product", 8, 4),
+		snakes.Dim("time", 30, 12),
+	)
+	fmt.Printf("grid: %d cells, %d query classes\n", schema.NumCells(), schema.NumClasses())
+
+	// The workload, as probabilities over query classes (product level,
+	// time level). Say 40%% of queries ask about one item across a month,
+	// 35%% about a category across a month, 25%% about one item on one day.
+	w := schema.NewWorkload()
+	w.Set(snakes.Class{0, 1}, 0.40) // item × month
+	w.Set(snakes.Class{1, 1}, 0.35) // category × month
+	w.Set(snakes.Class{0, 0}, 0.25) // item × day
+	if err := w.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the optimal snaked lattice path: within 2× of the globally
+	// optimal clustering, in time linear in the lattice size.
+	strategy, err := snakes.Optimize(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost, err := strategy.ExpectedCost(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal strategy: %v\n", strategy)
+	fmt.Printf("expected seeks per query: %.3f\n", cost)
+
+	// Compare against the two row-major layouts a DBA might pick by hand.
+	for _, dims := range [][]int{{0, 1}, {1, 0}} {
+		rm, err := schema.RowMajor(dims...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := rm.ExpectedCost(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("row major %v: %.3f seeks per query (%.1fx worse)\n", dims, c, c/cost)
+	}
+
+	// Materialize the winning order: order.CellAt(p) is the cell stored at
+	// disk position p.
+	order, err := strategy.Materialize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first 10 cells on disk: ")
+	for p := 0; p < 10; p++ {
+		fmt.Printf("%d ", order.CellAt(p))
+	}
+	fmt.Println()
+}

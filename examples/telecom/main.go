@@ -1,0 +1,103 @@
+// Telecom: the introduction's motivating scenario — call detail records
+// queried by telephone number and month — with a packed disk layout and
+// measured page-level costs, including unbalanced geography handled by
+// dummy-node balancing (Section 4.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snakes "repro"
+)
+
+func main() {
+	// Call-detail fact table:
+	//   phone: number → exchange → area (20 numbers/exchange, 16 exchanges/area, 8 areas)
+	//   time:  day → month → all   (30 days, 12 months)
+	schema := snakes.NewSchema(
+		snakes.Dim("phone", 20, 16, 8),
+		snakes.Dim("time", 30, 12),
+	)
+	fmt.Printf("CDR grid: %d cells\n", schema.NumCells())
+
+	// "40% of the queries concern calls made from some specific telephone
+	// number in some month" — plus billing rollups and area audits.
+	w := schema.NewWorkload()
+	w.Set(snakes.Class{0, 1}, 0.40) // one number, one month
+	w.Set(snakes.Class{0, 2}, 0.20) // one number, all time
+	w.Set(snakes.Class{1, 1}, 0.15) // one exchange, one month
+	w.Set(snakes.Class{2, 1}, 0.15) // one area, one month
+	w.Set(snakes.Class{0, 0}, 0.10) // one number, one day
+	if err := w.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	opt, err := snakes.Optimize(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	costOpt, err := opt.ExpectedCost(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal strategy: %v (%.3f seeks/query)\n", opt, costOpt)
+
+	// Pack a synthetic CDR table: ~3 calls per number per day at 100 bytes
+	// each, onto 8 KB pages, and measure an actual "number × month" query.
+	bytes := make([]int64, schema.NumCells())
+	for i := range bytes {
+		bytes[i] = int64(100 * (1 + i%5)) // skewed 100–500 bytes per cell
+	}
+	layout, err := opt.Pack(bytes, snakes.DefaultPageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packed %d pages (%.1f MB)\n", layout.TotalPages(),
+		float64(layout.TotalBytes())/1e6)
+
+	// Query: number 1234's calls in month 7 (days 210–239).
+	q := snakes.Region{{Lo: 1234, Hi: 1235}, {Lo: 210, Hi: 240}}
+	st := layout.Query(q)
+	fmt.Printf("number×month query: %d bytes in %d pages, %d seek(s)\n",
+		st.Bytes, st.Pages, st.Seeks)
+
+	// Compare with a time-major row-major layout, the common default.
+	rm, err := schema.RowMajor(1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmLayout, err := rm.Pack(bytes, snakes.DefaultPageSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st2 := rmLayout.Query(q)
+	fmt.Printf("same query, time-major layout: %d pages, %d seek(s)\n", st2.Pages, st2.Seeks)
+
+	// Unbalanced geography: a region tree where one area has no exchange
+	// level is balanced with dummy nodes and used like any dimension.
+	tree, err := snakes.NewTree("region", snakes.Branch("all",
+		snakes.Branch("metro",
+			snakes.Branch("east", snakes.Leaf("e1"), snakes.Leaf("e2")),
+			snakes.Branch("west", snakes.Leaf("w1"), snakes.Leaf("w2")),
+		),
+		snakes.Leaf("rural"), // no exchange level at all
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dim, avg, err := tree.Balance().Dimension()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("balanced region hierarchy: %d levels, average fanouts %v\n",
+		dim.Levels(), avg)
+	small, err := snakes.BuildSchema(dim, snakes.Dim("day", 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := snakes.Optimize(small.UniformWorkload()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimized the unbalanced-region schema successfully")
+}

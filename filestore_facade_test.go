@@ -1,0 +1,76 @@
+package snakes
+
+import (
+	"encoding/binary"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileStoreFacadeLifecycle(t *testing.T) {
+	s := exampleSchema()
+	w := s.ClassWorkload(Class{0, 2})
+	opt, err := Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := make([]int64, s.NumCells())
+	for i := range bytes {
+		bytes[i] = FrameSize(8)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "facts.db")
+	fs, err := opt.CreateFileStore(path, bytes, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for c := 0; c < s.NumCells(); c++ {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(1))
+		if err := fs.PutRecord(c, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded := fs.LoadedBytes()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and query.
+	fs2, err := opt.OpenFileStore(path, bytes, 64, 8, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, _, err := fs2.Sum(Region{{Lo: 0, Hi: 4}, {Lo: 0, Hi: 4}}, func(rec []byte) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(rec))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 16 {
+		t.Errorf("count = %v, want 16", count)
+	}
+
+	// Re-cluster onto a row-major strategy; data survives.
+	rm, err := s.RowMajor(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := rm.Migrate(fs2, filepath.Join(dir, "facts2.db"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer migrated.Close()
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count2, _, err := migrated.Sum(Region{{Lo: 0, Hi: 4}, {Lo: 0, Hi: 4}}, func(rec []byte) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(rec))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count2 != 16 {
+		t.Errorf("migrated count = %v, want 16", count2)
+	}
+}

@@ -1,0 +1,90 @@
+package snakes_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runGo runs `go run <pkg> <args...>` in the module root and returns its
+// combined output.
+func runGo(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", pkg}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s %v failed: %v\n%s", pkg, args, err, out)
+	}
+	return string(out)
+}
+
+// TestExamplesRun executes every example binary end to end and checks a
+// marker line from each, so examples cannot silently rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cases := []struct {
+		pkg    string
+		marker string
+	}{
+		{"./examples/quickstart", "optimal strategy: snaked"},
+		{"./examples/retail", "the optimum"},
+		{"./examples/telecom", "optimized the unbalanced-region schema successfully"},
+		{"./examples/tpcd", "executed in"},
+		{"./examples/adaptive", "re-clustering recovers"},
+		{"./examples/olap", "persisted strategy"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(filepath.Base(c.pkg), func(t *testing.T) {
+			t.Parallel()
+			out := runGo(t, c.pkg)
+			if !strings.Contains(out, c.marker) {
+				t.Errorf("%s output missing %q:\n%s", c.pkg, c.marker, out)
+			}
+		})
+	}
+}
+
+// TestToolsRun smoke-tests the command-line tools on tiny inputs.
+func TestToolsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	t.Run("snakebench", func(t *testing.T) {
+		t.Parallel()
+		out := runGo(t, "./cmd/snakebench", "-tables", "1,2", "-figures=false")
+		for _, want := range []string{"Table 1", "16/16", "Table 2"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("snakebench output missing %q", want)
+			}
+		}
+	})
+	t.Run("snakebench-validate", func(t *testing.T) {
+		t.Parallel()
+		out := runGo(t, "./cmd/snakebench", "-validate", "-tables", "", "-figures=false")
+		if !strings.Contains(out, "worst analytic-vs-measured deviation: 0") {
+			t.Errorf("validation output:\n%s", out)
+		}
+	})
+	t.Run("latticeopt", func(t *testing.T) {
+		t.Parallel()
+		out := runGo(t, "./cmd/latticeopt",
+			"-dims", "a:4,2 b:3", "-workload", "0,1:0.7 2,0:0.3")
+		if !strings.Contains(out, "optimal lattice path") || !strings.Contains(out, "snaked") {
+			t.Errorf("latticeopt output:\n%s", out)
+		}
+	})
+	t.Run("tpcdgen", func(t *testing.T) {
+		t.Parallel()
+		out := runGo(t, "./cmd/tpcdgen",
+			"-parts", "2", "-days", "2", "-years", "1", "-records", "2")
+		for _, want := range []string{"schema:", "Q9", "first 2 records"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("tpcdgen output missing %q", want)
+			}
+		}
+	})
+}

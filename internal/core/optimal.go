@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/workload"
+)
+
+// Result is the output of the optimal-lattice-path algorithms: the optimal
+// path and its expected cost over the workload.
+type Result struct {
+	Path *Path
+	Cost float64
+}
+
+// Optimal2D is algorithm Find-Optimal-Lattice-Path of Figure 4, for
+// two-dimensional schemas: it returns the monotone lattice path of minimum
+// expected cost over the workload, together with that cost, in time linear
+// in the lattice size. Ties are broken toward stepping the second dimension
+// first, matching the paper's pseudo-code (strict '<' on the first branch).
+func Optimal2D(w *workload.Workload) (Result, error) {
+	l := w.Lattice()
+	if l.K() != 2 {
+		return Result{}, fmt.Errorf("core: Optimal2D needs 2 dimensions, schema has %d", l.K())
+	}
+	dimA, dimB := l.Schema().Dims[0], l.Schema().Dims[1]
+	m, n := dimA.Levels(), dimB.Levels()
+	p := func(i, j int) float64 { return w.Prob(lattice.Point{i, j}) }
+
+	// rawA[i][j]: expected cost of classes (i, j'), j' ≥ j, paid when the
+	// path steps dimension A at (i, j). rawB symmetric.
+	rawA := grid2(m+1, n+1)
+	rawB := grid2(m+1, n+1)
+	cost := grid2(m+1, n+1)
+	// choice[i][j] records which dimension the optimal path steps at (i,j):
+	// 0 for A, 1 for B, −1 at ⊤.
+	choice := make([][]int, m+1)
+	for i := range choice {
+		choice[i] = make([]int, n+1)
+		for j := range choice[i] {
+			choice[i][j] = -1
+		}
+	}
+
+	cost[m][n] = p(m, n)
+	for i := m; i >= 0; i-- {
+		rawA[i][n] = p(i, n)
+	}
+	for j := n; j >= 0; j-- {
+		rawB[m][j] = p(m, j)
+	}
+	for j := n; j >= 0; j-- {
+		for i := m; i >= 1; i-- {
+			rawB[i-1][j] = p(i-1, j) + float64(dimA.Fanout(i))*rawB[i][j]
+		}
+	}
+	for i := m; i >= 0; i-- {
+		for j := n; j >= 1; j-- {
+			rawA[i][j-1] = p(i, j-1) + float64(dimB.Fanout(j))*rawA[i][j]
+		}
+	}
+	for i := m; i >= 1; i-- {
+		cost[i-1][n] = p(i-1, n) + cost[i][n]
+		choice[i-1][n] = 0
+	}
+	for j := n; j >= 1; j-- {
+		cost[m][j-1] = p(m, j-1) + cost[m][j]
+		choice[m][j-1] = 1
+	}
+	for i := m - 1; i >= 0; i-- {
+		for j := n - 1; j >= 0; j-- {
+			viaA := cost[i+1][j] + rawA[i][j]
+			viaB := cost[i][j+1] + rawB[i][j]
+			if viaA < viaB {
+				cost[i][j] = viaA
+				choice[i][j] = 0
+			} else {
+				cost[i][j] = viaB
+				choice[i][j] = 1
+			}
+		}
+	}
+
+	var steps []int
+	for i, j := 0, 0; choice[i][j] >= 0; {
+		d := choice[i][j]
+		steps = append(steps, d)
+		if d == 0 {
+			i++
+		} else {
+			j++
+		}
+	}
+	path, err := NewPath(l, steps)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Path: path, Cost: cost[0][0]}, nil
+}
+
+func grid2(m, n int) [][]float64 {
+	g := make([][]float64, m)
+	cells := make([]float64, m*n)
+	for i := range g {
+		g[i], cells = cells[:n], cells[n:]
+	}
+	return g
+}
+
+// Optimal finds the optimal monotone lattice path for a workload over a
+// schema with any number of dimensions. It generalizes Figure 4: when the
+// path steps dimension d at point u it finalizes exactly the classes
+// {v : v_d = u_d, v ≥ u}, whose expected cost is
+//
+//	ray_d(u) = Σ_{v ≥ u, v_d = u_d} p_v · len(u → v),
+//
+// and cost(u) = min_d cost(u + e_d) + ray_d(u). Each ray_d table is built by
+// sweeping the k−1 other dimensions once, so the total work is O(k²·|L|)
+// additions and multiplications — linear in the lattice size and quadratic
+// in the number of dimensions, as the paper states.
+func Optimal(w *workload.Workload) (Result, error) {
+	l := w.Lattice()
+	k := l.K()
+	size := l.Size()
+	tops := l.Tops()
+
+	// Dense strides: index(u + e_d) = index(u) + stride[d].
+	stride := make([]int, k)
+	s := 1
+	for d := k - 1; d >= 0; d-- {
+		stride[d] = s
+		s *= tops[d] + 1
+	}
+
+	// rays[d][idx] = ray_d(point at idx).
+	rays := make([][]float64, k)
+	probs := make([]float64, size)
+	for i := 0; i < size; i++ {
+		probs[i] = w.ProbAt(i)
+	}
+	for d := 0; d < k; d++ {
+		ray := append([]float64(nil), probs...)
+		for e := 0; e < k; e++ {
+			if e == d {
+				continue
+			}
+			sweepSuffix(l, ray, e, stride, tops)
+		}
+		rays[d] = ray
+	}
+
+	cost := make([]float64, size)
+	choice := make([]int, size)
+	for idx := size - 1; idx >= 0; idx-- {
+		u := l.PointAt(idx)
+		best, bestDim := 0.0, -1
+		for d := k - 1; d >= 0; d-- { // reverse order: ties prefer the last dimension, matching Optimal2D
+			if u[d] == tops[d] {
+				continue
+			}
+			c := cost[idx+stride[d]] + rays[d][idx]
+			if bestDim < 0 || c < best {
+				best, bestDim = c, d
+			}
+		}
+		if bestDim < 0 { // u = ⊤
+			cost[idx] = probs[idx]
+			choice[idx] = -1
+			continue
+		}
+		cost[idx] = best
+		choice[idx] = bestDim
+	}
+
+	var steps []int
+	for idx := 0; choice[idx] >= 0; {
+		d := choice[idx]
+		steps = append(steps, d)
+		idx += stride[d]
+	}
+	path, err := NewPath(l, steps)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Path: path, Cost: cost[0]}, nil
+}
+
+// sweepSuffix folds dimension e into the ray table: after the sweep,
+// ray[u] = Σ_{j ≥ u_e} ray_before[u with u_e=j] · Π_{u_e < i ≤ j} f(e, i).
+// Entries are updated from the top level of e downward so each step reuses
+// the already-folded suffix.
+func sweepSuffix(l *lattice.Lattice, ray []float64, e int, stride, tops []int) {
+	f := l.Schema().Dims[e]
+	size := len(ray)
+	blk := stride[e] * (tops[e] + 1) // span of a full run of dimension e
+	for base := 0; base < size; base += blk {
+		for off := 0; off < stride[e]; off++ {
+			for j := tops[e] - 1; j >= 0; j-- {
+				idx := base + off + j*stride[e]
+				ray[idx] += float64(f.Fanout(j+1)) * ray[idx+stride[e]]
+			}
+		}
+	}
+}
+
+// Cost evaluates the expected cost of an arbitrary lattice path over the
+// workload directly from the definition: Σ_c p_c · dist_P(c). It is the
+// brute-force oracle the DP is validated against.
+func Cost(p *Path, w *workload.Workload) float64 {
+	l := w.Lattice()
+	total := 0.0
+	l.Points(func(c lattice.Point) {
+		if pr := w.Prob(c); pr > 0 {
+			total += pr * float64(p.Dist(c))
+		}
+	})
+	return total
+}
+
+// BestByEnumeration finds the optimal lattice path by enumerating all of
+// them, for cross-checking the DP on small lattices. Ties are broken toward
+// the lexicographically first step sequence.
+func BestByEnumeration(w *workload.Workload) Result {
+	var best Result
+	first := true
+	EnumeratePaths(w.Lattice(), func(p *Path) bool {
+		c := Cost(p, w)
+		if first || c < best.Cost {
+			steps := append([]int(nil), p.Steps()...)
+			best = Result{Path: MustPath(w.Lattice(), steps), Cost: c}
+			first = false
+		}
+		return true
+	})
+	return best
+}

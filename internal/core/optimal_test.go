@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/workload"
+)
+
+func TestCostMatchesTable2(t *testing.T) {
+	// Table 2 gives the expected costs of P1 and P2 under the three
+	// Example-1 workloads: W1 → 17/9, 15/9; W2 → 13/6, 11/6; W3 → 1, 5/4.
+	l := exampleLattice()
+	pa, pb := p1(l), p2(l)
+	w1 := workload.Uniform(l)
+	w2 := workload.UniformExcept(l,
+		lattice.Point{0, 1}, lattice.Point{0, 2}, lattice.Point{1, 1})
+	w3 := workload.UniformOver(l,
+		lattice.Point{0, 0}, lattice.Point{0, 1}, lattice.Point{0, 2}, lattice.Point{1, 2})
+	cases := []struct {
+		name   string
+		w      *workload.Workload
+		c1, c2 float64
+	}{
+		{"workload 1", w1, 17.0 / 9, 15.0 / 9},
+		{"workload 2", w2, 13.0 / 6, 11.0 / 6},
+		{"workload 3", w3, 1, 5.0 / 4},
+	}
+	for _, c := range cases {
+		if got := Cost(pa, c.w); math.Abs(got-c.c1) > 1e-12 {
+			t.Errorf("%s: cost(P1) = %v, want %v", c.name, got, c.c1)
+		}
+		if got := Cost(pb, c.w); math.Abs(got-c.c2) > 1e-12 {
+			t.Errorf("%s: cost(P2) = %v, want %v", c.name, got, c.c2)
+		}
+	}
+}
+
+func TestOptimal2DMatchesEnumeration(t *testing.T) {
+	l := exampleLattice()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		w := workload.Random(l, rng, 0.7)
+		dp, err := Optimal2D(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := BestByEnumeration(w)
+		if math.Abs(dp.Cost-brute.Cost) > 1e-9 {
+			t.Fatalf("workload %v: DP cost %v ≠ brute-force %v (DP path %v, brute %v)",
+				w, dp.Cost, brute.Cost, dp.Path, brute.Path)
+		}
+		if got := Cost(dp.Path, w); math.Abs(got-dp.Cost) > 1e-9 {
+			t.Fatalf("DP path's direct cost %v ≠ reported %v", got, dp.Cost)
+		}
+	}
+}
+
+func TestOptimal2DAsymmetricFanouts(t *testing.T) {
+	l := lattice.New(hierarchy.MustSchema(
+		hierarchy.Dimension{Name: "A", Fanouts: []int{4, 3}},
+		hierarchy.Dimension{Name: "B", Fanouts: []int{2, 5, 2}},
+	))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		w := workload.Random(l, rng, 0.6)
+		dp, err := Optimal2D(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := BestByEnumeration(w)
+		if math.Abs(dp.Cost-brute.Cost) > 1e-9 {
+			t.Fatalf("DP cost %v ≠ brute-force %v", dp.Cost, brute.Cost)
+		}
+	}
+}
+
+func TestOptimalKDMatches2D(t *testing.T) {
+	l := exampleLattice()
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		w := workload.Random(l, rng, 0.7)
+		dp2, err := Optimal2D(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpk, err := Optimal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dp2.Cost-dpk.Cost) > 1e-9 {
+			t.Fatalf("Optimal2D cost %v ≠ Optimal cost %v", dp2.Cost, dpk.Cost)
+		}
+		if !dp2.Path.Equal(dpk.Path) {
+			// Both must still be optimal; equal cost suffices, but with the
+			// shared tie-break they should coincide exactly.
+			t.Fatalf("Optimal2D path %v ≠ Optimal path %v", dp2.Path, dpk.Path)
+		}
+	}
+}
+
+func TestOptimal3DMatchesEnumeration(t *testing.T) {
+	l := lattice.New(hierarchy.MustSchema(
+		hierarchy.Uniform("x", 2, 2),
+		hierarchy.Uniform("y", 2, 3),
+		hierarchy.Uniform("z", 1, 4),
+	))
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		w := workload.Random(l, rng, 0.5)
+		dp, err := Optimal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := BestByEnumeration(w)
+		if math.Abs(dp.Cost-brute.Cost) > 1e-9 {
+			t.Fatalf("DP cost %v ≠ brute-force %v (DP %v, brute %v)",
+				dp.Cost, brute.Cost, dp.Path, brute.Path)
+		}
+	}
+}
+
+func TestOptimal4D(t *testing.T) {
+	l := lattice.New(hierarchy.MustSchema(
+		hierarchy.Uniform("a", 1, 2),
+		hierarchy.Uniform("b", 2, 2),
+		hierarchy.Uniform("c", 1, 3),
+		hierarchy.Uniform("d", 2, 2),
+	))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 25; i++ {
+		w := workload.Random(l, rng, 0.5)
+		dp, err := Optimal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := BestByEnumeration(w)
+		if math.Abs(dp.Cost-brute.Cost) > 1e-9 {
+			t.Fatalf("DP cost %v ≠ brute-force %v", dp.Cost, brute.Cost)
+		}
+	}
+}
+
+func TestOptimalPointWorkloads(t *testing.T) {
+	// For a workload concentrated on one class c, any path through c has
+	// cost 1, which is optimal.
+	l := exampleLattice()
+	l.Points(func(c lattice.Point) {
+		w := workload.Point(l, c.Clone())
+		dp, err := Optimal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Cost != 1 {
+			t.Errorf("class %v: optimal cost %v, want 1", c, dp.Cost)
+		}
+		if !dp.Path.Contains(c) {
+			t.Errorf("class %v: optimal path %v does not pass through it", c, dp.Path)
+		}
+	})
+}
+
+func TestOptimal2DRejectsOtherArity(t *testing.T) {
+	l := lattice.New(hierarchy.MustSchema(
+		hierarchy.Uniform("x", 1, 2),
+		hierarchy.Uniform("y", 1, 2),
+		hierarchy.Uniform("z", 1, 2),
+	))
+	if _, err := Optimal2D(workload.Uniform(l)); err == nil {
+		t.Error("Optimal2D on 3-D schema should fail")
+	}
+}
+
+func TestOptimalWithDummyLevels(t *testing.T) {
+	// Fanout-1 levels (from balancing unbalanced hierarchies) must not
+	// break the DP.
+	l := lattice.New(hierarchy.MustSchema(
+		hierarchy.Dimension{Name: "A", Fanouts: []int{2, 1, 2}},
+		hierarchy.Dimension{Name: "B", Fanouts: []int{1, 3}},
+	))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		w := workload.Random(l, rng, 0.6)
+		dp, err := Optimal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := BestByEnumeration(w)
+		// With fanout-1 edges the physical-dist DP can differ from the
+		// literal min-dist definition, but both must agree on the best
+		// achievable cost among lattice paths under the same Dist.
+		if math.Abs(dp.Cost-brute.Cost) > 1e-9 {
+			t.Fatalf("DP cost %v ≠ brute-force %v", dp.Cost, brute.Cost)
+		}
+	}
+}
+
+func BenchmarkOptimal2D(b *testing.B) {
+	l := lattice.New(hierarchy.MustSchema(hierarchy.Binary("A", 10), hierarchy.Binary("B", 10)))
+	w := workload.Uniform(l)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimal2D(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalKD(b *testing.B) {
+	l := lattice.New(hierarchy.MustSchema(
+		hierarchy.Uniform("a", 5, 2),
+		hierarchy.Uniform("b", 5, 2),
+		hierarchy.Uniform("c", 5, 2),
+		hierarchy.Uniform("d", 5, 2),
+	))
+	w := workload.Uniform(l)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimal(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package core implements the paper's primary contribution: monotone
+// lattice paths as clustering strategies, the dynamic-programming algorithm
+// that finds the optimal lattice path for a workload (Figure 4, generalized
+// to k dimensions), and snaking.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lattice"
+)
+
+// Path is a monotone lattice path (Definition 3): a sequence of query
+// classes from ⊥ to ⊤ in which each point is a successor of the previous
+// one. Read innermost loop first: the edge u_s → u_{s+1} stepping dimension
+// d specifies one loop over sibling entries at level u_s[d] of dimension d.
+type Path struct {
+	lat    *lattice.Lattice
+	points []lattice.Point
+	steps  []int // steps[s] = dimension stepped by edge s (innermost first)
+}
+
+// NewPath builds a path from the dimensions stepped, innermost loop first.
+// The steps must visit every level of every dimension, i.e. contain
+// dimension d exactly ℓ_d times.
+func NewPath(l *lattice.Lattice, steps []int) (*Path, error) {
+	tops := l.Tops()
+	cur := l.Bottom()
+	points := make([]lattice.Point, 0, len(steps)+1)
+	points = append(points, cur.Clone())
+	for s, d := range steps {
+		if d < 0 || d >= l.K() {
+			return nil, fmt.Errorf("core: step %d names dimension %d of %d", s, d, l.K())
+		}
+		cur[d]++
+		if cur[d] > tops[d] {
+			return nil, fmt.Errorf("core: step %d exceeds top level %d of dimension %d", s, tops[d], d)
+		}
+		points = append(points, cur.Clone())
+	}
+	if !cur.Equal(l.Top()) {
+		return nil, fmt.Errorf("core: path ends at %v, not ⊤ = %v", cur, l.Top())
+	}
+	return &Path{lat: l, points: points, steps: append([]int(nil), steps...)}, nil
+}
+
+// MustPath is NewPath, panicking on error.
+func MustPath(l *lattice.Lattice, steps []int) *Path {
+	p, err := NewPath(l, steps)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FromPoints builds a path from its point sequence, validating monotonicity.
+func FromPoints(l *lattice.Lattice, points []lattice.Point) (*Path, error) {
+	if len(points) == 0 || !points[0].Equal(l.Bottom()) {
+		return nil, fmt.Errorf("core: path must start at ⊥")
+	}
+	steps := make([]int, 0, len(points)-1)
+	for i := 1; i < len(points); i++ {
+		d := points[i-1].SuccessorOf(points[i])
+		if d < 0 {
+			return nil, fmt.Errorf("core: %v is not a successor of %v", points[i], points[i-1])
+		}
+		steps = append(steps, d)
+	}
+	return NewPath(l, steps)
+}
+
+// RowMajor returns the lattice path that exhausts the dimensions one at a
+// time in the given outer-to-inner nesting order: dims[len-1] is the
+// innermost (fastest-varying) dimension. This is the classical row-major
+// family; a k-dimensional schema has k! of them.
+func RowMajor(l *lattice.Lattice, dims []int) (*Path, error) {
+	if len(dims) != l.K() {
+		return nil, fmt.Errorf("core: row-major order names %d of %d dimensions", len(dims), l.K())
+	}
+	seen := make([]bool, l.K())
+	tops := l.Tops()
+	var steps []int
+	for i := len(dims) - 1; i >= 0; i-- {
+		d := dims[i]
+		if d < 0 || d >= l.K() || seen[d] {
+			return nil, fmt.Errorf("core: row-major order %v is not a permutation", dims)
+		}
+		seen[d] = true
+		for j := 0; j < tops[d]; j++ {
+			steps = append(steps, d)
+		}
+	}
+	return NewPath(l, steps)
+}
+
+// Lattice returns the lattice the path lives in.
+func (p *Path) Lattice() *lattice.Lattice { return p.lat }
+
+// Len returns the number of points on the path.
+func (p *Path) Len() int { return len(p.points) }
+
+// Point returns the i-th point of the path (0 = ⊥).
+func (p *Path) Point(i int) lattice.Point { return p.points[i] }
+
+// Points returns the full point sequence (shared; do not modify).
+func (p *Path) Points() []lattice.Point { return p.points }
+
+// Steps returns the dimension stepped by each edge, innermost loop first
+// (shared; do not modify).
+func (p *Path) Steps() []int { return p.steps }
+
+// Contains reports whether c lies on the path.
+func (p *Path) Contains(c lattice.Point) bool {
+	for _, u := range p.points {
+		if u.Equal(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// LastDominated returns the maximal path point u* with u* ≤ c. Because the
+// path is a chain starting at ⊥, the dominated points form a prefix and the
+// maximum is well defined.
+func (p *Path) LastDominated(c lattice.Point) lattice.Point {
+	best := p.points[0]
+	for _, u := range p.points[1:] {
+		if u.LE(c) {
+			best = u
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// Dist returns dist_P(c): the average number of contiguous fragments a
+// class-c query needs under the (unsnaked) clustering strategy of the path.
+// It equals len(u* → c) for the last path point u* dominated by c — see
+// DESIGN.md §2 for why this is the physical reading of the paper's
+// definition.
+func (p *Path) Dist(c lattice.Point) int {
+	return p.lat.SegmentLength(p.LastDominated(c), c)
+}
+
+// Equal reports whether two paths over the same lattice take the same steps.
+func (p *Path) Equal(q *Path) bool {
+	if len(p.steps) != len(q.steps) {
+		return false
+	}
+	for i := range p.steps {
+		if p.steps[i] != q.steps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path as its point sequence, ⊥ first.
+func (p *Path) String() string {
+	parts := make([]string, len(p.points))
+	for i, u := range p.points {
+		parts[i] = u.String()
+	}
+	return "⟨" + strings.Join(parts, " ") + "⟩"
+}
+
+// EnumeratePaths calls fn for every monotone lattice path of the lattice, in
+// lexicographic order of step sequences. The path passed to fn is reused;
+// clone (via its Steps) to retain. fn returning false stops the enumeration.
+// The number of paths is the multinomial coefficient (Σℓ_d)! / Πℓ_d!, so
+// this is feasible only for small lattices; it exists to validate the DP.
+func EnumeratePaths(l *lattice.Lattice, fn func(p *Path) bool) {
+	tops := l.Tops()
+	total := 0
+	for _, t := range tops {
+		total += t
+	}
+	remaining := append([]int(nil), tops...)
+	steps := make([]int, 0, total)
+	var rec func() bool
+	rec = func() bool {
+		if len(steps) == total {
+			p, err := NewPath(l, steps)
+			if err != nil {
+				panic(err) // unreachable by construction
+			}
+			return fn(p)
+		}
+		for d := 0; d < l.K(); d++ {
+			if remaining[d] == 0 {
+				continue
+			}
+			remaining[d]--
+			steps = append(steps, d)
+			ok := rec()
+			steps = steps[:len(steps)-1]
+			remaining[d]++
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// CountPaths returns the number of monotone lattice paths of the lattice:
+// the multinomial coefficient (Σ ℓ_d)! / Π ℓ_d!.
+func CountPaths(l *lattice.Lattice) int {
+	tops := l.Tops()
+	n := 0
+	count := 1
+	for _, t := range tops {
+		// Multiply count by C(n+t, t) incrementally.
+		for i := 1; i <= t; i++ {
+			n++
+			count = count * n / i
+		}
+	}
+	return count
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+)
+
+func exampleLattice() *lattice.Lattice {
+	return lattice.New(hierarchy.MustSchema(hierarchy.Binary("A", 2), hierarchy.Binary("B", 2)))
+}
+
+// p1 is strategy P1 of Example 2: ⟨(0,0),(0,1),(0,2),(1,2),(2,2)⟩.
+func p1(l *lattice.Lattice) *Path { return MustPath(l, []int{1, 1, 0, 0}) }
+
+// p2 is strategy P2 of Example 2: ⟨(0,0),(0,1),(1,1),(1,2),(2,2)⟩.
+func p2(l *lattice.Lattice) *Path { return MustPath(l, []int{1, 0, 1, 0}) }
+
+func TestNewPath(t *testing.T) {
+	l := exampleLattice()
+	p := p1(l)
+	want := []lattice.Point{{0, 0}, {0, 1}, {0, 2}, {1, 2}, {2, 2}}
+	if p.Len() != len(want) {
+		t.Fatalf("Len() = %d, want %d", p.Len(), len(want))
+	}
+	for i, w := range want {
+		if !p.Point(i).Equal(w) {
+			t.Errorf("Point(%d) = %v, want %v", i, p.Point(i), w)
+		}
+	}
+}
+
+func TestNewPathErrors(t *testing.T) {
+	l := exampleLattice()
+	cases := [][]int{
+		{1, 1, 0},       // stops short of ⊤
+		{1, 1, 1, 0},    // exceeds dimension B's top
+		{0, 0, 0, 0},    // exceeds dimension A's top
+		{2, 1, 1, 0},    // invalid dimension
+		{-1, 1, 1, 0},   // negative dimension
+		{1, 1, 0, 0, 0}, // too many steps
+	}
+	for _, steps := range cases {
+		if _, err := NewPath(l, steps); err == nil {
+			t.Errorf("NewPath(%v) should fail", steps)
+		}
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	l := exampleLattice()
+	pts := []lattice.Point{{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}}
+	p, err := FromPoints(l, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(p2(l)) {
+		t.Errorf("FromPoints = %v, want P2", p)
+	}
+	if _, err := FromPoints(l, []lattice.Point{{0, 1}, {0, 2}}); err == nil {
+		t.Error("path not starting at ⊥ should fail")
+	}
+	if _, err := FromPoints(l, []lattice.Point{{0, 0}, {1, 1}}); err == nil {
+		t.Error("diagonal jump in lattice should fail")
+	}
+}
+
+func TestRowMajorPaths(t *testing.T) {
+	l := exampleLattice()
+	// Outer dimension A, inner B: exhaust B first.
+	p, err := RowMajor(l, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(p1(l)) {
+		t.Errorf("RowMajor([A B]) = %v, want P1", p)
+	}
+	if _, err := RowMajor(l, []int{0, 0}); err == nil {
+		t.Error("non-permutation should fail")
+	}
+	if _, err := RowMajor(l, []int{0}); err == nil {
+		t.Error("wrong length should fail")
+	}
+}
+
+func TestLastDominatedAndDist(t *testing.T) {
+	l := exampleLattice()
+	p := p1(l)
+	cases := []struct {
+		c    lattice.Point
+		dom  lattice.Point
+		dist int
+	}{
+		// Points on the path have dist 1 (the empty segment has length 1).
+		{lattice.Point{0, 1}, lattice.Point{0, 1}, 1},
+		{lattice.Point{2, 2}, lattice.Point{2, 2}, 1},
+		// dist_P1(2,0) = 2×2 = 4 per Section 4's example.
+		{lattice.Point{2, 0}, lattice.Point{0, 0}, 4},
+		{lattice.Point{1, 0}, lattice.Point{0, 0}, 2},
+		{lattice.Point{1, 1}, lattice.Point{0, 1}, 2},
+		{lattice.Point{2, 1}, lattice.Point{0, 1}, 4},
+	}
+	for _, c := range cases {
+		if got := p.LastDominated(c.c); !got.Equal(c.dom) {
+			t.Errorf("LastDominated(%v) = %v, want %v", c.c, got, c.dom)
+		}
+		if got := p.Dist(c.c); got != c.dist {
+			t.Errorf("Dist(%v) = %d, want %d", c.c, got, c.dist)
+		}
+	}
+}
+
+func TestDistMatchesTable1(t *testing.T) {
+	// Table 1's P1 and P2 columns are ⟨total⟩/⟨count⟩; dist is the average.
+	l := exampleLattice()
+	cases := []struct {
+		c      lattice.Point
+		p1, p2 int
+	}{
+		{lattice.Point{0, 0}, 1, 1},
+		{lattice.Point{1, 1}, 2, 1},
+		{lattice.Point{2, 2}, 1, 1},
+		{lattice.Point{1, 0}, 2, 2},
+		{lattice.Point{0, 1}, 1, 1},
+		{lattice.Point{2, 0}, 4, 4},
+		{lattice.Point{0, 2}, 1, 2},
+		{lattice.Point{2, 1}, 4, 2},
+		{lattice.Point{1, 2}, 1, 1},
+	}
+	pa, pb := p1(l), p2(l)
+	for _, c := range cases {
+		if got := pa.Dist(c.c); got != c.p1 {
+			t.Errorf("dist_P1(%v) = %d, want %d", c.c, got, c.p1)
+		}
+		if got := pb.Dist(c.c); got != c.p2 {
+			t.Errorf("dist_P2(%v) = %d, want %d", c.c, got, c.p2)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	l := exampleLattice()
+	p := p2(l)
+	if !p.Contains(lattice.Point{1, 1}) {
+		t.Error("P2 should contain (1,1)")
+	}
+	if p.Contains(lattice.Point{2, 0}) {
+		t.Error("P2 should not contain (2,0)")
+	}
+}
+
+func TestEnumeratePaths(t *testing.T) {
+	l := exampleLattice()
+	var n int
+	seen := map[string]bool{}
+	EnumeratePaths(l, func(p *Path) bool {
+		n++
+		s := p.String()
+		if seen[s] {
+			t.Fatalf("duplicate path %s", s)
+		}
+		seen[s] = true
+		return true
+	})
+	// C(4,2) = 6 monotone paths on the 2-level × 2-level lattice.
+	if n != 6 {
+		t.Errorf("enumerated %d paths, want 6", n)
+	}
+	if got := CountPaths(l); got != 6 {
+		t.Errorf("CountPaths = %d, want 6", got)
+	}
+}
+
+func TestEnumeratePathsEarlyStop(t *testing.T) {
+	l := exampleLattice()
+	n := 0
+	EnumeratePaths(l, func(p *Path) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("enumeration visited %d paths after early stop, want 3", n)
+	}
+}
+
+func TestCountPaths3D(t *testing.T) {
+	l := lattice.New(hierarchy.MustSchema(
+		hierarchy.Uniform("x", 2, 2),
+		hierarchy.Uniform("y", 1, 3),
+		hierarchy.Uniform("z", 3, 2),
+	))
+	// (2+1+3)!/(2!·1!·3!) = 720/12 = 60.
+	if got := CountPaths(l); got != 60 {
+		t.Errorf("CountPaths = %d, want 60", got)
+	}
+	n := 0
+	EnumeratePaths(l, func(p *Path) bool { n++; return true })
+	if n != 60 {
+		t.Errorf("enumerated %d paths, want 60", n)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	l := exampleLattice()
+	if got := p1(l).String(); got != "⟨(0,0) (0,1) (0,2) (1,2) (2,2)⟩" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,46 @@
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+)
+
+// CheckConsistency verifies the k-dimensional generalization of the
+// paper's Lemma-2 constraints for a characteristic vector: for every query
+// class c, the edges that can lie inside class-c blocks number at most
+// N − N/blockSize(c) (each of the N/blockSize(c) blocks is a set of
+// blockSize(c) cells and can host at most blockSize(c)−1 path edges), all
+// counts are non-negative, no edge has the impossible type ⊥, and the
+// total is exactly N−1. Every real clustering strategy's CV satisfies all
+// of these; the checker is used to validate measured CVs and to screen
+// synthetic vectors in the sandwich machinery.
+func (cv *CV) CheckConsistency() error {
+	l := cv.Lat
+	n := int64(l.Schema().NumCells())
+	for i, c := range cv.Counts {
+		if c < 0 {
+			return fmt.Errorf("cost: type %v has negative count %d", l.PointAt(i), c)
+		}
+	}
+	if c := cv.Counts[l.Index(l.Bottom())]; c != 0 {
+		return fmt.Errorf("cost: %d edges of impossible type ⊥", c)
+	}
+	var err error
+	l.Points(func(c lattice.Point) {
+		if err != nil || c.Equal(l.Bottom()) {
+			return
+		}
+		bound := n - n/int64(l.BlockSize(c))
+		if got := cv.Interior(c); got > bound {
+			err = fmt.Errorf("cost: class %v holds %d interior edges, bound %d", c.Clone(), got, bound)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if got := cv.TotalEdges(); got != n-1 {
+		return fmt.Errorf("cost: total edges %d, want %d", got, n-1)
+	}
+	return nil
+}

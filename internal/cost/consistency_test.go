@@ -1,0 +1,155 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/linear"
+	"repro/internal/workload"
+)
+
+// TestCheckConsistencyOnRealStrategies: every strategy we can materialize
+// satisfies the generalized Lemma-2 constraints, in 2 and 3 dimensions and
+// with mixed fanouts.
+func TestCheckConsistencyOnRealStrategies(t *testing.T) {
+	schemas := []*hierarchy.Schema{
+		exampleSchema(),
+		hierarchy.MustSchema(
+			hierarchy.Dimension{Name: "x", Fanouts: []int{3, 2}},
+			hierarchy.Dimension{Name: "y", Fanouts: []int{2, 2}},
+			hierarchy.Dimension{Name: "z", Fanouts: []int{4}},
+		),
+	}
+	for _, s := range schemas {
+		l := lattice.New(s)
+		core.EnumeratePaths(l, func(p *core.Path) bool {
+			for _, snaked := range []bool{false, true} {
+				if err := OfPath(p, snaked).CheckConsistency(); err != nil {
+					t.Errorf("schema %v path %v snaked=%v: %v", s, p, snaked, err)
+				}
+			}
+			return true
+		})
+	}
+	// The classical curves on the binary square.
+	s := exampleSchema()
+	l := lattice.New(s)
+	for _, build := range []func() (*linear.Order, error){
+		func() (*linear.Order, error) { return linear.Hilbert(s) },
+		func() (*linear.Order, error) { return linear.ZOrder(s) },
+		func() (*linear.Order, error) { return linear.GrayOrder(s) },
+	} {
+		o, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := OfOrder(l, o).CheckConsistency(); err != nil {
+			t.Errorf("%s: %v", o.Name, err)
+		}
+	}
+}
+
+func TestCheckConsistencyRejections(t *testing.T) {
+	s := exampleSchema()
+	l := lattice.New(s)
+	// Impossible ⊥ type.
+	cv := NewCV(l)
+	cv.Counts[l.Index(lattice.Point{0, 0})] = 15
+	if err := cv.CheckConsistency(); err == nil {
+		t.Error("⊥-typed edges should be rejected")
+	}
+	// Too many edges inside class (1,0) blocks: bound is 16 − 16/2 = 8.
+	cv = NewCV(l)
+	cv.Counts[l.Index(lattice.Point{1, 0})] = 9
+	cv.Counts[l.Index(lattice.Point{2, 2})] = 6
+	if err := cv.CheckConsistency(); err == nil {
+		t.Error("class-(1,0) overflow should be rejected")
+	}
+	// Wrong total.
+	cv = NewCV(l)
+	cv.Counts[l.Index(lattice.Point{2, 2})] = 14
+	if err := cv.CheckConsistency(); err == nil {
+		t.Error("total 14 ≠ 15 should be rejected")
+	}
+	// Negative count.
+	cv = NewCV(l)
+	cv.Counts[l.Index(lattice.Point{0, 1})] = -1
+	cv.Counts[l.Index(lattice.Point{2, 2})] = 16
+	if err := cv.CheckConsistency(); err == nil {
+		t.Error("negative count should be rejected")
+	}
+}
+
+// TestCorollary1 is the paper's performance guarantee (Section 5.3): the
+// snaked optimal lattice path costs at most twice the optimal snaked
+// lattice path — and hence at most twice the global optimum — on every
+// workload.
+func TestCorollary1(t *testing.T) {
+	schemas := []*hierarchy.Schema{
+		exampleSchema(),
+		hierarchy.MustSchema(hierarchy.Binary("A", 3), hierarchy.Binary("B", 3)),
+		hierarchy.MustSchema(
+			hierarchy.Uniform("a", 2, 3),
+			hierarchy.Uniform("b", 1, 2),
+			hierarchy.Uniform("c", 2, 2),
+		),
+	}
+	for _, s := range schemas {
+		l := lattice.New(s)
+		rng := rand.New(rand.NewSource(40))
+		for i := 0; i < 60; i++ {
+			w := workload.Random(l, rng, 0.6)
+			opt, err := core.Optimal(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snakedOpt := SnakedPathCost(opt.Path, w)
+			bestSnaked := math.Inf(1)
+			core.EnumeratePaths(l, func(p *core.Path) bool {
+				if c := SnakedPathCost(p, w); c < bestSnaked {
+					bestSnaked = c
+				}
+				return true
+			})
+			if ratio := snakedOpt / bestSnaked; ratio >= 2 {
+				t.Errorf("schema %v workload %d: snaked-optimal / optimal-snaked = %v ≥ 2", s, i, ratio)
+			}
+		}
+	}
+}
+
+// TestSnakedOptimalUsuallyNearOptimalSnaked quantifies the paper's
+// conjecture that the factor-2 bound is loose in practice: across random
+// workloads the ratio stays very close to 1.
+func TestSnakedOptimalUsuallyNearOptimalSnaked(t *testing.T) {
+	s := hierarchy.MustSchema(hierarchy.Binary("A", 3), hierarchy.Binary("B", 3))
+	l := lattice.New(s)
+	rng := rand.New(rand.NewSource(41))
+	worst := 1.0
+	for i := 0; i < 200; i++ {
+		w := workload.Random(l, rng, 0.6)
+		opt, err := core.Optimal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snakedOpt := SnakedPathCost(opt.Path, w)
+		best := math.Inf(1)
+		core.EnumeratePaths(l, func(p *core.Path) bool {
+			if c := SnakedPathCost(p, w); c < best {
+				best = c
+			}
+			return true
+		})
+		if r := snakedOpt / best; r > worst {
+			worst = r
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("worst observed ratio %v; expected well under the 2x bound on random workloads", worst)
+	}
+	t.Logf("worst snaked-optimal / optimal-snaked ratio over 200 random workloads: %.4f", worst)
+}

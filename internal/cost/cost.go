@@ -1,0 +1,183 @@
+// Package cost implements the clustering cost model: per-query-class
+// average seek counts and expected workload costs, computed either from a
+// materialized linearization or analytically from a (snaked) lattice path.
+//
+// Everything rests on one identity: the number of contiguous fragments
+// covering a region R is |R| minus the number of linearization edges whose
+// endpoints both lie in R. Averaged over the blocks of a query class c,
+//
+//	avgCost(c) = (N − E_c) / Q_c,
+//
+// where N is the number of cells, E_c counts edges interior to some class-c
+// block, and Q_c is the number of class-c blocks. E_c depends only on the
+// strategy's generalized characteristic vector (edge counts by type), which
+// is the paper's extended cost_μ for characteristic vectors, generalized to
+// k dimensions and arbitrary fanouts.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/linear"
+	"repro/internal/workload"
+)
+
+// CV is a generalized characteristic vector: linearization edge counts
+// indexed by edge type, where a type is a query class (the minimal class
+// whose blocks can contain the edge) in the lattice's dense index order.
+type CV struct {
+	Lat    *lattice.Lattice
+	Counts []int64
+}
+
+// NewCV returns an all-zero characteristic vector over the lattice.
+func NewCV(l *lattice.Lattice) *CV {
+	return &CV{Lat: l, Counts: make([]int64, l.Size())}
+}
+
+// OfOrder measures the characteristic vector of a materialized
+// linearization.
+func OfOrder(l *lattice.Lattice, o *linear.Order) *CV {
+	return &CV{Lat: l, Counts: o.EdgeTypes(l)}
+}
+
+// OfPath returns the analytic characteristic vector of a lattice path's
+// clustering strategy. The edge u_s → u_{s+1} of the path (stepping
+// dimension d) contributes N/size(u_s) − N/size(u_{s+1}) linearization
+// edges; unsnaked they are all of type u_{s+1} (diagonal whenever u_s has
+// another nonzero component), snaked they are all of the pure type with
+// level u_s[d]+1 in dimension d and 0 elsewhere.
+func OfPath(p *core.Path, snaked bool) *CV {
+	l := p.Lattice()
+	cv := NewCV(l)
+	n := l.Schema().NumCells()
+	pts := p.Points()
+	steps := p.Steps()
+	for s := 0; s+1 < len(pts); s++ {
+		edges := int64(n/l.BlockSize(pts[s]) - n/l.BlockSize(pts[s+1]))
+		var t lattice.Point
+		if snaked {
+			t = make(lattice.Point, l.K())
+			t[steps[s]] = pts[s][steps[s]] + 1
+		} else {
+			t = pts[s+1]
+		}
+		cv.Counts[l.Index(t)] += edges
+	}
+	return cv
+}
+
+// TotalEdges returns the total number of edges, which must be N−1 for any
+// strategy over the full grid.
+func (cv *CV) TotalEdges() int64 {
+	var t int64
+	for _, c := range cv.Counts {
+		t += c
+	}
+	return t
+}
+
+// Diagonal returns the number of diagonal edges: edges whose type has two
+// or more nonzero components.
+func (cv *CV) Diagonal() int64 {
+	var t int64
+	for i, c := range cv.Counts {
+		if c == 0 {
+			continue
+		}
+		p := cv.Lat.PointAt(i)
+		nz := 0
+		for _, v := range p {
+			if v > 0 {
+				nz++
+			}
+		}
+		if nz >= 2 {
+			t += c
+		}
+	}
+	return t
+}
+
+// Interior returns E_c: the number of edges interior to some block of
+// class c, i.e. the total count of edges whose type is ≤ c.
+func (cv *CV) Interior(c lattice.Point) int64 {
+	var t int64
+	cv.Lat.Points(func(p lattice.Point) {
+		if p.LE(c) {
+			t += cv.Counts[cv.Lat.Index(p)]
+		}
+	})
+	return t
+}
+
+// ClassCost returns the average number of fragments for a class-c query:
+// (N − E_c) / Q_c.
+func (cv *CV) ClassCost(c lattice.Point) float64 {
+	n := cv.Lat.Schema().NumCells()
+	q := cv.Lat.NumQueries(c)
+	return (float64(n) - float64(cv.Interior(c))) / float64(q)
+}
+
+// ExpectedCost returns the expected cost over the workload:
+// Σ_c p_c · ClassCost(c).
+func (cv *CV) ExpectedCost(w *workload.Workload) float64 {
+	if w.Lattice() != cv.Lat {
+		// Different lattice objects over the same schema are fine as long
+		// as the shapes agree; re-index defensively via points.
+		if w.Lattice().Size() != cv.Lat.Size() {
+			panic(fmt.Sprintf("cost: workload lattice size %d ≠ CV lattice size %d", w.Lattice().Size(), cv.Lat.Size()))
+		}
+	}
+	total := 0.0
+	cv.Lat.Points(func(c lattice.Point) {
+		if p := w.Prob(c); p > 0 {
+			total += p * cv.ClassCost(c)
+		}
+	})
+	return total
+}
+
+// Equal reports whether two characteristic vectors have identical counts.
+func (cv *CV) Equal(other *CV) bool {
+	if len(cv.Counts) != len(other.Counts) {
+		return false
+	}
+	for i := range cv.Counts {
+		if cv.Counts[i] != other.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PathCost returns the expected cost of the (unsnaked) lattice path over
+// the workload, computed analytically from its characteristic vector. It
+// equals core.Cost and the DP's reported optimum; the redundancy is used by
+// tests.
+func PathCost(p *core.Path, w *workload.Workload) float64 {
+	return OfPath(p, false).ExpectedCost(w)
+}
+
+// SnakedPathCost returns the expected cost of the snaked strategy of the
+// lattice path over the workload.
+func SnakedPathCost(p *core.Path, w *workload.Workload) float64 {
+	return OfPath(p, true).ExpectedCost(w)
+}
+
+// Benefit returns ben_P(c) = dist_P(c) / dist_{~P}(c): the factor by which
+// snaking improves the average cost of class-c queries under the path's
+// strategy (Section 5.2). It is ≥ 1 for every class and < 2 by Theorem 3.
+func Benefit(p *core.Path, c lattice.Point) float64 {
+	plain := OfPath(p, false).ClassCost(c)
+	snaked := OfPath(p, true).ClassCost(c)
+	return plain / snaked
+}
+
+// EvaluateOrder returns the expected workload cost of an arbitrary
+// materialized linearization.
+func EvaluateOrder(l *lattice.Lattice, o *linear.Order, w *workload.Workload) float64 {
+	return OfOrder(l, o).ExpectedCost(w)
+}

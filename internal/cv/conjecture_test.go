@@ -1,0 +1,112 @@
+package cv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/linear"
+	"repro/internal/workload"
+)
+
+// TestTheorem2ConjectureIn3D probes the paper's closing conjecture — "our
+// proof technique suggests this [global optimality of some snaked lattice
+// path] is likely to be the case in general" — on three-dimensional binary
+// schemas, where the published proof does not apply. For many random
+// workloads, the best snaked lattice path is compared against the 3-D
+// Hilbert, Z and Gray curves and against every unsnaked lattice path. A
+// counterexample would be a genuinely interesting find; none appears.
+func TestTheorem2ConjectureIn3D(t *testing.T) {
+	for _, n := range []int{1, 2} {
+		s := hierarchy.MustSchema(
+			hierarchy.Binary("x", n), hierarchy.Binary("y", n), hierarchy.Binary("z", n))
+		l := lattice.New(s)
+
+		var rivals []*cost.CV
+		h, err := linear.Hilbert(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := linear.ZOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := linear.GrayOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rivals = append(rivals, cost.OfOrder(l, h), cost.OfOrder(l, z), cost.OfOrder(l, g))
+		var snaked []*cost.CV
+		core.EnumeratePaths(l, func(p *core.Path) bool {
+			rivals = append(rivals, cost.OfPath(p, false))
+			snaked = append(snaked, cost.OfPath(p, true))
+			return true
+		})
+
+		rng := rand.New(rand.NewSource(int64(300 + n)))
+		for i := 0; i < 150; i++ {
+			w := workload.Random(l, rng, 0.5)
+			best := math.Inf(1)
+			for _, sc := range snaked {
+				if c := sc.ExpectedCost(w); c < best {
+					best = c
+				}
+			}
+			for _, r := range rivals {
+				if c := r.ExpectedCost(w); c < best-1e-9 {
+					t.Fatalf("n=%d workload %d: a rival strategy (cost %v) beats every snaked lattice path (best %v) — counterexample to the paper's conjecture",
+						n, i, c, best)
+				}
+			}
+		}
+		// Point workloads (simplex vertices) as well: by linearity, if the
+		// conjectured dominance held per class for all rivals it would hold
+		// everywhere; it doesn't have to, so both checks matter.
+		l.Points(func(c lattice.Point) {
+			w := workload.Point(l, c.Clone())
+			best := math.Inf(1)
+			for _, sc := range snaked {
+				if cc := sc.ExpectedCost(w); cc < best {
+					best = cc
+				}
+			}
+			for _, r := range rivals {
+				if cc := r.ExpectedCost(w); cc < best-1e-9 {
+					t.Fatalf("n=%d class %v: rival beats every snaked path (%v < %v)", n, c, cc, best)
+				}
+			}
+		})
+	}
+}
+
+// TestCorollary1In3D checks the factor-2 guarantee's empirical analogue in
+// three dimensions: the snaked optimal lattice path stays within 2× of the
+// best snaked lattice path on random workloads.
+func TestCorollary1In3D(t *testing.T) {
+	s := hierarchy.MustSchema(
+		hierarchy.Binary("x", 2), hierarchy.Binary("y", 2), hierarchy.Binary("z", 1))
+	l := lattice.New(s)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 80; i++ {
+		w := workload.Random(l, rng, 0.6)
+		opt, err := core.Optimal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snakedOpt := cost.SnakedPathCost(opt.Path, w)
+		best := math.Inf(1)
+		core.EnumeratePaths(l, func(p *core.Path) bool {
+			if c := cost.SnakedPathCost(p, w); c < best {
+				best = c
+			}
+			return true
+		})
+		if snakedOpt/best >= 2 {
+			t.Errorf("workload %d: 3-D snaked-optimal/optimal-snaked = %v ≥ 2", i, snakedOpt/best)
+		}
+	}
+}

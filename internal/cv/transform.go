@@ -1,0 +1,318 @@
+package cv
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+)
+
+// lexGE reports whether x ≥ y in the order used by ⪯: equal, or strictly
+// greater at the first index where they differ.
+func lexGE(x, y []int64) bool {
+	for i := range x {
+		if x[i] != y[i] {
+			return x[i] > y[i]
+		}
+	}
+	return true
+}
+
+// Preceq reports whether v ⪯ w in the partial order of Section 5.1: v's a
+// entries are lexicographically ≥ w's and likewise for b. Smaller vectors
+// concentrate edge mass at lower levels, where an edge benefits more query
+// classes. Example from the paper: (8,4;2,1) ⪯ (1,11;1,2) ⪯ (0,12;1,2).
+func Preceq(v, w *Vector) bool {
+	if v.N != w.N {
+		return false
+	}
+	return lexGE(v.A, w.A) && lexGE(v.B, w.B)
+}
+
+// Minimalize returns a consistent non-diagonal vector m with m ⪯ v obtained
+// by repeatedly moving one edge from level i+1 to level i (in a, then in b)
+// whenever the Lemma-2 constraints allow. Each move only grows prefix sums,
+// so every query class's interior-edge count is non-decreasing and the
+// expected cost never increases, on any workload. The result cannot be
+// improved further by single-edge down-moves.
+func Minimalize(v *Vector) (*Vector, error) {
+	if v.IsDiagonal() {
+		return nil, fmt.Errorf("cv: Minimalize needs a non-diagonal vector; call RemoveDiagonals first")
+	}
+	m := v.Clone()
+	moveDown := func(xs []int64, slack func(int) int64) bool {
+		moved := false
+		for i := 0; i+1 < len(xs); i++ {
+			if xs[i+1] == 0 {
+				continue
+			}
+			// Moving t edges from level i+2 down to level i+1 raises exactly
+			// the prefix sums through level i+1; the tightest constraint on
+			// those prefixes gives the allowance.
+			if s := slack(i + 1); s > 0 {
+				t := s
+				if t > xs[i+1] {
+					t = xs[i+1]
+				}
+				xs[i] += t
+				xs[i+1] -= t
+				moved = true
+			}
+		}
+		return moved
+	}
+	for {
+		movedA := moveDown(m.A, m.minSlackA)
+		movedB := moveDown(m.B, m.minSlackB)
+		if !movedA && !movedB {
+			break
+		}
+	}
+	if err := m.Consistent(); err != nil {
+		return nil, fmt.Errorf("cv: Minimalize produced inconsistent vector: %w", err)
+	}
+	return m, nil
+}
+
+// minSlackA returns the smallest remaining slack over all Lemma-2
+// constraints whose a-prefix ends at ℓ (for every q): the number of edges
+// that can still be added below level ℓ+1 in dimension A.
+func (v *Vector) minSlackA(l int) int64 {
+	slack := int64(1) << (2 * v.N) // larger than any bound
+	for q := 0; q <= v.N; q++ {
+		s := v.bound(l, q) - (v.sumA(l) + v.sumB(q) + v.sumD(l, q))
+		if s < slack {
+			slack = s
+		}
+	}
+	return slack
+}
+
+// minSlackB is minSlackA for dimension B.
+func (v *Vector) minSlackB(q int) int64 {
+	slack := int64(1) << (2 * v.N)
+	for l := 0; l <= v.N; l++ {
+		s := v.bound(l, q) - (v.sumA(l) + v.sumB(q) + v.sumD(l, q))
+		if s < slack {
+			slack = s
+		}
+	}
+	return slack
+}
+
+// RemoveDiagonals is the Lemma-4 transformation: it splits every diagonal
+// count d_ij into x added to a_i and y = d_ij − x added to b_j so that the
+// result is consistent, has no diagonal edges, and — because an A_i or B_j
+// edge is interior to every class a D_ij edge is interior to — costs no more
+// on any workload. Diagonal entries are processed in increasing (i, j)
+// order, choosing the largest feasible x (Claim 1 guarantees feasibility for
+// vectors of real strategies).
+func RemoveDiagonals(v *Vector) (*Vector, error) {
+	out := v.Clone()
+	for i := 0; i < out.N; i++ {
+		for j := 0; j < out.N; j++ {
+			d := out.D[i][j]
+			if d == 0 {
+				continue
+			}
+			out.D[i][j] = 0
+			x, ok := splitDiagonal(out, i, j, d)
+			if !ok {
+				return nil, fmt.Errorf("cv: no consistent split for d_%d%d = %d in %v", i+1, j+1, d, v)
+			}
+			out.A[i] += x
+			out.B[j] += d - x
+		}
+	}
+	if err := out.Consistent(); err != nil {
+		return nil, fmt.Errorf("cv: RemoveDiagonals produced inconsistent vector: %w", err)
+	}
+	return out, nil
+}
+
+// splitDiagonal finds the largest x with 0 ≤ x ≤ d such that adding x to
+// a_{i+1}'s slot and d−x to b_{j+1}'s slot keeps all constraints satisfied.
+// All Lemma-2 constraints are linear, so feasibility of x is an interval and
+// binary search suffices; d is small enough that a downward scan is clearer.
+func splitDiagonal(v *Vector, i, j int, d int64) (int64, bool) {
+	feasible := func(x int64) bool {
+		v.A[i] += x
+		v.B[j] += d - x
+		err := v.ConsistentRelaxed()
+		v.A[i] -= x
+		v.B[j] -= d - x
+		return err == nil
+	}
+	lo, hi := int64(0), d
+	if feasible(hi) {
+		return hi, true
+	}
+	if !feasible(lo) {
+		// The feasible set is an interval; if neither endpoint works, find
+		// any feasible point by scanning (d values are small in practice).
+		for x := int64(1); x < d; x++ {
+			if feasible(x) {
+				return x, true
+			}
+		}
+		return 0, false
+	}
+	// Largest feasible x: binary search on the interval's upper end.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, true
+}
+
+// IsPowerOfTwoVector reports whether every nonzero a and b entry is a power
+// of two (the precondition of Lemma 3).
+func (v *Vector) IsPowerOfTwoVector() bool {
+	p2 := func(x int64) bool { return x > 0 && x&(x-1) == 0 }
+	for i := 0; i < v.N; i++ {
+		if v.A[i] != 0 && !p2(v.A[i]) {
+			return false
+		}
+		if v.B[i] != 0 && !p2(v.B[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SandwichStep applies one step of the Theorem-2 sandwich construction to a
+// consistent non-diagonal vector. If every entry is already a power of two
+// it returns (nil, nil, true). Otherwise it locates the smallest levels i
+// and j at which a and b (respectively) are not powers of two and returns
+// the two sandwiching vectors, which replace a_i and b_j by
+// (2^{2n−i−j}, 2^{2n−i−j+1}) and (2^{2n−i−j+1}, 2^{2n−i−j}); on every
+// workload the original vector's cost is at least the cheaper of the two.
+//
+// The replacement preserves the edge total exactly when
+// a_i + b_j = 3·2^{2n−i−j}, which holds for the ⪯-minimal vectors the
+// Theorem-2 proof walks through (e.g. every level of Example 3). Vectors
+// with a non-power entry on only one side fall outside the construction's
+// domain and are rejected; RemoveDiagonals + Minimalize first.
+func SandwichStep(v *Vector) (v1, v2 *Vector, done bool, err error) {
+	p2 := func(x int64) bool { return x >= 0 && x&(x-1) == 0 }
+	i, j := -1, -1
+	for k := 0; k < v.N; k++ {
+		if i < 0 && !p2(v.A[k]) {
+			i = k
+		}
+		if j < 0 && !p2(v.B[k]) {
+			j = k
+		}
+	}
+	if i < 0 && j < 0 {
+		return nil, nil, true, nil
+	}
+	if i < 0 || j < 0 {
+		return nil, nil, false, fmt.Errorf(
+			"cv: %v has a non-power entry on only one side; outside the Theorem-2 sandwich domain", v)
+	}
+	lo := int64(1) << (2*v.N - (i + 1) - (j + 1))
+	hi := lo * 2
+	v1 = v.Clone()
+	v1.A[i], v1.B[j] = lo, hi
+	v2 = v.Clone()
+	v2.A[i], v2.B[j] = hi, lo
+	return v1, v2, false, nil
+}
+
+// SandwichClosure iterates SandwichStep from v until every produced vector
+// has power-of-two entries, returning the consistent terminal vectors. The
+// construction guarantees that on any workload, v's cost is at least the
+// minimum cost among the returned vectors. maxVectors bounds the expansion.
+func SandwichClosure(v *Vector, maxVectors int) ([]*Vector, error) {
+	var out []*Vector
+	queue := []*Vector{v}
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		key := cur.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		v1, v2, done, err := SandwichStep(cur)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			if cur.Consistent() == nil {
+				out = append(out, cur)
+			}
+			continue
+		}
+		for _, next := range []*Vector{v1, v2} {
+			if next.ConsistentRelaxed() == nil {
+				queue = append(queue, next)
+			}
+		}
+		if len(out)+len(queue) > maxVectors {
+			return nil, fmt.Errorf("cv: sandwich closure exceeded %d vectors", maxVectors)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cv: sandwich closure of %v produced no consistent power-of-two vectors", v)
+	}
+	return out, nil
+}
+
+// ReconstructPath is the Lemma-3 reconstruction: given a consistent,
+// non-diagonal, ⪯-minimal vector whose entries are the powers
+// 2^0 … 2^{2n−1} (each exactly once across a and b), it returns the snaked
+// lattice path with that characteristic vector. The s-th loop of a snaked
+// path (innermost first, s = 1…2n) contributes exactly 2^{2n−s} edges of its
+// pure type, so the step order is read off by decreasing entry.
+func ReconstructPath(v *Vector, l *lattice.Lattice) (*core.Path, error) {
+	if v.IsDiagonal() {
+		return nil, fmt.Errorf("cv: %v has diagonal edges; not a snaked lattice path", v)
+	}
+	type slot struct {
+		dim   int
+		level int
+		count int64
+	}
+	var slots []slot
+	for i := 0; i < v.N; i++ {
+		if v.A[i] != 0 {
+			slots = append(slots, slot{0, i + 1, v.A[i]})
+		}
+		if v.B[i] != 0 {
+			slots = append(slots, slot{1, i + 1, v.B[i]})
+		}
+	}
+	if len(slots) != 2*v.N {
+		return nil, fmt.Errorf("cv: %v has %d nonzero entries, want %d", v, len(slots), 2*v.N)
+	}
+	// Order steps by decreasing count: innermost loop has the most edges.
+	steps := make([]int, 2*v.N)
+	want := int64(1) << (2*v.N - 1)
+	level := []int{0, 0}
+	for s := 0; s < 2*v.N; s++ {
+		found := false
+		for _, sl := range slots {
+			if sl.count == want {
+				if sl.level != level[sl.dim]+1 {
+					return nil, fmt.Errorf("cv: %v steps dimension %d to level %d before level %d", v, sl.dim, sl.level, level[sl.dim]+1)
+				}
+				steps[s] = sl.dim
+				level[sl.dim]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cv: %v has no entry %d; entries must be the distinct powers of two", v, want)
+		}
+		want >>= 1
+	}
+	return core.NewPath(l, steps)
+}

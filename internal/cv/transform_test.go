@@ -1,0 +1,339 @@
+package cv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/lattice"
+	"repro/internal/linear"
+	"repro/internal/workload"
+)
+
+func TestPreceqPaperExamples(t *testing.T) {
+	// (8,4;2,1) ⪯ (1,11;1,2) ⪯ (0,12;1,2), from Section 5.1.
+	v1 := mustVector(t, []int64{8, 4}, []int64{2, 1}, nil)
+	v2 := mustVector(t, []int64{1, 11}, []int64{1, 2}, nil)
+	v3 := mustVector(t, []int64{0, 12}, []int64{1, 2}, nil)
+	if !Preceq(v1, v2) || !Preceq(v2, v3) || !Preceq(v1, v3) {
+		t.Error("paper's ⪯ chain does not hold")
+	}
+	if Preceq(v2, v1) || Preceq(v3, v2) {
+		t.Error("⪯ should be antisymmetric on distinct vectors")
+	}
+	if !Preceq(v1, v1) {
+		t.Error("⪯ should be reflexive")
+	}
+}
+
+// example3In is the diagonal strategy vector of Example 3:
+// (20,5,1;21,3,1;4,0,0,0,4,0,0,0,4) with n = 3.
+func example3In(t *testing.T) *Vector {
+	d := [][]int64{{4, 0, 0}, {0, 4, 0}, {0, 0, 4}}
+	return mustVector(t, []int64{20, 5, 1}, []int64{21, 3, 1}, d)
+}
+
+func TestRemoveDiagonalsExample3(t *testing.T) {
+	vin := example3In(t)
+	if err := vin.Consistent(); err != nil {
+		t.Fatalf("example 3 input should be consistent: %v", err)
+	}
+	out, err := RemoveDiagonals(vin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's splits x=4, y=0 at each diagonal give (24,9,5;21,3,1).
+	want := mustVector(t, []int64{24, 9, 5}, []int64{21, 3, 1}, nil)
+	if !out.Equal(want) {
+		t.Errorf("RemoveDiagonals = %v, want %v", out, want)
+	}
+	if out.IsDiagonal() {
+		t.Error("result should have no diagonal edges")
+	}
+}
+
+func TestRemoveDiagonalsNeverIncreasesCost(t *testing.T) {
+	s := BinarySchema(3)
+	l := lattice.New(s)
+	vin := example3In(t)
+	out, err := RemoveDiagonals(vin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 100; i++ {
+		w := workload.Random(l, rng, 0.6)
+		if co, ci := out.ExpectedCost(w), vin.ExpectedCost(w); co > ci+1e-9 {
+			t.Fatalf("workload %d: diagonal-free cost %v > original %v", i, co, ci)
+		}
+	}
+}
+
+func TestRemoveDiagonalsOnRealStrategies(t *testing.T) {
+	// Applying Lemma 4 to every unsnaked lattice path's CV must succeed and
+	// never increase cost.
+	for n := 1; n <= 3; n++ {
+		s := BinarySchema(n)
+		l := lattice.New(s)
+		rng := rand.New(rand.NewSource(int64(n)))
+		core.EnumeratePaths(l, func(p *core.Path) bool {
+			v, err := OfPath(p, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := RemoveDiagonals(v)
+			if err != nil {
+				t.Fatalf("n=%d path %v: %v", n, p, err)
+			}
+			for i := 0; i < 10; i++ {
+				w := workload.Random(l, rng, 0.7)
+				if co, ci := out.ExpectedCost(w), v.ExpectedCost(w); co > ci+1e-9 {
+					t.Fatalf("n=%d path %v: cost rose %v → %v", n, p, ci, co)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestMinimalizeExample3(t *testing.T) {
+	// The paper names (27,8,3;21,3,1) as a ⪯-minimal vector below
+	// (24,9,5;21,3,1); the greedy down-shift reaches exactly it.
+	v := mustVector(t, []int64{24, 9, 5}, []int64{21, 3, 1}, nil)
+	m, err := Minimalize(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustVector(t, []int64{27, 8, 3}, []int64{21, 3, 1}, nil)
+	if !m.Equal(want) {
+		t.Errorf("Minimalize = %v, want %v", m, want)
+	}
+	if !Preceq(m, v) {
+		t.Error("Minimalize result should be ⪯ the input")
+	}
+}
+
+func TestMinimalizeNeverIncreasesCost(t *testing.T) {
+	s := BinarySchema(3)
+	l := lattice.New(s)
+	v := mustVector(t, []int64{24, 9, 5}, []int64{21, 3, 1}, nil)
+	m, err := Minimalize(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		w := workload.Random(l, rng, 0.6)
+		if cm, cvv := m.ExpectedCost(w), v.ExpectedCost(w); cm > cvv+1e-9 {
+			t.Fatalf("Minimalize raised cost %v → %v", cvv, cm)
+		}
+	}
+}
+
+func TestMinimalizeRejectsDiagonal(t *testing.T) {
+	if _, err := Minimalize(example3In(t)); err == nil {
+		t.Error("Minimalize should reject diagonal vectors")
+	}
+}
+
+func TestSandwichStepExample3(t *testing.T) {
+	u := mustVector(t, []int64{27, 8, 3}, []int64{21, 3, 1}, nil)
+	v1, v2, done, err := SandwichStep(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("u has non-power entries; step should not be done")
+	}
+	// The paper's Example 3 gives the sandwiching pair {(32,8,3;16,3,1),
+	// (16,8,3;32,3,1)}; the pair is unordered (the example itself swaps
+	// which side gets the larger power between levels).
+	want1 := mustVector(t, []int64{32, 8, 3}, []int64{16, 3, 1}, nil)
+	want2 := mustVector(t, []int64{16, 8, 3}, []int64{32, 3, 1}, nil)
+	if !(v1.Equal(want1) && v2.Equal(want2)) && !(v1.Equal(want2) && v2.Equal(want1)) {
+		t.Errorf("sandwich = %v, %v; want {%v, %v}", v1, v2, want1, want2)
+	}
+	// Second level of the construction, on the member matching u₁.
+	u1 := v1
+	if !u1.Equal(want1) {
+		u1 = v2
+	}
+	v11, v12, done, err := SandwichStep(u1)
+	if err != nil || done {
+		t.Fatalf("second step: done=%v err=%v", done, err)
+	}
+	want11 := mustVector(t, []int64{32, 8, 2}, []int64{16, 4, 1}, nil)
+	want12 := mustVector(t, []int64{32, 8, 4}, []int64{16, 2, 1}, nil)
+	if !(v11.Equal(want11) && v12.Equal(want12)) && !(v11.Equal(want12) && v12.Equal(want11)) {
+		t.Errorf("sandwich of u₁ = %v, %v; want {%v, %v}", v11, v12, want11, want12)
+	}
+}
+
+func TestSandwichClosureTerminatesInSnakedPaths(t *testing.T) {
+	u := mustVector(t, []int64{27, 8, 3}, []int64{21, 3, 1}, nil)
+	s := BinarySchema(3)
+	l := lattice.New(s)
+	vs, err := SandwichClosure(u, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("closure is empty")
+	}
+	for _, v := range vs {
+		if !v.IsPowerOfTwoVector() {
+			t.Errorf("closure vector %v is not power-of-two", v)
+		}
+		p, err := ReconstructPath(v, l)
+		if err != nil {
+			t.Errorf("closure vector %v is not a snaked lattice path: %v", v, err)
+			continue
+		}
+		got, err := OfPath(p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("reconstructed path %v has CV %v, want %v", p, got, v)
+		}
+	}
+}
+
+// TestSandwichCostDomination is the heart of Theorem 2: on any workload, the
+// subject vector cannot beat every vector in its sandwich closure.
+func TestSandwichCostDomination(t *testing.T) {
+	s := BinarySchema(3)
+	l := lattice.New(s)
+	u := mustVector(t, []int64{27, 8, 3}, []int64{21, 3, 1}, nil)
+	vs, err := SandwichClosure(u, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		w := workload.Random(l, rng, 0.5)
+		cu := u.ExpectedCost(w)
+		best := math.Inf(1)
+		for _, v := range vs {
+			if c := v.ExpectedCost(w); c < best {
+				best = c
+			}
+		}
+		if best > cu+1e-9 {
+			t.Fatalf("workload %d: all closure vectors cost more than %v (best %v)", i, cu, best)
+		}
+	}
+}
+
+func TestReconstructPathErrors(t *testing.T) {
+	l := lattice.New(BinarySchema(2))
+	// Wrong multiset of powers.
+	v := mustVector(t, []int64{8, 8}, []int64{8, 8}, nil)
+	if _, err := ReconstructPath(v, l); err == nil {
+		t.Error("non-curve power multiset should fail")
+	}
+	// Levels out of order within a dimension: a₁ < a₂ forces stepping
+	// level 2 before level 1.
+	v2 := mustVector(t, []int64{2, 8}, []int64{4, 1}, nil)
+	if _, err := ReconstructPath(v2, l); err == nil {
+		t.Error("non-monotone step order should fail")
+	}
+	// Diagonal vector.
+	v3 := NewVector(2)
+	v3.D[0][0] = 15
+	if _, err := ReconstructPath(v3, l); err == nil {
+		t.Error("diagonal vector should fail")
+	}
+}
+
+func TestReconstructRoundTripAllSnakedPaths(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		l := lattice.New(BinarySchema(n))
+		core.EnumeratePaths(l, func(p *core.Path) bool {
+			v, err := OfPath(p, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := ReconstructPath(v, l)
+			if err != nil {
+				t.Fatalf("n=%d: reconstruct CV of %v: %v", n, p, err)
+			}
+			if !q.Equal(p) {
+				t.Fatalf("n=%d: reconstructed %v, want %v", n, q, p)
+			}
+			return true
+		})
+	}
+}
+
+// TestGlobalOptimality exercises Theorem 2 empirically: for random
+// workloads on the 2-D binary schema, the best snaked lattice path costs no
+// more than the Hilbert, Z, and Gray curves and a set of perturbed
+// strategies.
+func TestGlobalOptimality(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		s := BinarySchema(n)
+		l := lattice.New(s)
+		var rivals []*cost.CV
+		h, err := linear.Hilbert(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := linear.ZOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := linear.GrayOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rivals = append(rivals, cost.OfOrder(l, h), cost.OfOrder(l, z), cost.OfOrder(l, g))
+		core.EnumeratePaths(l, func(p *core.Path) bool {
+			rivals = append(rivals, cost.OfPath(p, false))
+			return true
+		})
+
+		rng := rand.New(rand.NewSource(int64(10 + n)))
+		for i := 0; i < 50; i++ {
+			w := workload.Random(l, rng, 0.6)
+			bestSnaked := math.Inf(1)
+			core.EnumeratePaths(l, func(p *core.Path) bool {
+				if c := cost.SnakedPathCost(p, w); c < bestSnaked {
+					bestSnaked = c
+				}
+				return true
+			})
+			for _, r := range rivals {
+				if c := r.ExpectedCost(w); c < bestSnaked-1e-9 {
+					t.Fatalf("n=%d: rival strategy beats every snaked lattice path: %v < %v", n, c, bestSnaked)
+				}
+			}
+		}
+	}
+}
+
+func TestSandwichStepOneSided(t *testing.T) {
+	// Vectors with a non-power entry on only one side fall outside the
+	// Theorem-2 construction's domain and are rejected explicitly.
+	v := mustVector(t, []int64{8, 4}, []int64{0, 3}, nil)
+	if err := v.Consistent(); err != nil {
+		t.Fatalf("fixture should be consistent: %v", err)
+	}
+	if _, _, _, err := SandwichStep(v); err == nil {
+		t.Error("one-sided vector should be rejected")
+	}
+	v2 := mustVector(t, []int64{0, 3}, []int64{8, 4}, nil)
+	if _, _, _, err := SandwichStep(v2); err == nil {
+		t.Error("symmetric one-sided vector should be rejected")
+	}
+}
+
+func TestPreceqMismatchedSizes(t *testing.T) {
+	a := NewVector(2)
+	b := NewVector(3)
+	if Preceq(a, b) {
+		t.Error("different-n vectors should not compare")
+	}
+}

@@ -1,0 +1,304 @@
+// Package cv implements the characteristic-vector theory of Section 5 for
+// two-dimensional star schemas with complete n-level binary hierarchies:
+// consistency constraints (Lemma 2), the ⪯ order and minimalization,
+// diagonal removal (Lemma 4), the sandwich construction of Theorem 2, and
+// the Lemma-3 reconstruction of a snaked lattice path from a minimal
+// power-of-two vector.
+package cv
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+)
+
+// Vector is a characteristic vector (a₁..a_n; b₁..b_n; d₁₁..d_nn) over the
+// 2ⁿ×2ⁿ grid of a 2-D schema with complete n-level binary hierarchies.
+// A[i−1] counts edges of type A_i (endpoints differing only in dimension A,
+// sharing a level-i ancestor but not a level-(i−1) one); B likewise; D[i−1][j−1]
+// counts diagonal edges of type D_ij.
+type Vector struct {
+	N int
+	A []int64
+	B []int64
+	D [][]int64
+}
+
+// NewVector returns an all-zero vector for n-level binary hierarchies.
+func NewVector(n int) *Vector {
+	v := &Vector{N: n, A: make([]int64, n), B: make([]int64, n), D: make([][]int64, n)}
+	for i := range v.D {
+		v.D[i] = make([]int64, n)
+	}
+	return v
+}
+
+// FromSlices builds a vector from explicit entries; d may be nil for a
+// non-diagonal vector, or an n×n matrix in d₁₁, d₁₂, …, d_nn order.
+func FromSlices(a, b []int64, d [][]int64) (*Vector, error) {
+	n := len(a)
+	if len(b) != n {
+		return nil, fmt.Errorf("cv: a has %d entries, b has %d", n, len(b))
+	}
+	v := NewVector(n)
+	copy(v.A, a)
+	copy(v.B, b)
+	if d != nil {
+		if len(d) != n {
+			return nil, fmt.Errorf("cv: d has %d rows, want %d", len(d), n)
+		}
+		for i := range d {
+			if len(d[i]) != n {
+				return nil, fmt.Errorf("cv: d row %d has %d entries, want %d", i, len(d[i]), n)
+			}
+			copy(v.D[i], d[i])
+		}
+	}
+	return v, nil
+}
+
+// BinarySchema returns the representative schema of Section 5: two
+// dimensions named A and B, each a complete n-level binary hierarchy.
+func BinarySchema(n int) *hierarchy.Schema {
+	return hierarchy.MustSchema(hierarchy.Binary("A", n), hierarchy.Binary("B", n))
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	c := NewVector(v.N)
+	copy(c.A, v.A)
+	copy(c.B, v.B)
+	for i := range v.D {
+		copy(c.D[i], v.D[i])
+	}
+	return c
+}
+
+// Equal reports whether two vectors have identical entries.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.N != o.N {
+		return false
+	}
+	for i := 0; i < v.N; i++ {
+		if v.A[i] != o.A[i] || v.B[i] != o.B[i] {
+			return false
+		}
+		for j := 0; j < v.N; j++ {
+			if v.D[i][j] != o.D[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDiagonal reports whether the vector has any diagonal edges.
+func (v *Vector) IsDiagonal() bool {
+	for i := range v.D {
+		for j := range v.D[i] {
+			if v.D[i][j] != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TotalEdges returns the sum of all entries.
+func (v *Vector) TotalEdges() int64 {
+	var t int64
+	for i := 0; i < v.N; i++ {
+		t += v.A[i] + v.B[i]
+		for j := 0; j < v.N; j++ {
+			t += v.D[i][j]
+		}
+	}
+	return t
+}
+
+// String renders the vector in the paper's (a;b;d) notation, dropping an
+// all-zero diagonal block as the paper does.
+func (v *Vector) String() string {
+	join := func(xs []int64) string {
+		parts := make([]string, len(xs))
+		for i, x := range xs {
+			parts[i] = fmt.Sprint(x)
+		}
+		return strings.Join(parts, ",")
+	}
+	s := "(" + join(v.A) + ";" + join(v.B)
+	if v.IsDiagonal() {
+		var ds []string
+		for i := range v.D {
+			ds = append(ds, join(v.D[i]))
+		}
+		s += ";" + strings.Join(ds, ",")
+	}
+	return s + ")"
+}
+
+// prefix sums used by the consistency constraints.
+func (v *Vector) sumA(l int) int64 {
+	var t int64
+	for i := 0; i < l; i++ {
+		t += v.A[i]
+	}
+	return t
+}
+
+func (v *Vector) sumB(q int) int64 {
+	var t int64
+	for j := 0; j < q; j++ {
+		t += v.B[j]
+	}
+	return t
+}
+
+func (v *Vector) sumD(l, q int) int64 {
+	var t int64
+	for i := 0; i < l; i++ {
+		for j := 0; j < q; j++ {
+			t += v.D[i][j]
+		}
+	}
+	return t
+}
+
+// bound returns the Lemma-2 right-hand side for the (ℓ,q) constraint:
+// Σ_{i=1..ℓ+q} 2^{2n−i} = 2^{2n} − 2^{2n−ℓ−q}.
+func (v *Vector) bound(l, q int) int64 {
+	return (int64(1) << (2 * v.N)) - (int64(1) << (2*v.N - l - q))
+}
+
+// Consistent reports whether the vector satisfies every Lemma-2 constraint:
+// non-negative entries; for every query class (ℓ,q) ≠ (0,0), the edges that
+// could lie inside class-(ℓ,q) blocks number at most 2^{2n} − 2^{2n−ℓ−q};
+// and the total number of edges is exactly 2^{2n} − 1. It returns the first
+// violated constraint as an error.
+func (v *Vector) Consistent() error {
+	for i := 0; i < v.N; i++ {
+		if v.A[i] < 0 || v.B[i] < 0 {
+			return fmt.Errorf("cv: negative entry at level %d", i+1)
+		}
+		for j := 0; j < v.N; j++ {
+			if v.D[i][j] < 0 {
+				return fmt.Errorf("cv: negative diagonal entry d_%d%d", i+1, j+1)
+			}
+		}
+	}
+	for l := 0; l <= v.N; l++ {
+		for q := 0; q <= v.N; q++ {
+			if l == 0 && q == 0 {
+				continue
+			}
+			lhs := v.sumA(l) + v.sumB(q) + v.sumD(l, q)
+			if lhs > v.bound(l, q) {
+				return fmt.Errorf("cv: class (%d,%d) constraint violated: %d > %d", l, q, lhs, v.bound(l, q))
+			}
+		}
+	}
+	if got, want := v.TotalEdges(), (int64(1)<<(2*v.N))-1; got != want {
+		return fmt.Errorf("cv: total edges %d ≠ %d", got, want)
+	}
+	return nil
+}
+
+// ConsistentRelaxed is Consistent without the total-edge equality: it checks
+// only the inequality constraints, which is what intermediate vectors in the
+// sandwich construction must satisfy while mass is being shifted.
+func (v *Vector) ConsistentRelaxed() error {
+	for l := 0; l <= v.N; l++ {
+		for q := 0; q <= v.N; q++ {
+			if l == 0 && q == 0 {
+				continue
+			}
+			lhs := v.sumA(l) + v.sumB(q) + v.sumD(l, q)
+			if lhs > v.bound(l, q) {
+				return fmt.Errorf("cv: class (%d,%d) constraint violated: %d > %d", l, q, lhs, v.bound(l, q))
+			}
+		}
+	}
+	return nil
+}
+
+// ToCV converts to the generalized characteristic vector over the lattice
+// of BinarySchema(n), so the cost machinery applies.
+func (v *Vector) ToCV(l *lattice.Lattice) *cost.CV {
+	cv := cost.NewCV(l)
+	for i := 1; i <= v.N; i++ {
+		cv.Counts[l.Index(lattice.Point{i, 0})] += v.A[i-1]
+		cv.Counts[l.Index(lattice.Point{0, i})] += v.B[i-1]
+		for j := 1; j <= v.N; j++ {
+			cv.Counts[l.Index(lattice.Point{i, j})] += v.D[i-1][j-1]
+		}
+	}
+	return cv
+}
+
+// FromCV converts a generalized characteristic vector over a 2-D binary
+// lattice into the (a;b;d) form. Edge types (0,0) cannot occur in a valid
+// linearization and are rejected.
+func FromCV(g *cost.CV) (*Vector, error) {
+	l := g.Lat
+	if l.K() != 2 {
+		return nil, fmt.Errorf("cv: need 2 dimensions, got %d", l.K())
+	}
+	tops := l.Tops()
+	if tops[0] != tops[1] {
+		return nil, fmt.Errorf("cv: need equal hierarchy depths, got %v", tops)
+	}
+	v := NewVector(tops[0])
+	var err error
+	l.Points(func(p lattice.Point) {
+		c := g.Counts[l.Index(p)]
+		if c == 0 {
+			return
+		}
+		switch {
+		case p[0] == 0 && p[1] == 0:
+			err = fmt.Errorf("cv: %d edges of impossible type (0,0)", c)
+		case p[1] == 0:
+			v.A[p[0]-1] += c
+		case p[0] == 0:
+			v.B[p[1]-1] += c
+		default:
+			v.D[p[0]-1][p[1]-1] += c
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ClassCost returns the average class-(i,j) query cost of the vector using
+// the paper's extended cost_μ definition.
+func (v *Vector) ClassCost(l *lattice.Lattice, c lattice.Point) float64 {
+	return v.ToCV(l).ClassCost(c)
+}
+
+// ExpectedCost returns the expected workload cost of the vector.
+func (v *Vector) ExpectedCost(w interface {
+	Prob(lattice.Point) float64
+	Lattice() *lattice.Lattice
+}) float64 {
+	l := w.Lattice()
+	total := 0.0
+	g := v.ToCV(l)
+	l.Points(func(c lattice.Point) {
+		if p := w.Prob(c); p > 0 {
+			total += p * g.ClassCost(c)
+		}
+	})
+	return total
+}
+
+// OfPath returns the (a;b;d) characteristic vector of a lattice path's
+// strategy over a 2-D binary schema.
+func OfPath(p *core.Path, snaked bool) (*Vector, error) {
+	return FromCV(cost.OfPath(p, snaked))
+}

@@ -1,0 +1,159 @@
+package cv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/lattice"
+	"repro/internal/linear"
+	"repro/internal/workload"
+)
+
+func mustVector(t *testing.T, a, b []int64, d [][]int64) *Vector {
+	t.Helper()
+	v, err := FromSlices(a, b, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVectorString(t *testing.T) {
+	v := mustVector(t, []int64{8, 4}, []int64{2, 1}, nil)
+	if got := v.String(); got != "(8,4;2,1)" {
+		t.Errorf("String() = %q", got)
+	}
+	v.D[0][0] = 3
+	if got := v.String(); got != "(8,4;2,1;3,0,0,0)" {
+		t.Errorf("String() with diagonal = %q", got)
+	}
+}
+
+func TestConsistencyOfRealStrategies(t *testing.T) {
+	// Lemma 2: the CV of every actual clustering strategy is consistent.
+	for n := 1; n <= 3; n++ {
+		s := BinarySchema(n)
+		l := lattice.New(s)
+		check := func(name string, g *cost.CV) {
+			v, err := FromCV(g)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, name, err)
+			}
+			if err := v.Consistent(); err != nil {
+				t.Errorf("n=%d %s: %v", n, name, err)
+			}
+		}
+		core.EnumeratePaths(l, func(p *core.Path) bool {
+			check("path "+p.String(), cost.OfPath(p, false))
+			check("snaked "+p.String(), cost.OfPath(p, true))
+			return true
+		})
+		h, err := linear.Hilbert(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("hilbert", cost.OfOrder(l, h))
+		z, err := linear.ZOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("z", cost.OfOrder(l, z))
+		g, err := linear.GrayOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("gray", cost.OfOrder(l, g))
+	}
+}
+
+func TestConsistentRejectsViolations(t *testing.T) {
+	// More A₁ edges than exist.
+	v := mustVector(t, []int64{9, 4}, []int64{1, 1}, nil)
+	if err := v.Consistent(); err == nil {
+		t.Error("a₁ = 9 > 8 should be inconsistent on the 4×4 grid")
+	}
+	// Right total, but the (1,1) constraint (≤ 12) is violated.
+	v2 := mustVector(t, []int64{8, 0}, []int64{7, 0}, nil)
+	if err := v2.Consistent(); err == nil {
+		t.Error("a₁+b₁ = 15 > 12 should be inconsistent")
+	}
+	// Wrong total.
+	v3 := mustVector(t, []int64{8, 2}, []int64{2, 1}, nil)
+	if err := v3.Consistent(); err == nil {
+		t.Error("total 13 ≠ 15 should be inconsistent")
+	}
+	// Negative entry.
+	v4 := mustVector(t, []int64{-1, 8}, []int64{7, 1}, nil)
+	if err := v4.Consistent(); err == nil {
+		t.Error("negative entry should be inconsistent")
+	}
+}
+
+func TestPaperCVExamples(t *testing.T) {
+	// Section 3's worked CVs on the 4×4 grid: the row-major path has
+	// (8,4;0,0) plus diagonals (2,1) at types D₁₂ and D₂₂, in the paper's
+	// labeling where the first group is the inner dimension.
+	s := BinarySchema(2)
+	l := lattice.New(s)
+	p1 := core.MustPath(l, []int{1, 1, 0, 0})
+	v, err := OfPath(p1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.B[0] != 8 || v.B[1] != 4 {
+		t.Errorf("inner-dimension edges = %v, want [8 4]", v.B)
+	}
+	if v.A[0] != 0 || v.A[1] != 0 {
+		t.Errorf("outer-dimension edges = %v, want [0 0]", v.A)
+	}
+	if v.D[0][1] != 2 || v.D[1][1] != 1 {
+		t.Errorf("diagonals D = %v, want d₁₂=2, d₂₂=1", v.D)
+	}
+	if err := v.Consistent(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripToCV(t *testing.T) {
+	s := BinarySchema(2)
+	l := lattice.New(s)
+	v := mustVector(t, []int64{6, 2}, []int64{6, 1}, nil)
+	g := v.ToCV(l)
+	back, err := FromCV(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(v) {
+		t.Errorf("round trip %v → %v", v, back)
+	}
+}
+
+func TestFromCVRejectsImpossibleType(t *testing.T) {
+	s := BinarySchema(2)
+	l := lattice.New(s)
+	g := cost.NewCV(l)
+	g.Counts[l.Index(lattice.Point{0, 0})] = 1
+	if _, err := FromCV(g); err == nil {
+		t.Error("type (0,0) should be rejected")
+	}
+}
+
+func TestExpectedCostMatchesCostPackage(t *testing.T) {
+	s := BinarySchema(2)
+	l := lattice.New(s)
+	rng := rand.New(rand.NewSource(55))
+	p := core.MustPath(l, []int{0, 1, 1, 0})
+	v, err := OfPath(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		w := workload.Random(l, rng, 0.7)
+		if got, want := v.ExpectedCost(w), cost.SnakedPathCost(p, w); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("ExpectedCost = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the analytical Tables 1–3 and Figures 1/2/3/5 on the
+// running-example schema, and the TPC-D Tables 4–6 on the synthetic
+// warehouse. Each experiment returns structured rows plus a formatter that
+// prints them in the paper's layout.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/linear"
+	"repro/internal/workload"
+)
+
+// exampleSchema returns the Figure-1 schema with the given fanout at both
+// levels of both dimensions (fanout 2 in the running example; 4 and 32 in
+// Table 3).
+func exampleSchema(fanout int) *hierarchy.Schema {
+	return hierarchy.MustSchema(
+		hierarchy.Uniform("A", 2, fanout),
+		hierarchy.Uniform("B", 2, fanout),
+	)
+}
+
+// exampleStrategies returns the five strategies of Tables 1 and 2 over the
+// fanout-f example schema: P1 (row major), P2 (quadrant/Z), Hilbert, and
+// the snaked paths ~P1 and ~P2. Hilbert requires the grid side f² to be a
+// power of two.
+func exampleStrategies(fanout int) (l *lattice.Lattice, cvs map[string]*cost.CV, err error) {
+	s := exampleSchema(fanout)
+	l = lattice.New(s)
+	paths := map[string]*core.Path{
+		"P1": core.MustPath(l, []int{1, 1, 0, 0}),
+		"P2": core.MustPath(l, []int{1, 0, 1, 0}),
+	}
+	cvs = map[string]*cost.CV{
+		"P1":  cost.OfPath(paths["P1"], false),
+		"P2":  cost.OfPath(paths["P2"], false),
+		"~P1": cost.OfPath(paths["P1"], true),
+		"~P2": cost.OfPath(paths["P2"], true),
+	}
+	h, err := linear.Hilbert2D(s) // the paper-oriented curve (Figure 2(b))
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: fanout %d: %w", fanout, err)
+	}
+	cvs["Hd"] = cost.OfOrder(l, h)
+	return l, cvs, nil
+}
+
+// exampleWorkloads returns the three workloads of Example 1 over the given
+// lattice.
+func exampleWorkloads(l *lattice.Lattice) map[string]*workload.Workload {
+	return map[string]*workload.Workload{
+		"1": workload.Uniform(l),
+		"2": workload.UniformExcept(l,
+			lattice.Point{0, 1}, lattice.Point{0, 2}, lattice.Point{1, 1}),
+		"3": workload.UniformOver(l,
+			lattice.Point{0, 0}, lattice.Point{0, 1}, lattice.Point{0, 2}, lattice.Point{1, 2}),
+	}
+}
+
+// StrategyNames lists the Table-1/2 strategy columns in paper order.
+var StrategyNames = []string{"P1", "P2", "Hd", "~P1", "~P2"}
+
+// Table1Row is one row of Table 1: the average cost of each strategy for
+// one query class, as total/num-queries.
+type Table1Row struct {
+	Class      lattice.Point
+	NumQueries int
+	Total      map[string]float64 // strategy → total cost over the class
+}
+
+// Table1 computes Table 1: average query-class cost of the five example
+// strategies on the 4×4 grid.
+func Table1() ([]Table1Row, error) {
+	l, cvs, err := exampleStrategies(2)
+	if err != nil {
+		return nil, err
+	}
+	// Paper row order.
+	order := []lattice.Point{
+		{0, 0}, {1, 1}, {2, 2}, {1, 0}, {0, 1}, {2, 0}, {0, 2}, {2, 1}, {1, 2},
+	}
+	rows := make([]Table1Row, 0, len(order))
+	for _, c := range order {
+		row := Table1Row{Class: c, NumQueries: l.NumQueries(c), Total: map[string]float64{}}
+		for name, cv := range cvs {
+			row.Total[name] = cv.ClassCost(c) * float64(row.NumQueries)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1 in the paper's total/count form.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "Class")
+	for _, s := range StrategyNames {
+		fmt.Fprintf(&b, "%10s", s)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s", r.Class)
+		for _, s := range StrategyNames {
+			fmt.Fprintf(&b, "%10s", fmt.Sprintf("%g/%d", r.Total[s], r.NumQueries))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table2Row is one row of Table 2: expected cost of every strategy under
+// one workload.
+type Table2Row struct {
+	Workload string
+	Cost     map[string]float64
+}
+
+// Table2 computes Table 2: expected workload cost of the five example
+// strategies under the three Example-1 workloads.
+func Table2() ([]Table2Row, error) {
+	l, cvs, err := exampleStrategies(2)
+	if err != nil {
+		return nil, err
+	}
+	ws := exampleWorkloads(l)
+	rows := make([]Table2Row, 0, len(ws))
+	for _, name := range []string{"1", "2", "3"} {
+		row := Table2Row{Workload: name, Cost: map[string]float64{}}
+		for sname, cv := range cvs {
+			row.Cost[sname] = cv.ExpectedCost(ws[name])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "Workload")
+	for _, s := range StrategyNames {
+		fmt.Fprintf(&b, "%10s", s)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s", r.Workload)
+		for _, s := range StrategyNames {
+			fmt.Fprintf(&b, "%10.4f", r.Cost[s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table3Row gives, for one workload, the best-to-worst expected-cost ratio
+// among {P1, P2, Hilbert} at each fanout — the paper's "savings" column
+// (e.g. 72% means the best strategy costs 72% of the worst).
+type Table3Row struct {
+	Workload string
+	Ratio    map[int]float64 // fanout → best/worst
+}
+
+// Table3Fanouts are the paper's fanouts for Table 3.
+var Table3Fanouts = []int{2, 4, 32}
+
+// Table3 computes Table 3: relative costs of P1, P2 and Hilbert for the
+// three workloads as the per-level fanout grows.
+func Table3(fanouts []int) ([]Table3Row, error) {
+	rows := []Table3Row{
+		{Workload: "1", Ratio: map[int]float64{}},
+		{Workload: "2", Ratio: map[int]float64{}},
+		{Workload: "3", Ratio: map[int]float64{}},
+	}
+	for _, f := range fanouts {
+		l, cvs, err := exampleStrategies(f)
+		if err != nil {
+			return nil, err
+		}
+		ws := exampleWorkloads(l)
+		for i := range rows {
+			w := ws[rows[i].Workload]
+			best, worst := 0.0, 0.0
+			for _, name := range []string{"P1", "P2", "Hd"} {
+				c := cvs[name].ExpectedCost(w)
+				if best == 0 || c < best {
+					best = c
+				}
+				if c > worst {
+					worst = c
+				}
+			}
+			rows[i].Ratio[f] = best / worst
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders Table 3 as percentages.
+func FormatTable3(rows []Table3Row, fanouts []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "Workload")
+	for _, f := range fanouts {
+		fmt.Fprintf(&b, "  fanout=%-4d", f)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s", r.Workload)
+		for _, f := range fanouts {
+			fmt.Fprintf(&b, "  %9.1f%%", 100*r.Ratio[f])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure3 renders the query-class lattice of the example schema, rank by
+// rank, as in Figure 3.
+func Figure3() string {
+	return lattice.New(exampleSchema(2)).String()
+}
+
+// GridFigure names one of the paper's clustering illustrations.
+type GridFigure struct {
+	Name string
+	Grid [][]int
+}
+
+// FigureGrids reproduces Figures 1, 2 and 5: the cell orders of P1, P2
+// (quadrant/Z), Hilbert, ~P1 and ~P2 on the 4×4 grid.
+func FigureGrids() ([]GridFigure, error) {
+	s := exampleSchema(2)
+	l := lattice.New(s)
+	p1 := core.MustPath(l, []int{1, 1, 0, 0})
+	p2 := core.MustPath(l, []int{1, 0, 1, 0})
+	builders := []struct {
+		name  string
+		build func() (*linear.Order, error)
+	}{
+		{"Figure 1: row major (P1)", func() (*linear.Order, error) { return linear.FromPath(s, p1, false) }},
+		{"Figure 2(a): quadrant Z curve (P2)", func() (*linear.Order, error) { return linear.FromPath(s, p2, false) }},
+		{"Figure 2(b): Hilbert curve", func() (*linear.Order, error) { return linear.Hilbert2D(s) }},
+		{"Figure 5(a): snaked P1", func() (*linear.Order, error) { return linear.FromPath(s, p1, true) }},
+		{"Figure 5(b): snaked P2", func() (*linear.Order, error) { return linear.FromPath(s, p2, true) }},
+	}
+	out := make([]GridFigure, 0, len(builders))
+	for _, b := range builders {
+		o, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		g, err := o.RenderGrid()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GridFigure{Name: b.name, Grid: g})
+	}
+	return out, nil
+}
+
+// FormatGrid renders a grid figure.
+func FormatGrid(g GridFigure) string {
+	var b strings.Builder
+	b.WriteString(g.Name)
+	b.WriteByte('\n')
+	for _, row := range g.Grid {
+		for _, v := range row {
+			fmt.Fprintf(&b, "%4d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

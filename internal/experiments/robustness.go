@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/lattice"
+	"repro/internal/workload"
+)
+
+// RobustnessReport quantifies how sensitive the optimized clustering is to
+// workload estimation error — the stability question behind the paper's
+// decision to specify workloads by query class rather than by query.
+type RobustnessReport struct {
+	Epsilon float64 // perturbation magnitude (total-variation radius, roughly)
+	Trials  int
+
+	// StillOptimal counts trials where the original snaked optimal path
+	// remained exactly optimal among lattice paths for the perturbed
+	// workload.
+	StillOptimal int
+	// MaxRegret is the worst observed ratio of the original strategy's cost
+	// on the perturbed workload to the perturbed optimum's cost; 1 means no
+	// trial found a better path.
+	MaxRegret float64
+	// MeanRegret averages that ratio over trials.
+	MeanRegret float64
+}
+
+// Robustness perturbs the workload `trials` times by mixing it with a
+// random distribution (weight eps) and measures how the strategy chosen for
+// the original workload performs on each perturbation, against re-optimizing
+// from scratch. Costs are the snaked analytic costs. A report with
+// MaxRegret close to 1 means workload estimation error barely matters. Note
+// that no a-priori bound caps the regret of a stale path on a *different*
+// workload — Corollary 1's factor 2 applies only to the workload the path
+// was optimized for — which is exactly why the measurement is interesting.
+func Robustness(w *workload.Workload, eps float64, trials int, seed int64) (RobustnessReport, error) {
+	if eps < 0 || eps > 1 {
+		return RobustnessReport{}, fmt.Errorf("experiments: eps %v outside [0,1]", eps)
+	}
+	if trials <= 0 {
+		return RobustnessReport{}, fmt.Errorf("experiments: trials must be positive")
+	}
+	l := w.Lattice()
+	base, err := core.Optimal(w)
+	if err != nil {
+		return RobustnessReport{}, err
+	}
+	rep := RobustnessReport{Epsilon: eps, Trials: trials, MaxRegret: 1}
+	rng := rand.New(rand.NewSource(seed))
+	sumRegret := 0.0
+	for i := 0; i < trials; i++ {
+		noise := workload.Random(l, rng, 0.7)
+		pert := workload.New(l)
+		l.Points(func(c lattice.Point) {
+			pert.Set(c, (1-eps)*w.Prob(c)+eps*noise.Prob(c))
+		})
+		reopt, err := core.Optimal(pert)
+		if err != nil {
+			return RobustnessReport{}, err
+		}
+		baseCost := cost.SnakedPathCost(base.Path, pert)
+		bestCost := cost.SnakedPathCost(reopt.Path, pert)
+		if base.Path.Equal(reopt.Path) {
+			rep.StillOptimal++
+		}
+		regret := baseCost / bestCost
+		if regret < 1 {
+			// Snaked costs of the unsnaked-optimal can occasionally favor
+			// the stale path; regret below 1 means no loss at all.
+			regret = 1
+		}
+		sumRegret += regret
+		if regret > rep.MaxRegret {
+			rep.MaxRegret = regret
+		}
+	}
+	rep.MeanRegret = sumRegret / float64(trials)
+	return rep, nil
+}
+
+// FormatRobustness renders a robustness report.
+func FormatRobustness(r RobustnessReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "eps=%.2f over %d perturbations: path still optimal in %d (%.0f%%), regret mean %.4f max %.4f\n",
+		r.Epsilon, r.Trials, r.StillOptimal,
+		100*float64(r.StillOptimal)/float64(r.Trials), r.MeanRegret, r.MaxRegret)
+	return b.String()
+}

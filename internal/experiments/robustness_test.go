@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/workload"
+)
+
+func TestRobustnessStableUnderSmallPerturbations(t *testing.T) {
+	l := lattice.New(exampleSchema(2))
+	// A decisive workload: the optimal path is far from indifferent.
+	w := workload.UniformOver(l,
+		lattice.Point{0, 1}, lattice.Point{0, 2}, lattice.Point{1, 2})
+	rep, err := Robustness(w, 0.05, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxRegret >= 1.5 {
+		t.Errorf("max regret %v too large for 5%% perturbations", rep.MaxRegret)
+	}
+	if rep.MeanRegret < 1 || rep.MeanRegret > 1.2 {
+		t.Errorf("mean regret %v outside [1, 1.2] for tiny perturbations", rep.MeanRegret)
+	}
+	if rep.StillOptimal < 80 {
+		t.Errorf("path survived only %d/100 small perturbations", rep.StillOptimal)
+	}
+	if !strings.Contains(FormatRobustness(rep), "eps=0.05") {
+		t.Error("format output missing header")
+	}
+}
+
+func TestRobustnessLargePerturbations(t *testing.T) {
+	l := lattice.New(exampleSchema(2))
+	w := workload.UniformOver(l, lattice.Point{0, 2})
+	rep, err := Robustness(w, 0.9, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With eps=0.9 the perturbed workloads are almost unrelated to the
+	// original. No a-priori bound applies to a stale path on a different
+	// workload (Corollary 1 only covers the matching one); on the 4×4 grid
+	// the worst possible stale-path ratio is 13/4, and random mixtures stay
+	// comfortably below it.
+	if rep.MaxRegret >= 13.0/4 {
+		t.Errorf("max regret %v exceeds the 4×4 worst case", rep.MaxRegret)
+	}
+	if rep.StillOptimal == rep.Trials {
+		t.Log("path stayed optimal under every large perturbation (flat cost landscape)")
+	}
+}
+
+func TestRobustnessErrors(t *testing.T) {
+	l := lattice.New(exampleSchema(2))
+	w := workload.Uniform(l)
+	if _, err := Robustness(w, -0.1, 10, 1); err == nil {
+		t.Error("negative eps should fail")
+	}
+	if _, err := Robustness(w, 1.5, 10, 1); err == nil {
+		t.Error("eps > 1 should fail")
+	}
+	if _, err := Robustness(w, 0.1, 0, 1); err == nil {
+		t.Error("zero trials should fail")
+	}
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/linear"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+	"repro/internal/workload"
+)
+
+// ClassStats is the measured average disk cost of one query class under one
+// strategy: means over sampled queries of the class.
+type ClassStats struct {
+	Seeks     float64 // average seeks per query
+	NormPages float64 // average pages read / minimum possible pages
+	Queries   int     // queries sampled (excluding empty ones for NormPages)
+}
+
+// Measurer runs storage-level measurements of clustering strategies over a
+// TPC-D dataset, caching per-class statistics per strategy so that the same
+// strategy reused across workloads is packed and measured once.
+type Measurer struct {
+	DS *tpcd.Dataset
+	// SamplesPerClass caps the random queries measured per class; classes
+	// with at most this many blocks are enumerated exhaustively.
+	SamplesPerClass int
+	Seed            int64
+
+	cache map[string][]ClassStats
+}
+
+// NewMeasurer returns a Measurer with the default sampling rate.
+func NewMeasurer(ds *tpcd.Dataset) *Measurer {
+	return &Measurer{DS: ds, SamplesPerClass: 48, Seed: 7, cache: map[string][]ClassStats{}}
+}
+
+// PathStats measures a lattice path strategy (snaked or not).
+func (m *Measurer) PathStats(p *core.Path, snaked bool) ([]ClassStats, error) {
+	key := fmt.Sprintf("path:%v:%v", p.Steps(), snaked)
+	return m.stats(key, func() (*linear.Order, error) {
+		return linear.FromPath(m.DS.Schema, p, snaked)
+	})
+}
+
+// RowMajorStats measures one of the k! row-major strategies.
+func (m *Measurer) RowMajorStats(perm []int) ([]ClassStats, error) {
+	key := fmt.Sprintf("rm:%v", perm)
+	return m.stats(key, func() (*linear.Order, error) {
+		return linear.RowMajor(m.DS.Schema, perm)
+	})
+}
+
+func (m *Measurer) stats(key string, build func() (*linear.Order, error)) ([]ClassStats, error) {
+	if st, ok := m.cache[key]; ok {
+		return st, nil
+	}
+	o, err := build()
+	if err != nil {
+		return nil, err
+	}
+	layout, err := storage.NewLayout(o, m.DS.BytesPerCell, m.DS.Config.PageBytes)
+	if err != nil {
+		return nil, err
+	}
+	l := m.DS.Lattice
+	st := make([]ClassStats, l.Size())
+
+	// Classes are measured in parallel; each gets its own deterministic
+	// generator so results do not depend on scheduling or on which other
+	// strategies were measured first.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > l.Size() {
+		workers = l.Size()
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(atomic.AddInt64(&next, 1))
+				if idx >= l.Size() {
+					return
+				}
+				rng := rand.New(rand.NewSource(m.Seed ^ int64(idx)*0x9E3779B9))
+				st[idx] = m.measureClass(layout, l.PointAt(idx), rng)
+			}
+		}()
+	}
+	wg.Wait()
+	m.cache[key] = st
+	return st, nil
+}
+
+// measureClass samples queries of class c and averages their disk costs.
+func (m *Measurer) measureClass(layout *storage.Layout, c lattice.Point, rng *rand.Rand) ClassStats {
+	l := m.DS.Lattice
+	s := m.DS.Schema
+	o := layout.Order()
+	blocks := l.NumQueries(c)
+
+	var picks [][]int
+	if blocks <= m.SamplesPerClass {
+		// Enumerate every block.
+		nodes := make([]int, s.K())
+		for {
+			picks = append(picks, append([]int(nil), nodes...))
+			d := s.K() - 1
+			for d >= 0 {
+				nodes[d]++
+				if nodes[d] < s.Dims[d].NodesAt(c[d]) {
+					break
+				}
+				nodes[d] = 0
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+	} else {
+		for i := 0; i < m.SamplesPerClass; i++ {
+			nodes := make([]int, s.K())
+			for d := range nodes {
+				nodes[d] = rng.Intn(s.Dims[d].NodesAt(c[d]))
+			}
+			picks = append(picks, nodes)
+		}
+	}
+
+	var cs ClassStats
+	var seeks, norm float64
+	nonEmpty := 0
+	for _, nodes := range picks {
+		st := layout.Query(linear.ClassRegion(o, c, nodes))
+		if st.Bytes == 0 {
+			continue // the paper's queries always select data; skip vacuous ones
+		}
+		nonEmpty++
+		seeks += float64(st.Seeks)
+		norm += st.NormPages
+	}
+	if nonEmpty > 0 {
+		cs.Seeks = seeks / float64(nonEmpty)
+		cs.NormPages = norm / float64(nonEmpty)
+	}
+	cs.Queries = nonEmpty
+	return cs
+}
+
+// Expected combines per-class stats into workload-expected values.
+func Expected(l *lattice.Lattice, st []ClassStats, w *workload.Workload) (seeks, normPages float64) {
+	l.Points(func(c lattice.Point) {
+		p := w.Prob(c)
+		if p == 0 {
+			return
+		}
+		s := st[l.Index(c)]
+		seeks += p * s.Seeks
+		normPages += p * s.NormPages
+	})
+	return seeks, normPages
+}
+
+// Permutations3 lists the six row-major nesting orders of a 3-D schema.
+var Permutations3 = [][]int{
+	{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}
+
+// StrategyResult is one strategy's expected cost under one workload.
+type StrategyResult struct {
+	Name      string
+	Seeks     float64
+	NormPages float64
+}
+
+// Table4Row is one row of Table 4: the optimal lattice path, its snaked
+// version, and the best and worst row-major orders for one workload.
+type Table4Row struct {
+	Mix       tpcd.Mix
+	Index     int // 1-based index into tpcd.Mixes()
+	Opt       StrategyResult
+	SnakedOpt StrategyResult
+	BestRM    StrategyResult
+	WorstRM   StrategyResult
+	OptPath   string
+}
+
+// Table4 measures the Table-4 strategies for the given workload mixes
+// (paper: a selection of the 27). Best/worst row-major are chosen by
+// expected normalized blocks read, the table's primary metric.
+func Table4(m *Measurer, mixes []tpcd.Mix) ([]Table4Row, error) {
+	all := tpcd.Mixes()
+	indexOf := func(mx tpcd.Mix) int {
+		for i, o := range all {
+			if o == mx {
+				return i + 1
+			}
+		}
+		return 0
+	}
+	var rows []Table4Row
+	for _, mx := range mixes {
+		w, err := m.DS.Workload(mx)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := core.Optimal(w)
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{Mix: mx, Index: indexOf(mx), OptPath: opt.Path.String()}
+
+		st, err := m.PathStats(opt.Path, false)
+		if err != nil {
+			return nil, err
+		}
+		row.Opt.Name = "optimal lattice path"
+		row.Opt.Seeks, row.Opt.NormPages = Expected(m.DS.Lattice, st, w)
+
+		st, err = m.PathStats(opt.Path, true)
+		if err != nil {
+			return nil, err
+		}
+		row.SnakedOpt.Name = "snaked optimal lattice path"
+		row.SnakedOpt.Seeks, row.SnakedOpt.NormPages = Expected(m.DS.Lattice, st, w)
+
+		var rms []StrategyResult
+		for _, perm := range Permutations3 {
+			st, err := m.RowMajorStats(perm)
+			if err != nil {
+				return nil, err
+			}
+			r := StrategyResult{Name: fmt.Sprintf("row major %v", perm)}
+			r.Seeks, r.NormPages = Expected(m.DS.Lattice, st, w)
+			rms = append(rms, r)
+		}
+		sort.Slice(rms, func(i, j int) bool { return rms[i].NormPages < rms[j].NormPages })
+		row.BestRM = rms[0]
+		row.WorstRM = rms[len(rms)-1]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders Table 4 in the paper's layout: normalized blocks
+// read with seeks per query in parentheses.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %14s %14s %14s %14s\n", "Workload", "Popt", "~Popt", "best row", "worst row")
+	for _, r := range rows {
+		cell := func(s StrategyResult) string {
+			return fmt.Sprintf("%.2f (%.2f)", s.NormPages, s.Seeks)
+		}
+		fmt.Fprintf(&b, "%2d %-31s %14s %14s %14s %14s\n",
+			r.Index, r.Mix, cell(r.Opt), cell(r.SnakedOpt), cell(r.BestRM), cell(r.WorstRM))
+	}
+	return b.String()
+}
+
+// Table5Row is one row of Tables 5 and 6: normalized blocks read under
+// workload 7 as the parts fanout varies.
+type Table5Row struct {
+	Fanout    int
+	Opt       StrategyResult
+	SnakedOpt StrategyResult
+	BestRM    StrategyResult
+	WorstRM   StrategyResult
+}
+
+// Table5 measures Tables 5 and 6: the effect of the parts fanout (4, 10,
+// 40) under the featured workload. Each fanout uses its own dataset built
+// from base with only PartsPerMfr changed.
+func Table5(base tpcd.Config, fanouts []int, samples int) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, f := range fanouts {
+		cfg := base
+		cfg.PartsPerMfr = f
+		ds, err := tpcd.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := NewMeasurer(ds)
+		if samples > 0 {
+			m.SamplesPerClass = samples
+		}
+		w, err := ds.Workload(tpcd.PaperWorkload7())
+		if err != nil {
+			return nil, err
+		}
+		opt, err := core.Optimal(w)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{Fanout: f}
+		st, err := m.PathStats(opt.Path, false)
+		if err != nil {
+			return nil, err
+		}
+		row.Opt.Seeks, row.Opt.NormPages = Expected(ds.Lattice, st, w)
+		st, err = m.PathStats(opt.Path, true)
+		if err != nil {
+			return nil, err
+		}
+		row.SnakedOpt.Seeks, row.SnakedOpt.NormPages = Expected(ds.Lattice, st, w)
+
+		best, worst := math.Inf(1), math.Inf(-1)
+		var bestR, worstR StrategyResult
+		for _, perm := range Permutations3 {
+			st, err := m.RowMajorStats(perm)
+			if err != nil {
+				return nil, err
+			}
+			var r StrategyResult
+			r.Name = fmt.Sprintf("row major %v", perm)
+			r.Seeks, r.NormPages = Expected(ds.Lattice, st, w)
+			if r.NormPages < best {
+				best, bestR = r.NormPages, r
+			}
+			if r.NormPages > worst {
+				worst, worstR = r.NormPages, r
+			}
+		}
+		row.BestRM, row.WorstRM = bestR, worstR
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable5 renders Table 5: absolute normalized blocks read.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %12s %12s\n", "Fanout", "Popt", "~Popt", "best row", "worst row")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %10.2f %10.2f %12.2f %12.2f\n",
+			r.Fanout, r.Opt.NormPages, r.SnakedOpt.NormPages, r.BestRM.NormPages, r.WorstRM.NormPages)
+	}
+	return b.String()
+}
+
+// FormatTable6 renders Table 6: normalized blocks read relative to the
+// snaked optimal lattice path.
+func FormatTable6(rows []Table5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %12s %12s\n", "Fanout", "Popt", "~Popt", "best row", "worst row")
+	for _, r := range rows {
+		base := r.SnakedOpt.NormPages
+		fmt.Fprintf(&b, "%-8d %10.2f %10.2f %12.2f %12.2f\n",
+			r.Fanout, r.Opt.NormPages/base, 1.0, r.BestRM.NormPages/base, r.WorstRM.NormPages/base)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/linear"
+	"repro/internal/storage"
+)
+
+// ValidationRow reports, for one strategy, the largest absolute deviation
+// between the analytic per-class cost (characteristic-vector model) and the
+// measured average seeks on a uniform grid packed one cell per page — a
+// configuration where the two must agree exactly.
+type ValidationRow struct {
+	Strategy     string
+	MaxDeviation float64
+	Classes      int
+}
+
+// ValidateModel cross-checks the analytic cost model against the storage
+// simulator on the given schema: every cell holds exactly one record and
+// every record fills exactly one page, so page-level seeks equal
+// cell-level fragments and measured class averages must equal the CV
+// model's ClassCost for every class. Strategies checked: every snaked and
+// unsnaked lattice path of the schema (enumerated), so keep the lattice
+// small.
+func ValidateModel(s *hierarchy.Schema) ([]ValidationRow, error) {
+	l := lattice.New(s)
+	bytes := make([]int64, s.NumCells())
+	for i := range bytes {
+		bytes[i] = 128
+	}
+	var rows []ValidationRow
+	var firstErr error
+	core.EnumeratePaths(l, func(p *core.Path) bool {
+		for _, snaked := range []bool{false, true} {
+			o, err := linear.FromPath(s, p, snaked)
+			if err != nil {
+				firstErr = err
+				return false
+			}
+			layout, err := storage.NewLayout(o, bytes, 128)
+			if err != nil {
+				firstErr = err
+				return false
+			}
+			cv := cost.OfPath(p, snaked)
+			row := ValidationRow{Strategy: o.Name}
+			l.Points(func(c lattice.Point) {
+				// Exact average over every block of the class.
+				total := 0.0
+				blocks := 0
+				nodes := make([]int, s.K())
+				for {
+					st := layout.Query(linear.ClassRegion(o, c, nodes))
+					total += float64(st.Seeks)
+					blocks++
+					d := s.K() - 1
+					for d >= 0 {
+						nodes[d]++
+						if nodes[d] < s.Dims[d].NodesAt(c[d]) {
+							break
+						}
+						nodes[d] = 0
+						d--
+					}
+					if d < 0 {
+						break
+					}
+				}
+				measured := total / float64(blocks)
+				if dev := math.Abs(measured - cv.ClassCost(c)); dev > row.MaxDeviation {
+					row.MaxDeviation = dev
+				}
+				row.Classes++
+			})
+			rows = append(rows, row)
+		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("experiments: no strategies validated")
+	}
+	return rows, nil
+}
+
+// FormatValidation renders the validation report.
+func FormatValidation(rows []ValidationRow) string {
+	var b strings.Builder
+	worst := 0.0
+	for _, r := range rows {
+		if r.MaxDeviation > worst {
+			worst = r.MaxDeviation
+		}
+	}
+	fmt.Fprintf(&b, "validated %d strategies; worst analytic-vs-measured deviation: %g\n", len(rows), worst)
+	return b.String()
+}

@@ -1,0 +1,262 @@
+// Package hierarchy models the dimensions of a star schema: balanced
+// multi-level hierarchies with per-level fanouts, and the k-dimensional cell
+// grid their leaf levels induce.
+//
+// Levels are counted from the leaves up, as in the paper: level 0 is the
+// leaf level of the fact table, level ℓ is the (single) root. The fanout
+// f(d, i) of dimension d at level i (1 ≤ i ≤ ℓ_d) is the average number of
+// level-(i−1) children per level-i node. For uniform hierarchies the fanout
+// is exact; unbalanced hierarchies are first balanced with dummy nodes (see
+// Balance), after which some fanouts may be 1 or fractional averages.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Dimension describes one dimension of a star schema as a balanced hierarchy
+// given by its per-level fanouts. Fanouts[i] is f(d, i+1), the fanout at
+// level i+1; len(Fanouts) is the number of hierarchy levels ℓ_d. The number
+// of leaves is the product of all fanouts.
+//
+// LevelNames, if set, names levels from the leaves up and must have
+// len(Fanouts)+1 entries (one per level, including the root level).
+type Dimension struct {
+	Name       string
+	Fanouts    []int
+	LevelNames []string
+}
+
+// Uniform returns a dimension with levels hierarchy levels, each of the
+// given fanout.
+func Uniform(name string, levels, fanout int) Dimension {
+	f := make([]int, levels)
+	for i := range f {
+		f[i] = fanout
+	}
+	return Dimension{Name: name, Fanouts: f}
+}
+
+// Binary returns a dimension with a complete binary hierarchy of the given
+// number of levels, the representative case analyzed in Section 5 of the
+// paper.
+func Binary(name string, levels int) Dimension {
+	return Uniform(name, levels, 2)
+}
+
+// Levels returns ℓ_d, the number of hierarchy levels above the leaves.
+func (d Dimension) Levels() int { return len(d.Fanouts) }
+
+// Fanout returns f(d, i), the fanout at level i, for 1 ≤ i ≤ Levels().
+func (d Dimension) Fanout(i int) int {
+	if i < 1 || i > len(d.Fanouts) {
+		panic(fmt.Sprintf("hierarchy: fanout level %d out of range [1,%d] for dimension %q", i, len(d.Fanouts), d.Name))
+	}
+	return d.Fanouts[i-1]
+}
+
+// Leaves returns the number of leaf values of the dimension: the product of
+// all fanouts.
+func (d Dimension) Leaves() int {
+	n := 1
+	for _, f := range d.Fanouts {
+		n *= f
+	}
+	return n
+}
+
+// NodesAt returns the number of hierarchy nodes at the given level
+// (0 ≤ level ≤ Levels()). Level 0 has Leaves() nodes; level Levels() has 1.
+func (d Dimension) NodesAt(level int) int {
+	if level < 0 || level > len(d.Fanouts) {
+		panic(fmt.Sprintf("hierarchy: level %d out of range [0,%d] for dimension %q", level, len(d.Fanouts), d.Name))
+	}
+	n := 1
+	for _, f := range d.Fanouts[level:] {
+		n *= f
+	}
+	return n
+}
+
+// BlockSize returns the number of leaves under one node at the given level:
+// the product of fanouts at levels 1..level.
+func (d Dimension) BlockSize(level int) int {
+	if level < 0 || level > len(d.Fanouts) {
+		panic(fmt.Sprintf("hierarchy: level %d out of range [0,%d] for dimension %q", level, len(d.Fanouts), d.Name))
+	}
+	n := 1
+	for _, f := range d.Fanouts[:level] {
+		n *= f
+	}
+	return n
+}
+
+// LevelName returns the name of the given level if LevelNames is set, and a
+// generic "L<level>" name otherwise.
+func (d Dimension) LevelName(level int) string {
+	if level >= 0 && level < len(d.LevelNames) {
+		return d.LevelNames[level]
+	}
+	return fmt.Sprintf("L%d", level)
+}
+
+// Ancestor returns the index of the level-`level` node containing the given
+// leaf. Node indices at each level run from 0 to NodesAt(level)−1 in leaf
+// order.
+func (d Dimension) Ancestor(leaf, level int) int {
+	return leaf / d.BlockSize(level)
+}
+
+// LeafRange returns the half-open range [lo, hi) of leaves under node
+// `node` at the given level.
+func (d Dimension) LeafRange(node, level int) (lo, hi int) {
+	b := d.BlockSize(level)
+	return node * b, (node + 1) * b
+}
+
+// Validate reports an error if the dimension is malformed: no levels, a
+// non-positive fanout, or a LevelNames slice of the wrong length.
+func (d Dimension) Validate() error {
+	if d.Name == "" {
+		return errors.New("hierarchy: dimension has empty name")
+	}
+	if len(d.Fanouts) == 0 {
+		return fmt.Errorf("hierarchy: dimension %q has no levels", d.Name)
+	}
+	for i, f := range d.Fanouts {
+		if f < 1 {
+			return fmt.Errorf("hierarchy: dimension %q has fanout %d at level %d; fanouts must be ≥ 1", d.Name, f, i+1)
+		}
+	}
+	if d.LevelNames != nil && len(d.LevelNames) != len(d.Fanouts)+1 {
+		return fmt.Errorf("hierarchy: dimension %q has %d level names for %d levels (want %d)",
+			d.Name, len(d.LevelNames), len(d.Fanouts), len(d.Fanouts)+1)
+	}
+	return nil
+}
+
+func (d Dimension) String() string {
+	parts := make([]string, len(d.Fanouts))
+	for i, f := range d.Fanouts {
+		parts[i] = fmt.Sprint(f)
+	}
+	return fmt.Sprintf("%s[%s]", d.Name, strings.Join(parts, "×"))
+}
+
+// Schema is a k-dimensional star schema: the ordered list of its dimensions.
+// The fact table is viewed as the grid of cells formed by the cross product
+// of the dimensions' leaf values.
+type Schema struct {
+	Dims []Dimension
+}
+
+// NewSchema builds a schema from the given dimensions and validates it.
+func NewSchema(dims ...Dimension) (*Schema, error) {
+	s := &Schema{Dims: dims}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema, panicking on error. Intended for tests, examples
+// and literal schemas known to be valid.
+func MustSchema(dims ...Dimension) *Schema {
+	s, err := NewSchema(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate reports an error if the schema has no dimensions, duplicate
+// dimension names, or an invalid dimension.
+func (s *Schema) Validate() error {
+	if len(s.Dims) == 0 {
+		return errors.New("hierarchy: schema has no dimensions")
+	}
+	seen := make(map[string]bool, len(s.Dims))
+	for _, d := range s.Dims {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("hierarchy: duplicate dimension name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	return nil
+}
+
+// K returns the number of dimensions.
+func (s *Schema) K() int { return len(s.Dims) }
+
+// NumCells returns the total number of grid cells: the product of the
+// dimensions' leaf counts.
+func (s *Schema) NumCells() int {
+	n := 1
+	for _, d := range s.Dims {
+		n *= d.Leaves()
+	}
+	return n
+}
+
+// LeafCounts returns the per-dimension leaf counts (the grid's shape).
+func (s *Schema) LeafCounts() []int {
+	shape := make([]int, len(s.Dims))
+	for i, d := range s.Dims {
+		shape[i] = d.Leaves()
+	}
+	return shape
+}
+
+// TopLevels returns the per-dimension top level numbers ℓ_d (the ⊤ element
+// of the query-class lattice).
+func (s *Schema) TopLevels() []int {
+	top := make([]int, len(s.Dims))
+	for i, d := range s.Dims {
+		top[i] = d.Levels()
+	}
+	return top
+}
+
+// DimIndex returns the index of the dimension with the given name, or −1.
+func (s *Schema) DimIndex(name string) int {
+	for i, d := range s.Dims {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// BlockSize returns the number of cells in one block of the query class
+// given by the per-dimension levels.
+func (s *Schema) BlockSize(levels []int) int {
+	n := 1
+	for d, lv := range levels {
+		n *= s.Dims[d].BlockSize(lv)
+	}
+	return n
+}
+
+// NumBlocks returns the number of blocks (equivalently, the number of
+// distinct grid queries) of the query class given by the per-dimension
+// levels.
+func (s *Schema) NumBlocks(levels []int) int {
+	n := 1
+	for d, lv := range levels {
+		n *= s.Dims[d].NodesAt(lv)
+	}
+	return n
+}
+
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, " × ")
+}

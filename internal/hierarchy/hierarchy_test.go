@@ -1,0 +1,182 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformDimension(t *testing.T) {
+	d := Uniform("time", 3, 4)
+	if got := d.Levels(); got != 3 {
+		t.Errorf("Levels() = %d, want 3", got)
+	}
+	if got := d.Leaves(); got != 64 {
+		t.Errorf("Leaves() = %d, want 64", got)
+	}
+	for i := 1; i <= 3; i++ {
+		if got := d.Fanout(i); got != 4 {
+			t.Errorf("Fanout(%d) = %d, want 4", i, got)
+		}
+	}
+}
+
+func TestBinaryDimension(t *testing.T) {
+	d := Binary("A", 2)
+	if d.Leaves() != 4 {
+		t.Errorf("Leaves() = %d, want 4", d.Leaves())
+	}
+	wantNodes := []int{4, 2, 1}
+	for lv, want := range wantNodes {
+		if got := d.NodesAt(lv); got != want {
+			t.Errorf("NodesAt(%d) = %d, want %d", lv, got, want)
+		}
+	}
+	wantBlock := []int{1, 2, 4}
+	for lv, want := range wantBlock {
+		if got := d.BlockSize(lv); got != want {
+			t.Errorf("BlockSize(%d) = %d, want %d", lv, got, want)
+		}
+	}
+}
+
+func TestMixedFanouts(t *testing.T) {
+	// The TPC-D time dimension: day → month → year → all.
+	d := Dimension{Name: "time", Fanouts: []int{30, 12, 7}}
+	if got := d.Leaves(); got != 2520 {
+		t.Errorf("Leaves() = %d, want 2520", got)
+	}
+	if got := d.NodesAt(1); got != 84 {
+		t.Errorf("NodesAt(1) = %d, want 84 months", got)
+	}
+	if got := d.NodesAt(2); got != 7 {
+		t.Errorf("NodesAt(2) = %d, want 7 years", got)
+	}
+	if got := d.BlockSize(2); got != 360 {
+		t.Errorf("BlockSize(2) = %d, want 360 days per year", got)
+	}
+}
+
+func TestAncestorAndLeafRange(t *testing.T) {
+	d := Uniform("d", 2, 3) // 9 leaves, 3 level-1 nodes
+	cases := []struct {
+		leaf, level, want int
+	}{
+		{0, 0, 0}, {8, 0, 8},
+		{0, 1, 0}, {2, 1, 0}, {3, 1, 1}, {8, 1, 2},
+		{5, 2, 0},
+	}
+	for _, c := range cases {
+		if got := d.Ancestor(c.leaf, c.level); got != c.want {
+			t.Errorf("Ancestor(%d, %d) = %d, want %d", c.leaf, c.level, got, c.want)
+		}
+	}
+	lo, hi := d.LeafRange(1, 1)
+	if lo != 3 || hi != 6 {
+		t.Errorf("LeafRange(1,1) = [%d,%d), want [3,6)", lo, hi)
+	}
+	lo, hi = d.LeafRange(0, 2)
+	if lo != 0 || hi != 9 {
+		t.Errorf("LeafRange(0,2) = [%d,%d), want [0,9)", lo, hi)
+	}
+}
+
+func TestAncestorRangeRoundTrip(t *testing.T) {
+	d := Dimension{Name: "d", Fanouts: []int{3, 2, 5}}
+	f := func(leaf uint, level uint) bool {
+		lf := int(leaf % uint(d.Leaves()))
+		lv := int(level % uint(d.Levels()+1))
+		node := d.Ancestor(lf, lv)
+		lo, hi := d.LeafRange(node, lv)
+		return lo <= lf && lf < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dimension
+		ok   bool
+	}{
+		{"valid", Uniform("x", 2, 2), true},
+		{"no name", Dimension{Fanouts: []int{2}}, false},
+		{"no levels", Dimension{Name: "x"}, false},
+		{"zero fanout", Dimension{Name: "x", Fanouts: []int{2, 0}}, false},
+		{"fanout one ok", Dimension{Name: "x", Fanouts: []int{1, 2}}, true},
+		{"bad level names", Dimension{Name: "x", Fanouts: []int{2}, LevelNames: []string{"a"}}, false},
+		{"good level names", Dimension{Name: "x", Fanouts: []int{2}, LevelNames: []string{"leaf", "root"}}, true},
+	}
+	for _, c := range cases {
+		err := c.d.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := MustSchema(Binary("A", 2), Binary("B", 2))
+	if got := s.NumCells(); got != 16 {
+		t.Errorf("NumCells() = %d, want 16", got)
+	}
+	if got := s.LeafCounts(); got[0] != 4 || got[1] != 4 {
+		t.Errorf("LeafCounts() = %v, want [4 4]", got)
+	}
+	if got := s.TopLevels(); got[0] != 2 || got[1] != 2 {
+		t.Errorf("TopLevels() = %v, want [2 2]", got)
+	}
+	if got := s.BlockSize([]int{1, 2}); got != 8 {
+		t.Errorf("BlockSize(1,2) = %d, want 8", got)
+	}
+	if got := s.NumBlocks([]int{1, 2}); got != 2 {
+		t.Errorf("NumBlocks(1,2) = %d, want 2", got)
+	}
+	if got := s.DimIndex("B"); got != 1 {
+		t.Errorf("DimIndex(B) = %d, want 1", got)
+	}
+	if got := s.DimIndex("C"); got != -1 {
+		t.Errorf("DimIndex(C) = %d, want -1", got)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("NewSchema() with no dimensions should fail")
+	}
+	if _, err := NewSchema(Binary("A", 1), Binary("A", 2)); err == nil {
+		t.Error("NewSchema() with duplicate names should fail")
+	}
+	if _, err := NewSchema(Binary("A", 1), Binary("B", 2)); err != nil {
+		t.Errorf("NewSchema() valid = %v", err)
+	}
+}
+
+func TestBlocksPartitionGrid(t *testing.T) {
+	// For every class, BlockSize × NumBlocks must equal NumCells.
+	s := MustSchema(
+		Dimension{Name: "x", Fanouts: []int{2, 3}},
+		Dimension{Name: "y", Fanouts: []int{4}},
+		Dimension{Name: "z", Fanouts: []int{5, 1, 2}},
+	)
+	n := s.NumCells()
+	for i := 0; i <= 2; i++ {
+		for j := 0; j <= 1; j++ {
+			for k := 0; k <= 3; k++ {
+				levels := []int{i, j, k}
+				if got := s.BlockSize(levels) * s.NumBlocks(levels); got != n {
+					t.Errorf("class %v: blocksize×numblocks = %d, want %d", levels, got, n)
+				}
+			}
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := MustSchema(Binary("A", 2), Uniform("B", 1, 3))
+	if got := s.String(); !strings.Contains(got, "A[2×2]") || !strings.Contains(got, "B[3]") {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,105 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Index resolves hierarchy node labels to levels and leaf ranges, turning
+// value-level query predicates ("state = NY", "type = levi's") into the
+// grid-query footprints the cost machinery works with. Build one per
+// dimension from its explicit Tree.
+type Index struct {
+	name   string
+	levels [][]LevelNode
+	// byLabel[label] lists every node carrying the label, bottom level
+	// first. Labels may legitimately repeat across levels (Balance copies a
+	// leaf's label onto its dummy chain) or even within one.
+	byLabel map[string][]TreeNodeRef
+}
+
+// Index builds the label index of a balanced tree (call Balance first for
+// unbalanced hierarchies).
+func (t *Tree) Index() (*Index, error) {
+	levels, err := t.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{name: t.Name, levels: levels, byLabel: make(map[string][]TreeNodeRef)}
+	for lv, nodes := range levels {
+		for i, n := range nodes {
+			idx.byLabel[n.Label] = append(idx.byLabel[n.Label], TreeNodeRef{Level: lv, Index: i})
+		}
+	}
+	return idx, nil
+}
+
+// Name returns the dimension name.
+func (idx *Index) Name() string { return idx.name }
+
+// Depth returns the number of hierarchy levels above the leaves.
+func (idx *Index) Depth() int { return len(idx.levels) - 1 }
+
+// Node returns the level node a reference points at.
+func (idx *Index) Node(ref TreeNodeRef) (LevelNode, error) {
+	if ref.Level < 0 || ref.Level >= len(idx.levels) {
+		return LevelNode{}, fmt.Errorf("hierarchy: level %d out of range for %q", ref.Level, idx.name)
+	}
+	if ref.Index < 0 || ref.Index >= len(idx.levels[ref.Level]) {
+		return LevelNode{}, fmt.Errorf("hierarchy: node %d out of range at level %d of %q", ref.Index, ref.Level, idx.name)
+	}
+	return idx.levels[ref.Level][ref.Index], nil
+}
+
+// Find resolves a label to its unique non-dummy node. Dummy nodes inserted
+// by Balance shadow their original's label and are skipped; if the label
+// still names several nodes the resolution is ambiguous and an error lists
+// the candidates.
+func (idx *Index) Find(label string) (TreeNodeRef, error) {
+	var hits []TreeNodeRef
+	for _, ref := range idx.byLabel[label] {
+		if !idx.levels[ref.Level][ref.Index].Dummy {
+			hits = append(hits, ref)
+		}
+	}
+	switch len(hits) {
+	case 0:
+		return TreeNodeRef{}, fmt.Errorf("hierarchy: no node %q in dimension %q", label, idx.name)
+	case 1:
+		return hits[0], nil
+	}
+	var where []string
+	for _, h := range hits {
+		where = append(where, fmt.Sprintf("level %d", h.Level))
+	}
+	return TreeNodeRef{}, fmt.Errorf("hierarchy: label %q is ambiguous in dimension %q (%s); qualify with FindAt",
+		label, idx.name, strings.Join(where, ", "))
+}
+
+// FindAt resolves a label at a specific level, for disambiguating labels
+// that repeat across levels.
+func (idx *Index) FindAt(label string, level int) (TreeNodeRef, error) {
+	if level < 0 || level >= len(idx.levels) {
+		return TreeNodeRef{}, fmt.Errorf("hierarchy: level %d out of range for %q", level, idx.name)
+	}
+	for _, ref := range idx.byLabel[label] {
+		if ref.Level == level && !idx.levels[ref.Level][ref.Index].Dummy {
+			return ref, nil
+		}
+	}
+	return TreeNodeRef{}, fmt.Errorf("hierarchy: no node %q at level %d of dimension %q", label, level, idx.name)
+}
+
+// Root returns the reference of the root node (the whole dimension).
+func (idx *Index) Root() TreeNodeRef {
+	return TreeNodeRef{Level: len(idx.levels) - 1, Index: 0}
+}
+
+// LeafRange returns the half-open leaf range below the referenced node.
+func (idx *Index) LeafRange(ref TreeNodeRef) (lo, hi int, err error) {
+	n, err := idx.Node(ref)
+	if err != nil {
+		return 0, 0, err
+	}
+	return n.LeafLo, n.LeafHi, nil
+}

@@ -1,0 +1,123 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIndexFind(t *testing.T) {
+	idx, err := figure1Tree().Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Name() != "jeans" {
+		t.Errorf("Name = %q", idx.Name())
+	}
+	if idx.Depth() != 2 {
+		t.Errorf("Depth = %d", idx.Depth())
+	}
+	ref, err := idx.Find("levi's")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Level != 1 || ref.Index != 0 {
+		t.Errorf("Find(levi's) = %+v", ref)
+	}
+	lo, hi, err := idx.LeafRange(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi != 2 {
+		t.Errorf("LeafRange = [%d,%d)", lo, hi)
+	}
+	if _, err := idx.Find("wrangler"); err == nil {
+		t.Error("unknown label should fail")
+	}
+	root := idx.Root()
+	if root.Level != 2 || root.Index != 0 {
+		t.Errorf("Root = %+v", root)
+	}
+	n, err := idx.Node(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.LeafLo != 0 || n.LeafHi != 4 {
+		t.Errorf("root node = %+v", n)
+	}
+}
+
+func TestIndexDummySkipping(t *testing.T) {
+	tr, err := NewTree("loc", Branch("all",
+		Branch("NY", Leaf("nyc"), Leaf("albany")),
+		Leaf("DC"),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := tr.Balance().Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "DC" labels both the real leaf and its dummy parent; Find returns the
+	// leaf.
+	ref, err := idx.Find("DC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Level != 0 {
+		t.Errorf("Find(DC) level = %d, want 0 (the real leaf)", ref.Level)
+	}
+}
+
+func TestIndexAmbiguity(t *testing.T) {
+	tr, err := NewTree("d", Branch("all",
+		Branch("x", Leaf("x"), Leaf("y")),
+		Branch("z", Leaf("w"), Leaf("v")),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := tr.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = idx.Find("x")
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("Find(x) err = %v, want ambiguity", err)
+	}
+	if ref, err := idx.FindAt("x", 0); err != nil || ref.Level != 0 {
+		t.Errorf("FindAt(x,0) = %+v, %v", ref, err)
+	}
+	if ref, err := idx.FindAt("x", 1); err != nil || ref.Level != 1 {
+		t.Errorf("FindAt(x,1) = %+v, %v", ref, err)
+	}
+	if _, err := idx.FindAt("x", 5); err == nil {
+		t.Error("FindAt out of range should fail")
+	}
+}
+
+func TestIndexUnbalancedRejected(t *testing.T) {
+	tr, err := NewTree("d", Branch("all", Branch("x", Leaf("a")), Leaf("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Index(); err == nil {
+		t.Error("Index of unbalanced tree should fail; Balance first")
+	}
+}
+
+func TestIndexNodeErrors(t *testing.T) {
+	idx, err := figure1Tree().Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Node(TreeNodeRef{Level: 9, Index: 0}); err == nil {
+		t.Error("bad level should fail")
+	}
+	if _, err := idx.Node(TreeNodeRef{Level: 0, Index: 99}); err == nil {
+		t.Error("bad index should fail")
+	}
+	if _, _, err := idx.LeafRange(TreeNodeRef{Level: 9}); err == nil {
+		t.Error("LeafRange of bad ref should fail")
+	}
+}

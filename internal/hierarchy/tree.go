@@ -1,0 +1,211 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one node of an explicit dimension hierarchy tree. A node with no
+// children is a leaf (a value at the fact table's granularity).
+type Node struct {
+	Label    string
+	Children []*Node
+
+	// Dummy marks nodes inserted by Balance to make all leaves equidistant
+	// from the root. Dummy nodes have exactly one child.
+	Dummy bool
+}
+
+// Leaf returns a leaf node with the given label.
+func Leaf(label string) *Node { return &Node{Label: label} }
+
+// Branch returns an internal node with the given label and children.
+func Branch(label string, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// depth returns the length of the longest root-to-leaf path below n,
+// counting edges.
+func (n *Node) depth() int {
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// balanced reports whether every leaf below n is at exactly the given depth.
+func (n *Node) balanced(depth int) bool {
+	if n.IsLeaf() {
+		return depth == 0
+	}
+	for _, c := range n.Children {
+		if !c.balanced(depth - 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tree is an explicit dimension hierarchy: a rooted tree whose leaves are
+// the dimension's values at fact granularity, in left-to-right disk order.
+type Tree struct {
+	Name string
+	Root *Node
+}
+
+// NewTree returns a tree-backed dimension hierarchy.
+func NewTree(name string, root *Node) (*Tree, error) {
+	if root == nil {
+		return nil, fmt.Errorf("hierarchy: tree %q has nil root", name)
+	}
+	return &Tree{Name: name, Root: root}, nil
+}
+
+// Depth returns the number of hierarchy levels: the longest root-to-leaf
+// path, counting edges.
+func (t *Tree) Depth() int { return t.Root.depth() }
+
+// IsBalanced reports whether every leaf is at the same depth.
+func (t *Tree) IsBalanced() bool { return t.Root.balanced(t.Depth()) }
+
+// Balance returns a copy of the tree in which dummy single-child nodes have
+// been inserted directly above shallow leaves so that every leaf lies at
+// Depth(). This is the Section-4.1 construction: the extended hierarchy has
+// well-defined levels, and the inserted chains contribute fanout-1 steps
+// that the lattice-path machinery handles unchanged. A balanced tree is
+// returned as-is (sharing structure).
+func (t *Tree) Balance() *Tree {
+	d := t.Depth()
+	if t.Root.balanced(d) {
+		return t
+	}
+	return &Tree{Name: t.Name, Root: balanceNode(t.Root, d)}
+}
+
+func balanceNode(n *Node, depth int) *Node {
+	if n.IsLeaf() {
+		if depth == 0 {
+			return n
+		}
+		// Insert a chain of dummy nodes so that the leaf ends up `depth`
+		// edges below this position.
+		cur := n
+		for i := 0; i < depth; i++ {
+			cur = &Node{Label: n.Label, Children: []*Node{cur}, Dummy: true}
+		}
+		return cur
+	}
+	out := &Node{Label: n.Label, Dummy: n.Dummy, Children: make([]*Node, len(n.Children))}
+	for i, c := range n.Children {
+		out.Children[i] = balanceNode(c, depth-1)
+	}
+	return out
+}
+
+// TreeNodeRef identifies a node of a balanced tree by level and index. Level
+// is counted from the leaves up; index runs left to right at that level.
+type TreeNodeRef struct {
+	Level int
+	Index int
+}
+
+// LevelNode describes a node at some level of a balanced tree: its label and
+// the half-open range of leaf indices below it.
+type LevelNode struct {
+	Label  string
+	LeafLo int // inclusive
+	LeafHi int // exclusive
+	Dummy  bool
+}
+
+// Levelize lays out a *balanced* tree level by level and returns, for each
+// level from the leaves (level 0) up to the root, the nodes at that level in
+// leaf order. It returns an error if the tree is not balanced; call Balance
+// first for unbalanced hierarchies.
+func (t *Tree) Levelize() ([][]LevelNode, error) {
+	d := t.Depth()
+	if !t.Root.balanced(d) {
+		return nil, fmt.Errorf("hierarchy: tree %q is unbalanced; call Balance first", t.Name)
+	}
+	levels := make([][]LevelNode, d+1)
+	var walk func(n *Node, level int) (lo, hi int)
+	nextLeaf := 0
+	walk = func(n *Node, level int) (lo, hi int) {
+		if n.IsLeaf() {
+			lo = nextLeaf
+			nextLeaf++
+			hi = nextLeaf
+		} else {
+			lo = -1
+			for _, c := range n.Children {
+				clo, chi := walk(c, level-1)
+				if lo < 0 {
+					lo = clo
+				}
+				hi = chi
+			}
+		}
+		levels[level] = append(levels[level], LevelNode{Label: n.Label, LeafLo: lo, LeafHi: hi, Dummy: n.Dummy})
+		return lo, hi
+	}
+	walk(t.Root, d)
+	return levels, nil
+}
+
+// Dimension summarizes a balanced tree as a level/average-fanout dimension
+// for the analytic machinery (lattice, DP). The fanout at level i is the
+// average number of level-(i−1) children per level-i node, which is what the
+// paper's algorithm uses for unbalanced (dummy-extended) hierarchies. The
+// returned AvgDimension carries exact per-level node counts alongside the
+// rounded Dimension.
+func (t *Tree) Dimension() (Dimension, []float64, error) {
+	levels, err := t.Levelize()
+	if err != nil {
+		return Dimension{}, nil, err
+	}
+	d := len(levels) - 1
+	fan := make([]float64, d)
+	fi := make([]int, d)
+	names := make([]string, d+1)
+	for i := 1; i <= d; i++ {
+		fan[i-1] = float64(len(levels[i-1])) / float64(len(levels[i]))
+		// The integer Dimension keeps the exact ratio when it is integral
+		// and the ceiling otherwise; analytic costs on genuinely ragged
+		// trees should use the float fanouts.
+		fi[i-1] = int(fan[i-1])
+		if float64(fi[i-1]) != fan[i-1] {
+			fi[i-1]++
+		}
+	}
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-L%d", t.Name, i)
+	}
+	return Dimension{Name: t.Name, Fanouts: fi, LevelNames: names}, fan, nil
+}
+
+// String renders the tree in a compact indented form, marking dummy nodes.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, indent int)
+	walk = func(n *Node, indent int) {
+		b.WriteString(strings.Repeat("  ", indent))
+		b.WriteString(n.Label)
+		if n.Dummy {
+			b.WriteString(" (dummy)")
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, indent+1)
+		}
+	}
+	b.WriteString(t.Name)
+	b.WriteByte('\n')
+	walk(t.Root, 1)
+	return b.String()
+}

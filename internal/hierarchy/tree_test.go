@@ -1,0 +1,190 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1Tree builds the jeans hierarchy of Figure 1: two types, each with
+// two gender variants.
+func figure1Tree() *Tree {
+	t, err := NewTree("jeans", Branch("all",
+		Branch("levi's", Leaf("men's levi's"), Leaf("women's levi's")),
+		Branch("gitano", Leaf("men's gitano"), Leaf("women's gitano")),
+	))
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestTreeDepthAndBalance(t *testing.T) {
+	tr := figure1Tree()
+	if got := tr.Depth(); got != 2 {
+		t.Errorf("Depth() = %d, want 2", got)
+	}
+	if !tr.IsBalanced() {
+		t.Error("figure-1 tree should be balanced")
+	}
+	if got := tr.Balance(); got != tr {
+		t.Error("Balance() of a balanced tree should return it unchanged")
+	}
+}
+
+func TestLevelize(t *testing.T) {
+	tr := figure1Tree()
+	levels, err := tr.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("Levelize() gave %d levels, want 3", len(levels))
+	}
+	if got := len(levels[0]); got != 4 {
+		t.Errorf("level 0 has %d nodes, want 4", got)
+	}
+	if got := len(levels[1]); got != 2 {
+		t.Errorf("level 1 has %d nodes, want 2", got)
+	}
+	if got := len(levels[2]); got != 1 {
+		t.Errorf("level 2 has %d nodes, want 1", got)
+	}
+	// Leaf ranges must tile [0, 4) in order at each level.
+	for lv, nodes := range levels {
+		next := 0
+		for _, n := range nodes {
+			if n.LeafLo != next {
+				t.Errorf("level %d node %q starts at %d, want %d", lv, n.Label, n.LeafLo, next)
+			}
+			next = n.LeafHi
+		}
+		if next != 4 {
+			t.Errorf("level %d covers %d leaves, want 4", lv, next)
+		}
+	}
+	if levels[1][0].Label != "levi's" || levels[1][1].Label != "gitano" {
+		t.Errorf("level 1 labels = %q, %q", levels[1][0].Label, levels[1][1].Label)
+	}
+}
+
+func TestUnbalancedTreeBalancing(t *testing.T) {
+	// A location hierarchy where one state has cities and another is
+	// recorded directly at leaf granularity.
+	tr, err := NewTree("location", Branch("all",
+		Branch("NY", Leaf("nyc"), Leaf("albany")),
+		Leaf("DC"), // no city level
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IsBalanced() {
+		t.Fatal("tree should be unbalanced")
+	}
+	if _, err := tr.Levelize(); err == nil {
+		t.Error("Levelize() of unbalanced tree should fail")
+	}
+	bal := tr.Balance()
+	if !bal.IsBalanced() {
+		t.Fatal("Balance() result is not balanced")
+	}
+	if bal.Depth() != 2 {
+		t.Errorf("balanced Depth() = %d, want 2", bal.Depth())
+	}
+	levels, err := bal.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(levels[0]); got != 3 {
+		t.Errorf("level 0 has %d nodes, want 3", got)
+	}
+	// The DC leaf must now sit under a dummy city node.
+	var dummies int
+	for _, n := range levels[1] {
+		if n.Dummy {
+			dummies++
+			if n.Label != "DC" {
+				t.Errorf("dummy node label = %q, want DC", n.Label)
+			}
+		}
+	}
+	if dummies != 1 {
+		t.Errorf("found %d dummy nodes at level 1, want 1", dummies)
+	}
+	if !strings.Contains(bal.String(), "(dummy)") {
+		t.Error("String() should mark dummy nodes")
+	}
+}
+
+func TestTreeDimensionAverageFanouts(t *testing.T) {
+	tr := figure1Tree()
+	dim, avg, err := tr.Dimension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim.Levels() != 2 {
+		t.Errorf("Levels() = %d, want 2", dim.Levels())
+	}
+	if avg[0] != 2 || avg[1] != 2 {
+		t.Errorf("average fanouts = %v, want [2 2]", avg)
+	}
+	if dim.Fanout(1) != 2 || dim.Fanout(2) != 2 {
+		t.Errorf("integer fanouts = %v, want [2 2]", dim.Fanouts)
+	}
+}
+
+func TestTreeDimensionRaggedFanouts(t *testing.T) {
+	tr, err := NewTree("d", Branch("all",
+		Branch("p", Leaf("a"), Leaf("b"), Leaf("c")),
+		Branch("q", Leaf("d")),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, avg, err := tr.Dimension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg[0] != 2 { // 4 leaves / 2 parents
+		t.Errorf("avg fanout level 1 = %v, want 2", avg[0])
+	}
+	if avg[1] != 2 { // 2 parents / 1 root
+		t.Errorf("avg fanout level 2 = %v, want 2", avg[1])
+	}
+}
+
+func TestNewTreeNilRoot(t *testing.T) {
+	if _, err := NewTree("x", nil); err == nil {
+		t.Error("NewTree(nil) should fail")
+	}
+}
+
+func TestDeepDummyChains(t *testing.T) {
+	// A leaf three levels shallower than the deepest path gets a chain of
+	// three dummies.
+	tr, err := NewTree("d", Branch("all",
+		Branch("x", Branch("y", Branch("z", Leaf("deep")))),
+		Leaf("shallow"),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal := tr.Balance()
+	if bal.Depth() != 4 || !bal.IsBalanced() {
+		t.Fatalf("balanced depth = %d, balanced = %v", bal.Depth(), bal.IsBalanced())
+	}
+	levels, err := bal.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lv := 1; lv <= 3; lv++ {
+		dummies := 0
+		for _, n := range levels[lv] {
+			if n.Dummy {
+				dummies++
+			}
+		}
+		if dummies != 1 {
+			t.Errorf("level %d has %d dummies, want 1", lv, dummies)
+		}
+	}
+}

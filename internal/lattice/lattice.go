@@ -1,0 +1,266 @@
+// Package lattice implements the query-class lattice of a star schema
+// (Section 3 of the paper): the product of the per-dimension hierarchy
+// levels, ordered componentwise, with edge weights given by fanouts.
+package lattice
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hierarchy"
+)
+
+// Point is a query class: a vector of one hierarchy level per dimension,
+// with 0 ≤ Point[d] ≤ ℓ_d. The all-zero vector is ⊥ (individual cells); the
+// all-top vector is ⊤ (the whole grid).
+type Point []int
+
+// Clone returns a copy of the point.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are the same class.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LE reports whether p ≤ q in the componentwise partial order.
+func (p Point) LE(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] > q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LT reports whether p < q: p ≤ q and p ≠ q.
+func (p Point) LT(q Point) bool { return p.LE(q) && !p.Equal(q) }
+
+// SuccessorOf reports whether q is a d-successor of p for some dimension d:
+// q equals p with exactly one component incremented by one. It returns that
+// dimension, or −1 when q is not a successor of p.
+func (p Point) SuccessorOf(q Point) int {
+	if len(p) != len(q) {
+		return -1
+	}
+	dim := -1
+	for i := range p {
+		switch q[i] - p[i] {
+		case 0:
+		case 1:
+			if dim >= 0 {
+				return -1
+			}
+			dim = i
+		default:
+			return -1
+		}
+	}
+	return dim
+}
+
+func (p Point) String() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Lattice is the query-class lattice of a schema. It provides dense integer
+// indexing of points (for array-backed dynamic programming), order
+// predicates, successor enumeration, and edge weights.
+type Lattice struct {
+	schema *hierarchy.Schema
+	tops   []int // ℓ_d per dimension
+	stride []int // mixed-radix strides for Index
+	size   int
+}
+
+// New builds the query-class lattice of the schema.
+func New(s *hierarchy.Schema) *Lattice {
+	tops := s.TopLevels()
+	stride := make([]int, len(tops))
+	size := 1
+	for d := len(tops) - 1; d >= 0; d-- {
+		stride[d] = size
+		size *= tops[d] + 1
+	}
+	return &Lattice{schema: s, tops: tops, stride: stride, size: size}
+}
+
+// Schema returns the schema the lattice was built from.
+func (l *Lattice) Schema() *hierarchy.Schema { return l.schema }
+
+// K returns the number of dimensions.
+func (l *Lattice) K() int { return len(l.tops) }
+
+// Size returns the number of query classes: Π_d (ℓ_d + 1).
+func (l *Lattice) Size() int { return l.size }
+
+// Tops returns ℓ_d per dimension (the coordinates of ⊤).
+func (l *Lattice) Tops() []int {
+	t := make([]int, len(l.tops))
+	copy(t, l.tops)
+	return t
+}
+
+// Bottom returns ⊥ = (0, …, 0).
+func (l *Lattice) Bottom() Point { return make(Point, len(l.tops)) }
+
+// Top returns ⊤ = (ℓ_1, …, ℓ_k).
+func (l *Lattice) Top() Point { return Point(l.Tops()) }
+
+// Contains reports whether p is a valid query class of this lattice.
+func (l *Lattice) Contains(p Point) bool {
+	if len(p) != len(l.tops) {
+		return false
+	}
+	for d, v := range p {
+		if v < 0 || v > l.tops[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Index returns the dense index of p in [0, Size()). Indices follow
+// mixed-radix order with the last dimension fastest.
+func (l *Lattice) Index(p Point) int {
+	idx := 0
+	for d, v := range p {
+		idx += v * l.stride[d]
+	}
+	return idx
+}
+
+// PointAt returns the point with the given dense index.
+func (l *Lattice) PointAt(idx int) Point {
+	p := make(Point, len(l.tops))
+	for d := range p {
+		p[d] = idx / l.stride[d]
+		idx %= l.stride[d]
+	}
+	return p
+}
+
+// Points iterates over all query classes in dense-index order, calling fn
+// with a point that is reused across calls; clone it to retain it.
+func (l *Lattice) Points(fn func(p Point)) {
+	p := l.Bottom()
+	for {
+		fn(p)
+		d := len(p) - 1
+		for d >= 0 {
+			p[d]++
+			if p[d] <= l.tops[d] {
+				break
+			}
+			p[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Weight returns wt(u, v) for the edge from u to its d-successor v: the
+// fanout f(d, u[d]+1).
+func (l *Lattice) Weight(u Point, d int) int {
+	return l.schema.Dims[d].Fanout(u[d] + 1)
+}
+
+// SegmentLength returns len(u → v), the product of edge weights along any
+// monotone path from u to v (well-defined: all such paths have the same
+// product). It panics if u ≰ v.
+func (l *Lattice) SegmentLength(u, v Point) int {
+	if !u.LE(v) {
+		panic(fmt.Sprintf("lattice: segment %v → %v is not monotone", u, v))
+	}
+	n := 1
+	for d := range u {
+		for i := u[d] + 1; i <= v[d]; i++ {
+			n *= l.schema.Dims[d].Fanout(i)
+		}
+	}
+	return n
+}
+
+// BlockSize returns the number of grid cells in one block of class p.
+func (l *Lattice) BlockSize(p Point) int { return l.schema.BlockSize(p) }
+
+// NumQueries returns the number of distinct grid queries in class p (the
+// number of class-p blocks).
+func (l *Lattice) NumQueries(p Point) int { return l.schema.NumBlocks(p) }
+
+// Successors calls fn for each d-successor of p that exists in the lattice.
+func (l *Lattice) Successors(p Point, fn func(d int, v Point)) {
+	for d := range p {
+		if p[d] < l.tops[d] {
+			v := p.Clone()
+			v[d]++
+			fn(d, v)
+		}
+	}
+}
+
+// Predecessors calls fn for each point of which p is a d-successor.
+func (l *Lattice) Predecessors(p Point, fn func(d int, v Point)) {
+	for d := range p {
+		if p[d] > 0 {
+			v := p.Clone()
+			v[d]--
+			fn(d, v)
+		}
+	}
+}
+
+// Sublattice returns all points v with u ≤ v, in dense-index order: the
+// sublattice rooted at u (L_u in the paper).
+func (l *Lattice) Sublattice(u Point) []Point {
+	var pts []Point
+	l.Points(func(p Point) {
+		if u.LE(p) {
+			pts = append(pts, p.Clone())
+		}
+	})
+	return pts
+}
+
+// String renders the lattice rank by rank (by coordinate sum), bottom rank
+// first, as in Figure 3 of the paper.
+func (l *Lattice) String() string {
+	maxRank := 0
+	for _, t := range l.tops {
+		maxRank += t
+	}
+	byRank := make([][]string, maxRank+1)
+	l.Points(func(p Point) {
+		r := 0
+		for _, v := range p {
+			r += v
+		}
+		byRank[r] = append(byRank[r], p.String())
+	})
+	var b strings.Builder
+	for r, pts := range byRank {
+		fmt.Fprintf(&b, "rank %d: %s\n", r, strings.Join(pts, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hierarchy"
+)
+
+// figure3 returns the lattice of Figure 3: the 2-level binary schema of the
+// running example.
+func figure3() *Lattice {
+	return New(hierarchy.MustSchema(hierarchy.Binary("A", 2), hierarchy.Binary("B", 2)))
+}
+
+func TestPointOrder(t *testing.T) {
+	cases := []struct {
+		p, q   Point
+		le, lt bool
+	}{
+		{Point{0, 0}, Point{0, 0}, true, false},
+		{Point{0, 0}, Point{2, 2}, true, true},
+		{Point{1, 2}, Point{2, 1}, false, false},
+		{Point{1, 1}, Point{1, 2}, true, true},
+		{Point{2, 2}, Point{0, 0}, false, false},
+	}
+	for _, c := range cases {
+		if got := c.p.LE(c.q); got != c.le {
+			t.Errorf("%v ≤ %v = %v, want %v", c.p, c.q, got, c.le)
+		}
+		if got := c.p.LT(c.q); got != c.lt {
+			t.Errorf("%v < %v = %v, want %v", c.p, c.q, got, c.lt)
+		}
+	}
+}
+
+func TestSuccessorOf(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		dim  int
+	}{
+		{Point{0, 0}, Point{1, 0}, 0},
+		{Point{0, 0}, Point{0, 1}, 1},
+		{Point{0, 0}, Point{1, 1}, -1},
+		{Point{1, 1}, Point{1, 1}, -1},
+		{Point{1, 1}, Point{1, 3}, -1},
+		{Point{2, 1}, Point{1, 1}, -1},
+	}
+	for _, c := range cases {
+		if got := c.p.SuccessorOf(c.q); got != c.dim {
+			t.Errorf("SuccessorOf(%v → %v) = %d, want %d", c.p, c.q, got, c.dim)
+		}
+	}
+}
+
+func TestLatticeBasics(t *testing.T) {
+	l := figure3()
+	if got := l.Size(); got != 9 {
+		t.Errorf("Size() = %d, want 9", got)
+	}
+	if !l.Bottom().Equal(Point{0, 0}) {
+		t.Errorf("Bottom() = %v", l.Bottom())
+	}
+	if !l.Top().Equal(Point{2, 2}) {
+		t.Errorf("Top() = %v", l.Top())
+	}
+	if !l.Contains(Point{2, 1}) || l.Contains(Point{3, 0}) || l.Contains(Point{0, -1}) {
+		t.Error("Contains() misclassifies points")
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	l := New(hierarchy.MustSchema(
+		hierarchy.Uniform("x", 3, 2),
+		hierarchy.Uniform("y", 1, 5),
+		hierarchy.Uniform("z", 2, 3),
+	))
+	seen := make(map[int]bool)
+	count := 0
+	l.Points(func(p Point) {
+		idx := l.Index(p)
+		if idx < 0 || idx >= l.Size() {
+			t.Fatalf("Index(%v) = %d out of range", p, idx)
+		}
+		if seen[idx] {
+			t.Fatalf("Index(%v) = %d already seen", p, idx)
+		}
+		seen[idx] = true
+		if got := l.PointAt(idx); !got.Equal(p) {
+			t.Fatalf("PointAt(%d) = %v, want %v", idx, got, p)
+		}
+		count++
+	})
+	if count != l.Size() {
+		t.Errorf("Points() visited %d, want %d", count, l.Size())
+	}
+}
+
+func TestWeightsAndSegmentLength(t *testing.T) {
+	l := figure3()
+	// wt((1,1),(2,1)) = f(A,2) = 2 per the paper's example.
+	if got := l.Weight(Point{1, 1}, 0); got != 2 {
+		t.Errorf("Weight((1,1), A) = %d, want 2", got)
+	}
+	if got := l.SegmentLength(Point{0, 0}, Point{2, 0}); got != 4 {
+		t.Errorf("len((0,0)→(2,0)) = %d, want 4", got)
+	}
+	if got := l.SegmentLength(Point{1, 1}, Point{1, 1}); got != 1 {
+		t.Errorf("len of empty path = %d, want 1", got)
+	}
+	if got := l.SegmentLength(Point{0, 1}, Point{2, 2}); got != 8 {
+		t.Errorf("len((0,1)→(2,2)) = %d, want 8", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SegmentLength of non-monotone pair should panic")
+		}
+	}()
+	l.SegmentLength(Point{1, 0}, Point{0, 2})
+}
+
+func TestSegmentLengthMixedFanouts(t *testing.T) {
+	l := New(hierarchy.MustSchema(
+		hierarchy.Dimension{Name: "x", Fanouts: []int{3, 5}},
+		hierarchy.Dimension{Name: "y", Fanouts: []int{2}},
+	))
+	if got := l.SegmentLength(Point{0, 0}, Point{2, 1}); got != 30 {
+		t.Errorf("len = %d, want 3·5·2 = 30", got)
+	}
+	if got := l.SegmentLength(Point{1, 0}, Point{2, 0}); got != 5 {
+		t.Errorf("len = %d, want 5", got)
+	}
+}
+
+func TestSuccessorsAndPredecessors(t *testing.T) {
+	l := figure3()
+	var succ []Point
+	l.Successors(Point{1, 2}, func(d int, v Point) { succ = append(succ, v) })
+	if len(succ) != 1 || !succ[0].Equal(Point{2, 2}) {
+		t.Errorf("Successors(1,2) = %v", succ)
+	}
+	var pred []Point
+	l.Predecessors(Point{0, 1}, func(d int, v Point) { pred = append(pred, v) })
+	if len(pred) != 1 || !pred[0].Equal(Point{0, 0}) {
+		t.Errorf("Predecessors(0,1) = %v", pred)
+	}
+	n := 0
+	l.Successors(l.Top(), func(d int, v Point) { n++ })
+	if n != 0 {
+		t.Errorf("⊤ has %d successors, want 0", n)
+	}
+}
+
+func TestSublattice(t *testing.T) {
+	l := figure3()
+	// L_(1,1) is the diamond {(1,1),(2,1),(1,2),(2,2)} per the paper.
+	sub := l.Sublattice(Point{1, 1})
+	if len(sub) != 4 {
+		t.Fatalf("|L_(1,1)| = %d, want 4", len(sub))
+	}
+	want := map[string]bool{"(1,1)": true, "(2,1)": true, "(1,2)": true, "(2,2)": true}
+	for _, p := range sub {
+		if !want[p.String()] {
+			t.Errorf("unexpected sublattice point %v", p)
+		}
+	}
+}
+
+func TestBlockAndQueryCounts(t *testing.T) {
+	l := figure3()
+	cases := []struct {
+		c               Point
+		blocks, queries int
+	}{
+		{Point{0, 0}, 1, 16},
+		{Point{1, 1}, 4, 4},
+		{Point{2, 0}, 4, 4},
+		{Point{2, 2}, 16, 1},
+	}
+	for _, c := range cases {
+		if got := l.BlockSize(c.c); got != c.blocks {
+			t.Errorf("BlockSize(%v) = %d, want %d", c.c, got, c.blocks)
+		}
+		if got := l.NumQueries(c.c); got != c.queries {
+			t.Errorf("NumQueries(%v) = %d, want %d", c.c, got, c.queries)
+		}
+	}
+}
+
+func TestOrderProperties(t *testing.T) {
+	l := New(hierarchy.MustSchema(
+		hierarchy.Uniform("x", 2, 2),
+		hierarchy.Uniform("y", 3, 2),
+	))
+	clamp := func(raw []int) Point {
+		p := make(Point, 2)
+		tops := l.Tops()
+		for d := range p {
+			v := raw[d] % (tops[d] + 1)
+			if v < 0 {
+				v += tops[d] + 1
+			}
+			p[d] = v
+		}
+		return p
+	}
+	// Antisymmetry and transitivity of ≤ on random triples.
+	f := func(a, b, c [2]int) bool {
+		p, q, r := clamp(a[:]), clamp(b[:]), clamp(c[:])
+		if p.LE(q) && q.LE(p) && !p.Equal(q) {
+			return false
+		}
+		if p.LE(q) && q.LE(r) && !p.LE(r) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatticeString(t *testing.T) {
+	l := figure3()
+	s := l.String()
+	if s == "" {
+		t.Fatal("String() empty")
+	}
+	// Figure 3 has ranks 0..4 with 1,2,3,2,1 points.
+	wantPrefix := "rank 0: (0,0)\n"
+	if s[:len(wantPrefix)] != wantPrefix {
+		t.Errorf("String() starts %q", s[:len(wantPrefix)])
+	}
+}

@@ -1,0 +1,220 @@
+package linear
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+)
+
+func binarySchema(n int) *hierarchy.Schema {
+	return hierarchy.MustSchema(hierarchy.Binary("A", n), hierarchy.Binary("B", n))
+}
+
+// assertUnitSteps checks that every pair of consecutive cells differs by ±1
+// in exactly one coordinate — the defining property of the Hilbert curve.
+func assertUnitSteps(t *testing.T, o *Order) {
+	t.Helper()
+	k := o.Schema().K()
+	a := make([]int, k)
+	b := make([]int, k)
+	for p := 0; p+1 < o.Len(); p++ {
+		o.Coords(o.CellAt(p), a)
+		o.Coords(o.CellAt(p+1), b)
+		diffs, delta := 0, 0
+		for d := 0; d < k; d++ {
+			if a[d] != b[d] {
+				diffs++
+				delta = b[d] - a[d]
+			}
+		}
+		if diffs != 1 || (delta != 1 && delta != -1) {
+			t.Fatalf("%s: step %d→%d moves %v → %v", o.Name, p, p+1, a, b)
+		}
+	}
+}
+
+func TestHilbert4x4(t *testing.T) {
+	s := binarySchema(2)
+	o, err := Hilbert(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 16 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+	assertUnitSteps(t, o)
+}
+
+func TestHilbertMatchesClassic2D(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		s := binarySchema(n)
+		skilling, err := Hilbert(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classic, err := Hilbert2D(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertUnitSteps(t, skilling)
+		assertUnitSteps(t, classic)
+		// The two algorithms may differ by a reflection; both must be valid
+		// Hilbert curves. Compare their characteristic vectors instead of
+		// cell orders: reflections preserve edge types.
+		l := lattice.New(s)
+		cvS := skilling.EdgeTypes(l)
+		cvC := classic.EdgeTypes(l)
+		for i := range cvS {
+			if cvS[i] != cvC[i] {
+				// Allow a transpose: swap the two dimensions' types.
+				p := l.PointAt(i)
+				j := l.Index(lattice.Point{p[1], p[0]})
+				if cvS[i] != cvC[j] {
+					t.Fatalf("n=%d: CVs differ beyond transpose at type %v: %d vs %d", n, p, cvS[i], cvC[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHilbertCVMatchesPaper(t *testing.T) {
+	// Section 3: CV(H²_d) = (6,1;6,2) on the 4×4 grid — six level-1 edges in
+	// each dimension, and (1, 2) level-2 edges split between them, zero
+	// diagonal.
+	s := binarySchema(2)
+	o, err := Hilbert2D(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lattice.New(s)
+	cv := o.EdgeTypes(l)
+	get := func(i, j int) int64 { return cv[l.Index(lattice.Point{i, j})] }
+	a1, a2 := get(1, 0), get(2, 0)
+	b1, b2 := get(0, 1), get(0, 2)
+	if a1 != 6 || b1 != 6 {
+		t.Errorf("level-1 edges = (%d, %d), want (6, 6)", a1, b1)
+	}
+	if !(a2 == 1 && b2 == 2) && !(a2 == 2 && b2 == 1) {
+		t.Errorf("level-2 edges = (%d, %d), want {1, 2}", a2, b2)
+	}
+	if o.IsDiagonal() {
+		t.Error("Hilbert curve should be non-diagonal")
+	}
+}
+
+func TestHilbert3D(t *testing.T) {
+	s := hierarchy.MustSchema(
+		hierarchy.Binary("x", 2),
+		hierarchy.Binary("y", 2),
+		hierarchy.Binary("z", 2),
+	)
+	o, err := Hilbert(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", o.Len())
+	}
+	assertUnitSteps(t, o)
+}
+
+func TestHilbertRejectsNonCube(t *testing.T) {
+	s := hierarchy.MustSchema(hierarchy.Binary("x", 2), hierarchy.Binary("y", 1))
+	if _, err := Hilbert(s); err == nil {
+		t.Error("Hilbert on non-cube should fail")
+	}
+	s2 := hierarchy.MustSchema(hierarchy.Uniform("x", 1, 3), hierarchy.Uniform("y", 1, 3))
+	if _, err := Hilbert(s2); err == nil {
+		t.Error("Hilbert on non-power-of-two should fail")
+	}
+}
+
+func TestZOrderMatchesAlternatingPath(t *testing.T) {
+	// On binary hierarchies the Z-curve equals the unsnaked alternating
+	// lattice path (bit interleaving = level-by-level loop nesting).
+	for n := 1; n <= 3; n++ {
+		s := binarySchema(n)
+		z, err := ZOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alt, err := FromPath(s, AlternatingPath(s), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < z.Len(); p++ {
+			if z.CellAt(p) != alt.CellAt(p) {
+				t.Fatalf("n=%d: Z and alternating path diverge at position %d: %d vs %d",
+					n, p, z.CellAt(p), alt.CellAt(p))
+			}
+		}
+	}
+}
+
+func TestGrayOrderMatchesSnakedAlternatingPath(t *testing.T) {
+	// On binary hierarchies the Gray-code curve equals the snaked
+	// alternating lattice path: both are reflected enumerations of the
+	// interleaved digits.
+	for n := 1; n <= 3; n++ {
+		s := binarySchema(n)
+		g, err := GrayOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alt, err := FromPath(s, AlternatingPath(s), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < g.Len(); p++ {
+			if g.CellAt(p) != alt.CellAt(p) {
+				t.Fatalf("n=%d: Gray and snaked alternating path diverge at position %d", n, p)
+			}
+		}
+		// Gray steps flip one interleaved bit: one coordinate changes (by a
+		// power of two), so the curve is non-diagonal but not unit-step.
+		if g.IsDiagonal() {
+			t.Fatalf("n=%d: Gray curve should be non-diagonal", n)
+		}
+	}
+}
+
+func TestZOrder4x4(t *testing.T) {
+	s := binarySchema(2)
+	o, err := ZOrder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := o.RenderGrid()
+	want := [][]int{
+		{1, 2, 5, 6},
+		{3, 4, 7, 8},
+		{9, 10, 13, 14},
+		{11, 12, 15, 16},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if g[i][j] != want[i][j] {
+				t.Fatalf("Z grid = %v, want %v", g, want)
+			}
+		}
+	}
+}
+
+func TestUnequalWidthsZAndGray(t *testing.T) {
+	s := hierarchy.MustSchema(hierarchy.Binary("x", 3), hierarchy.Binary("y", 1))
+	z, err := ZOrder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", z.Len())
+	}
+	g, err := GrayOrder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsDiagonal() {
+		t.Error("Gray curve should be non-diagonal")
+	}
+}

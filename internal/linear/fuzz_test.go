@@ -1,0 +1,154 @@
+package linear
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+)
+
+// fuzzSchema derives a small schema from raw fuzz bytes: up to 3 dimensions
+// with up to 3 levels of fanout 1–4, capped at 4096 cells.
+func fuzzSchema(raw []byte) *hierarchy.Schema {
+	if len(raw) == 0 {
+		raw = []byte{1}
+	}
+	k := 1 + int(raw[0])%3
+	dims := make([]hierarchy.Dimension, 0, k)
+	pos := 1
+	cells := 1
+	for d := 0; d < k; d++ {
+		levels := 1 + int(byteAt(raw, pos))%3
+		pos++
+		fanouts := make([]int, 0, levels)
+		for i := 0; i < levels; i++ {
+			f := 1 + int(byteAt(raw, pos))%4
+			pos++
+			if cells*f > 4096 {
+				f = 1
+			}
+			cells *= f
+			fanouts = append(fanouts, f)
+		}
+		dims = append(dims, hierarchy.Dimension{Name: string(rune('a' + d)), Fanouts: fanouts})
+	}
+	return hierarchy.MustSchema(dims...)
+}
+
+func byteAt(raw []byte, i int) byte {
+	if len(raw) == 0 {
+		return 0
+	}
+	return raw[i%len(raw)]
+}
+
+// fuzzPath derives a monotone lattice path from fuzz bytes.
+func fuzzPath(l *lattice.Lattice, raw []byte, at int) *core.Path {
+	tops := l.Tops()
+	remaining := append([]int(nil), tops...)
+	total := 0
+	for _, t := range tops {
+		total += t
+	}
+	steps := make([]int, 0, total)
+	for len(steps) < total {
+		d := int(byteAt(raw, at)) % l.K()
+		at++
+		for remaining[d] == 0 {
+			d = (d + 1) % l.K()
+		}
+		remaining[d]--
+		steps = append(steps, d)
+	}
+	return core.MustPath(l, steps)
+}
+
+// FuzzFromPath checks that every derived lattice-path linearization —
+// snaked or not — is a permutation whose edge-type counts total N−1 and
+// whose snaked variant has no diagonal edges.
+func FuzzFromPath(f *testing.F) {
+	f.Add([]byte{2, 2, 2, 2, 1, 0, 1, 0}, true)
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6}, false)
+	f.Add([]byte{0}, true)
+	f.Fuzz(func(t *testing.T, raw []byte, snaked bool) {
+		s := fuzzSchema(raw)
+		l := lattice.New(s)
+		p := fuzzPath(l, raw, 7)
+		o, err := FromPath(s, p, snaked)
+		if err != nil {
+			t.Fatalf("FromPath(%v, %v): %v", p, snaked, err)
+		}
+		if o.Len() != s.NumCells() {
+			t.Fatalf("covers %d of %d cells", o.Len(), s.NumCells())
+		}
+		for c := 0; c < o.Len(); c++ {
+			if o.CellAt(o.PosOf(c)) != c {
+				t.Fatalf("not a permutation at cell %d", c)
+			}
+		}
+		cv := o.EdgeTypes(l)
+		var total int64
+		for _, n := range cv {
+			total += n
+		}
+		if total != int64(o.Len()-1) {
+			t.Fatalf("edge total %d, want %d", total, o.Len()-1)
+		}
+		if snaked && o.IsDiagonal() {
+			t.Fatalf("snaked path %v is diagonal", p)
+		}
+	})
+}
+
+// FuzzCurves checks the space-filling curves on fuzz-chosen power-of-two
+// grids: valid permutations, correct edge totals, Hilbert unit steps.
+func FuzzCurves(f *testing.F) {
+	f.Add(uint8(2), uint8(2))
+	f.Add(uint8(1), uint8(3))
+	f.Add(uint8(3), uint8(3))
+	f.Fuzz(func(t *testing.T, wa, wb uint8) {
+		na := 1 + int(wa)%3
+		nb := 1 + int(wb)%3
+		s := hierarchy.MustSchema(hierarchy.Binary("A", na), hierarchy.Binary("B", nb))
+		check := func(o *Order, err error) *Order {
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < o.Len(); c++ {
+				if o.CellAt(o.PosOf(c)) != c {
+					t.Fatalf("%s: not a permutation", o.Name)
+				}
+			}
+			return o
+		}
+		check(ZOrder(s))
+		g := check(GrayOrder(s))
+		if g.IsDiagonal() {
+			t.Fatal("gray order is diagonal")
+		}
+		if na == nb {
+			h := check(Hilbert(s))
+			k := s.K()
+			a := make([]int, k)
+			b := make([]int, k)
+			for p := 0; p+1 < h.Len(); p++ {
+				h.Coords(h.CellAt(p), a)
+				h.Coords(h.CellAt(p+1), b)
+				diff := 0
+				for d := 0; d < k; d++ {
+					delta := a[d] - b[d]
+					if delta != 0 {
+						diff++
+						if delta != 1 && delta != -1 {
+							t.Fatalf("hilbert non-unit step at %d", p)
+						}
+					}
+				}
+				if diff != 1 {
+					t.Fatalf("hilbert step changes %d coords at %d", diff, p)
+				}
+			}
+		}
+	})
+}

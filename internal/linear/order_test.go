@@ -1,0 +1,200 @@
+package linear
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+)
+
+func exampleSchema() *hierarchy.Schema {
+	return hierarchy.MustSchema(hierarchy.Binary("A", 2), hierarchy.Binary("B", 2))
+}
+
+// mk returns a helper that unwraps (*Order, error) pairs, failing the test
+// on error.
+func mk(t *testing.T) func(*Order, error) *Order {
+	return func(o *Order, err error) *Order {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+}
+
+// TestFigure1RowMajor reproduces Figure 1: strategy P1 is the plain
+// row-major order 1..16.
+func TestFigure1RowMajor(t *testing.T) {
+	s := exampleSchema()
+	l := lattice.New(s)
+	p1 := core.MustPath(l, []int{1, 1, 0, 0})
+	o := mk(t)(FromPath(s, p1, false))
+	g, err := o.RenderGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+		{13, 14, 15, 16},
+	}
+	if !reflect.DeepEqual(g, want) {
+		t.Errorf("P1 grid = %v, want %v", g, want)
+	}
+}
+
+// TestFigure2aQuadrant reproduces Figure 2(a): strategy P2 orders 2×2
+// subgrids row-major and the subgrids themselves row-major.
+func TestFigure2aQuadrant(t *testing.T) {
+	s := exampleSchema()
+	l := lattice.New(s)
+	p2 := core.MustPath(l, []int{1, 0, 1, 0})
+	o := mk(t)(FromPath(s, p2, false))
+	g, err := o.RenderGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{
+		{1, 2, 5, 6},
+		{3, 4, 7, 8},
+		{9, 10, 13, 14},
+		{11, 12, 15, 16},
+	}
+	if !reflect.DeepEqual(g, want) {
+		t.Errorf("P2 grid = %v, want %v", g, want)
+	}
+}
+
+// TestFigure5SnakedP1 reproduces Figure 5(a): snaking P1 reverses alternate
+// blocks at every loop level, yielding the reflected (boustrophedon) order.
+func TestFigure5SnakedP1(t *testing.T) {
+	s := exampleSchema()
+	l := lattice.New(s)
+	p1 := core.MustPath(l, []int{1, 1, 0, 0})
+	o := mk(t)(FromPath(s, p1, true))
+	g, err := o.RenderGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversing alternate (0,1)-pairs, (0,2)-rows and (1,2)-half-grids of
+	// the row-major order gives:
+	want := [][]int{
+		{1, 2, 4, 3},
+		{8, 7, 5, 6},
+		{16, 15, 13, 14},
+		{9, 10, 12, 11},
+	}
+	if !reflect.DeepEqual(g, want) {
+		t.Errorf("snaked P1 grid = %v, want %v", g, want)
+	}
+}
+
+func TestSnakedOrdersAreNonDiagonal(t *testing.T) {
+	s := exampleSchema()
+	l := lattice.New(s)
+	core.EnumeratePaths(l, func(p *core.Path) bool {
+		steps := append([]int(nil), p.Steps()...)
+		pp := core.MustPath(l, steps)
+		plain := mk(t)(FromPath(s, pp, false))
+		snaked := mk(t)(FromPath(s, pp, true))
+		if !plain.IsDiagonal() {
+			t.Errorf("unsnaked path %v should be diagonal", pp)
+		}
+		if snaked.IsDiagonal() {
+			t.Errorf("snaked path %v should be non-diagonal", pp)
+		}
+		return true
+	})
+}
+
+func TestFromPathVisitsAllCellsOnce(t *testing.T) {
+	s := hierarchy.MustSchema(
+		hierarchy.Dimension{Name: "x", Fanouts: []int{3, 2}},
+		hierarchy.Dimension{Name: "y", Fanouts: []int{2, 5}},
+		hierarchy.Dimension{Name: "z", Fanouts: []int{4}},
+	)
+	l := lattice.New(s)
+	rng := rand.New(rand.NewSource(17))
+	core.EnumeratePaths(l, func(p *core.Path) bool {
+		if rng.Intn(4) != 0 { // sample a quarter of the 30 paths
+			return true
+		}
+		for _, snaked := range []bool{false, true} {
+			o, err := FromPath(s, p, snaked)
+			if err != nil {
+				t.Fatalf("path %v snaked=%v: %v", p, snaked, err)
+			}
+			if o.Len() != s.NumCells() {
+				t.Fatalf("order covers %d of %d cells", o.Len(), s.NumCells())
+			}
+			for c := 0; c < o.Len(); c++ {
+				if o.CellAt(o.PosOf(c)) != c {
+					t.Fatalf("PosOf/CellAt mismatch at cell %d", c)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestRowMajorNesting(t *testing.T) {
+	s := hierarchy.MustSchema(
+		hierarchy.Uniform("x", 1, 2),
+		hierarchy.Uniform("y", 1, 3),
+	)
+	// Outer x, inner y: y varies fastest.
+	o, err := RowMajor(s, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := []int{0, 1, 2, 3, 4, 5} // cell index = x*3 + y
+	for p, want := range wantSeq {
+		if got := o.CellAt(p); got != want {
+			t.Errorf("CellAt(%d) = %d, want %d", p, got, want)
+		}
+	}
+	// Outer y, inner x: x varies fastest.
+	o2, err := RowMajor(s, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeq2 := []int{0, 3, 1, 4, 2, 5}
+	for p, want := range wantSeq2 {
+		if got := o2.CellAt(p); got != want {
+			t.Errorf("transposed CellAt(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestAlternatingPath(t *testing.T) {
+	s := hierarchy.MustSchema(
+		hierarchy.Uniform("x", 3, 2),
+		hierarchy.Uniform("y", 1, 2),
+		hierarchy.Uniform("z", 2, 2),
+	)
+	p := AlternatingPath(s)
+	want := []int{2, 1, 0, 2, 0, 0}
+	if !reflect.DeepEqual(p.Steps(), want) {
+		t.Errorf("AlternatingPath steps = %v, want %v", p.Steps(), want)
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	s := hierarchy.MustSchema(
+		hierarchy.Dimension{Name: "x", Fanouts: []int{5}},
+		hierarchy.Dimension{Name: "y", Fanouts: []int{7}},
+	)
+	o := mk(t)(RowMajor(s, []int{0, 1}))
+	coords := make([]int, 2)
+	for c := 0; c < o.Len(); c++ {
+		o.Coords(c, coords)
+		if got := o.CellIndex(coords); got != c {
+			t.Errorf("CellIndex(Coords(%d)) = %d", c, got)
+		}
+	}
+}

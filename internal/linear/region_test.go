@@ -1,0 +1,150 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+)
+
+func TestRegionSizeAndContains(t *testing.T) {
+	r := Region{{0, 4}, {2, 3}}
+	if got := r.Size(); got != 4 {
+		t.Errorf("Size() = %d, want 4", got)
+	}
+	if !r.Contains([]int{3, 2}) {
+		t.Error("Contains(3,2) = false")
+	}
+	if r.Contains([]int{3, 3}) || r.Contains([]int{4, 2}) {
+		t.Error("Contains out-of-range point")
+	}
+	if got := r.String(); got != "[0,4)×[2,3)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestClassRegion(t *testing.T) {
+	s := exampleSchema()
+	o := mk(t)(RowMajor(s, []int{0, 1}))
+	r := ClassRegion(o, lattice.Point{1, 2}, []int{1, 0})
+	// Level-1 node 1 of A covers leaves [2,4); level-2 node 0 of B covers all.
+	if r[0].Lo != 2 || r[0].Hi != 4 || r[1].Lo != 0 || r[1].Hi != 4 {
+		t.Errorf("ClassRegion = %v", r)
+	}
+}
+
+func TestFragmentsRowMajor(t *testing.T) {
+	s := exampleSchema()
+	o := mk(t)(RowMajor(s, []int{0, 1})) // B varies fastest
+	cases := []struct {
+		r    Region
+		want int
+	}{
+		{Region{{0, 4}, {0, 4}}, 1}, // whole grid
+		{Region{{0, 1}, {0, 4}}, 1}, // one row: contiguous
+		{Region{{0, 4}, {0, 1}}, 4}, // one column: one fragment per row
+		{Region{{0, 2}, {0, 2}}, 2}, // quadrant: two half-rows
+		{Region{{2, 3}, {1, 3}}, 1}, // row segment
+		{Region{{0, 1}, {2, 3}}, 1}, // single cell
+	}
+	for _, c := range cases {
+		if got := o.Fragments(c.r); got != c.want {
+			t.Errorf("Fragments(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+// TestFragmentsEqualCellsMinusInteriorEdges verifies the identity the whole
+// cost model rests on: fragments(R) = |R| − (edges inside R), for random
+// regions under assorted strategies.
+func TestFragmentsEqualCellsMinusInteriorEdges(t *testing.T) {
+	s := hierarchy.MustSchema(hierarchy.Binary("A", 2), hierarchy.Binary("B", 3))
+	l := lattice.New(s)
+	rng := rand.New(rand.NewSource(31))
+	var orders []*Order
+	orders = append(orders, mk(t)(RowMajor(s, []int{0, 1})))
+	orders = append(orders, mk(t)(RowMajor(s, []int{1, 0})))
+	orders = append(orders, mk(t)(ZOrder(s)))
+	orders = append(orders, mk(t)(GrayOrder(s)))
+	p := core.MustPath(l, []int{0, 1, 1, 0, 1})
+	orders = append(orders, mk(t)(FromPath(s, p, false)))
+	orders = append(orders, mk(t)(FromPath(s, p, true)))
+
+	k := s.K()
+	a := make([]int, k)
+	b := make([]int, k)
+	for _, o := range orders {
+		for trial := 0; trial < 40; trial++ {
+			r := make(Region, k)
+			for d, n := range s.LeafCounts() {
+				lo := rng.Intn(n)
+				hi := lo + 1 + rng.Intn(n-lo)
+				r[d] = Range{lo, hi}
+			}
+			inside := 0
+			for pos := 0; pos+1 < o.Len(); pos++ {
+				o.Coords(o.CellAt(pos), a)
+				o.Coords(o.CellAt(pos+1), b)
+				if r.Contains(a) && r.Contains(b) {
+					inside++
+				}
+			}
+			if got, want := o.Fragments(r), r.Size()-inside; got != want {
+				t.Fatalf("%s: fragments(%v) = %d, want |R|−edges = %d", o.Name, r, got, want)
+			}
+		}
+	}
+}
+
+func TestEdgeTypesTotals(t *testing.T) {
+	s := exampleSchema()
+	l := lattice.New(s)
+	for _, build := range []func() (*Order, error){
+		func() (*Order, error) { return RowMajor(s, []int{0, 1}) },
+		func() (*Order, error) { return Hilbert(s) },
+		func() (*Order, error) { return ZOrder(s) },
+	} {
+		o := mk(t)(build())
+		cv := o.EdgeTypes(l)
+		var total int64
+		for _, c := range cv {
+			total += c
+		}
+		if total != int64(o.Len()-1) {
+			t.Errorf("%s: total edges %d, want %d", o.Name, total, o.Len()-1)
+		}
+		if cv[l.Index(lattice.Point{0, 0})] != 0 {
+			t.Errorf("%s: impossible type (0,0) has %d edges", o.Name, cv[0])
+		}
+	}
+}
+
+func TestEdgeTypesRowMajor(t *testing.T) {
+	// Example from Section 3: CV(P1) has 8 level-1 and 4 level-2 edges in
+	// the inner dimension, and 2 + 1 diagonal edges.
+	s := exampleSchema()
+	l := lattice.New(s)
+	o := mk(t)(RowMajor(s, []int{0, 1}))
+	cv := o.EdgeTypes(l)
+	get := func(i, j int) int64 { return cv[l.Index(lattice.Point{i, j})] }
+	if get(0, 1) != 8 || get(0, 2) != 4 {
+		t.Errorf("inner-dimension edges = (%d, %d), want (8, 4)", get(0, 1), get(0, 2))
+	}
+	if get(1, 2) != 2 || get(2, 2) != 1 {
+		t.Errorf("diagonal edges = (%d, %d), want (2, 1)", get(1, 2), get(2, 2))
+	}
+	if !o.IsDiagonal() {
+		t.Error("row-major should be diagonal")
+	}
+}
+
+func TestRenderGridRejects3D(t *testing.T) {
+	s := hierarchy.MustSchema(
+		hierarchy.Binary("x", 1), hierarchy.Binary("y", 1), hierarchy.Binary("z", 1))
+	o := mk(t)(RowMajor(s, []int{0, 1, 2}))
+	if _, err := o.RenderGrid(); err == nil {
+		t.Error("RenderGrid on 3-D order should fail")
+	}
+}

@@ -1,0 +1,176 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/linear"
+)
+
+// FileStore is the file-backed counterpart of Store: records are packed
+// along the layout into a PageFile and all access goes through a
+// BufferPool, so real page traffic (pool misses) can be compared against
+// the analytic seek/page model. Not safe for concurrent use.
+type FileStore struct {
+	layout *Layout
+	pool   *BufferPool
+	fill   []int64
+}
+
+// CreateFileStore creates a new page file sized for the layout and wraps it
+// in a pool with the given frame capacity.
+func CreateFileStore(path string, o *linear.Order, bytesPerCell []int64, pageSize int, poolFrames int) (*FileStore, error) {
+	layout, err := NewLayout(o, bytesPerCell, int64(pageSize))
+	if err != nil {
+		return nil, err
+	}
+	pf, err := CreatePageFile(path, pageSize, layout.TotalPages())
+	if err != nil {
+		return nil, err
+	}
+	pool, err := NewBufferPool(pf, poolFrames)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	return &FileStore{layout: layout, pool: pool, fill: make([]int64, o.Len())}, nil
+}
+
+// OpenFileStore opens an existing store file. The caller supplies the same
+// order and cell sizes the file was created with (persist them with the
+// catalog, e.g. snakes.MarshalStrategy); fills must be re-derived, so the
+// store is opened in the fully-loaded state where each cell's reserved
+// range is assumed written up to loadedBytes[cell].
+func OpenFileStore(path string, o *linear.Order, bytesPerCell []int64, pageSize int, poolFrames int, loadedBytes []int64) (*FileStore, error) {
+	layout, err := NewLayout(o, bytesPerCell, int64(pageSize))
+	if err != nil {
+		return nil, err
+	}
+	pf, err := OpenPageFile(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	if pf.Pages() < layout.TotalPages() {
+		pf.Close()
+		return nil, fmt.Errorf("storage: %s has %d pages, layout needs %d", path, pf.Pages(), layout.TotalPages())
+	}
+	pool, err := NewBufferPool(pf, poolFrames)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	fs := &FileStore{layout: layout, pool: pool, fill: make([]int64, o.Len())}
+	if loadedBytes != nil {
+		if len(loadedBytes) != o.Len() {
+			pf.Close()
+			return nil, fmt.Errorf("storage: %d loaded sizes for %d cells", len(loadedBytes), o.Len())
+		}
+		for cell, b := range loadedBytes {
+			fs.fill[o.PosOf(cell)] = b
+		}
+	}
+	return fs, nil
+}
+
+// Layout returns the store's packing.
+func (fs *FileStore) Layout() *Layout { return fs.layout }
+
+// Pool returns the store's buffer pool, for stats and flushing.
+func (fs *FileStore) Pool() *BufferPool { return fs.pool }
+
+// LoadedBytes returns the written byte count per cell, the value to pass
+// back to OpenFileStore after a restart.
+func (fs *FileStore) LoadedBytes() []int64 {
+	out := make([]int64, len(fs.fill))
+	for pos, b := range fs.fill {
+		out[fs.layout.order.CellAt(pos)] = b
+	}
+	return out
+}
+
+// PutRecord appends a length-prefixed record to the cell, through the pool.
+func (fs *FileStore) PutRecord(cell int, payload []byte) error {
+	pos := fs.layout.order.PosOf(cell)
+	lo, hi := fs.layout.start[pos], fs.layout.start[pos+1]
+	need := FrameSize(len(payload))
+	off := lo + fs.fill[pos]
+	if off+need > hi {
+		return fmt.Errorf("storage: cell %d overflows its %d reserved bytes", cell, hi-lo)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if err := fs.pool.WriteAt(hdr[:], off); err != nil {
+		return err
+	}
+	if err := fs.pool.WriteAt(payload, off+4); err != nil {
+		return err
+	}
+	fs.fill[pos] += need
+	return nil
+}
+
+// Scan streams every record in the region in disk order through the pool.
+func (fs *FileStore) Scan(r linear.Region, fn func(cell int, record []byte) error) error {
+	var buf []byte
+	for _, pos := range fs.layout.order.Positions(r) {
+		filled := fs.fill[pos]
+		if filled == 0 {
+			continue
+		}
+		lo := fs.layout.start[pos]
+		if int64(cap(buf)) < filled {
+			buf = make([]byte, filled)
+		}
+		buf = buf[:filled]
+		if err := fs.pool.ReadAt(buf, lo); err != nil {
+			return err
+		}
+		cell := fs.layout.order.CellAt(pos)
+		off := int64(0)
+		for off < filled {
+			if filled-off < 4 {
+				return fmt.Errorf("storage: corrupt record header in cell %d", cell)
+			}
+			n := int64(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			if off+n > filled {
+				return fmt.Errorf("storage: truncated record in cell %d", cell)
+			}
+			if err := fn(cell, buf[off:off+n]); err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	return nil
+}
+
+// Sum executes an aggregate grid query against the file store, returning
+// the total and the pool traffic it generated.
+func (fs *FileStore) Sum(r linear.Region, decode func(record []byte) float64) (float64, PoolStats, error) {
+	before := fs.pool.Stats()
+	total := 0.0
+	err := fs.Scan(r, func(cell int, record []byte) error {
+		total += decode(record)
+		return nil
+	})
+	if err != nil {
+		return 0, PoolStats{}, err
+	}
+	after := fs.pool.Stats()
+	return total, PoolStats{
+		Hits:      after.Hits - before.Hits,
+		Misses:    after.Misses - before.Misses,
+		Evictions: after.Evictions - before.Evictions,
+		Writes:    after.Writes - before.Writes,
+	}, nil
+}
+
+// Close flushes the pool and closes the file.
+func (fs *FileStore) Close() error {
+	if err := fs.pool.Flush(); err != nil {
+		fs.pool.pf.Close()
+		return err
+	}
+	return fs.pool.pf.Close()
+}

@@ -1,0 +1,46 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/linear"
+)
+
+// Migrate re-clusters a file store onto a new linearization: every record
+// is streamed out of the old store in its disk order and written into a new
+// store at newPath packed along newOrder. Cell payload capacities carry
+// over (they are a property of the data, not the order). The old store is
+// left open and untouched; callers typically Close and delete it after the
+// swap. Returns the new store, flushed and ready to query.
+func Migrate(old *FileStore, newPath string, newOrder *linear.Order, poolFrames int) (*FileStore, error) {
+	oldOrder := old.layout.order
+	if newOrder.Len() != oldOrder.Len() {
+		return nil, fmt.Errorf("storage: migrating %d cells onto an order with %d", oldOrder.Len(), newOrder.Len())
+	}
+	// Reconstruct per-cell capacities from the old layout.
+	bytesPerCell := make([]int64, oldOrder.Len())
+	for pos := 0; pos < oldOrder.Len(); pos++ {
+		bytesPerCell[oldOrder.CellAt(pos)] = old.layout.start[pos+1] - old.layout.start[pos]
+	}
+	dst, err := CreateFileStore(newPath, newOrder, bytesPerCell, int(old.layout.pageSize), poolFrames)
+	if err != nil {
+		return nil, err
+	}
+	// Full-grid region over the old order.
+	shape := oldOrder.Shape()
+	all := make(linear.Region, len(shape))
+	for d, n := range shape {
+		all[d] = linear.Range{Lo: 0, Hi: n}
+	}
+	if err := old.Scan(all, func(cell int, record []byte) error {
+		return dst.PutRecord(cell, record)
+	}); err != nil {
+		dst.Close()
+		return nil, fmt.Errorf("storage: migration copy: %w", err)
+	}
+	if err := dst.pool.Flush(); err != nil {
+		dst.Close()
+		return nil, err
+	}
+	return dst, nil
+}

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/linear"
+)
+
+func TestMigratePreservesDataAndImprovesLayout(t *testing.T) {
+	s := hierarchy.MustSchema(hierarchy.Binary("A", 2), hierarchy.Binary("B", 2))
+	rowMajor, err := linear.RowMajor(s, []int{1, 0}) // column-major: bad for row scans
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := make([]int64, 16)
+	for i := range bytes {
+		bytes[i] = FrameSize(8)
+	}
+	dir := t.TempDir()
+	src, err := CreateFileStore(filepath.Join(dir, "old.db"), rowMajor, bytes, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	buf := make([]byte, 8)
+	for c := 0; c < 16; c++ {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(float64(c)))
+		if err := src.PutRecord(c, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	better, err := linear.RowMajor(s, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Migrate(src, filepath.Join(dir, "new.db"), better, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	// Every region sums identically on both stores.
+	for _, r := range []linear.Region{
+		{{Lo: 0, Hi: 4}, {Lo: 0, Hi: 4}},
+		{{Lo: 1, Hi: 2}, {Lo: 0, Hi: 4}},
+		{{Lo: 0, Hi: 4}, {Lo: 2, Hi: 3}},
+		{{Lo: 2, Hi: 4}, {Lo: 0, Hi: 2}},
+	} {
+		a, _, err := src.Sum(r, decodeF64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := dst.Sum(r, decodeF64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("region %v: sums differ %v vs %v", r, a, b)
+		}
+	}
+
+	// Row scans are now contiguous on the new layout.
+	row := linear.Region{{Lo: 1, Hi: 2}, {Lo: 0, Hi: 4}}
+	if got := dst.Layout().Query(row).Seeks; got != 1 {
+		t.Errorf("row query on migrated store: %d seeks, want 1", got)
+	}
+	if got := src.Layout().Query(row).Seeks; got <= 1 {
+		t.Errorf("row query on old store: %d seeks, expected several", got)
+	}
+}
+
+func TestMigrateShapeMismatch(t *testing.T) {
+	s1 := hierarchy.MustSchema(hierarchy.Binary("A", 2), hierarchy.Binary("B", 2))
+	s2 := hierarchy.MustSchema(hierarchy.Binary("A", 1), hierarchy.Binary("B", 1))
+	o1, err := linear.RowMajor(s1, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := linear.RowMajor(s2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := make([]int64, 16)
+	src, err := CreateFileStore(filepath.Join(t.TempDir(), "s.db"), o1, bytes, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := Migrate(src, filepath.Join(t.TempDir(), "d.db"), o2, 2); err == nil {
+		t.Error("cell-count mismatch should fail")
+	}
+}

@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+)
+
+// PageFile is a fixed-page-size file: the real-disk counterpart of the
+// in-memory simulator, with the same page-granular access pattern.
+type PageFile struct {
+	f        *os.File
+	pageSize int
+	pages    int64
+}
+
+// CreatePageFile creates (truncating) a page file with the given number of
+// zeroed pages.
+func CreatePageFile(path string, pageSize int, pages int64) (*PageFile, error) {
+	if pageSize <= 0 || pages < 0 {
+		return nil, fmt.Errorf("storage: invalid page file geometry %d×%d", pageSize, pages)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(pageSize) * pages); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &PageFile{f: f, pageSize: pageSize, pages: pages}, nil
+}
+
+// OpenPageFile opens an existing page file; its size must be a whole number
+// of pages.
+func OpenPageFile(path string, pageSize int) (*PageFile, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("storage: invalid page size %d", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is %d bytes, not a multiple of the %d-byte page", path, fi.Size(), pageSize)
+	}
+	return &PageFile{f: f, pageSize: pageSize, pages: fi.Size() / int64(pageSize)}, nil
+}
+
+// PageSize returns the file's page size in bytes.
+func (pf *PageFile) PageSize() int { return pf.pageSize }
+
+// Pages returns the number of pages in the file.
+func (pf *PageFile) Pages() int64 { return pf.pages }
+
+func (pf *PageFile) checkPage(page int64) error {
+	if page < 0 || page >= pf.pages {
+		return fmt.Errorf("storage: page %d out of range [0,%d)", page, pf.pages)
+	}
+	return nil
+}
+
+// ReadPage fills buf (of PageSize bytes) with the page's contents.
+func (pf *PageFile) ReadPage(page int64, buf []byte) error {
+	if err := pf.checkPage(page); err != nil {
+		return err
+	}
+	if len(buf) != pf.pageSize {
+		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), pf.pageSize)
+	}
+	_, err := pf.f.ReadAt(buf, page*int64(pf.pageSize))
+	return err
+}
+
+// WritePage writes buf (of PageSize bytes) to the page.
+func (pf *PageFile) WritePage(page int64, buf []byte) error {
+	if err := pf.checkPage(page); err != nil {
+		return err
+	}
+	if len(buf) != pf.pageSize {
+		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), pf.pageSize)
+	}
+	_, err := pf.f.WriteAt(buf, page*int64(pf.pageSize))
+	return err
+}
+
+// Sync flushes the file to stable storage.
+func (pf *PageFile) Sync() error { return pf.f.Sync() }
+
+// Close closes the underlying file.
+func (pf *PageFile) Close() error { return pf.f.Close() }
+
+// PoolStats counts buffer pool traffic.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Writes    int64 // physical page writes (write-back)
+}
+
+// BufferPool caches page frames over a PageFile with LRU replacement and
+// write-back, the classic database buffer manager. It is not safe for
+// concurrent use; wrap it if multiple goroutines share a pool.
+type BufferPool struct {
+	pf       *PageFile
+	capacity int
+	frames   map[int64]*list.Element
+	lru      *list.List // front = most recently used
+	stats    PoolStats
+}
+
+type frame struct {
+	page  int64
+	data  []byte
+	dirty bool
+}
+
+// NewBufferPool wraps a page file with a pool of the given frame capacity.
+func NewBufferPool(pf *PageFile, capacity int) (*BufferPool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("storage: buffer pool capacity %d must be positive", capacity)
+	}
+	return &BufferPool{
+		pf:       pf,
+		capacity: capacity,
+		frames:   make(map[int64]*list.Element, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// Stats returns the pool's traffic counters.
+func (bp *BufferPool) Stats() PoolStats { return bp.stats }
+
+// ResetStats clears the traffic counters.
+func (bp *BufferPool) ResetStats() { bp.stats = PoolStats{} }
+
+// get returns the frame of the page, faulting it in if needed.
+func (bp *BufferPool) get(page int64) (*frame, error) {
+	if el, ok := bp.frames[page]; ok {
+		bp.stats.Hits++
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame), nil
+	}
+	bp.stats.Misses++
+	if bp.lru.Len() >= bp.capacity {
+		if err := bp.evict(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{page: page, data: make([]byte, bp.pf.PageSize())}
+	if err := bp.pf.ReadPage(page, fr.data); err != nil {
+		return nil, err
+	}
+	bp.frames[page] = bp.lru.PushFront(fr)
+	return fr, nil
+}
+
+// evict writes back and drops the least recently used frame.
+func (bp *BufferPool) evict() error {
+	el := bp.lru.Back()
+	if el == nil {
+		return fmt.Errorf("storage: evict on empty pool")
+	}
+	fr := el.Value.(*frame)
+	if fr.dirty {
+		if err := bp.pf.WritePage(fr.page, fr.data); err != nil {
+			return err
+		}
+		bp.stats.Writes++
+	}
+	bp.lru.Remove(el)
+	delete(bp.frames, fr.page)
+	bp.stats.Evictions++
+	return nil
+}
+
+// ReadAt copies n bytes at the byte offset into dst, faulting pages as
+// needed.
+func (bp *BufferPool) ReadAt(dst []byte, off int64) error {
+	ps := int64(bp.pf.PageSize())
+	for len(dst) > 0 {
+		page := off / ps
+		po := off % ps
+		fr, err := bp.get(page)
+		if err != nil {
+			return err
+		}
+		n := copy(dst, fr.data[po:])
+		dst = dst[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// WriteAt copies src to the byte offset through the pool (write-back: pages
+// are marked dirty and reach the file on eviction or Flush).
+func (bp *BufferPool) WriteAt(src []byte, off int64) error {
+	ps := int64(bp.pf.PageSize())
+	for len(src) > 0 {
+		page := off / ps
+		po := off % ps
+		fr, err := bp.get(page)
+		if err != nil {
+			return err
+		}
+		n := copy(fr.data[po:], src)
+		fr.dirty = true
+		src = src[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// Flush writes every dirty frame back to the file and syncs it.
+func (bp *BufferPool) Flush() error {
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := bp.pf.WritePage(fr.page, fr.data); err != nil {
+				return err
+			}
+			bp.stats.Writes++
+			fr.dirty = false
+		}
+	}
+	return bp.pf.Sync()
+}

@@ -1,0 +1,139 @@
+// Package storage simulates the disk layer of Section 6.1: records are
+// packed along a chosen linearization into fixed-size pages, splitting cells
+// (but never records) across page boundaries, and queries are measured by
+// the pages they touch and the seeks (maximal runs of consecutive pages)
+// they need.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/linear"
+)
+
+// DefaultPageSize is the paper's 8 KB page.
+const DefaultPageSize = 8192
+
+// Layout is a packed disk layout: every grid cell owns a contiguous byte
+// range, in linearization order.
+type Layout struct {
+	order    *linear.Order
+	pageSize int64
+	// start[p] is the byte offset of the cell at disk position p; start has
+	// one extra entry holding the total size, so the cell at position p
+	// spans [start[p], start[p+1]).
+	start []int64
+}
+
+// NewLayout packs the cells of the order, where bytesPerCell[cell] is the
+// payload of each cell (record count × record size; zero for empty cells).
+func NewLayout(o *linear.Order, bytesPerCell []int64, pageSize int64) (*Layout, error) {
+	if len(bytesPerCell) != o.Len() {
+		return nil, fmt.Errorf("storage: %d cell sizes for %d cells", len(bytesPerCell), o.Len())
+	}
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("storage: page size %d must be positive", pageSize)
+	}
+	l := &Layout{order: o, pageSize: pageSize, start: make([]int64, o.Len()+1)}
+	var off int64
+	for p := 0; p < o.Len(); p++ {
+		l.start[p] = off
+		b := bytesPerCell[o.CellAt(p)]
+		if b < 0 {
+			return nil, fmt.Errorf("storage: cell %d has negative size %d", o.CellAt(p), b)
+		}
+		off += b
+	}
+	l.start[o.Len()] = off
+	return l, nil
+}
+
+// Order returns the linearization the layout was packed along.
+func (l *Layout) Order() *linear.Order { return l.order }
+
+// TotalBytes returns the packed size of the fact data.
+func (l *Layout) TotalBytes() int64 { return l.start[len(l.start)-1] }
+
+// TotalPages returns the number of pages the layout occupies.
+func (l *Layout) TotalPages() int64 {
+	return (l.TotalBytes() + l.pageSize - 1) / l.pageSize
+}
+
+// PageSize returns the layout's page size in bytes.
+func (l *Layout) PageSize() int64 { return l.pageSize }
+
+// Stats measures one query's disk cost.
+type Stats struct {
+	Bytes     int64   // payload bytes of the selected records
+	Pages     int64   // distinct pages touched
+	Seeks     int64   // maximal runs of consecutive pages (non-sequential accesses)
+	MinPages  int64   // ⌈Bytes/pageSize⌉: pages under perfect clustering (≥1 when Bytes>0)
+	NormPages float64 // Pages / MinPages; 0 when the query selects nothing
+}
+
+// byteRun is a maximal contiguous byte interval of selected data.
+type byteRun struct{ lo, hi int64 } // half-open
+
+// Query measures the pages and seeks needed to read all records in the
+// region under this layout. Empty cells occupy no bytes, so runs are merged
+// across them; two byte runs landing on the same or adjacent pages are read
+// with a single sequential access.
+func (l *Layout) Query(r linear.Region) Stats {
+	positions := l.order.Positions(r)
+	var runs []byteRun
+	for _, p := range positions {
+		lo, hi := l.start[p], l.start[p+1]
+		if lo == hi {
+			continue // empty cell: no data, no seek boundary
+		}
+		if n := len(runs); n > 0 && runs[n-1].hi == lo {
+			runs[n-1].hi = hi
+			continue
+		}
+		runs = append(runs, byteRun{lo, hi})
+	}
+	var st Stats
+	if len(runs) == 0 {
+		return st
+	}
+	// Convert byte runs to inclusive page ranges and merge ranges that
+	// overlap or are adjacent (consecutive pages need no seek).
+	type pageRange struct{ lo, hi int64 }
+	var merged []pageRange
+	for _, run := range runs {
+		st.Bytes += run.hi - run.lo
+		pr := pageRange{run.lo / l.pageSize, (run.hi - 1) / l.pageSize}
+		if n := len(merged); n > 0 && pr.lo <= merged[n-1].hi+1 {
+			if pr.hi > merged[n-1].hi {
+				merged[n-1].hi = pr.hi
+			}
+			continue
+		}
+		merged = append(merged, pr)
+	}
+	for _, pr := range merged {
+		st.Pages += pr.hi - pr.lo + 1
+	}
+	st.Seeks = int64(len(merged))
+	st.MinPages = (st.Bytes + l.pageSize - 1) / l.pageSize
+	if st.MinPages > 0 {
+		st.NormPages = float64(st.Pages) / float64(st.MinPages)
+	}
+	return st
+}
+
+// DiskModel estimates wall-clock I/O time from seek and transfer costs; the
+// defaults approximate a late-1990s disk (10 ms seek, 10 MB/s transfer of
+// 8 KB pages ≈ 0.8 ms/page).
+type DiskModel struct {
+	SeekMillis         float64
+	TransferMillisPage float64
+}
+
+// DefaultDisk is the default DiskModel.
+var DefaultDisk = DiskModel{SeekMillis: 10, TransferMillisPage: 0.8}
+
+// Millis returns the modelled I/O time for a query's stats.
+func (d DiskModel) Millis(s Stats) float64 {
+	return d.SeekMillis*float64(s.Seeks) + d.TransferMillisPage*float64(s.Pages)
+}

@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/linear"
+)
+
+// Store is a queryable packed fact table: the Layout's byte ranges backed
+// by an in-memory paged "disk". Records are opaque byte strings written per
+// cell; grid queries read whole pages (counting the same pages and seeks
+// the analytic model predicts) and stream the selected records back.
+type Store struct {
+	layout *Layout
+	data   []byte
+	fill   []int64 // bytes written so far per disk position
+
+	io Stats // cumulative I/O since the last ResetIO
+}
+
+// NewStore allocates a store for the layout (cells at their packed byte
+// ranges, initially empty).
+func NewStore(o *linear.Order, bytesPerCell []int64, pageSize int64) (*Store, error) {
+	layout, err := NewLayout(o, bytesPerCell, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		layout: layout,
+		data:   make([]byte, layout.TotalBytes()),
+		fill:   make([]int64, o.Len()),
+	}, nil
+}
+
+// Layout returns the store's packing.
+func (s *Store) Layout() *Layout { return s.layout }
+
+// Put appends one record to the given cell. It fails when the record would
+// overflow the cell's reserved range — the capacity declared at NewStore.
+func (s *Store) Put(cell int, record []byte) error {
+	pos := s.layout.order.PosOf(cell)
+	lo, hi := s.layout.start[pos], s.layout.start[pos+1]
+	off := lo + s.fill[pos]
+	if off+int64(len(record)) > hi {
+		return fmt.Errorf("storage: cell %d overflows its %d reserved bytes", cell, hi-lo)
+	}
+	copy(s.data[off:], record)
+	s.fill[pos] += int64(len(record))
+	return nil
+}
+
+// IOStats returns the cumulative pages and seeks since the last ResetIO.
+func (s *Store) IOStats() Stats { return s.io }
+
+// ResetIO clears the cumulative I/O counters.
+func (s *Store) ResetIO() { s.io = Stats{} }
+
+// Scan reads every record in the region in disk order, charging the same
+// page and seek counts as Layout.Query, and calls fn with each record's
+// cell and bytes. Records within a cell are the Put-order prefix of its
+// filled range.
+func (s *Store) Scan(r linear.Region, fn func(cell int, record []byte) error) error {
+	// Charge I/O identically to the analytic measurement.
+	st := s.layout.Query(r)
+	s.io.Pages += st.Pages
+	s.io.Seeks += st.Seeks
+	s.io.Bytes += st.Bytes
+
+	for _, pos := range s.layout.order.Positions(r) {
+		lo := s.layout.start[pos]
+		filled := s.fill[pos]
+		if filled == 0 {
+			continue
+		}
+		cell := s.layout.order.CellAt(pos)
+		// Records are length-prefixed (uint32) so variable-size payloads
+		// round-trip exactly.
+		off := lo
+		end := lo + filled
+		for off < end {
+			if end-off < 4 {
+				return fmt.Errorf("storage: corrupt record header in cell %d", cell)
+			}
+			n := int64(binary.LittleEndian.Uint32(s.data[off:]))
+			off += 4
+			if off+n > end {
+				return fmt.Errorf("storage: truncated record in cell %d", cell)
+			}
+			if err := fn(cell, s.data[off:off+n]); err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	return nil
+}
+
+// PutRecord writes a length-prefixed record (the framing Scan expects).
+func (s *Store) PutRecord(cell int, payload []byte) error {
+	rec := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	copy(rec[4:], payload)
+	return s.Put(cell, rec)
+}
+
+// FrameSize returns the stored size of a payload of the given length under
+// the Scan framing, for sizing bytesPerCell.
+func FrameSize(payloadLen int) int64 { return int64(4 + payloadLen) }
+
+// Sum executes an aggregate grid query: it scans the region and sums the
+// float64 the decoder extracts from each record, returning the total and
+// the I/O charged for this query alone.
+func (s *Store) Sum(r linear.Region, decode func(record []byte) float64) (float64, Stats, error) {
+	before := s.io
+	total := 0.0
+	err := s.Scan(r, func(cell int, record []byte) error {
+		total += decode(record)
+		return nil
+	})
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	after := s.io
+	return total, Stats{
+		Pages: after.Pages - before.Pages,
+		Seeks: after.Seeks - before.Seeks,
+		Bytes: after.Bytes - before.Bytes,
+	}, nil
+}

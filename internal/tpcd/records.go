@@ -1,0 +1,90 @@
+package tpcd
+
+import "fmt"
+
+// LineItem is a synthetic fact record in the spirit of TPC-D's LineItem,
+// carrying the three dimensional foreign keys plus measure attributes. The
+// struct is what a row at the paper's ~125-byte record size would hold.
+type LineItem struct {
+	OrderKey      int64
+	PartKey       int32
+	SuppKey       int32
+	ShipDay       int32 // day index from the epoch of the generated window
+	Quantity      int32
+	ExtendedPrice float64
+	Discount      float64
+	Tax           float64
+	ReturnFlag    byte
+	LineStatus    byte
+	ShipMode      [10]byte
+	Comment       [44]byte
+}
+
+// Cell returns the grid-cell coordinates (part, supplier, day) of the
+// record.
+func (li *LineItem) Cell() (part, supplier, day int) {
+	return int(li.PartKey), int(li.SuppKey), int(li.ShipDay)
+}
+
+// EachRecord streams the dataset's records in cell order, materializing
+// each LineItem deterministically from the generation seed; it never holds
+// more than one record in memory. fn returning false stops the stream.
+func (d *Dataset) EachRecord(fn func(li *LineItem) bool) {
+	shape := d.Schema.LeafCounts()
+	nSupp, nTime := shape[1], shape[2]
+	var li LineItem
+	var order int64
+	for cell, bytes := range d.BytesPerCell {
+		n := int(bytes) / d.Config.RecordBytes
+		part := cell / (nSupp * nTime)
+		supp := cell / nTime % nSupp
+		day := cell % nTime
+		for i := 0; i < n; i++ {
+			h := hash64(d.Config.Seed^0xA5A5A5A5, uint64(cell)*131+uint64(i))
+			order++
+			li = LineItem{
+				OrderKey:      order,
+				PartKey:       int32(part),
+				SuppKey:       int32(supp),
+				ShipDay:       int32(day),
+				Quantity:      int32(1 + h%50),
+				ExtendedPrice: float64(901+h%99099) / 100 * float64(1+h%50),
+				Discount:      float64(h>>8%11) / 100,
+				Tax:           float64(h>>16%9) / 100,
+				ReturnFlag:    "RAN"[h>>24%3],
+				LineStatus:    "OF"[h>>32%2],
+			}
+			copy(li.ShipMode[:], shipModes[h>>40%uint64(len(shipModes))])
+			copy(li.Comment[:], fmt.Sprintf("synthetic lineitem %d", order))
+			if !fn(&li) {
+				return
+			}
+		}
+	}
+}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+// Summary describes a generated dataset for reporting.
+type Summary struct {
+	Cells      int
+	Records    int64
+	TotalBytes int64
+	EmptyCells int
+	MaxCell    int
+}
+
+// Summarize computes occupancy statistics of the dataset.
+func (d *Dataset) Summarize() Summary {
+	s := Summary{Cells: len(d.BytesPerCell), Records: d.Records}
+	for _, b := range d.BytesPerCell {
+		s.TotalBytes += b
+		if b == 0 {
+			s.EmptyCells++
+		}
+		if n := int(b) / d.Config.RecordBytes; n > s.MaxCell {
+			s.MaxCell = n
+		}
+	}
+	return s
+}

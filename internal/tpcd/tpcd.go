@@ -1,0 +1,402 @@
+// Package tpcd is the experimental substrate of Section 6: a synthetic,
+// deterministic stand-in for the TPC-D LineItem fact table with the paper's
+// three dimensions — parts (part → manufacturer → all), supplier
+// (supplier → all) and time (ship date → month → year → all) — plus the
+// grid-query classes derived from the TPC-D query set and the 27
+// Section-6.2 workloads.
+//
+// The substitution (documented in DESIGN.md §5): the clustering cost metric
+// depends only on the cell-occupancy histogram and the hierarchies, not on
+// TPC-D's column values, so a seeded generator with the paper's fanouts and
+// a skewed records-per-cell distribution exercises the same code paths as
+// dbgen output would.
+package tpcd
+
+import (
+	"fmt"
+
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/workload"
+)
+
+// Config sizes the synthetic warehouse. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	Manufacturers int // level-2 fanout of the parts dimension
+	PartsPerMfr   int // level-1 fanout of the parts dimension (40 in the paper; 4/10/40 in Tables 5–6)
+	Suppliers     int // level-1 fanout of the supplier dimension
+	Years         int // level-3 fanout of the time dimension
+	MonthsPerYear int
+	DaysPerMonth  int
+
+	RecordBytes int   // LineItem record size (125 in the paper)
+	PageBytes   int64 // disk page size (8 KB in the paper)
+
+	// MeanRecordsPerCell controls occupancy; cells get a skewed,
+	// deterministic record count with this approximate mean (some cells
+	// stay empty, as in the paper's "zero or more records" per cell).
+	MeanRecordsPerCell float64
+
+	Seed uint64
+}
+
+// DefaultConfig reproduces the paper's setup: 5 manufacturers × 40 parts,
+// 10 suppliers, 7 years × 12 months of ship dates, 125-byte records and
+// 8 KB pages.
+func DefaultConfig() Config {
+	return Config{
+		Manufacturers:      5,
+		PartsPerMfr:        40,
+		Suppliers:          10,
+		Years:              7,
+		MonthsPerYear:      12,
+		DaysPerMonth:       30,
+		RecordBytes:        125,
+		PageBytes:          8192,
+		MeanRecordsPerCell: 1.2,
+		Seed:               1999,
+	}
+}
+
+// Dimension indices of the TPC-D schema, in schema order.
+const (
+	DimParts = iota
+	DimSupplier
+	DimTime
+)
+
+// Level numbers within each dimension.
+const (
+	PartsPart = iota
+	PartsManufacturer
+	PartsAll
+)
+
+const (
+	SupplierSupplier = iota
+	SupplierAll
+)
+
+const (
+	TimeShipDate = iota
+	TimeMonth
+	TimeYear
+	TimeAll
+)
+
+// Validate reports an error for non-positive structural parameters.
+func (c Config) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"Manufacturers", c.Manufacturers},
+		{"PartsPerMfr", c.PartsPerMfr},
+		{"Suppliers", c.Suppliers},
+		{"Years", c.Years},
+		{"MonthsPerYear", c.MonthsPerYear},
+		{"DaysPerMonth", c.DaysPerMonth},
+		{"RecordBytes", c.RecordBytes},
+	} {
+		if v.val <= 0 {
+			return fmt.Errorf("tpcd: %s = %d must be positive", v.name, v.val)
+		}
+	}
+	if c.PageBytes <= 0 {
+		return fmt.Errorf("tpcd: PageBytes = %d must be positive", c.PageBytes)
+	}
+	if c.MeanRecordsPerCell <= 0 {
+		return fmt.Errorf("tpcd: MeanRecordsPerCell = %v must be positive", c.MeanRecordsPerCell)
+	}
+	return nil
+}
+
+// Schema returns the 3-dimensional star schema of the configuration.
+func (c Config) Schema() (*hierarchy.Schema, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return hierarchy.NewSchema(
+		hierarchy.Dimension{
+			Name:       "parts",
+			Fanouts:    []int{c.PartsPerMfr, c.Manufacturers},
+			LevelNames: []string{"part", "manufacturer", "all"},
+		},
+		hierarchy.Dimension{
+			Name:       "supplier",
+			Fanouts:    []int{c.Suppliers},
+			LevelNames: []string{"supplier", "all"},
+		},
+		hierarchy.Dimension{
+			Name:       "time",
+			Fanouts:    []int{c.DaysPerMonth, c.MonthsPerYear, c.Years},
+			LevelNames: []string{"shipdate", "month", "year", "all"},
+		},
+	)
+}
+
+// Dataset is a generated warehouse: the schema, its query-class lattice, and
+// the packed payload size of every grid cell.
+type Dataset struct {
+	Config       Config
+	Schema       *hierarchy.Schema
+	Lattice      *lattice.Lattice
+	BytesPerCell []int64
+	Records      int64
+}
+
+// Build deterministically generates the dataset for the configuration.
+func Build(c Config) (*Dataset, error) {
+	s, err := c.Schema()
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Config:       c,
+		Schema:       s,
+		Lattice:      lattice.New(s),
+		BytesPerCell: make([]int64, s.NumCells()),
+	}
+	shape := s.LeafCounts()
+	nParts, nSupp, nTime := shape[0], shape[1], shape[2]
+
+	// Per-leaf popularity weights: a skewed but deterministic mix so that
+	// cell occupancy is non-uniform (hot parts, hot suppliers, seasonal
+	// months) with some cells empty.
+	partW := weights(c.Seed^0x9E3779B97F4A7C15, nParts, 0.25, 4)
+	suppW := weights(c.Seed^0xBF58476D1CE4E5B9, nSupp, 0.5, 2)
+	timeW := make([]float64, nTime)
+	daysPerYear := c.DaysPerMonth * c.MonthsPerYear
+	for t := 0; t < nTime; t++ {
+		month := (t / c.DaysPerMonth) % c.MonthsPerYear
+		year := t / daysPerYear
+		// Mild seasonality plus slow year-over-year growth.
+		season := 1 + 0.4*seasonCurve(month, c.MonthsPerYear)
+		growth := 1 + 0.05*float64(year)
+		timeW[t] = season * growth
+	}
+
+	cell := 0
+	var records int64
+	for p := 0; p < nParts; p++ {
+		for sp := 0; sp < nSupp; sp++ {
+			base := c.MeanRecordsPerCell * partW[p] * suppW[sp]
+			for tm := 0; tm < nTime; tm++ {
+				mean := base * timeW[tm]
+				n := sampleCount(hash64(c.Seed, uint64(cell)), mean)
+				d.BytesPerCell[cell] = int64(n) * int64(c.RecordBytes)
+				records += int64(n)
+				cell++
+			}
+		}
+	}
+	d.Records = records
+	return d, nil
+}
+
+// weights returns n positive weights with mean 1: a fraction `cold` of the
+// entries get a low weight and the rest follow a truncated power-ish curve
+// with the given maximum ratio.
+func weights(seed uint64, n int, cold float64, ratio float64) []float64 {
+	w := make([]float64, n)
+	total := 0.0
+	for i := range w {
+		h := hash64(seed, uint64(i))
+		u := float64(h%1_000_000) / 1_000_000
+		if u < cold {
+			w[i] = 0.2
+		} else {
+			w[i] = 0.5 + u*ratio
+		}
+		total += w[i]
+	}
+	for i := range w {
+		w[i] *= float64(n) / total
+	}
+	return w
+}
+
+// seasonCurve is a piecewise triangle peaking at year end, in [−1, 1].
+func seasonCurve(month, months int) float64 {
+	half := float64(months) / 2
+	return (float64(month) - half) / half
+}
+
+// sampleCount turns a uniform hash into a small skewed record count with
+// the given mean: zero with moderate probability, otherwise geometric-ish.
+func sampleCount(h uint64, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	u := float64(h%1_048_576) / 1_048_576 // uniform in [0,1)
+	// Probability of an empty cell shrinks as the mean grows.
+	p0 := 0.35 / (1 + mean/4)
+	if u < p0 {
+		return 0
+	}
+	// Rescale the remaining mass to a 1+geometric-ish count whose overall
+	// mean is the requested one.
+	u = (u - p0) / (1 - p0)
+	target := mean / (1 - p0)
+	if target < 1 {
+		target = 1
+	}
+	// Invert a geometric CDF with success probability 1/target.
+	count := 1
+	q := 1 - 1/target
+	acc := 1 - q
+	for u > acc && count < 64 {
+		count++
+		acc += (1 - q) * pow(q, count-1)
+	}
+	return count
+}
+
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= x
+	}
+	return r
+}
+
+// hash64 is SplitMix64 over (seed, v): a fast, deterministic, well-mixed
+// per-cell hash.
+func hash64(seed, v uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*(v+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// NamedClass is a grid-query class with the TPC-D query it models.
+type NamedClass struct {
+	Name  string
+	Class lattice.Point
+	Desc  string
+}
+
+// QueryClasses returns the seven LineItem grid-query classes derived from
+// the TPC-D query set (Section 6.1), mapped onto (parts, supplier, time)
+// levels. The paper modified queries slightly to fit its hierarchies; this
+// mapping follows its two worked examples (Q5: year and supplier, no parts
+// selection; Q9: supplier, year and part type) and fills in the rest in the
+// same spirit.
+func QueryClasses() []NamedClass {
+	return []NamedClass{
+		{"Q1", lattice.Point{PartsAll, SupplierAll, TimeShipDate}, "pricing summary: ship-date selection only"},
+		{"Q5", lattice.Point{PartsAll, SupplierSupplier, TimeYear}, "local supplier volume: supplier and year"},
+		{"Q6", lattice.Point{PartsAll, SupplierAll, TimeYear}, "forecast revenue: year selection only"},
+		{"Q9", lattice.Point{PartsManufacturer, SupplierSupplier, TimeYear}, "product type profit: manufacturer, supplier and year"},
+		{"Q14", lattice.Point{PartsManufacturer, SupplierAll, TimeMonth}, "promotion effect: part group by month"},
+		{"Q15", lattice.Point{PartsAll, SupplierSupplier, TimeMonth}, "top supplier: supplier revenue by month"},
+		{"Q19", lattice.Point{PartsPart, SupplierAll, TimeYear}, "discounted revenue: specific parts over a year"},
+	}
+}
+
+// DistKind is one of the three Section-6.2 per-dimension level
+// distributions.
+type DistKind int
+
+// The three distribution shapes of Section 6.2.
+const (
+	Even DistKind = iota
+	RampUp
+	RampDown
+)
+
+func (k DistKind) String() string {
+	switch k {
+	case Even:
+		return "even"
+	case RampUp:
+		return "up"
+	case RampDown:
+		return "down"
+	}
+	return fmt.Sprintf("DistKind(%d)", int(k))
+}
+
+// dist instantiates a distribution shape over the queryable levels of a
+// dimension. Following Section 6.2, the parts dimension spreads over its 3
+// levels (part, manufacturer, all), the supplier dimension over its 2, and
+// the time dimension over ship date, month and year — OLAP queries always
+// select some time scope, so the "all time" level gets no direct mass.
+func dist(kind DistKind, levels ...int) workload.LevelDist {
+	switch kind {
+	case RampUp:
+		return workload.RampUp(levels...)
+	case RampDown:
+		return workload.RampDown(levels...)
+	default:
+		return workload.Even(levels...)
+	}
+}
+
+// Mix identifies one of the 27 workloads by its per-dimension shapes.
+type Mix struct {
+	Parts, Supplier, Time DistKind
+}
+
+func (m Mix) String() string {
+	return fmt.Sprintf("parts=%v,supplier=%v,time=%v", m.Parts, m.Supplier, m.Time)
+}
+
+// Workload builds the Section-6.2 product workload for the mix over the
+// dataset's lattice.
+func (d *Dataset) Workload(m Mix) (*workload.Workload, error) {
+	return workload.Product(d.Lattice, []workload.LevelDist{
+		dist(m.Parts, PartsPart, PartsManufacturer, PartsAll),
+		dist(m.Supplier, SupplierSupplier, SupplierAll),
+		dist(m.Time, TimeShipDate, TimeMonth, TimeYear),
+	})
+}
+
+// Mixes enumerates all 27 workload mixes in a fixed order: parts shape
+// slowest, time shape fastest, each cycling even → up → down. Workload
+// numbers in EXPERIMENTS.md are 1-based indices into this slice.
+func Mixes() []Mix {
+	kinds := []DistKind{Even, RampUp, RampDown}
+	out := make([]Mix, 0, 27)
+	for _, p := range kinds {
+		for _, s := range kinds {
+			for _, t := range kinds {
+				out = append(out, Mix{Parts: p, Supplier: s, Time: t})
+			}
+		}
+	}
+	return out
+}
+
+// PaperWorkload7 is the mix Section 6 singles out for Tables 5 and 6: low
+// probability at the lower levels of time and parts (ramp-up) and the
+// opposite in the supplier dimension (ramp-down).
+func PaperWorkload7() Mix {
+	return Mix{Parts: RampUp, Supplier: RampDown, Time: RampUp}
+}
+
+// QueryClassWorkload builds a workload from explicit per-class weights,
+// used to model the TPC-D query mix directly.
+func (d *Dataset) QueryClassWorkload(weights map[string]float64) (*workload.Workload, error) {
+	w := workload.New(d.Lattice)
+	classes := QueryClasses()
+	byName := make(map[string]lattice.Point, len(classes))
+	for _, c := range classes {
+		byName[c.Name] = c.Class
+	}
+	for name, wt := range weights {
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("tpcd: unknown query class %q", name)
+		}
+		if wt < 0 {
+			return nil, fmt.Errorf("tpcd: negative weight for %q", name)
+		}
+		w.Set(c, wt)
+	}
+	if err := w.Normalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

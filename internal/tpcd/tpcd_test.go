@@ -1,0 +1,288 @@
+package tpcd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+// smallConfig is a fast configuration for tests.
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.PartsPerMfr = 4
+	c.DaysPerMonth = 5
+	c.Years = 2
+	return c
+}
+
+func TestSchemaShape(t *testing.T) {
+	s, err := DefaultConfig().Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 3 {
+		t.Fatalf("K = %d", s.K())
+	}
+	if got := s.Dims[DimParts].Leaves(); got != 200 {
+		t.Errorf("parts leaves = %d, want 200 (5 manufacturers × 40)", got)
+	}
+	if got := s.Dims[DimSupplier].Leaves(); got != 10 {
+		t.Errorf("suppliers = %d, want 10", got)
+	}
+	if got := s.Dims[DimTime].Leaves(); got != 2520 {
+		t.Errorf("ship dates = %d, want 2520 (7y × 12m × 30d)", got)
+	}
+	if got := s.Dims[DimTime].NodesAt(TimeMonth); got != 84 {
+		t.Errorf("months = %d, want 84", got)
+	}
+	if got := s.Dims[DimTime].NodesAt(TimeYear); got != 7 {
+		t.Errorf("years = %d, want 7", got)
+	}
+	l := lattice.New(s)
+	if got := l.Size(); got != 3*2*4 {
+		t.Errorf("lattice size = %d, want 24", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := DefaultConfig()
+	c.Suppliers = 0
+	if _, err := c.Schema(); err == nil {
+		t.Error("zero suppliers should fail")
+	}
+	c = DefaultConfig()
+	c.PageBytes = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero page size should fail")
+	}
+	c = DefaultConfig()
+	c.MeanRecordsPerCell = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero mean should fail")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	c := smallConfig()
+	d1, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Records != d2.Records {
+		t.Fatalf("record counts differ: %d vs %d", d1.Records, d2.Records)
+	}
+	for i := range d1.BytesPerCell {
+		if d1.BytesPerCell[i] != d2.BytesPerCell[i] {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+	// A different seed produces different data.
+	c.Seed++
+	d3, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range d1.BytesPerCell {
+		if d1.BytesPerCell[i] != d3.BytesPerCell[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestOccupancyShape(t *testing.T) {
+	d, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Summarize()
+	if s.Records == 0 {
+		t.Fatal("no records generated")
+	}
+	if s.EmptyCells == 0 {
+		t.Error("expected some empty cells (paper: zero or more records per cell)")
+	}
+	if s.EmptyCells == s.Cells {
+		t.Error("all cells empty")
+	}
+	mean := float64(s.Records) / float64(s.Cells)
+	want := d.Config.MeanRecordsPerCell
+	if mean < want/3 || mean > want*3 {
+		t.Errorf("mean records/cell = %v, want within 3× of %v", mean, want)
+	}
+	if s.MaxCell <= 1 {
+		t.Error("expected skew: some cells with several records")
+	}
+	if got := s.TotalBytes; got != s.Records*int64(d.Config.RecordBytes) {
+		t.Errorf("TotalBytes = %d, want records × record size = %d", got, s.Records*125)
+	}
+}
+
+func TestQueryClasses(t *testing.T) {
+	d, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := QueryClasses()
+	if len(qs) != 7 {
+		t.Fatalf("got %d query classes, want 7 (Section 6.1)", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if !d.Lattice.Contains(q.Class) {
+			t.Errorf("%s: class %v outside lattice", q.Name, q.Class)
+		}
+		if seen[q.Class.String()] {
+			t.Errorf("%s: duplicate class %v", q.Name, q.Class)
+		}
+		seen[q.Class.String()] = true
+	}
+	// The paper's two worked examples: Q5 selects year and supplier with no
+	// parts selection; Q9 selects manufacturer (part type), supplier, year.
+	for _, q := range qs {
+		switch q.Name {
+		case "Q5":
+			if !q.Class.Equal(lattice.Point{PartsAll, SupplierSupplier, TimeYear}) {
+				t.Errorf("Q5 class = %v", q.Class)
+			}
+		case "Q9":
+			if !q.Class.Equal(lattice.Point{PartsManufacturer, SupplierSupplier, TimeYear}) {
+				t.Errorf("Q9 class = %v", q.Class)
+			}
+		}
+	}
+}
+
+func TestMixesAndWorkloads(t *testing.T) {
+	d, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := Mixes()
+	if len(mixes) != 27 {
+		t.Fatalf("got %d mixes, want 27", len(mixes))
+	}
+	seen := map[string]bool{}
+	for _, m := range mixes {
+		if seen[m.String()] {
+			t.Fatalf("duplicate mix %v", m)
+		}
+		seen[m.String()] = true
+		w, err := d.Workload(m)
+		if err != nil {
+			t.Fatalf("mix %v: %v", m, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("mix %v: %v", m, err)
+		}
+		// No mass on the "all time" level.
+		d.Lattice.Points(func(p lattice.Point) {
+			if p[DimTime] == TimeAll && w.Prob(p) != 0 {
+				t.Errorf("mix %v: class %v has mass on all-time level", m, p)
+			}
+		})
+	}
+	// The featured workload's shape: parts and time ramp up, supplier down.
+	w7 := PaperWorkload7()
+	if w7.Parts != RampUp || w7.Supplier != RampDown || w7.Time != RampUp {
+		t.Errorf("PaperWorkload7 = %v", w7)
+	}
+}
+
+func TestWorkloadProbabilities(t *testing.T) {
+	d, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := d.Workload(Mix{Parts: RampUp, Supplier: RampDown, Time: RampUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p(part, supplier, shipdate) = 0.1 × 0.8 × 0.1.
+	got := w.Prob(lattice.Point{PartsPart, SupplierSupplier, TimeShipDate})
+	if math.Abs(got-0.008) > 1e-12 {
+		t.Errorf("p(0,0,0) = %v, want 0.008", got)
+	}
+	got = w.Prob(lattice.Point{PartsAll, SupplierAll, TimeYear})
+	if math.Abs(got-0.6*0.2*0.6) > 1e-12 {
+		t.Errorf("p(2,1,2) = %v, want 0.072", got)
+	}
+}
+
+func TestQueryClassWorkload(t *testing.T) {
+	d, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := d.QueryClassWorkload(map[string]float64{"Q1": 3, "Q6": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prob(lattice.Point{PartsAll, SupplierAll, TimeShipDate}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Q1 mass = %v, want 0.75", got)
+	}
+	if _, err := d.QueryClassWorkload(map[string]float64{"Q99": 1}); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if _, err := d.QueryClassWorkload(map[string]float64{"Q1": -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestEachRecord(t *testing.T) {
+	c := smallConfig()
+	c.MeanRecordsPerCell = 0.5
+	d, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	shape := d.Schema.LeafCounts()
+	d.EachRecord(func(li *LineItem) bool {
+		n++
+		p, s, day := li.Cell()
+		if p < 0 || p >= shape[0] || s < 0 || s >= shape[1] || day < 0 || day >= shape[2] {
+			t.Fatalf("record outside grid: %v", li)
+		}
+		if li.Quantity < 1 || li.Quantity > 50 {
+			t.Fatalf("quantity %d out of range", li.Quantity)
+		}
+		if li.Discount < 0 || li.Discount > 0.10 {
+			t.Fatalf("discount %v out of range", li.Discount)
+		}
+		return true
+	})
+	if n != d.Records {
+		t.Errorf("streamed %d records, dataset has %d", n, d.Records)
+	}
+	// Early stop.
+	var m int
+	d.EachRecord(func(li *LineItem) bool {
+		m++
+		return m < 10
+	})
+	if m != 10 {
+		t.Errorf("early stop streamed %d", m)
+	}
+}
+
+func TestDistKindString(t *testing.T) {
+	if Even.String() != "even" || RampUp.String() != "up" || RampDown.String() != "down" {
+		t.Error("DistKind names wrong")
+	}
+	if DistKind(9).String() != "DistKind(9)" {
+		t.Error("unknown DistKind formatting wrong")
+	}
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lattice"
+)
+
+// Estimator builds a workload from an observed query stream, the way the
+// paper's introduction proposes obtaining stable workloads: the number of
+// query classes is small, so class frequencies converge quickly even when
+// individual queries never repeat. Estimator is safe for concurrent use by
+// the threads executing queries.
+type Estimator struct {
+	mu     sync.Mutex
+	lat    *lattice.Lattice
+	counts []uint64
+	total  uint64
+}
+
+// NewEstimator returns an empty estimator over the lattice.
+func NewEstimator(l *lattice.Lattice) *Estimator {
+	return &Estimator{lat: l, counts: make([]uint64, l.Size())}
+}
+
+// Observe records one query of the given class.
+func (e *Estimator) Observe(c lattice.Point) error {
+	if !e.lat.Contains(c) {
+		return fmt.Errorf("workload: observed class %v outside lattice", c)
+	}
+	idx := e.lat.Index(c)
+	e.mu.Lock()
+	e.counts[idx]++
+	e.total++
+	e.mu.Unlock()
+	return nil
+}
+
+// Total returns the number of observations so far.
+func (e *Estimator) Total() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.total
+}
+
+// Workload returns the estimated distribution with additive (Laplace)
+// smoothing: each class is credited `smoothing` pseudo-observations, so an
+// estimate from a short stream still assigns every class nonzero mass and
+// the optimizer does not overfit to classes that merely have not been seen
+// yet. smoothing = 0 returns the empirical distribution (an error while no
+// queries have been observed).
+func (e *Estimator) Workload(smoothing float64) (*Workload, error) {
+	if smoothing < 0 {
+		return nil, fmt.Errorf("workload: negative smoothing %v", smoothing)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.total == 0 && smoothing == 0 {
+		return nil, fmt.Errorf("workload: no observations and no smoothing")
+	}
+	w := New(e.lat)
+	denom := float64(e.total) + smoothing*float64(e.lat.Size())
+	for i, c := range e.counts {
+		w.probs[i] = (float64(c) + smoothing) / denom
+	}
+	return w, nil
+}
+
+// Merge folds another estimator's counts into this one (e.g. per-shard
+// collectors). Both must be over lattices of the same shape.
+func (e *Estimator) Merge(other *Estimator) error {
+	if len(e.counts) != len(other.counts) {
+		return fmt.Errorf("workload: merging estimators of different lattice sizes %d and %d",
+			len(e.counts), len(other.counts))
+	}
+	other.mu.Lock()
+	counts := append([]uint64(nil), other.counts...)
+	total := other.total
+	other.mu.Unlock()
+	e.mu.Lock()
+	for i, c := range counts {
+		e.counts[i] += c
+	}
+	e.total += total
+	e.mu.Unlock()
+	return nil
+}
+
+// Reset clears all observations, e.g. at a re-clustering epoch boundary.
+func (e *Estimator) Reset() {
+	e.mu.Lock()
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	e.total = 0
+	e.mu.Unlock()
+}
+
+// Distance returns the total-variation distance between two workloads over
+// the same lattice shape: half the L1 distance, in [0, 1]. Zero means
+// identical distributions; one means disjoint support.
+func Distance(a, b *Workload) (float64, error) {
+	if len(a.probs) != len(b.probs) {
+		return 0, fmt.Errorf("workload: comparing distributions over %d and %d classes", len(a.probs), len(b.probs))
+	}
+	d := 0.0
+	for i := range a.probs {
+		diff := a.probs[i] - b.probs[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d / 2, nil
+}
+
+// Drifted reports whether the estimator's current distribution has moved
+// more than threshold (in total-variation distance) from the baseline the
+// last clustering decision was made on — the signal to re-optimize and
+// re-cluster. smoothing is applied to the current estimate as in Workload.
+func (e *Estimator) Drifted(baseline *Workload, smoothing, threshold float64) (bool, float64, error) {
+	cur, err := e.Workload(smoothing)
+	if err != nil {
+		return false, 0, err
+	}
+	d, err := Distance(cur, baseline)
+	if err != nil {
+		return false, 0, err
+	}
+	return d > threshold, d, nil
+}

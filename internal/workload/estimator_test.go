@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+)
+
+func TestEstimatorEmpirical(t *testing.T) {
+	l := exampleLattice()
+	e := NewEstimator(l)
+	for i := 0; i < 3; i++ {
+		if err := e.Observe(lattice.Point{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Observe(lattice.Point{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Total(); got != 4 {
+		t.Errorf("Total = %d, want 4", got)
+	}
+	w, err := e.Workload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prob(lattice.Point{0, 1}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Prob(0,1) = %v, want 0.75", got)
+	}
+	if got := w.Prob(lattice.Point{1, 1}); got != 0 {
+		t.Errorf("unseen class has probability %v without smoothing", got)
+	}
+}
+
+func TestEstimatorSmoothing(t *testing.T) {
+	l := exampleLattice()
+	e := NewEstimator(l)
+	if err := e.Observe(lattice.Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := e.Workload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 observation + 1 pseudo-count per class: p(0,0) = 2/10, others 1/10.
+	if got := w.Prob(lattice.Point{0, 0}); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Prob(0,0) = %v, want 0.2", got)
+	}
+	if got := w.Prob(lattice.Point{2, 2}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Prob(2,2) = %v, want 0.1", got)
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	l := exampleLattice()
+	e := NewEstimator(l)
+	if err := e.Observe(lattice.Point{9, 9}); err == nil {
+		t.Error("out-of-lattice class should fail")
+	}
+	if _, err := e.Workload(0); err == nil {
+		t.Error("empty empirical workload should fail")
+	}
+	if _, err := e.Workload(-1); err == nil {
+		t.Error("negative smoothing should fail")
+	}
+	if _, err := e.Workload(0.5); err != nil {
+		t.Errorf("smoothed empty workload should be valid: %v", err)
+	}
+}
+
+func TestEstimatorConvergesToTruth(t *testing.T) {
+	l := exampleLattice()
+	truth := Random(l, rand.New(rand.NewSource(8)), 0.8)
+	e := NewEstimator(l)
+	rng := rand.New(rand.NewSource(9))
+	classes := make([]lattice.Point, 0, l.Size())
+	l.Points(func(p lattice.Point) { classes = append(classes, p.Clone()) })
+	for i := 0; i < 50000; i++ {
+		u := rng.Float64()
+		acc := 0.0
+		for _, c := range classes {
+			acc += truth.Prob(c)
+			if u <= acc {
+				if err := e.Observe(c); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+	w, err := e.Workload(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range classes {
+		if math.Abs(w.Prob(c)-truth.Prob(c)) > 0.02 {
+			t.Errorf("class %v: estimate %v vs truth %v", c, w.Prob(c), truth.Prob(c))
+		}
+	}
+}
+
+func TestEstimatorMergeAndReset(t *testing.T) {
+	l := exampleLattice()
+	a, b := NewEstimator(l), NewEstimator(l)
+	for i := 0; i < 3; i++ {
+		if err := a.Observe(lattice.Point{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Observe(lattice.Point{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Total(); got != 4 {
+		t.Errorf("merged total = %d, want 4", got)
+	}
+	w, err := a.Workload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prob(lattice.Point{0, 1}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("merged Prob(0,1) = %v, want 0.25", got)
+	}
+	other := NewEstimator(lattice.New(exampleLattice().Schema()))
+	if err := a.Merge(other); err != nil {
+		t.Errorf("same-shape merge should succeed: %v", err)
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Error("Reset did not clear observations")
+	}
+}
+
+func TestEstimatorConcurrent(t *testing.T) {
+	l := exampleLattice()
+	e := NewEstimator(l)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 1000; i++ {
+				c := lattice.Point{rng.Intn(3), rng.Intn(3)}
+				if err := e.Observe(c); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := e.Total(); got != 8000 {
+		t.Errorf("concurrent total = %d, want 8000", got)
+	}
+	w, err := e.Workload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	l := exampleLattice()
+	u := Uniform(l)
+	if d, err := Distance(u, u.Clone()); err != nil || d != 0 {
+		t.Errorf("Distance(u,u) = %v, %v", d, err)
+	}
+	a := Point(l, lattice.Point{0, 0})
+	b := Point(l, lattice.Point{2, 2})
+	if d, err := Distance(a, b); err != nil || d != 1 {
+		t.Errorf("Distance(disjoint) = %v, %v; want 1", d, err)
+	}
+	// Distance to uniform from a point mass: (1 − 1/9) mass must move.
+	if d, err := Distance(a, u); err != nil || math.Abs(d-8.0/9) > 1e-12 {
+		t.Errorf("Distance(point, uniform) = %v, %v; want 8/9", d, err)
+	}
+}
+
+func TestDrifted(t *testing.T) {
+	l := exampleLattice()
+	e := NewEstimator(l)
+	for i := 0; i < 100; i++ {
+		if err := e.Observe(lattice.Point{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseline, err := e.Workload(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No new observations: essentially no drift.
+	drifted, d, err := e.Drifted(baseline, 0.5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted || d > 0.01 {
+		t.Errorf("drifted = %v, distance %v right after baseline", drifted, d)
+	}
+	// Shift the stream entirely to another class.
+	for i := 0; i < 900; i++ {
+		if err := e.Observe(lattice.Point{2, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drifted, d, err = e.Drifted(baseline, 0.5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drifted || d < 0.5 {
+		t.Errorf("drifted = %v, distance %v after the stream shifted", drifted, d)
+	}
+}
+
+func TestDriftedErrors(t *testing.T) {
+	l := exampleLattice()
+	e := NewEstimator(l)
+	baseline := Uniform(l)
+	if _, _, err := e.Drifted(baseline, 0, 0.1); err == nil {
+		t.Error("empty estimator with no smoothing should fail")
+	}
+	small := New(lattice.New(hierarchy.MustSchema(hierarchy.Binary("A", 1), hierarchy.Binary("B", 1))))
+	if _, err := Distance(baseline, small); err == nil {
+		t.Error("mismatched lattice sizes should fail")
+	}
+}

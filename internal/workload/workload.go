@@ -1,0 +1,297 @@
+// Package workload represents query workloads: probability distributions
+// over the query classes of a lattice (Definition 2), plus the generators
+// used in the paper's examples and experiments.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/lattice"
+)
+
+// Tolerance is the maximum deviation from 1 allowed for the total
+// probability mass of a validated workload.
+const Tolerance = 1e-9
+
+// Workload is a probability distribution over the query classes of a
+// lattice, stored densely in the lattice's index order.
+type Workload struct {
+	lat   *lattice.Lattice
+	probs []float64
+}
+
+// New returns the zero workload (all probabilities 0) over the lattice.
+// Callers populate it with Set and should Validate before use, or use one of
+// the generators below.
+func New(l *lattice.Lattice) *Workload {
+	return &Workload{lat: l, probs: make([]float64, l.Size())}
+}
+
+// Lattice returns the lattice the workload is defined over.
+func (w *Workload) Lattice() *lattice.Lattice { return w.lat }
+
+// Set assigns probability p to class c.
+func (w *Workload) Set(c lattice.Point, p float64) {
+	w.probs[w.lat.Index(c)] = p
+}
+
+// Prob returns the probability of class c.
+func (w *Workload) Prob(c lattice.Point) float64 {
+	return w.probs[w.lat.Index(c)]
+}
+
+// ProbAt returns the probability of the class with the given dense index.
+func (w *Workload) ProbAt(idx int) float64 { return w.probs[idx] }
+
+// Total returns the total probability mass.
+func (w *Workload) Total() float64 {
+	t := 0.0
+	for _, p := range w.probs {
+		t += p
+	}
+	return t
+}
+
+// Validate reports an error when any probability is negative or the total
+// mass deviates from 1 by more than Tolerance.
+func (w *Workload) Validate() error {
+	for i, p := range w.probs {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("workload: class %v has invalid probability %v", w.lat.PointAt(i), p)
+		}
+	}
+	if t := w.Total(); math.Abs(t-1) > Tolerance {
+		return fmt.Errorf("workload: total probability %v ≠ 1", t)
+	}
+	return nil
+}
+
+// Normalize scales the workload so its total mass is 1. It returns an error
+// when the current mass is zero or not finite.
+func (w *Workload) Normalize() error {
+	t := w.Total()
+	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("workload: cannot normalize total mass %v", t)
+	}
+	for i := range w.probs {
+		w.probs[i] /= t
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the workload.
+func (w *Workload) Clone() *Workload {
+	c := New(w.lat)
+	copy(c.probs, w.probs)
+	return c
+}
+
+// Support returns the classes with nonzero probability, in dense order.
+func (w *Workload) Support() []lattice.Point {
+	var pts []lattice.Point
+	for i, p := range w.probs {
+		if p > 0 {
+			pts = append(pts, w.lat.PointAt(i))
+		}
+	}
+	return pts
+}
+
+// String renders the nonzero entries, most probable first.
+func (w *Workload) String() string {
+	type entry struct {
+		pt lattice.Point
+		p  float64
+	}
+	var entries []entry
+	for i, p := range w.probs {
+		if p > 0 {
+			entries = append(entries, entry{w.lat.PointAt(i), p})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].p != entries[j].p {
+			return entries[i].p > entries[j].p
+		}
+		return w.lat.Index(entries[i].pt) < w.lat.Index(entries[j].pt)
+	})
+	parts := make([]string, len(entries))
+	for i, e := range entries {
+		parts[i] = fmt.Sprintf("%v:%.4g", e.pt, e.p)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Uniform returns the workload in which every query class is equally likely
+// (workload 1 of Example 1).
+func Uniform(l *lattice.Lattice) *Workload {
+	w := New(l)
+	p := 1 / float64(l.Size())
+	for i := range w.probs {
+		w.probs[i] = p
+	}
+	return w
+}
+
+// UniformOver returns the workload uniform over the given classes and zero
+// elsewhere (the form of workloads 2 and 3 of Example 1).
+func UniformOver(l *lattice.Lattice, classes ...lattice.Point) *Workload {
+	w := New(l)
+	p := 1 / float64(len(classes))
+	for _, c := range classes {
+		w.probs[l.Index(c)] += p
+	}
+	return w
+}
+
+// UniformExcept returns the workload uniform over all classes except the
+// given ones, which get probability zero.
+func UniformExcept(l *lattice.Lattice, excluded ...lattice.Point) *Workload {
+	skip := make(map[int]bool, len(excluded))
+	for _, c := range excluded {
+		skip[l.Index(c)] = true
+	}
+	w := New(l)
+	p := 1 / float64(l.Size()-len(skip))
+	for i := range w.probs {
+		if !skip[i] {
+			w.probs[i] = p
+		}
+	}
+	return w
+}
+
+// LevelDist is a per-dimension probability distribution over a dimension's
+// levels: Probs[i] is the probability that a query selects level Levels[i]
+// of the dimension. The Section-6.2 generators produce these.
+type LevelDist struct {
+	Levels []int
+	Probs  []float64
+}
+
+// Even returns the even level distribution over the given levels, with any
+// rounding remainder assigned to the last level — e.g. (0.33, 0.33, 0.34)
+// for three levels, matching the paper.
+func Even(levels ...int) LevelDist {
+	n := len(levels)
+	probs := make([]float64, n)
+	base := math.Floor(100/float64(n)) / 100
+	for i := range probs {
+		probs[i] = base
+	}
+	probs[n-1] = 1 - base*float64(n-1)
+	return LevelDist{Levels: levels, Probs: probs}
+}
+
+// RampUp returns the paper's ramp-up distribution: (0.1, 0.3, 0.6) for three
+// levels, (0.2, 0.8) for two. Other level counts use a doubling ramp.
+func RampUp(levels ...int) LevelDist {
+	return LevelDist{Levels: levels, Probs: ramp(len(levels))}
+}
+
+// RampDown returns the paper's ramp-down distribution: (0.6, 0.3, 0.1) for
+// three levels, (0.8, 0.2) for two.
+func RampDown(levels ...int) LevelDist {
+	p := ramp(len(levels))
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+	return LevelDist{Levels: levels, Probs: p}
+}
+
+// ramp returns an increasing distribution over n levels. For n = 2 it is
+// (0.2, 0.8) and for n = 3 it is (0.1, 0.3, 0.6), the paper's values; in
+// general each entry is (roughly) twice the previous, normalized.
+func ramp(n int) []float64 {
+	switch n {
+	case 1:
+		return []float64{1}
+	case 2:
+		return []float64{0.2, 0.8}
+	case 3:
+		return []float64{0.1, 0.3, 0.6}
+	}
+	p := make([]float64, n)
+	total := 0.0
+	v := 1.0
+	for i := range p {
+		p[i] = v
+		total += v
+		v *= 2
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return p
+}
+
+// Product returns the workload whose class probabilities are the products of
+// independent per-dimension level distributions, the Section-6.2
+// construction. Levels of a dimension not mentioned in its LevelDist get
+// probability zero. The distributions are given in dimension order and each
+// must cover levels within the dimension's range.
+func Product(l *lattice.Lattice, dists []LevelDist) (*Workload, error) {
+	if len(dists) != l.K() {
+		return nil, fmt.Errorf("workload: %d level distributions for %d dimensions", len(dists), l.K())
+	}
+	tops := l.Tops()
+	perDim := make([][]float64, l.K())
+	for d, dist := range dists {
+		if len(dist.Levels) != len(dist.Probs) {
+			return nil, fmt.Errorf("workload: dimension %d: %d levels but %d probabilities", d, len(dist.Levels), len(dist.Probs))
+		}
+		perDim[d] = make([]float64, tops[d]+1)
+		for i, lv := range dist.Levels {
+			if lv < 0 || lv > tops[d] {
+				return nil, fmt.Errorf("workload: dimension %d: level %d out of range [0,%d]", d, lv, tops[d])
+			}
+			perDim[d][lv] += dist.Probs[i]
+		}
+	}
+	w := New(l)
+	l.Points(func(p lattice.Point) {
+		prob := 1.0
+		for d, lv := range p {
+			prob *= perDim[d][lv]
+		}
+		w.probs[l.Index(p)] = prob
+	})
+	if err := w.Normalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Random returns a workload drawn from a symmetric Dirichlet-like
+// distribution using the given source: independent exponential weights per
+// class, normalized. Sparsity in (0,1] keeps roughly that fraction of
+// classes in the support (at least one).
+func Random(l *lattice.Lattice, rng *rand.Rand, sparsity float64) *Workload {
+	w := New(l)
+	nonzero := 0
+	for i := range w.probs {
+		if rng.Float64() < sparsity {
+			w.probs[i] = rng.ExpFloat64()
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		w.probs[rng.Intn(len(w.probs))] = 1
+	}
+	if err := w.Normalize(); err != nil {
+		panic(err) // unreachable: at least one positive entry
+	}
+	return w
+}
+
+// Point returns the workload concentrated entirely on one class, the
+// adversarial shape used in the proof of Theorem 3.
+func Point(l *lattice.Lattice, c lattice.Point) *Workload {
+	w := New(l)
+	w.Set(c, 1)
+	return w
+}

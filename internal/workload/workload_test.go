@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+)
+
+func exampleLattice() *lattice.Lattice {
+	return lattice.New(hierarchy.MustSchema(hierarchy.Binary("A", 2), hierarchy.Binary("B", 2)))
+}
+
+func TestUniform(t *testing.T) {
+	l := exampleLattice()
+	w := Uniform(l)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 9
+	l.Points(func(p lattice.Point) {
+		if got := w.Prob(p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Prob(%v) = %v, want %v", p, got, want)
+		}
+	})
+}
+
+func TestUniformOverAndExcept(t *testing.T) {
+	l := exampleLattice()
+	// Workload 3 of Example 1: only (0,0), (0,1), (0,2), (1,2).
+	w3 := UniformOver(l,
+		lattice.Point{0, 0}, lattice.Point{0, 1}, lattice.Point{0, 2}, lattice.Point{1, 2})
+	if err := w3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w3.Prob(lattice.Point{0, 1}); got != 0.25 {
+		t.Errorf("Prob(0,1) = %v, want 0.25", got)
+	}
+	if got := w3.Prob(lattice.Point{2, 2}); got != 0 {
+		t.Errorf("Prob(2,2) = %v, want 0", got)
+	}
+	if got := len(w3.Support()); got != 4 {
+		t.Errorf("|Support| = %d, want 4", got)
+	}
+
+	// Workload 2: all but (0,1), (0,2), (1,1).
+	w2 := UniformExcept(l,
+		lattice.Point{0, 1}, lattice.Point{0, 2}, lattice.Point{1, 1})
+	if err := w2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Prob(lattice.Point{0, 1}); got != 0 {
+		t.Errorf("Prob(0,1) = %v, want 0", got)
+	}
+	if got := w2.Prob(lattice.Point{0, 0}); math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("Prob(0,0) = %v, want 1/6", got)
+	}
+}
+
+func TestValidateRejectsBadDistributions(t *testing.T) {
+	l := exampleLattice()
+	w := New(l)
+	if err := w.Validate(); err == nil {
+		t.Error("zero workload should fail validation")
+	}
+	w.Set(lattice.Point{0, 0}, -0.5)
+	w.Set(lattice.Point{2, 2}, 1.5)
+	if err := w.Validate(); err == nil {
+		t.Error("negative probability should fail validation")
+	}
+	w.Set(lattice.Point{0, 0}, math.NaN())
+	if err := w.Validate(); err == nil {
+		t.Error("NaN probability should fail validation")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	l := exampleLattice()
+	w := New(l)
+	w.Set(lattice.Point{0, 0}, 3)
+	w.Set(lattice.Point{1, 1}, 1)
+	if err := w.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prob(lattice.Point{0, 0}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Prob(0,0) = %v, want 0.75", got)
+	}
+	empty := New(l)
+	if err := empty.Normalize(); err == nil {
+		t.Error("normalizing a zero workload should fail")
+	}
+}
+
+func TestPaperLevelDistributions(t *testing.T) {
+	e3 := Even(0, 1, 2)
+	if e3.Probs[0] != 0.33 || e3.Probs[1] != 0.33 || math.Abs(e3.Probs[2]-0.34) > 1e-12 {
+		t.Errorf("Even(3 levels) = %v, want [0.33 0.33 0.34]", e3.Probs)
+	}
+	e2 := Even(0, 1)
+	if e2.Probs[0] != 0.5 || e2.Probs[1] != 0.5 {
+		t.Errorf("Even(2 levels) = %v, want [0.5 0.5]", e2.Probs)
+	}
+	u3 := RampUp(0, 1, 2)
+	if u3.Probs[0] != 0.1 || u3.Probs[1] != 0.3 || u3.Probs[2] != 0.6 {
+		t.Errorf("RampUp(3) = %v, want [0.1 0.3 0.6]", u3.Probs)
+	}
+	u2 := RampUp(0, 1)
+	if u2.Probs[0] != 0.2 || u2.Probs[1] != 0.8 {
+		t.Errorf("RampUp(2) = %v, want [0.2 0.8]", u2.Probs)
+	}
+	d3 := RampDown(0, 1, 2)
+	if d3.Probs[0] != 0.6 || d3.Probs[1] != 0.3 || d3.Probs[2] != 0.1 {
+		t.Errorf("RampDown(3) = %v, want [0.6 0.3 0.1]", d3.Probs)
+	}
+	d2 := RampDown(0, 1)
+	if d2.Probs[0] != 0.8 || d2.Probs[1] != 0.2 {
+		t.Errorf("RampDown(2) = %v, want [0.8 0.2]", d2.Probs)
+	}
+}
+
+func TestProduct(t *testing.T) {
+	l := exampleLattice()
+	w, err := Product(l, []LevelDist{RampUp(0, 1, 2), RampDown(0, 1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// p(0,0) = 0.1 × 0.6.
+	if got := w.Prob(lattice.Point{0, 0}); math.Abs(got-0.06) > 1e-12 {
+		t.Errorf("Prob(0,0) = %v, want 0.06", got)
+	}
+	// p(2,2) = 0.6 × 0.1.
+	if got := w.Prob(lattice.Point{2, 2}); math.Abs(got-0.06) > 1e-12 {
+		t.Errorf("Prob(2,2) = %v, want 0.06", got)
+	}
+}
+
+func TestProductPartialLevels(t *testing.T) {
+	// Distributions may cover only some levels; uncovered classes get zero.
+	l := exampleLattice()
+	w, err := Product(l, []LevelDist{Even(0, 1), Even(0, 1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prob(lattice.Point{2, 0}); got != 0 {
+		t.Errorf("Prob(2,0) = %v, want 0 (level 2 of A uncovered)", got)
+	}
+	if w.Prob(lattice.Point{1, 2}) == 0 {
+		t.Error("Prob(1,2) should be positive")
+	}
+}
+
+func TestProductErrors(t *testing.T) {
+	l := exampleLattice()
+	if _, err := Product(l, []LevelDist{Even(0, 1)}); err == nil {
+		t.Error("wrong dimension count should fail")
+	}
+	if _, err := Product(l, []LevelDist{Even(0, 5), Even(0, 1)}); err == nil {
+		t.Error("out-of-range level should fail")
+	}
+	if _, err := Product(l, []LevelDist{{Levels: []int{0}, Probs: []float64{0.5, 0.5}}, Even(0)}); err == nil {
+		t.Error("mismatched levels/probs should fail")
+	}
+}
+
+func TestRandomWorkloads(t *testing.T) {
+	l := exampleLattice()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		w := Random(l, rng, 0.5)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("random workload %d invalid: %v", i, err)
+		}
+	}
+	// Extreme sparsity still yields a valid singleton-or-more workload.
+	for i := 0; i < 20; i++ {
+		w := Random(l, rng, 0.01)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("sparse random workload %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestPointWorkload(t *testing.T) {
+	l := exampleLattice()
+	w := Point(l, lattice.Point{2, 0})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prob(lattice.Point{2, 0}); got != 1 {
+		t.Errorf("Prob(2,0) = %v, want 1", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	l := exampleLattice()
+	w := Uniform(l)
+	c := w.Clone()
+	c.Set(lattice.Point{0, 0}, 0.9)
+	if w.Prob(lattice.Point{0, 0}) == 0.9 {
+		t.Error("Clone() shares storage with the original")
+	}
+}
+
+func TestRampGeneralLevels(t *testing.T) {
+	r := RampUp(0, 1, 2, 3)
+	total := 0.0
+	for i, p := range r.Probs {
+		total += p
+		if i > 0 && r.Probs[i] <= r.Probs[i-1] {
+			t.Errorf("RampUp not increasing at %d: %v", i, r.Probs)
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("RampUp(4) total = %v", total)
+	}
+}
+
+func TestStringShowsSupport(t *testing.T) {
+	l := exampleLattice()
+	w := Point(l, lattice.Point{1, 2})
+	if got := w.String(); got != "{(1,2):1}" {
+		t.Errorf("String() = %q", got)
+	}
+}

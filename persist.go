@@ -1,0 +1,142 @@
+package snakes
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The persistence format: a small JSON envelope so a chosen clustering
+// survives process restarts the way a real warehouse's catalog would. The
+// format is versioned; unknown versions are rejected rather than guessed
+// at.
+
+const persistVersion = 1
+
+type schemaJSON struct {
+	Version int         `json:"version"`
+	Dims    []Dimension `json:"dims"`
+}
+
+// MarshalSchema serializes a schema's dimensional structure. Label indexes
+// from SchemaFromTrees are not serialized; persist the trees themselves if
+// label resolution must survive.
+func MarshalSchema(s *Schema) ([]byte, error) {
+	return json.Marshal(schemaJSON{Version: persistVersion, Dims: s.schema.Dims})
+}
+
+// UnmarshalSchema reconstructs a schema.
+func UnmarshalSchema(data []byte) (*Schema, error) {
+	var sj schemaJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return nil, fmt.Errorf("snakes: decoding schema: %w", err)
+	}
+	if sj.Version != persistVersion {
+		return nil, fmt.Errorf("snakes: unsupported schema version %d", sj.Version)
+	}
+	return BuildSchema(sj.Dims...)
+}
+
+type workloadJSON struct {
+	Version int         `json:"version"`
+	Dims    []Dimension `json:"dims"` // embedded for validation on load
+	Probs   []float64   `json:"probs"`
+}
+
+// MarshalWorkload serializes a workload along with its schema's shape, so
+// loading validates the distribution still matches the lattice.
+func MarshalWorkload(w *Workload) ([]byte, error) {
+	probs := make([]float64, w.schema.lat.Size())
+	for i := range probs {
+		probs[i] = w.w.ProbAt(i)
+	}
+	return json.Marshal(workloadJSON{
+		Version: persistVersion,
+		Dims:    w.schema.schema.Dims,
+		Probs:   probs,
+	})
+}
+
+// UnmarshalWorkload reconstructs a workload onto an existing schema. The
+// stored shape must match the schema's.
+func UnmarshalWorkload(s *Schema, data []byte) (*Workload, error) {
+	var wj workloadJSON
+	if err := json.Unmarshal(data, &wj); err != nil {
+		return nil, fmt.Errorf("snakes: decoding workload: %w", err)
+	}
+	if wj.Version != persistVersion {
+		return nil, fmt.Errorf("snakes: unsupported workload version %d", wj.Version)
+	}
+	if err := sameShape(s, wj.Dims); err != nil {
+		return nil, err
+	}
+	if len(wj.Probs) != s.lat.Size() {
+		return nil, fmt.Errorf("snakes: workload has %d probabilities for a %d-class lattice",
+			len(wj.Probs), s.lat.Size())
+	}
+	w := s.NewWorkload()
+	for i, p := range wj.Probs {
+		w.w.Set(s.lat.PointAt(i), p)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+type strategyJSON struct {
+	Version int         `json:"version"`
+	Dims    []Dimension `json:"dims"`
+	Steps   []int       `json:"steps"`
+	Snaked  bool        `json:"snaked"`
+}
+
+// MarshalStrategy serializes a strategy (its lattice path and snaking flag)
+// along with its schema's shape.
+func MarshalStrategy(st *Strategy) ([]byte, error) {
+	return json.Marshal(strategyJSON{
+		Version: persistVersion,
+		Dims:    st.schema.schema.Dims,
+		Steps:   st.Path.Steps(),
+		Snaked:  st.Snaked,
+	})
+}
+
+// UnmarshalStrategy reconstructs a strategy onto an existing schema,
+// validating both the schema shape and the path.
+func UnmarshalStrategy(s *Schema, data []byte) (*Strategy, error) {
+	var sj strategyJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return nil, fmt.Errorf("snakes: decoding strategy: %w", err)
+	}
+	if sj.Version != persistVersion {
+		return nil, fmt.Errorf("snakes: unsupported strategy version %d", sj.Version)
+	}
+	if err := sameShape(s, sj.Dims); err != nil {
+		return nil, err
+	}
+	return s.PathStrategy(sj.Steps, sj.Snaked)
+}
+
+// sameShape checks that the stored dimensions structurally match the
+// schema the artifact is being loaded onto.
+func sameShape(s *Schema, dims []Dimension) error {
+	cur := s.schema.Dims
+	if len(dims) != len(cur) {
+		return fmt.Errorf("snakes: stored artifact has %d dimensions, schema has %d", len(dims), len(cur))
+	}
+	for i := range dims {
+		if dims[i].Name != cur[i].Name {
+			return fmt.Errorf("snakes: stored dimension %d is %q, schema has %q", i, dims[i].Name, cur[i].Name)
+		}
+		if len(dims[i].Fanouts) != len(cur[i].Fanouts) {
+			return fmt.Errorf("snakes: stored dimension %q has %d levels, schema has %d",
+				dims[i].Name, len(dims[i].Fanouts), len(cur[i].Fanouts))
+		}
+		for j := range dims[i].Fanouts {
+			if dims[i].Fanouts[j] != cur[i].Fanouts[j] {
+				return fmt.Errorf("snakes: stored dimension %q fanout mismatch at level %d", dims[i].Name, j+1)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package snakes
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := NewSchema(Dim("parts", 40, 5), Dim("supplier", 10), Dim("time", 30, 12, 7))
+	data, err := MarshalSchema(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSchema(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCells() != s.NumCells() || back.NumClasses() != s.NumClasses() {
+		t.Errorf("round trip changed shape: %d/%d vs %d/%d",
+			back.NumCells(), back.NumClasses(), s.NumCells(), s.NumClasses())
+	}
+}
+
+func TestSchemaUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalSchema([]byte("{broken")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if _, err := UnmarshalSchema([]byte(`{"version":99,"dims":[]}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+	if _, err := UnmarshalSchema([]byte(`{"version":1,"dims":[]}`)); err == nil {
+		t.Error("empty dims should fail")
+	}
+	if _, err := UnmarshalSchema([]byte(`{"version":1,"dims":[{"Name":"x","Fanouts":[0]}]}`)); err == nil {
+		t.Error("invalid fanout should fail")
+	}
+}
+
+func TestWorkloadPersistRoundTrip(t *testing.T) {
+	s := exampleSchema()
+	w := s.NewWorkload()
+	w.Set(Class{0, 1}, 0.25)
+	w.Set(Class{2, 2}, 0.75)
+	data, err := MarshalWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalWorkload(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range s.Classes() {
+		if math.Abs(back.Prob(c)-w.Prob(c)) > 1e-15 {
+			t.Errorf("class %v: %v vs %v", c, back.Prob(c), w.Prob(c))
+		}
+	}
+}
+
+func TestWorkloadUnmarshalValidation(t *testing.T) {
+	s := exampleSchema()
+	w := s.UniformWorkload()
+	data, err := MarshalWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading onto a different-shape schema fails.
+	other := NewSchema(Dim("jeans", 2, 2), Dim("location", 2, 2, 2))
+	if _, err := UnmarshalWorkload(other, data); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	renamed := NewSchema(Dim("a", 2, 2), Dim("b", 2, 2))
+	if _, err := UnmarshalWorkload(renamed, data); err == nil {
+		t.Error("dimension rename should fail")
+	}
+	// A tampered distribution fails validation.
+	tampered := strings.Replace(string(data), "0.1111111111111111", "0.9111111111111111", 1)
+	if _, err := UnmarshalWorkload(s, []byte(tampered)); err == nil {
+		t.Error("non-normalized stored workload should fail")
+	}
+}
+
+func TestStrategyRoundTrip(t *testing.T) {
+	s := exampleSchema()
+	w := s.ClassWorkload(Class{0, 2}, Class{1, 2})
+	st, err := Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalStrategy(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalStrategy(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != st.String() {
+		t.Errorf("round trip: %v vs %v", back, st)
+	}
+	c1, err := st.ExpectedCost(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := back.ExpectedCost(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Errorf("costs differ after round trip: %v vs %v", c1, c2)
+	}
+}
+
+func TestStrategyUnmarshalErrors(t *testing.T) {
+	s := exampleSchema()
+	if _, err := UnmarshalStrategy(s, []byte("nope")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	// A truncated path is rejected by path validation.
+	bad := `{"version":1,"dims":[{"Name":"jeans","Fanouts":[2,2]},{"Name":"location","Fanouts":[2,2]}],"steps":[0,1],"snaked":true}`
+	if _, err := UnmarshalStrategy(s, []byte(bad)); err == nil {
+		t.Error("short path should fail")
+	}
+	vbad := `{"version":7,"dims":[],"steps":[],"snaked":false}`
+	if _, err := UnmarshalStrategy(s, []byte(vbad)); err == nil {
+		t.Error("unknown version should fail")
+	}
+}

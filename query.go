@@ -1,0 +1,132 @@
+package snakes
+
+import (
+	"fmt"
+
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+)
+
+// GridQuery is a grid query in the paper's sense: one hierarchy node per
+// dimension, written as value-level predicates. Dimensions without a
+// predicate select their root (the whole range), like Example 1's
+// "jeans = any".
+type GridQuery struct {
+	schema *Schema
+	refs   []hierarchy.TreeNodeRef
+	err    error
+}
+
+// SchemaFromTrees builds a schema from explicit (possibly unbalanced)
+// hierarchy trees, balancing them with dummy nodes as needed (Section 4.1)
+// and retaining label indexes so queries can be written against node
+// labels. Dimension order follows the argument order.
+func SchemaFromTrees(trees ...*Tree) (*Schema, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("snakes: no hierarchy trees")
+	}
+	dims := make([]Dimension, len(trees))
+	idx := make([]*hierarchy.Index, len(trees))
+	for i, t := range trees {
+		bal := t.Balance()
+		d, _, err := bal.Dimension()
+		if err != nil {
+			return nil, err
+		}
+		dims[i] = d
+		if idx[i], err = bal.Index(); err != nil {
+			return nil, err
+		}
+	}
+	s, err := BuildSchema(dims...)
+	if err != nil {
+		return nil, err
+	}
+	s.idx = idx
+	return s, nil
+}
+
+// Query starts a grid query against a schema built with SchemaFromTrees.
+// Chain Where calls and finish with Class or Region:
+//
+//	q := schema.Query().Where("location", "NY").Where("jeans", "levi's")
+//	class, err := q.Class()   // the query's class, e.g. (1,1)
+//	region, err := q.Region() // its cell footprint
+func (s *Schema) Query() *GridQuery {
+	q := &GridQuery{schema: s, refs: make([]hierarchy.TreeNodeRef, len(s.schema.Dims))}
+	if s.idx == nil {
+		q.err = fmt.Errorf("snakes: schema was not built from labeled trees; use SchemaFromTrees")
+		return q
+	}
+	for d, ix := range s.idx {
+		q.refs[d] = ix.Root()
+	}
+	return q
+}
+
+// Where restricts one dimension to the node with the given label. Labels
+// repeated across levels need WhereAt.
+func (q *GridQuery) Where(dim, label string) *GridQuery {
+	return q.where(dim, func(ix *hierarchy.Index) (hierarchy.TreeNodeRef, error) {
+		return ix.Find(label)
+	})
+}
+
+// WhereAt restricts one dimension to the node with the given label at an
+// explicit hierarchy level (0 = leaves).
+func (q *GridQuery) WhereAt(dim, label string, level int) *GridQuery {
+	return q.where(dim, func(ix *hierarchy.Index) (hierarchy.TreeNodeRef, error) {
+		return ix.FindAt(label, level)
+	})
+}
+
+func (q *GridQuery) where(dim string, find func(*hierarchy.Index) (hierarchy.TreeNodeRef, error)) *GridQuery {
+	if q.err != nil {
+		return q
+	}
+	d := q.schema.schema.DimIndex(dim)
+	if d < 0 {
+		q.err = fmt.Errorf("snakes: no dimension %q", dim)
+		return q
+	}
+	ref, err := find(q.schema.idx[d])
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.refs[d] = ref
+	return q
+}
+
+// Class returns the query's class: the vector of the selected nodes'
+// levels (Definition 1).
+func (q *GridQuery) Class() (Class, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	c := make(lattice.Point, len(q.refs))
+	for d, ref := range q.refs {
+		c[d] = ref.Level
+	}
+	return c, nil
+}
+
+// Region returns the query's cell footprint: the leaf ranges below the
+// selected nodes.
+func (q *GridQuery) Region() (Region, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	r := make(Region, len(q.refs))
+	for d, ref := range q.refs {
+		lo, hi, err := q.schema.idx[d].LeafRange(ref)
+		if err != nil {
+			return nil, err
+		}
+		r[d] = Range{Lo: lo, Hi: hi}
+	}
+	return r, nil
+}
+
+// Err returns the first resolution error, if any.
+func (q *GridQuery) Err() error { return q.err }

@@ -1,0 +1,187 @@
+package snakes
+
+import (
+	"testing"
+)
+
+// figure1Schema builds the paper's Figure-1 schema from explicit labeled
+// trees: jeans (type → gender variants) and location (state → city).
+func figure1Schema(t *testing.T) *Schema {
+	t.Helper()
+	jeans, err := NewTree("jeans", Branch("any jeans",
+		Branch("levi's", Leaf("men's levi's"), Leaf("women's levi's")),
+		Branch("gitano", Leaf("men's gitano"), Leaf("women's gitano")),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	location, err := NewTree("location", Branch("any location",
+		Branch("NY", Leaf("nyc"), Leaf("albany")),
+		Branch("ONT", Leaf("toronto"), Leaf("ottawa")),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SchemaFromTrees(jeans, location)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestExample1Queries reproduces the two SQL queries of Example 1 as grid
+// queries: Q1 selects levi's × NY (class (1,1)); Q2 selects any jeans × ONT
+// (class (2,1)).
+func TestExample1Queries(t *testing.T) {
+	s := figure1Schema(t)
+	q1 := s.Query().Where("jeans", "levi's").Where("location", "NY")
+	c1, err := q1.Class()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c1.Equal(Class{1, 1}) {
+		t.Errorf("Q1 class = %v, want (1,1)", c1)
+	}
+	r1, err := q1.Region()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0].Lo != 0 || r1[0].Hi != 2 || r1[1].Lo != 0 || r1[1].Hi != 2 {
+		t.Errorf("Q1 region = %v", r1)
+	}
+
+	q2 := s.Query().Where("location", "ONT")
+	c2, err := q2.Class()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Equal(Class{2, 1}) {
+		t.Errorf("Q2 class = %v, want (2,1)", c2)
+	}
+	r2, err := q2.Region()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2[0].Lo != 0 || r2[0].Hi != 4 || r2[1].Lo != 2 || r2[1].Hi != 4 {
+		t.Errorf("Q2 region = %v", r2)
+	}
+
+	// A single-cell query: (men's levi's jeans, toronto) is class (0,0).
+	q3 := s.Query().Where("jeans", "men's levi's").Where("location", "toronto")
+	c3, err := q3.Class()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c3.Equal(Class{0, 0}) {
+		t.Errorf("cell query class = %v, want (0,0)", c3)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	s := figure1Schema(t)
+	if _, err := s.Query().Where("color", "blue").Class(); err == nil {
+		t.Error("unknown dimension should fail")
+	}
+	if _, err := s.Query().Where("jeans", "wrangler").Class(); err == nil {
+		t.Error("unknown label should fail")
+	}
+	if _, err := s.Query().Where("jeans", "wrangler").Region(); err == nil {
+		t.Error("Region should surface the resolution error")
+	}
+	if err := s.Query().Where("jeans", "wrangler").Err(); err == nil {
+		t.Error("Err should surface the resolution error")
+	}
+	// Schemas built from plain dimensions cannot answer labeled queries.
+	plain := NewSchema(Dim("a", 2), Dim("b", 2))
+	if _, err := plain.Query().Class(); err == nil {
+		t.Error("labelless schema should reject Query")
+	}
+}
+
+func TestQueryAmbiguityAndWhereAt(t *testing.T) {
+	// A tree where "east" names both a region and a city.
+	tr, err := NewTree("geo", Branch("all",
+		Branch("east", Leaf("east"), Leaf("boston")),
+		Branch("west", Leaf("sf"), Leaf("la")),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, err := NewTree("day", Branch("all", Leaf("mon"), Leaf("tue")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SchemaFromTrees(tr, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query().Where("geo", "east").Class(); err == nil {
+		t.Error("ambiguous label should fail")
+	}
+	c, err := s.Query().WhereAt("geo", "east", 1).Class()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(Class{1, 1}) {
+		t.Errorf("WhereAt class = %v, want (1,1)", c)
+	}
+	c0, err := s.Query().WhereAt("geo", "east", 0).Class()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c0.Equal(Class{0, 1}) {
+		t.Errorf("WhereAt leaf class = %v, want (0,1)", c0)
+	}
+	if _, err := s.Query().WhereAt("geo", "boston", 1).Class(); err == nil {
+		t.Error("label at wrong level should fail")
+	}
+	if _, err := s.Query().WhereAt("geo", "boston", 9).Class(); err == nil {
+		t.Error("out-of-range level should fail")
+	}
+}
+
+// TestUnbalancedTreeQueries: dummy-extended hierarchies resolve labels to
+// the original (non-dummy) nodes.
+func TestUnbalancedTreeQueries(t *testing.T) {
+	loc, err := NewTree("location", Branch("all",
+		Branch("NY", Leaf("nyc"), Leaf("albany")),
+		Leaf("DC"), // unbalanced: no city level
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := NewTree("product", Branch("all", Leaf("p1"), Leaf("p2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SchemaFromTrees(loc, prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "DC" appears as a leaf and as its dummy parent; Find must resolve to
+	// the real leaf.
+	c, err := s.Query().Where("location", "DC").Class()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 0 {
+		t.Errorf("DC resolves to level %d, want 0", c[0])
+	}
+	r, err := s.Query().Where("location", "DC").Region()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0].Hi-r[0].Lo != 1 {
+		t.Errorf("DC region = %v, want a single leaf", r[0])
+	}
+	// End to end: optimize a workload phrased through labeled queries.
+	q := s.Query().Where("location", "NY")
+	cls, err := q.Class()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.ClassWorkload(cls)
+	if _, err := Optimize(w); err != nil {
+		t.Fatal(err)
+	}
+}

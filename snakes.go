@@ -1,0 +1,356 @@
+package snakes
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/hierarchy"
+	"repro/internal/lattice"
+	"repro/internal/linear"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Dimension describes one dimension of a star schema by its bottom-up
+// per-level fanouts; see Dim.
+type Dimension = hierarchy.Dimension
+
+// Dim builds a dimension named name whose hierarchy has the given fanouts,
+// listed from the level just above the leaves upward. Dim("time", 30, 12, 7)
+// is day → month (30 days each) → year (12 months) → all (7 years).
+func Dim(name string, fanouts ...int) Dimension {
+	return Dimension{Name: name, Fanouts: fanouts}
+}
+
+// Tree re-exports the explicit hierarchy tree for unbalanced dimensions;
+// build one with snakes.Branch/snakes.Leaf, Balance it, and summarize it
+// into a Dimension with its Dimension method (Section 4.1).
+type Tree = hierarchy.Tree
+
+// Branch and Leaf build explicit hierarchy trees.
+var (
+	Branch = hierarchy.Branch
+	Leaf   = hierarchy.Leaf
+)
+
+// NewTree wraps an explicit hierarchy tree.
+func NewTree(name string, root *hierarchy.Node) (*Tree, error) {
+	return hierarchy.NewTree(name, root)
+}
+
+// Schema is a star schema together with its query-class lattice. Schemas
+// built with SchemaFromTrees additionally carry label indexes that let
+// queries be phrased against hierarchy node labels.
+type Schema struct {
+	schema *hierarchy.Schema
+	lat    *lattice.Lattice
+	idx    []*hierarchy.Index
+}
+
+// NewSchema builds a schema from dimensions; it panics on structurally
+// invalid input (use BuildSchema for error returns).
+func NewSchema(dims ...Dimension) *Schema {
+	s, err := BuildSchema(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BuildSchema builds a schema from dimensions.
+func BuildSchema(dims ...Dimension) (*Schema, error) {
+	hs, err := hierarchy.NewSchema(dims...)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{schema: hs, lat: lattice.New(hs)}, nil
+}
+
+// NumCells returns the number of grid cells of the fact table.
+func (s *Schema) NumCells() int { return s.schema.NumCells() }
+
+// NumClasses returns the number of query classes (the lattice size).
+func (s *Schema) NumClasses() int { return s.lat.Size() }
+
+// Class is a query class: one hierarchy level per dimension, leaves = 0.
+type Class = lattice.Point
+
+// Classes lists every query class of the schema in a fixed order.
+func (s *Schema) Classes() []Class {
+	out := make([]Class, 0, s.lat.Size())
+	s.lat.Points(func(p lattice.Point) { out = append(out, p.Clone()) })
+	return out
+}
+
+// Workload is a probability distribution over the schema's query classes.
+type Workload struct {
+	schema *Schema
+	w      *workload.Workload
+}
+
+// NewWorkload returns an empty workload; populate with Set and call
+// Normalize or ensure the probabilities sum to one.
+func (s *Schema) NewWorkload() *Workload {
+	return &Workload{schema: s, w: workload.New(s.lat)}
+}
+
+// UniformWorkload makes every query class equally likely.
+func (s *Schema) UniformWorkload() *Workload {
+	return &Workload{schema: s, w: workload.Uniform(s.lat)}
+}
+
+// ClassWorkload distributes probability uniformly over the given classes.
+func (s *Schema) ClassWorkload(classes ...Class) *Workload {
+	return &Workload{schema: s, w: workload.UniformOver(s.lat, classes...)}
+}
+
+// Set assigns weight to a class (weights need not be normalized if you call
+// Normalize afterwards).
+func (w *Workload) Set(c Class, p float64) { w.w.Set(c, p) }
+
+// Prob returns the probability of a class.
+func (w *Workload) Prob(c Class) float64 { return w.w.Prob(c) }
+
+// Normalize scales the workload to total probability one.
+func (w *Workload) Normalize() error { return w.w.Normalize() }
+
+// Validate checks that the workload is a probability distribution.
+func (w *Workload) Validate() error { return w.w.Validate() }
+
+// Estimator accumulates an observed query stream into a workload estimate,
+// the way the paper proposes obtaining stable workloads: class frequencies
+// converge quickly because the number of classes is small. Safe for
+// concurrent use.
+type Estimator struct {
+	schema *Schema
+	e      *workload.Estimator
+}
+
+// NewEstimator returns an empty estimator for the schema.
+func (s *Schema) NewEstimator() *Estimator {
+	return &Estimator{schema: s, e: workload.NewEstimator(s.lat)}
+}
+
+// Observe records one query of the given class.
+func (e *Estimator) Observe(c Class) error { return e.e.Observe(c) }
+
+// Total returns the number of observations.
+func (e *Estimator) Total() uint64 { return e.e.Total() }
+
+// Workload returns the estimated distribution with additive smoothing (see
+// internal/workload.Estimator).
+func (e *Estimator) Workload(smoothing float64) (*Workload, error) {
+	w, err := e.e.Workload(smoothing)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{schema: e.schema, w: w}, nil
+}
+
+// Strategy is a clustering strategy: a monotone lattice path, optionally
+// snaked. The zero value is not useful; obtain strategies from Optimize,
+// RowMajor or PathStrategy.
+type Strategy struct {
+	schema *Schema
+	Path   *core.Path
+	Snaked bool
+}
+
+// Optimize returns the snaked optimal lattice path for the workload — the
+// paper's headline strategy, within a factor of 2 of the global optimum
+// (Theorems 2 and 3) and computed in time linear in the lattice size.
+func Optimize(w *Workload) (*Strategy, error) {
+	res, err := core.Optimal(w.w)
+	if err != nil {
+		return nil, err
+	}
+	return &Strategy{schema: w.schema, Path: res.Path, Snaked: true}, nil
+}
+
+// OptimizeUnsnaked returns the optimal lattice path without snaking, for
+// comparisons.
+func OptimizeUnsnaked(w *Workload) (*Strategy, error) {
+	res, err := core.Optimal(w.w)
+	if err != nil {
+		return nil, err
+	}
+	return &Strategy{schema: w.schema, Path: res.Path, Snaked: false}, nil
+}
+
+// PathStrategy builds a strategy from an explicit step sequence: steps[i]
+// names the dimension of the i-th loop, innermost first.
+func (s *Schema) PathStrategy(steps []int, snaked bool) (*Strategy, error) {
+	p, err := core.NewPath(s.lat, steps)
+	if err != nil {
+		return nil, err
+	}
+	return &Strategy{schema: s, Path: p, Snaked: snaked}, nil
+}
+
+// RowMajor builds the row-major strategy with the given outer-to-inner
+// dimension nesting.
+func (s *Schema) RowMajor(dims ...int) (*Strategy, error) {
+	p, err := core.RowMajor(s.lat, dims)
+	if err != nil {
+		return nil, err
+	}
+	return &Strategy{schema: s, Path: p, Snaked: false}, nil
+}
+
+// WithSnaking returns the strategy with snaking switched on or off.
+func (st *Strategy) WithSnaking(on bool) *Strategy {
+	return &Strategy{schema: st.schema, Path: st.Path, Snaked: on}
+}
+
+// ExpectedCost returns the strategy's expected seek cost over the workload
+// (average contiguous fragments per query, weighted by class probability),
+// computed analytically from the characteristic vector.
+func (st *Strategy) ExpectedCost(w *Workload) (float64, error) {
+	if w.schema != st.schema {
+		return 0, fmt.Errorf("snakes: workload and strategy use different schemas")
+	}
+	return cost.OfPath(st.Path, st.Snaked).ExpectedCost(w.w), nil
+}
+
+// ClassCost returns the strategy's average cost for one query class.
+func (st *Strategy) ClassCost(c Class) float64 {
+	return cost.OfPath(st.Path, st.Snaked).ClassCost(c)
+}
+
+// SnakingBenefit returns the factor by which snaking improves this path for
+// class c; it is always in [1, 2) (Theorem 3).
+func (st *Strategy) SnakingBenefit(c Class) float64 {
+	return cost.Benefit(st.Path, c)
+}
+
+// String renders the strategy.
+func (st *Strategy) String() string {
+	if st.Snaked {
+		return "snaked " + st.Path.String()
+	}
+	return st.Path.String()
+}
+
+// Order is a materialized linearization of the schema's cells.
+type Order = linear.Order
+
+// Materialize produces the strategy's concrete cell order.
+func (st *Strategy) Materialize() (*Order, error) {
+	return linear.FromPath(st.schema.schema, st.Path, st.Snaked)
+}
+
+// Hilbert returns the Hilbert-curve linearization of the schema (all sides
+// must be equal powers of two), the classical baseline the paper compares
+// against.
+func (s *Schema) Hilbert() (*Order, error) { return linear.Hilbert(s.schema) }
+
+// ZOrder returns the Z-curve (bit interleaving) linearization.
+func (s *Schema) ZOrder() (*Order, error) { return linear.ZOrder(s.schema) }
+
+// GrayOrder returns the Gray-code curve linearization.
+func (s *Schema) GrayOrder() (*Order, error) { return linear.GrayOrder(s.schema) }
+
+// EvaluateOrder returns the expected seek cost of an arbitrary
+// linearization over the workload, measured from its edge structure.
+func (s *Schema) EvaluateOrder(o *Order, w *Workload) float64 {
+	return cost.EvaluateOrder(s.lat, o, w.w)
+}
+
+// Layout packs per-cell payloads along a strategy's order into fixed-size
+// disk pages; see internal/storage for the measurement semantics.
+type Layout = storage.Layout
+
+// Pack materializes the strategy and packs bytesPerCell into pages of the
+// given size (use snakes.DefaultPageSize for the paper's 8 KB).
+func (st *Strategy) Pack(bytesPerCell []int64, pageSize int64) (*Layout, error) {
+	o, err := st.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return storage.NewLayout(o, bytesPerCell, pageSize)
+}
+
+// Store is a queryable packed fact table: Put records into cells, then
+// Scan or Sum over grid-query regions with the same page/seek accounting
+// the analytic model predicts.
+type Store = storage.Store
+
+// NewStore materializes the strategy and allocates a paged store with the
+// given per-cell byte capacities. Write records with Store.PutRecord (size
+// each cell with snakes.FrameSize) and query with Store.Sum or Store.Scan.
+func (st *Strategy) NewStore(bytesPerCell []int64, pageSize int64) (*Store, error) {
+	o, err := st.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return storage.NewStore(o, bytesPerCell, pageSize)
+}
+
+// FrameSize returns the stored size of one record payload under the
+// Store's length-prefixed framing.
+func FrameSize(payloadLen int) int64 { return storage.FrameSize(payloadLen) }
+
+// FileStore is the file-backed Store: records live in a fixed-page file
+// accessed through an LRU buffer pool, so real page traffic can be compared
+// against the analytic model. See also Migrate for physical re-clustering.
+type FileStore = storage.FileStore
+
+// CreateFileStore materializes the strategy and creates a page file at
+// path sized for the given per-cell byte capacities.
+func (st *Strategy) CreateFileStore(path string, bytesPerCell []int64, pageSize, poolFrames int) (*FileStore, error) {
+	o, err := st.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return storage.CreateFileStore(path, o, bytesPerCell, pageSize, poolFrames)
+}
+
+// OpenFileStore reopens a previously created file store under this
+// strategy's order. Pass the loaded byte counts saved from
+// FileStore.LoadedBytes.
+func (st *Strategy) OpenFileStore(path string, bytesPerCell []int64, pageSize, poolFrames int, loadedBytes []int64) (*FileStore, error) {
+	o, err := st.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return storage.OpenFileStore(path, o, bytesPerCell, pageSize, poolFrames, loadedBytes)
+}
+
+// Migrate physically re-clusters a file store onto this strategy's order,
+// writing the new store at newPath and returning it ready to query.
+func (st *Strategy) Migrate(old *FileStore, newPath string, poolFrames int) (*FileStore, error) {
+	o, err := st.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return storage.Migrate(old, newPath, o, poolFrames)
+}
+
+// DefaultPageSize is the paper's 8 KB disk page.
+const DefaultPageSize = storage.DefaultPageSize
+
+// Region is a grid query's footprint: one coordinate range per dimension.
+type Region = linear.Region
+
+// Range is one dimension's coordinate interval within a Region.
+type Range = linear.Range
+
+// QueryStats is the measured disk cost of one query.
+type QueryStats = storage.Stats
+
+// Distance returns the total-variation distance between two workloads over
+// the same schema, in [0, 1]: the re-clustering drift signal.
+func Distance(a, b *Workload) (float64, error) {
+	if a.schema != b.schema {
+		return 0, fmt.Errorf("snakes: comparing workloads over different schemas")
+	}
+	return workload.Distance(a.w, b.w)
+}
+
+// Drifted reports whether the estimator's current distribution has moved
+// more than threshold (total-variation) from the baseline workload the
+// current clustering was chosen for.
+func (e *Estimator) Drifted(baseline *Workload, smoothing, threshold float64) (bool, float64, error) {
+	return e.e.Drifted(baseline.w, smoothing, threshold)
+}

@@ -1,0 +1,201 @@
+package snakes
+
+import (
+	"math"
+	"testing"
+)
+
+func exampleSchema() *Schema {
+	return NewSchema(Dim("jeans", 2, 2), Dim("location", 2, 2))
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := exampleSchema()
+	if got := s.NumCells(); got != 16 {
+		t.Errorf("NumCells = %d, want 16", got)
+	}
+	if got := s.NumClasses(); got != 9 {
+		t.Errorf("NumClasses = %d, want 9", got)
+	}
+	if got := len(s.Classes()); got != 9 {
+		t.Errorf("len(Classes) = %d, want 9", got)
+	}
+	if _, err := BuildSchema(); err == nil {
+		t.Error("empty schema should fail")
+	}
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	s := exampleSchema()
+	w := s.UniformWorkload()
+	st, err := Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Snaked {
+		t.Error("Optimize should return a snaked strategy")
+	}
+	c, err := st.ExpectedCost(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsnaked, err := OptimizeUnsnaked(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := unsnaked.ExpectedCost(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > cu+1e-12 {
+		t.Errorf("snaked cost %v > unsnaked %v", c, cu)
+	}
+	// Theorem 3: unsnaked/snaked < 2.
+	if cu/c >= 2 {
+		t.Errorf("snaking benefit %v ≥ 2", cu/c)
+	}
+	o, err := st.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 16 {
+		t.Errorf("order length %d", o.Len())
+	}
+}
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	s := exampleSchema()
+	w := s.NewWorkload()
+	w.Set(Class{0, 1}, 3)
+	w.Set(Class{2, 2}, 1)
+	if err := w.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prob(Class{0, 1}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Prob = %v, want 0.75", got)
+	}
+}
+
+func TestRowMajorAndExplicitPaths(t *testing.T) {
+	s := exampleSchema()
+	rm, err := s.RowMajor(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.PathStrategy([]int{1, 1, 0, 0}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.String() != p.String() {
+		t.Errorf("row major %v ≠ explicit path %v", rm, p)
+	}
+	if _, err := s.PathStrategy([]int{0, 0}, false); err == nil {
+		t.Error("short path should fail")
+	}
+}
+
+func TestCurvesAndEvaluateOrder(t *testing.T) {
+	s := exampleSchema()
+	w := s.UniformWorkload()
+	h, err := s.Hilbert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := s.ZOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.GrayOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := opt.ExpectedCost(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []*Order{h, z, g} {
+		if c := s.EvaluateOrder(o, w); c < co-1e-9 {
+			t.Errorf("%s cost %v beats the optimal snaked lattice path %v (contradicts Theorem 2)", o.Name, c, co)
+		}
+	}
+}
+
+func TestSnakingBenefitBounds(t *testing.T) {
+	s := exampleSchema()
+	st, err := s.RowMajor(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range s.Classes() {
+		b := st.SnakingBenefit(c)
+		if b < 1-1e-12 || b >= 2 {
+			t.Errorf("benefit(%v) = %v out of [1,2)", c, b)
+		}
+	}
+}
+
+func TestPackAndQuery(t *testing.T) {
+	s := exampleSchema()
+	w := s.ClassWorkload(Class{0, 2}) // whole-location queries about one jean
+	st, err := Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := make([]int64, s.NumCells())
+	for i := range bytes {
+		bytes[i] = 125
+	}
+	layout, err := st.Pack(bytes, 125) // one cell per page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.TotalPages() != 16 {
+		t.Errorf("TotalPages = %d, want 16", layout.TotalPages())
+	}
+	// A class-(0,2) query (one jeans leaf, all locations) should be one
+	// seek: the optimal path for this workload keeps those cells together.
+	stq := layout.Query(Region{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 4}})
+	if stq.Seeks != 1 {
+		t.Errorf("Seeks = %d, want 1 under the optimized layout", stq.Seeks)
+	}
+}
+
+func TestMismatchedSchemaRejected(t *testing.T) {
+	s1 := exampleSchema()
+	s2 := NewSchema(Dim("x", 2, 2), Dim("y", 2, 2))
+	st, err := Optimize(s1.UniformWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ExpectedCost(s2.UniformWorkload()); err == nil {
+		t.Error("cross-schema evaluation should fail")
+	}
+}
+
+func TestUnbalancedTreeToDimension(t *testing.T) {
+	tr, err := NewTree("location", Branch("all",
+		Branch("NY", Leaf("nyc"), Leaf("albany")),
+		Leaf("DC"),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, _, err := tr.Balance().Dimension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSchema(dim, Dim("product", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(s.UniformWorkload()); err != nil {
+		t.Fatal(err)
+	}
+}
