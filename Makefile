@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race fuzz
+
+# check is the tier-1 verification gate (see ROADMAP.md): formatting,
+# static analysis, a full build, and the test suite under the race
+# detector. Fuzz seed corpora run as ordinary tests.
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short bounded fuzz session over the catalog round-trip property.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzCatalogRoundTrip -fuzztime=10s ./cmd/snakestore

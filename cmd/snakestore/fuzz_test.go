@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzCatalogRoundTrip feeds arbitrary bytes through loadCatalog and, for
+// anything that parses, requires the atomic writer to reach a stable
+// fixpoint: write → load → write must reproduce the same bytes, so no
+// catalog state is lost or mangled across a save/restore cycle.
+func FuzzCatalogRoundTrip(f *testing.F) {
+	seedDir := f.TempDir()
+	seedCat := filepath.Join(seedDir, "cat.json")
+	if err := cmdOptimize([]string{"-dims", "x:2,2 y:3,2", "-workload", "0,1:1", "-catalog", seedCat}); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(seedCat)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"schema":{},"strategy":{},"pageBytes":8192}`))
+	f.Add([]byte(`{"version":99,"schema":{},"strategy":{}}`))
+	f.Add([]byte(`{"version":2,"dirty":true,"schema":{},"strategy":{}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "cat.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		cat, _, _, err := loadCatalog(path)
+		if err != nil {
+			return // rejecting malformed input is the correct behavior
+		}
+		if err := writeCatalog(path, cat); err != nil {
+			t.Fatalf("rewriting a valid catalog: %v", err)
+		}
+		first, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat2, _, _, err := loadCatalog(path)
+		if err != nil {
+			t.Fatalf("reloading a rewritten catalog: %v", err)
+		}
+		if err := writeCatalog(path, cat2); err != nil {
+			t.Fatalf("second rewrite: %v", err)
+		}
+		second, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("catalog round trip is not a fixpoint:\nfirst:  %s\nsecond: %s", first, second)
+		}
+	})
+}

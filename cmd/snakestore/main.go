@@ -10,25 +10,40 @@
 //	snakestore build -catalog cat.json -csv facts.csv -store facts.db
 //	snakestore query -catalog cat.json -store facts.db \
 //	    -where "region=3..7" -where "day=0..30" [-sum 2]
+//	snakestore verify -catalog cat.json -store facts.db
 //
 // CSV layout: the first k columns are the record's leaf coordinates, one
 // per dimension in schema order; remaining columns are payload. The catalog
 // JSON written by optimize (and updated by build) carries the schema, the
 // chosen strategy, and the load state, so query needs no other input.
+//
+// Durability: catalog writes are atomic (write temp, fsync, rename); build
+// marks the catalog dirty before touching the store file and clears the
+// flag only after a complete, flushed load, so an interrupted build is
+// detected on the next open. verify scrubs the store: every page is
+// re-read from disk, its CRC32C trailer checked, and every cell's record
+// framing walked. Exit status: 0 on success, 1 on I/O or corruption
+// errors, 2 on usage errors.
 package main
 
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	snakes "repro"
 )
+
+// catalogVersion is the current catalog format. Version 1 (no dirty flag)
+// is still readable; writes always upgrade to the current version.
+const catalogVersion = 2
 
 // catalog is the persistent description of one snakestore database.
 type catalog struct {
@@ -36,8 +51,17 @@ type catalog struct {
 	Schema      json.RawMessage `json:"schema"`
 	Strategy    json.RawMessage `json:"strategy"`
 	PageBytes   int             `json:"pageBytes"`
+	Dirty       bool            `json:"dirty,omitempty"`
 	BytesPer    []int64         `json:"bytesPerCell,omitempty"`
 	LoadedBytes []int64         `json:"loadedBytes,omitempty"`
+}
+
+// errUsage marks errors caused by bad invocation (exit 2) rather than I/O
+// or corruption (exit 1).
+var errUsage = errors.New("usage error")
+
+func usagef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errUsage, fmt.Sprintf(format, args...))
 }
 
 func main() {
@@ -52,17 +76,22 @@ func main() {
 		err = cmdBuild(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	default:
 		usage()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snakestore:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snakestore optimize|build|query [flags]")
+	fmt.Fprintln(os.Stderr, "usage: snakestore optimize|build|query|verify [flags]")
 	os.Exit(2)
 }
 
@@ -77,11 +106,11 @@ func cmdOptimize(args []string) error {
 	}
 	schema, err := parseSchema(*dims)
 	if err != nil {
-		return err
+		return usagef("%v", err)
 	}
 	w, err := parseWorkload(schema, *wl)
 	if err != nil {
-		return err
+		return usagef("%v", err)
 	}
 	st, err := snakes.Optimize(w)
 	if err != nil {
@@ -99,7 +128,7 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	cat := catalog{Version: 1, Schema: schemaJSON, Strategy: stratJSON, PageBytes: *page}
+	cat := catalog{Version: catalogVersion, Schema: schemaJSON, Strategy: stratJSON, PageBytes: *page}
 	if err := writeCatalog(*out, &cat); err != nil {
 		return err
 	}
@@ -121,6 +150,19 @@ func cmdBuild(args []string) error {
 		return err
 	}
 	k := len(schemaDims(cat))
+	if cat.Dirty {
+		fmt.Fprintln(os.Stderr, "snakestore: catalog marked dirty (interrupted build); rebuilding from CSV")
+	}
+
+	// Mark the catalog dirty — atomically — before the store file is
+	// touched. A crash anywhere in the load leaves the flag set, so the
+	// next open knows the store and catalog may disagree.
+	cat.Version = catalogVersion
+	cat.Dirty = true
+	cat.BytesPer, cat.LoadedBytes = nil, nil
+	if err := writeCatalog(*catPath, cat); err != nil {
+		return err
+	}
 
 	// Pass 1: size every cell.
 	bytesPerCell := make([]int64, schema.NumCells())
@@ -152,6 +194,8 @@ func cmdBuild(args []string) error {
 	if err := store.Close(); err != nil {
 		return err
 	}
+	// The store is complete and flushed: clear the dirty flag last.
+	cat.Dirty = false
 	if err := writeCatalog(*catPath, cat); err != nil {
 		return err
 	}
@@ -175,12 +219,15 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	if cat.Dirty {
+		return fmt.Errorf("catalog %s is dirty: a build was interrupted before completion; re-run build to restore a consistent store", *catPath)
+	}
 	if cat.BytesPer == nil {
 		return fmt.Errorf("catalog has no load state; run build first")
 	}
 	region, err := parseRegion(schema, schemaDims(cat), wheres)
 	if err != nil {
-		return err
+		return usagef("%v", err)
 	}
 	store, err := strat.OpenFileStore(*storePath, cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
 	if err != nil {
@@ -209,6 +256,9 @@ func cmdQuery(args []string) error {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, snakes.ErrCorruptPage) {
+			reportCorruption(store, err)
+		}
 		return err
 	}
 	io := store.Pool().Stats()
@@ -218,6 +268,64 @@ func cmdQuery(args []string) error {
 	}
 	fmt.Printf("  [%d page reads, %d hits]\n", io.Misses, io.Hits)
 	return nil
+}
+
+// cmdVerify scrubs the store: every page re-read from disk with its
+// checksum verified, every cell's record framing walked, and the catalog's
+// dirty flag surfaced. Exit status is 1 when anything is wrong.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	catPath := fs.String("catalog", "catalog.json", "catalog file")
+	storePath := fs.String("store", "facts.db", "page file from build")
+	frames := fs.Int("frames", 1024, "buffer pool frames")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cat, _, strat, err := loadCatalog(*catPath)
+	if err != nil {
+		return err
+	}
+	if cat.BytesPer == nil {
+		return fmt.Errorf("catalog has no load state; run build first")
+	}
+	store, err := strat.OpenFileStore(*storePath, cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	rep, err := store.Verify()
+	if err != nil {
+		return fmt.Errorf("scrub aborted: %w", err)
+	}
+	fmt.Printf("scrubbed %d pages, %d records\n", rep.Pages, rep.Records)
+	for _, p := range rep.Problems {
+		fmt.Fprintln(os.Stderr, "snakestore: corrupt:", p.String())
+	}
+	if !rep.OK() {
+		return fmt.Errorf("verify failed: %d problem(s): %w", len(rep.Problems), snakes.ErrCorruptPage)
+	}
+	if cat.Dirty {
+		return fmt.Errorf("store pages are clean but catalog %s is dirty: a build was interrupted; re-run build", *catPath)
+	}
+	fmt.Println("store is clean")
+	return nil
+}
+
+// reportCorruption runs a scrub after a query tripped over ErrCorruptPage,
+// printing each damaged page with its cell coordinates.
+func reportCorruption(store *snakes.FileStore, cause error) {
+	var cpe *snakes.CorruptPageError
+	if errors.As(cause, &cpe) {
+		fmt.Fprintf(os.Stderr, "snakestore: corruption detected on page %d; scrubbing store\n", cpe.Page)
+	}
+	rep, err := store.Verify()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snakestore: scrub aborted:", err)
+		return
+	}
+	for _, p := range rep.Problems {
+		fmt.Fprintln(os.Stderr, "snakestore: corrupt:", p.String())
+	}
 }
 
 // multiFlag collects repeated -where flags.
@@ -371,12 +479,44 @@ func numeric(s string) bool {
 	return err == nil
 }
 
+// writeCatalog replaces the catalog atomically: the new content is written
+// to a temp file, fsynced, and renamed over the old one, and the directory
+// is fsynced so the rename survives a crash. A crash at any point leaves
+// either the old or the new catalog intact — never a torn mix.
 func writeCatalog(path string, cat *catalog) error {
 	data, err := json.MarshalIndent(cat, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
 }
 
 func loadCatalog(path string) (*catalog, *snakes.Schema, *snakes.Strategy, error) {
@@ -388,8 +528,8 @@ func loadCatalog(path string) (*catalog, *snakes.Schema, *snakes.Strategy, error
 	if err := json.Unmarshal(data, &cat); err != nil {
 		return nil, nil, nil, fmt.Errorf("decoding %s: %w", path, err)
 	}
-	if cat.Version != 1 {
-		return nil, nil, nil, fmt.Errorf("%s: unsupported catalog version %d", path, cat.Version)
+	if cat.Version < 1 || cat.Version > catalogVersion {
+		return nil, nil, nil, fmt.Errorf("%s: unsupported catalog version %d (this binary reads 1..%d)", path, cat.Version, catalogVersion)
 	}
 	schema, err := snakes.UnmarshalSchema(cat.Schema)
 	if err != nil {

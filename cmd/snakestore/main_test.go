@@ -2,10 +2,12 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
 	snakes "repro"
@@ -105,6 +107,151 @@ func TestEndToEndWorkflow(t *testing.T) {
 		"-catalog", cat, "-store", store, "-where", "x=1..2", "-where", "y=2..6", "-sum", "0",
 	}); err != nil {
 		t.Fatal(err)
+	}
+	// A freshly built store scrubs clean.
+	if err := cmdVerify([]string{"-catalog", cat, "-store", store}); err != nil {
+		t.Fatalf("verify on a clean store: %v", err)
+	}
+}
+
+func TestVerifyDetectsFlippedByte(t *testing.T) {
+	dir := t.TempDir()
+	cat := filepath.Join(dir, "cat.json")
+	store := filepath.Join(dir, "facts.db")
+	csvPath := filepath.Join(dir, "facts.csv")
+	writeFactsCSV(t, csvPath)
+	if err := cmdOptimize([]string{"-dims", "x:2,2 y:3,2", "-page", "64", "-catalog", cat}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBuild([]string{"-catalog", cat, "-csv", csvPath, "-store", store, "-frames", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the first page's data region.
+	f, err := os.OpenFile(store, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	if _, err := f.ReadAt(one, 3); err != nil {
+		t.Fatal(err)
+	}
+	one[0] ^= 0x20
+	if _, err := f.WriteAt(one, 3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	err = cmdVerify([]string{"-catalog", cat, "-store", store})
+	if !errors.Is(err, snakes.ErrCorruptPage) {
+		t.Fatalf("verify over a flipped byte: err = %v, want ErrCorruptPage", err)
+	}
+	// The query path trips over the same damage instead of returning
+	// silently wrong numbers.
+	if err := cmdQuery([]string{"-catalog", cat, "-store", store}); !errors.Is(err, snakes.ErrCorruptPage) {
+		t.Fatalf("query over a flipped byte: err = %v, want ErrCorruptPage", err)
+	}
+}
+
+func TestDirtyCatalogBlocksQueriesUntilRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	cat := filepath.Join(dir, "cat.json")
+	store := filepath.Join(dir, "facts.db")
+	csvPath := filepath.Join(dir, "facts.csv")
+	writeFactsCSV(t, csvPath)
+	if err := cmdOptimize([]string{"-dims", "x:2,2 y:3,2", "-page", "64", "-catalog", cat}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBuild([]string{"-catalog", cat, "-csv", csvPath, "-store", store}); err != nil {
+		t.Fatal(err)
+	}
+	c, _, _, err := loadCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dirty {
+		t.Fatal("completed build left the catalog dirty")
+	}
+	// Simulate a crash mid-build: the dirty flag is set and load state wiped.
+	c.Dirty = true
+	c.BytesPer, c.LoadedBytes = nil, nil
+	if err := writeCatalog(cat, c); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdQuery([]string{"-catalog", cat, "-store", store})
+	if err == nil || !strings.Contains(err.Error(), "dirty") {
+		t.Fatalf("query against a dirty catalog: err = %v, want dirty-build diagnosis", err)
+	}
+	if errors.Is(err, errUsage) {
+		t.Fatal("dirty catalog is a state error, not a usage error")
+	}
+	// Re-running build recovers: it rebuilds and clears the flag.
+	if err := cmdBuild([]string{"-catalog", cat, "-csv", csvPath, "-store", store}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-catalog", cat, "-store", store}); err != nil {
+		t.Fatalf("query after recovery build: %v", err)
+	}
+}
+
+func TestWriteCatalogAtomicSurvivesStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	cat := filepath.Join(dir, "cat.json")
+	if err := cmdOptimize([]string{"-dims", "a:2 b:2", "-catalog", cat}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash between temp-write and rename leaves a stale .tmp behind;
+	// the real catalog must be untouched and still loadable.
+	if err := os.WriteFile(cat+".tmp", []byte("garbage from a crashed build"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("stale temp file clobbered the catalog")
+	}
+	c, _, _, err := loadCatalog(cat)
+	if err != nil {
+		t.Fatalf("catalog unreadable next to a stale temp: %v", err)
+	}
+	// The next atomic write replaces both the catalog and the stale temp.
+	c.PageBytes = 4096
+	if err := writeCatalog(cat, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, _, _, err := loadCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.PageBytes != 4096 {
+		t.Fatalf("PageBytes = %d after rewrite", c2.PageBytes)
+	}
+	if _, err := os.Stat(cat + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind after a successful write")
+	}
+}
+
+func TestExitClassification(t *testing.T) {
+	dir := t.TempDir()
+	cat := filepath.Join(dir, "cat.json")
+	// Bad invocation inputs are usage errors (exit 2)…
+	if err := cmdOptimize([]string{"-dims", "nonsense", "-catalog", cat}); !errors.Is(err, errUsage) {
+		t.Errorf("bad -dims: err = %v, want usage error", err)
+	}
+	if err := cmdOptimize([]string{"-dims", "a:2 b:2", "-catalog", cat}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-catalog", cat, "-where", "zz=0..1"}); errors.Is(err, errUsage) {
+		t.Errorf("unbuilt catalog should fail before region parsing as a state error, got %v", err)
+	}
+	// …while missing files are I/O errors (exit 1).
+	if err := cmdQuery([]string{"-catalog", filepath.Join(dir, "missing.json")}); errors.Is(err, errUsage) || err == nil {
+		t.Errorf("missing catalog: err = %v, want non-usage error", err)
 	}
 }
 

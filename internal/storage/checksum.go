@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageTrailerSize is the per-page overhead of the checksum trailer: a
+// 4-byte magic and a 4-byte CRC32C over the data region. Layouts built for
+// checksummed files (NewFileLayout) shrink every page's usable bytes by
+// this much so analytic page counts match physical ones.
+const PageTrailerSize = 8
+
+// pageMagic marks a page whose trailer has been written ("SNK1").
+const pageMagic uint32 = 0x31_4B_4E_53
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumFile guards every page of an inner PagedFile with a CRC32C
+// trailer. Its logical page size is the inner page size minus
+// PageTrailerSize: WritePage stamps the trailer, ReadPage verifies it and
+// returns a CorruptPageError on any mismatch. A page that is entirely zero
+// (as produced by CreatePageFile) is accepted as never-written, so freshly
+// created files read back as zeros without a full initialization pass.
+type ChecksumFile struct {
+	inner PagedFile
+	buf   []byte // one physical page of scratch
+}
+
+// NewChecksumFile wraps inner, whose page size must exceed the trailer.
+func NewChecksumFile(inner PagedFile) (*ChecksumFile, error) {
+	if inner.PageSize() <= PageTrailerSize {
+		return nil, fmt.Errorf("storage: %d-byte pages cannot hold the %d-byte checksum trailer",
+			inner.PageSize(), PageTrailerSize)
+	}
+	return &ChecksumFile{inner: inner, buf: make([]byte, inner.PageSize())}, nil
+}
+
+// PageSize returns the usable (data-region) bytes per page.
+func (cf *ChecksumFile) PageSize() int { return cf.inner.PageSize() - PageTrailerSize }
+
+// Pages returns the number of pages in the file.
+func (cf *ChecksumFile) Pages() int64 { return cf.inner.Pages() }
+
+// ReadPage reads and verifies one page, filling buf with its data region.
+func (cf *ChecksumFile) ReadPage(page int64, buf []byte) error {
+	usable := cf.PageSize()
+	if len(buf) != usable {
+		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), usable)
+	}
+	if err := cf.inner.ReadPage(page, cf.buf); err != nil {
+		return err
+	}
+	magic := binary.LittleEndian.Uint32(cf.buf[usable:])
+	sum := binary.LittleEndian.Uint32(cf.buf[usable+4:])
+	if magic != pageMagic {
+		// A never-written page is all zeros, trailer included; anything
+		// else with a missing magic is damage (e.g. a torn write that only
+		// reached the data region).
+		if magic == 0 && sum == 0 && allZero(cf.buf[:usable]) {
+			copy(buf, cf.buf[:usable])
+			return nil
+		}
+		return &CorruptPageError{Page: page, Reason: fmt.Sprintf("bad page magic %#08x", magic)}
+	}
+	if got := crc32.Checksum(cf.buf[:usable], castagnoli); got != sum {
+		return &CorruptPageError{Page: page,
+			Reason: fmt.Sprintf("checksum mismatch: stored %#08x, computed %#08x", sum, got)}
+	}
+	copy(buf, cf.buf[:usable])
+	return nil
+}
+
+// WritePage stamps the trailer and writes the full physical page.
+func (cf *ChecksumFile) WritePage(page int64, buf []byte) error {
+	usable := cf.PageSize()
+	if len(buf) != usable {
+		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), usable)
+	}
+	copy(cf.buf, buf)
+	binary.LittleEndian.PutUint32(cf.buf[usable:], pageMagic)
+	binary.LittleEndian.PutUint32(cf.buf[usable+4:], crc32.Checksum(cf.buf[:usable], castagnoli))
+	return cf.inner.WritePage(page, cf.buf)
+}
+
+// Sync flushes the inner file.
+func (cf *ChecksumFile) Sync() error { return cf.inner.Sync() }
+
+// Close closes the inner file.
+func (cf *ChecksumFile) Close() error { return cf.inner.Close() }
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -10,17 +10,21 @@ import (
 // FileStore is the file-backed counterpart of Store: records are packed
 // along the layout into a PageFile and all access goes through a
 // BufferPool, so real page traffic (pool misses) can be compared against
-// the analytic seek/page model. Not safe for concurrent use.
+// the analytic seek/page model. Between the pool and the file sits a
+// ChecksumFile, so every pool miss verifies the page's CRC32C trailer and
+// surfaces silent corruption as ErrCorruptPage. Not safe for concurrent
+// use.
 type FileStore struct {
 	layout *Layout
+	file   *ChecksumFile // the pool's backing store; Verify reads it directly
 	pool   *BufferPool
 	fill   []int64
 }
 
 // CreateFileStore creates a new page file sized for the layout and wraps it
-// in a pool with the given frame capacity.
+// in a checksumming pool with the given frame capacity.
 func CreateFileStore(path string, o *linear.Order, bytesPerCell []int64, pageSize int, poolFrames int) (*FileStore, error) {
-	layout, err := NewLayout(o, bytesPerCell, int64(pageSize))
+	layout, err := NewFileLayout(o, bytesPerCell, int64(pageSize))
 	if err != nil {
 		return nil, err
 	}
@@ -28,45 +32,63 @@ func CreateFileStore(path string, o *linear.Order, bytesPerCell []int64, pageSiz
 	if err != nil {
 		return nil, err
 	}
-	pool, err := NewBufferPool(pf, poolFrames)
+	fs, err := NewFileStoreOn(pf, o, bytesPerCell, poolFrames, nil)
 	if err != nil {
 		pf.Close()
 		return nil, err
 	}
-	return &FileStore{layout: layout, pool: pool, fill: make([]int64, o.Len())}, nil
+	return fs, nil
 }
 
 // OpenFileStore opens an existing store file. The caller supplies the same
-// order and cell sizes the file was created with (persist them with the
-// catalog, e.g. snakes.MarshalStrategy); fills must be re-derived, so the
-// store is opened in the fully-loaded state where each cell's reserved
-// range is assumed written up to loadedBytes[cell].
+// order and cell sizes the file was created with plus the per-cell written
+// byte counts saved from FileStore.LoadedBytes (persist them with the
+// catalog); nil loadedBytes opens the store as empty. Geometry and fill
+// state are validated against the file instead of being trusted.
 func OpenFileStore(path string, o *linear.Order, bytesPerCell []int64, pageSize int, poolFrames int, loadedBytes []int64) (*FileStore, error) {
-	layout, err := NewLayout(o, bytesPerCell, int64(pageSize))
-	if err != nil {
-		return nil, err
-	}
 	pf, err := OpenPageFile(path, pageSize)
 	if err != nil {
 		return nil, err
 	}
-	if pf.Pages() < layout.TotalPages() {
-		pf.Close()
-		return nil, fmt.Errorf("storage: %s has %d pages, layout needs %d", path, pf.Pages(), layout.TotalPages())
-	}
-	pool, err := NewBufferPool(pf, poolFrames)
+	fs, err := NewFileStoreOn(pf, o, bytesPerCell, poolFrames, loadedBytes)
 	if err != nil {
 		pf.Close()
+		return nil, fmt.Errorf("storage: opening %s: %w", path, err)
+	}
+	return fs, nil
+}
+
+// NewFileStoreOn wires a store over an already-open paged file — the hook
+// for fault-injection tests and custom stacks. The file's page count must
+// match the layout exactly, and each cell's loaded bytes must fit its
+// reserved range; any mismatch is an error, never a silent assumption.
+func NewFileStoreOn(pf PagedFile, o *linear.Order, bytesPerCell []int64, poolFrames int, loadedBytes []int64) (*FileStore, error) {
+	layout, err := NewFileLayout(o, bytesPerCell, int64(pf.PageSize()))
+	if err != nil {
 		return nil, err
 	}
-	fs := &FileStore{layout: layout, pool: pool, fill: make([]int64, o.Len())}
+	if pf.Pages() != layout.TotalPages() {
+		return nil, fmt.Errorf("storage: file has %d pages, layout needs exactly %d", pf.Pages(), layout.TotalPages())
+	}
+	cf, err := NewChecksumFile(pf)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := NewBufferPool(cf, poolFrames)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FileStore{layout: layout, file: cf, pool: pool, fill: make([]int64, o.Len())}
 	if loadedBytes != nil {
 		if len(loadedBytes) != o.Len() {
-			pf.Close()
 			return nil, fmt.Errorf("storage: %d loaded sizes for %d cells", len(loadedBytes), o.Len())
 		}
 		for cell, b := range loadedBytes {
-			fs.fill[o.PosOf(cell)] = b
+			pos := o.PosOf(cell)
+			if reserved := layout.start[pos+1] - layout.start[pos]; b < 0 || b > reserved {
+				return nil, fmt.Errorf("storage: cell %d claims %d loaded bytes, reserved range holds %d", cell, b, reserved)
+			}
+			fs.fill[pos] = b
 		}
 	}
 	return fs, nil
@@ -163,14 +185,18 @@ func (fs *FileStore) Sum(r linear.Region, decode func(record []byte) float64) (f
 		Misses:    after.Misses - before.Misses,
 		Evictions: after.Evictions - before.Evictions,
 		Writes:    after.Writes - before.Writes,
+		Retries:   after.Retries - before.Retries,
 	}, nil
 }
 
-// Close flushes the pool and closes the file.
+// Close flushes the pool and closes the file. A flush or sync failure is
+// reported — never swallowed — and the file is closed regardless, so a
+// caller that sees an error knows the on-disk state may be behind.
 func (fs *FileStore) Close() error {
-	if err := fs.pool.Flush(); err != nil {
-		fs.pool.pf.Close()
-		return err
+	flushErr := fs.pool.Flush()
+	closeErr := fs.file.Close()
+	if flushErr != nil {
+		return flushErr
 	}
-	return fs.pool.pf.Close()
+	return closeErr
 }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/linear"
 )
@@ -11,7 +12,9 @@ import (
 // store at newPath packed along newOrder. Cell payload capacities carry
 // over (they are a property of the data, not the order). The old store is
 // left open and untouched; callers typically Close and delete it after the
-// swap. Returns the new store, flushed and ready to query.
+// swap. On any failure the partial output file is deleted, so newPath
+// either holds a complete, flushed store or does not exist. Returns the
+// new store, flushed and ready to query.
 func Migrate(old *FileStore, newPath string, newOrder *linear.Order, poolFrames int) (*FileStore, error) {
 	oldOrder := old.layout.order
 	if newOrder.Len() != oldOrder.Len() {
@@ -26,6 +29,11 @@ func Migrate(old *FileStore, newPath string, newOrder *linear.Order, poolFrames 
 	if err != nil {
 		return nil, err
 	}
+	abort := func(err error) error {
+		dst.file.Close()
+		os.Remove(newPath)
+		return err
+	}
 	// Full-grid region over the old order.
 	shape := oldOrder.Shape()
 	all := make(linear.Region, len(shape))
@@ -35,12 +43,10 @@ func Migrate(old *FileStore, newPath string, newOrder *linear.Order, poolFrames 
 	if err := old.Scan(all, func(cell int, record []byte) error {
 		return dst.PutRecord(cell, record)
 	}); err != nil {
-		dst.Close()
-		return nil, fmt.Errorf("storage: migration copy: %w", err)
+		return nil, abort(fmt.Errorf("storage: migration copy: %w", err))
 	}
 	if err := dst.pool.Flush(); err != nil {
-		dst.Close()
-		return nil, err
+		return nil, abort(fmt.Errorf("storage: migration flush: %w", err))
 	}
 	return dst, nil
 }

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -21,7 +23,7 @@ func TestMigratePreservesDataAndImprovesLayout(t *testing.T) {
 		bytes[i] = FrameSize(8)
 	}
 	dir := t.TempDir()
-	src, err := CreateFileStore(filepath.Join(dir, "old.db"), rowMajor, bytes, 8, 16)
+	src, err := CreateFileStore(filepath.Join(dir, "old.db"), rowMajor, bytes, 32, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,6 +73,62 @@ func TestMigratePreservesDataAndImprovesLayout(t *testing.T) {
 	}
 	if got := src.Layout().Query(row).Seeks; got <= 1 {
 		t.Errorf("row query on old store: %d seeks, expected several", got)
+	}
+}
+
+// TestMigrateCleansUpOnFailure injects a permanent read fault into the
+// source store timed to fire during the migration copy: Migrate must fail
+// loudly and delete its partial output file.
+func TestMigrateCleansUpOnFailure(t *testing.T) {
+	s := hierarchy.MustSchema(hierarchy.Binary("A", 2), hierarchy.Binary("B", 2))
+	colMajor, err := linear.RowMajor(s, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := make([]int64, 16)
+	for i := range bytes {
+		bytes[i] = FrameSize(8)
+	}
+	layout, err := NewFileLayout(colMajor, bytes, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	pf, err := CreatePageFile(filepath.Join(dir, "old.db"), 32, layout.TotalPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	fi := NewFaultInjector(pf, 7)
+	src, err := NewFileStoreOn(fi, colMajor, bytes, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for c := 0; c < 16; c++ {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(float64(c)))
+		if err := src.PutRecord(c, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the first page read of the migration scan.
+	fi.faults = append(fi.faults, Fault{Op: OpRead, Index: fi.Ops(OpRead), Kind: FaultPermanent})
+
+	better, err := linear.RowMajor(s, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, "new.db")
+	if _, err := Migrate(src, newPath, better, 4); err == nil {
+		t.Fatal("migration over a failing source should fail")
+	} else if !errors.Is(err, ErrInjected) {
+		t.Fatalf("migration error is untyped: %v", err)
+	}
+	if _, err := os.Stat(newPath); !os.IsNotExist(err) {
+		t.Fatalf("partial migration output %s was not removed (stat err: %v)", newPath, err)
 	}
 }
 

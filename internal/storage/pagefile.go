@@ -2,8 +2,10 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"os"
+	"time"
 )
 
 // PageFile is a fixed-page-size file: the real-disk counterpart of the
@@ -102,17 +104,21 @@ type PoolStats struct {
 	Misses    int64
 	Evictions int64
 	Writes    int64 // physical page writes (write-back)
+	Retries   int64 // transient I/O errors ridden out by the retry policy
 }
 
-// BufferPool caches page frames over a PageFile with LRU replacement and
-// write-back, the classic database buffer manager. It is not safe for
-// concurrent use; wrap it if multiple goroutines share a pool.
+// BufferPool caches page frames over a PagedFile with LRU replacement and
+// write-back, the classic database buffer manager. Transient I/O errors
+// (errors matching ErrTransient) are retried with exponential backoff under
+// the pool's RetryPolicy; all other errors propagate to the caller. It is
+// not safe for concurrent use; wrap it if multiple goroutines share a pool.
 type BufferPool struct {
-	pf       *PageFile
+	pf       PagedFile
 	capacity int
 	frames   map[int64]*list.Element
 	lru      *list.List // front = most recently used
 	stats    PoolStats
+	retry    RetryPolicy
 }
 
 type frame struct {
@@ -121,8 +127,9 @@ type frame struct {
 	dirty bool
 }
 
-// NewBufferPool wraps a page file with a pool of the given frame capacity.
-func NewBufferPool(pf *PageFile, capacity int) (*BufferPool, error) {
+// NewBufferPool wraps a paged file with a pool of the given frame capacity
+// under the DefaultRetry policy.
+func NewBufferPool(pf PagedFile, capacity int) (*BufferPool, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("storage: buffer pool capacity %d must be positive", capacity)
 	}
@@ -131,14 +138,35 @@ func NewBufferPool(pf *PageFile, capacity int) (*BufferPool, error) {
 		capacity: capacity,
 		frames:   make(map[int64]*list.Element, capacity),
 		lru:      list.New(),
+		retry:    DefaultRetry,
 	}, nil
 }
+
+// SetRetry replaces the pool's transient-error retry policy.
+func (bp *BufferPool) SetRetry(rp RetryPolicy) { bp.retry = rp }
 
 // Stats returns the pool's traffic counters.
 func (bp *BufferPool) Stats() PoolStats { return bp.stats }
 
 // ResetStats clears the traffic counters.
 func (bp *BufferPool) ResetStats() { bp.stats = PoolStats{} }
+
+// withRetry runs op, retrying transient failures per the pool's policy
+// with doubling backoff.
+func (bp *BufferPool) withRetry(op func() error) error {
+	backoff := bp.retry.Backoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || attempt >= bp.retry.MaxRetries || !errors.Is(err, ErrTransient) {
+			return err
+		}
+		bp.stats.Retries++
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
 
 // get returns the frame of the page, faulting it in if needed.
 func (bp *BufferPool) get(page int64) (*frame, error) {
@@ -154,7 +182,7 @@ func (bp *BufferPool) get(page int64) (*frame, error) {
 		}
 	}
 	fr := &frame{page: page, data: make([]byte, bp.pf.PageSize())}
-	if err := bp.pf.ReadPage(page, fr.data); err != nil {
+	if err := bp.withRetry(func() error { return bp.pf.ReadPage(page, fr.data) }); err != nil {
 		return nil, err
 	}
 	bp.frames[page] = bp.lru.PushFront(fr)
@@ -169,7 +197,7 @@ func (bp *BufferPool) evict() error {
 	}
 	fr := el.Value.(*frame)
 	if fr.dirty {
-		if err := bp.pf.WritePage(fr.page, fr.data); err != nil {
+		if err := bp.withRetry(func() error { return bp.pf.WritePage(fr.page, fr.data) }); err != nil {
 			return err
 		}
 		bp.stats.Writes++
@@ -217,17 +245,22 @@ func (bp *BufferPool) WriteAt(src []byte, off int64) error {
 	return nil
 }
 
-// Flush writes every dirty frame back to the file and syncs it.
+// Flush writes every dirty frame back to the file and syncs it. On error
+// the failed frame stays dirty, so a later Flush retries it; no write is
+// ever silently dropped.
 func (bp *BufferPool) Flush() error {
 	for el := bp.lru.Front(); el != nil; el = el.Next() {
 		fr := el.Value.(*frame)
 		if fr.dirty {
-			if err := bp.pf.WritePage(fr.page, fr.data); err != nil {
-				return err
+			if err := bp.withRetry(func() error { return bp.pf.WritePage(fr.page, fr.data) }); err != nil {
+				return fmt.Errorf("storage: flushing page %d: %w", fr.page, err)
 			}
 			bp.stats.Writes++
 			fr.dirty = false
 		}
 	}
-	return bp.pf.Sync()
+	if err := bp.withRetry(bp.pf.Sync); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	return nil
 }

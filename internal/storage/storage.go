@@ -15,10 +15,13 @@ import (
 const DefaultPageSize = 8192
 
 // Layout is a packed disk layout: every grid cell owns a contiguous byte
-// range, in linearization order.
+// range, in linearization order. Layouts built for checksummed files carry
+// a per-page trailer, shrinking the usable bytes of every page so the
+// analytic page counts stay consistent with the physical file.
 type Layout struct {
 	order    *linear.Order
 	pageSize int64
+	trailer  int64 // bytes per page reserved for the checksum trailer
 	// start[p] is the byte offset of the cell at disk position p; start has
 	// one extra entry holding the total size, so the cell at position p
 	// spans [start[p], start[p+1]).
@@ -27,14 +30,26 @@ type Layout struct {
 
 // NewLayout packs the cells of the order, where bytesPerCell[cell] is the
 // payload of each cell (record count × record size; zero for empty cells).
+// Every page byte is usable — the paper's analytic model.
 func NewLayout(o *linear.Order, bytesPerCell []int64, pageSize int64) (*Layout, error) {
+	return newLayout(o, bytesPerCell, pageSize, 0)
+}
+
+// NewFileLayout packs cells for a checksummed page file: each page gives up
+// PageTrailerSize bytes to the CRC trailer, so page and seek counts match
+// what the file store physically does.
+func NewFileLayout(o *linear.Order, bytesPerCell []int64, pageSize int64) (*Layout, error) {
+	return newLayout(o, bytesPerCell, pageSize, PageTrailerSize)
+}
+
+func newLayout(o *linear.Order, bytesPerCell []int64, pageSize, trailer int64) (*Layout, error) {
 	if len(bytesPerCell) != o.Len() {
 		return nil, fmt.Errorf("storage: %d cell sizes for %d cells", len(bytesPerCell), o.Len())
 	}
-	if pageSize <= 0 {
-		return nil, fmt.Errorf("storage: page size %d must be positive", pageSize)
+	if pageSize <= trailer {
+		return nil, fmt.Errorf("storage: page size %d must exceed the %d-byte trailer", pageSize, trailer)
 	}
-	l := &Layout{order: o, pageSize: pageSize, start: make([]int64, o.Len()+1)}
+	l := &Layout{order: o, pageSize: pageSize, trailer: trailer, start: make([]int64, o.Len()+1)}
 	var off int64
 	for p := 0; p < o.Len(); p++ {
 		l.start[p] = off
@@ -48,19 +63,28 @@ func NewLayout(o *linear.Order, bytesPerCell []int64, pageSize int64) (*Layout, 
 	return l, nil
 }
 
+// usable returns the data bytes per page (page size minus trailer).
+func (l *Layout) usable() int64 { return l.pageSize - l.trailer }
+
 // Order returns the linearization the layout was packed along.
 func (l *Layout) Order() *linear.Order { return l.order }
 
 // TotalBytes returns the packed size of the fact data.
 func (l *Layout) TotalBytes() int64 { return l.start[len(l.start)-1] }
 
-// TotalPages returns the number of pages the layout occupies.
+// TotalPages returns the number of pages the layout occupies, counting
+// only usable (non-trailer) bytes per page.
 func (l *Layout) TotalPages() int64 {
-	return (l.TotalBytes() + l.pageSize - 1) / l.pageSize
+	u := l.usable()
+	return (l.TotalBytes() + u - 1) / u
 }
 
-// PageSize returns the layout's page size in bytes.
+// PageSize returns the layout's physical page size in bytes.
 func (l *Layout) PageSize() int64 { return l.pageSize }
+
+// TrailerBytes returns the per-page bytes reserved for the checksum
+// trailer (0 for the paper's analytic layout).
+func (l *Layout) TrailerBytes() int64 { return l.trailer }
 
 // Stats measures one query's disk cost.
 type Stats struct {
@@ -97,12 +121,15 @@ func (l *Layout) Query(r linear.Region) Stats {
 		return st
 	}
 	// Convert byte runs to inclusive page ranges and merge ranges that
-	// overlap or are adjacent (consecutive pages need no seek).
+	// overlap or are adjacent (consecutive pages need no seek). Logical
+	// offsets map to pages by usable bytes, so trailer overhead shows up in
+	// the counts exactly as it does on disk.
+	u := l.usable()
 	type pageRange struct{ lo, hi int64 }
 	var merged []pageRange
 	for _, run := range runs {
 		st.Bytes += run.hi - run.lo
-		pr := pageRange{run.lo / l.pageSize, (run.hi - 1) / l.pageSize}
+		pr := pageRange{run.lo / u, (run.hi - 1) / u}
 		if n := len(merged); n > 0 && pr.lo <= merged[n-1].hi+1 {
 			if pr.hi > merged[n-1].hi {
 				merged[n-1].hi = pr.hi
@@ -115,7 +142,7 @@ func (l *Layout) Query(r linear.Region) Stats {
 		st.Pages += pr.hi - pr.lo + 1
 	}
 	st.Seeks = int64(len(merged))
-	st.MinPages = (st.Bytes + l.pageSize - 1) / l.pageSize
+	st.MinPages = (st.Bytes + u - 1) / u
 	if st.MinPages > 0 {
 		st.NormPages = float64(st.Pages) / float64(st.MinPages)
 	}

@@ -330,6 +330,27 @@ func (st *Strategy) Migrate(old *FileStore, newPath string, poolFrames int) (*Fi
 // DefaultPageSize is the paper's 8 KB disk page.
 const DefaultPageSize = storage.DefaultPageSize
 
+// PageTrailerSize is the per-page overhead of the file store's CRC32C
+// checksum trailer; each physical page holds PageSize−PageTrailerSize
+// usable bytes, and the analytic accounting agrees.
+const PageTrailerSize = storage.PageTrailerSize
+
+// ErrCorruptPage marks a file-store page that failed checksum or format
+// verification; match with errors.Is.
+var ErrCorruptPage = storage.ErrCorruptPage
+
+// CorruptPageError carries the physical page index of a verification
+// failure; extract with errors.As.
+type CorruptPageError = storage.CorruptPageError
+
+// VerifyReport is the outcome of FileStore.Verify, the scrub pass that
+// re-reads every page from disk and checks checksums and fill invariants.
+type VerifyReport = storage.VerifyReport
+
+// VerifyProblem is one defect in a VerifyReport, locating the damage by
+// page, cell, and grid coordinates.
+type VerifyProblem = storage.VerifyProblem
+
 // Region is a grid query's footprint: one coordinate range per dimension.
 type Region = linear.Region
 
