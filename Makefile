@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz
+.PHONY: check fmt vet build test race fuzz stress staticcheck
 
 # check is the tier-1 verification gate (see ROADMAP.md): formatting,
 # static analysis, a full build, and the test suite under the race
-# detector. Fuzz seed corpora run as ordinary tests.
-check: fmt vet build race
+# detector. Fuzz seed corpora run as ordinary tests. staticcheck runs
+# when the binary is installed and is skipped (with a notice) otherwise,
+# so check works on machines without network access.
+check: fmt vet staticcheck build race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -30,3 +32,19 @@ race:
 # Short bounded fuzz session over the catalog round-trip property.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCatalogRoundTrip -fuzztime=10s ./cmd/snakestore
+
+# stress re-runs the concurrency suite under the race detector several
+# times: the serving stress test (goroutines + faults + cancellation +
+# graceful shutdown), the pool coalescing tests, and the serve daemon's
+# drain test. -count=3 defeats test caching and varies goroutine schedules.
+stress:
+	$(GO) test -race -count=3 -run 'TestConcurrent|TestBufferPool|TestClose|TestMigrateWhile|TestAdmission|TestServe' ./internal/storage ./cmd/snakestore
+
+# staticcheck is optional tooling: run it when installed, skip quietly
+# when not (the container has no network to fetch it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi

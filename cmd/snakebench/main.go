@@ -8,11 +8,14 @@
 // By default the TPC-D tables run on a reduced warehouse that finishes in
 // seconds; -full uses the paper's dimensions (5×40 parts, 10 suppliers,
 // 7 years of days), which takes a few minutes.
+//
+// Exit status: 0 on success, 1 on computation errors, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,83 +24,118 @@ import (
 )
 
 func main() {
-	full := flag.Bool("full", false, "use the paper's full warehouse dimensions for Tables 4-6")
-	samples := flag.Int("samples", 48, "queries sampled per class when measuring the warehouse")
-	tables := flag.String("tables", "1,2,3,4,5,6", "comma-separated tables to run")
-	figures := flag.Bool("figures", true, "render Figures 1/2/3/5")
-	all27 := flag.Bool("all27", false, "run Table 4 over all 27 Section-6.2 workloads")
-	validate := flag.Bool("validate", false, "cross-check the analytic cost model against the storage simulator")
-	robustness := flag.Bool("robustness", false, "measure sensitivity of the optimized path to workload estimation error")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the testable entry point: it parses args, writes reports to
+// stdout, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("snakebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "use the paper's full warehouse dimensions for Tables 4-6")
+	samples := fs.Int("samples", 48, "queries sampled per class when measuring the warehouse")
+	tables := fs.String("tables", "1,2,3,4,5,6", "comma-separated tables to run")
+	figures := fs.Bool("figures", true, "render Figures 1/2/3/5")
+	all27 := fs.Bool("all27", false, "run Table 4 over all 27 Section-6.2 workloads")
+	validate := fs.Bool("validate", false, "cross-check the analytic cost model against the storage simulator")
+	robustness := fs.Bool("robustness", false, "measure sensitivity of the optimized path to workload estimation error")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := bench(stdout, *full, *samples, *tables, *figures, *all27, *validate, *robustness); err != nil {
+		fmt.Fprintln(stderr, "snakebench:", err)
+		return 1
+	}
+	return 0
+}
+
+func bench(out io.Writer, full bool, samples int, tables string, figures, all27, validate, robustness bool) error {
 	want := map[string]bool{}
-	for _, t := range strings.Split(*tables, ",") {
+	for _, t := range strings.Split(tables, ",") {
 		want[strings.TrimSpace(t)] = true
 	}
 
-	if *figures {
-		fmt.Println("== Figure 3: query class lattice of the example schema ==")
-		fmt.Println(experiments.Figure3())
+	if figures {
+		fmt.Fprintln(out, "== Figure 3: query class lattice of the example schema ==")
+		fmt.Fprintln(out, experiments.Figure3())
 		figs, err := experiments.FigureGrids()
-		fail(err)
+		if err != nil {
+			return err
+		}
 		for _, f := range figs {
-			fmt.Println(experiments.FormatGrid(f))
+			fmt.Fprintln(out, experiments.FormatGrid(f))
 		}
 	}
 
-	if *validate {
+	if validate {
 		s, err := tpcd.Config{
 			Manufacturers: 2, PartsPerMfr: 3, Suppliers: 2,
 			Years: 2, MonthsPerYear: 2, DaysPerMonth: 2,
 			RecordBytes: 1, PageBytes: 1, MeanRecordsPerCell: 1, Seed: 1,
 		}.Schema()
-		fail(err)
+		if err != nil {
+			return err
+		}
 		rows, err := experiments.ValidateModel(s)
-		fail(err)
-		fmt.Println("== Model validation (uniform grid, one cell per page) ==")
-		fmt.Print(experiments.FormatValidation(rows))
-		fmt.Println()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== Model validation (uniform grid, one cell per page) ==")
+		fmt.Fprint(out, experiments.FormatValidation(rows))
+		fmt.Fprintln(out)
 	}
 
-	if *robustness {
+	if robustness {
 		ds, err := tpcd.Build(tpcd.DefaultConfig())
-		fail(err)
+		if err != nil {
+			return err
+		}
 		w, err := ds.Workload(tpcd.PaperWorkload7())
-		fail(err)
-		fmt.Println("== Robustness of the optimized path to workload error (TPC-D lattice) ==")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== Robustness of the optimized path to workload error (TPC-D lattice) ==")
 		for _, eps := range []float64{0.05, 0.1, 0.25, 0.5} {
 			rep, err := experiments.Robustness(w, eps, 200, 11)
-			fail(err)
-			fmt.Print(experiments.FormatRobustness(rep))
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, experiments.FormatRobustness(rep))
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if want["1"] {
 		rows, err := experiments.Table1()
-		fail(err)
-		fmt.Println("== Table 1: average query class cost ==")
-		fmt.Println(experiments.FormatTable1(rows))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== Table 1: average query class cost ==")
+		fmt.Fprintln(out, experiments.FormatTable1(rows))
 	}
 	if want["2"] {
 		rows, err := experiments.Table2()
-		fail(err)
-		fmt.Println("== Table 2: expected workload cost ==")
-		fmt.Println(experiments.FormatTable2(rows))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== Table 2: expected workload cost ==")
+		fmt.Fprintln(out, experiments.FormatTable2(rows))
 	}
 	if want["3"] {
 		rows, err := experiments.Table3(experiments.Table3Fanouts)
-		fail(err)
-		fmt.Println("== Table 3: best/worst cost ratio for varying fanouts ==")
-		fmt.Println(experiments.FormatTable3(rows, experiments.Table3Fanouts))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== Table 3: best/worst cost ratio for varying fanouts ==")
+		fmt.Fprintln(out, experiments.FormatTable3(rows, experiments.Table3Fanouts))
 	}
 
 	if !want["4"] && !want["5"] && !want["6"] {
-		return
+		return nil
 	}
 
 	cfg := tpcd.DefaultConfig()
-	if !*full {
+	if !full {
 		cfg.PartsPerMfr = 8
 		cfg.DaysPerMonth = 6
 		cfg.Years = 4
@@ -105,12 +143,14 @@ func main() {
 
 	if want["4"] {
 		ds, err := tpcd.Build(cfg)
-		fail(err)
+		if err != nil {
+			return err
+		}
 		sum := ds.Summarize()
-		fmt.Printf("== TPC-D warehouse: %d cells, %d records (%d empty cells, %.1f MB) ==\n",
+		fmt.Fprintf(out, "== TPC-D warehouse: %d cells, %d records (%d empty cells, %.1f MB) ==\n",
 			sum.Cells, sum.Records, sum.EmptyCells, float64(sum.TotalBytes)/1e6)
 		m := experiments.NewMeasurer(ds)
-		m.SamplesPerClass = *samples
+		m.SamplesPerClass = samples
 
 		// The paper reports workloads 1, 5, 7, 13 and 25 of its 27; we show
 		// the same positions of our enumeration plus the featured
@@ -118,7 +158,7 @@ func main() {
 		// -all27 runs the complete sweep the paper describes.
 		all := tpcd.Mixes()
 		var sel []tpcd.Mix
-		if *all27 {
+		if all27 {
 			sel = all
 		} else {
 			sel = []tpcd.Mix{all[0], all[4], all[6], all[12], all[24]}
@@ -134,32 +174,30 @@ func main() {
 			}
 		}
 		rows, err := experiments.Table4(m, sel)
-		fail(err)
-		fmt.Println("== Table 4: normalized blocks read (seeks per query) ==")
-		fmt.Println(experiments.FormatTable4(rows))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== Table 4: normalized blocks read (seeks per query) ==")
+		fmt.Fprintln(out, experiments.FormatTable4(rows))
 	}
 
 	if want["5"] || want["6"] {
 		fanouts := []int{4, 10, 40}
-		if !*full {
+		if !full {
 			fanouts = []int{4, 10, 20}
 		}
-		rows, err := experiments.Table5(cfg, fanouts, *samples)
-		fail(err)
+		rows, err := experiments.Table5(cfg, fanouts, samples)
+		if err != nil {
+			return err
+		}
 		if want["5"] {
-			fmt.Println("== Table 5: normalized blocks read for the featured workload ==")
-			fmt.Println(experiments.FormatTable5(rows))
+			fmt.Fprintln(out, "== Table 5: normalized blocks read for the featured workload ==")
+			fmt.Fprintln(out, experiments.FormatTable5(rows))
 		}
 		if want["6"] {
-			fmt.Println("== Table 6: normalized blocks read relative to the snaked optimal path ==")
-			fmt.Println(experiments.FormatTable6(rows))
+			fmt.Fprintln(out, "== Table 6: normalized blocks read relative to the snaked optimal path ==")
+			fmt.Fprintln(out, experiments.FormatTable6(rows))
 		}
 	}
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "snakebench:", err)
-		os.Exit(1)
-	}
+	return nil
 }

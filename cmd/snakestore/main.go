@@ -11,6 +11,13 @@
 //	snakestore query -catalog cat.json -store facts.db \
 //	    -where "region=3..7" -where "day=0..30" [-sum 2]
 //	snakestore verify -catalog cat.json -store facts.db
+//	snakestore serve -catalog cat.json -store facts.db -addr :7133
+//
+// serve answers grid queries and scrubs over HTTP (/query, /verify,
+// /healthz) against one shared store: requests run concurrently through the
+// goroutine-safe buffer pool, admission control sheds excess load with 503,
+// each request is bounded by a deadline, and SIGTERM drains in-flight
+// requests before flushing and closing the store.
 //
 // CSV layout: the first k columns are the record's leaf coordinates, one
 // per dimension in schema order; remaining columns are payload. The catalog
@@ -78,6 +85,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
@@ -91,7 +100,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snakestore optimize|build|query|verify [flags]")
+	fmt.Fprintln(os.Stderr, "usage: snakestore optimize|build|query|verify|serve [flags]")
 	os.Exit(2)
 }
 

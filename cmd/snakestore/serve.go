@@ -1,0 +1,308 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	snakes "repro"
+)
+
+// server answers grid queries over HTTP against one shared FileStore. The
+// store is goroutine-safe, so requests run concurrently; an admission
+// controller bounds the total analytic page weight in flight, and requests
+// that cannot be admitted in time are shed with 503 instead of queueing
+// without bound. A corrupt page discovered while serving is quarantined —
+// recorded and reported via /healthz — rather than crashing the daemon.
+type server struct {
+	store      *snakes.FileStore
+	schema     *snakes.Schema
+	dims       []snakes.Dimension
+	adm        *snakes.Admission
+	reqTimeout time.Duration
+
+	mu         sync.Mutex
+	quarantine map[int64]string // corrupt page -> first error seen
+	lastScrub  string           // outcome of the most recent /verify
+}
+
+func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dimension, adm *snakes.Admission, reqTimeout time.Duration) *server {
+	return &server{
+		store:      store,
+		schema:     schema,
+		dims:       dims,
+		adm:        adm,
+		reqTimeout: reqTimeout,
+		quarantine: make(map[int64]string),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/verify", s.handleVerify)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// requestCtx bounds one request by the per-request timeout.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.reqTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// noteCorrupt records a corrupt page in the quarantine set.
+func (s *server) noteCorrupt(err error) {
+	var cpe *snakes.CorruptPageError
+	page := int64(-1)
+	if errors.As(err, &cpe) {
+		page = cpe.Page
+	}
+	s.mu.Lock()
+	if _, seen := s.quarantine[page]; !seen {
+		s.quarantine[page] = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// writeErr maps the serving error taxonomy onto HTTP statuses: bad input
+// 400, shed or closed 503, timed out 504, corruption 500 (after
+// quarantining the page).
+func (s *server) writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, errUsage):
+		status = http.StatusBadRequest
+	case errors.Is(err, snakes.ErrOverloaded), errors.Is(err, snakes.ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, snakes.ErrCorruptPage):
+		s.noteCorrupt(err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+type queryResponse struct {
+	Region  string   `json:"region"`
+	Records int64    `json:"records"`
+	Sum     *float64 `json:"sum,omitempty"`
+	Pages   int64    `json:"analyticPages"`
+}
+
+// handleQuery answers GET /query?where=dim=lo..hi&...&sum=N. Unrestricted
+// dimensions select their full range, like the query subcommand.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	q := r.URL.Query()
+	region, err := parseRegion(s.schema, s.dims, q["where"])
+	if err != nil {
+		s.writeErr(w, usagef("%v", err))
+		return
+	}
+	sumCol := -1
+	if v := q.Get("sum"); v != "" {
+		if sumCol, err = strconv.Atoi(v); err != nil || sumCol < 0 {
+			s.writeErr(w, usagef("sum=%q: want a non-negative column index", v))
+			return
+		}
+	}
+	// Admission weight is the query's analytic page count, so one huge scan
+	// and many point queries draw from the same budget.
+	weight := s.store.Layout().Query(region).Pages
+	if err := s.adm.Acquire(ctx, weight); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer s.adm.Release(weight)
+
+	resp := queryResponse{Region: fmt.Sprint(region), Pages: weight}
+	var total float64
+	err = s.store.ReadQueryCtx(ctx, region, func(cell int, record []byte) error {
+		resp.Records++
+		if sumCol >= 0 {
+			v, err := payloadColumn(record, sumCol)
+			if err != nil {
+				return usagef("%v", err)
+			}
+			total += v
+		}
+		return nil
+	})
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if sumCol >= 0 {
+		resp.Sum = &total
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleVerify scrubs the store under the request's context and records the
+// outcome for /healthz.
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	rep, err := s.store.VerifyCtx(ctx)
+	if err != nil {
+		s.mu.Lock()
+		s.lastScrub = "aborted: " + err.Error()
+		s.mu.Unlock()
+		s.writeErr(w, err)
+		return
+	}
+	problems := make([]string, 0, len(rep.Problems))
+	for _, p := range rep.Problems {
+		problems = append(problems, p.String())
+		if errors.Is(p.Err, snakes.ErrCorruptPage) {
+			s.noteCorrupt(fmt.Errorf("scrub: %w", p.Err))
+		}
+	}
+	summary := fmt.Sprintf("clean: %d pages, %d records", rep.Pages, rep.Records)
+	if !rep.OK() {
+		summary = fmt.Sprintf("%d problem(s) in %d pages", len(rep.Problems), rep.Pages)
+	}
+	s.mu.Lock()
+	s.lastScrub = summary
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"pages":    rep.Pages,
+		"records":  rep.Records,
+		"ok":       rep.OK(),
+		"problems": problems,
+	})
+}
+
+// handleHealthz reports serving health: pool and admission stats, the
+// quarantined page set, and the last scrub outcome. Status degrades when
+// any page is quarantined.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	pages := make([]int64, 0, len(s.quarantine))
+	for p := range s.quarantine {
+		pages = append(pages, p)
+	}
+	lastScrub := s.lastScrub
+	s.mu.Unlock()
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	status := "ok"
+	if len(pages) > 0 {
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":           status,
+		"pool":             s.store.Pool().Stats(),
+		"admission":        s.adm.StatsSnapshot(),
+		"quarantinedPages": pages,
+		"lastScrub":        lastScrub,
+	})
+}
+
+// payloadColumn extracts the idx-th comma-separated payload column as a
+// float64 (the same framing the query subcommand sums).
+func payloadColumn(record []byte, idx int) (float64, error) {
+	start, col := 0, 0
+	for i := 0; i <= len(record); i++ {
+		if i == len(record) || record[i] == ',' {
+			if col == idx {
+				return strconv.ParseFloat(string(record[start:i]), 64)
+			}
+			col++
+			start = i + 1
+		}
+	}
+	return 0, fmt.Errorf("record has %d payload columns, sum asked for %d", col, idx)
+}
+
+// serve runs the HTTP server on ln until ctx is cancelled, then drains
+// gracefully: stop accepting, let in-flight requests finish (bounded by
+// drain), and close the store — which flushes the pool and fsyncs — before
+// returning. Split from cmdServe so tests can drive it with their own
+// listener and context.
+func serve(ctx context.Context, ln net.Listener, h http.Handler, store *snakes.FileStore, drain time.Duration) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		store.Close()
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	shutdownErr := srv.Shutdown(sctx)
+	closeErr := store.Close()
+	if closeErr != nil && !errors.Is(closeErr, snakes.ErrClosed) {
+		return closeErr
+	}
+	return shutdownErr
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	catPath := fs.String("catalog", "catalog.json", "catalog file")
+	storePath := fs.String("store", "facts.db", "page file from build")
+	frames := fs.Int("frames", 1024, "buffer pool frames")
+	addr := fs.String("addr", "127.0.0.1:7133", "listen address")
+	maxInflight := fs.Int64("max-inflight", 1024, "admission capacity in analytic pages")
+	queueTimeout := fs.Duration("queue-timeout", 100*time.Millisecond, "max wait for admission before shedding with 503")
+	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cat, schema, strat, err := loadCatalog(*catPath)
+	if err != nil {
+		return err
+	}
+	if cat.Dirty {
+		return fmt.Errorf("catalog %s is dirty: a build was interrupted before completion; re-run build before serving", *catPath)
+	}
+	if cat.BytesPer == nil {
+		return fmt.Errorf("catalog has no load state; run build first")
+	}
+	adm, err := snakes.NewAdmission(*maxInflight, *queueTimeout)
+	if err != nil {
+		return usagef("%v", err)
+	}
+	store, err := strat.OpenFileStore(*storePath, cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := newServer(store, schema, schemaDims(cat), adm, *reqTimeout)
+	fmt.Printf("serving %s on http://%s (capacity %d pages, queue timeout %v)\n",
+		*storePath, ln.Addr(), *maxInflight, *queueTimeout)
+	if err := serve(ctx, ln, srv.handler(), store, *drainTimeout); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("drained and closed cleanly")
+	return nil
+}

@@ -8,12 +8,16 @@
 //	        [-records n]  print the first n generated records
 //	        [-compare]    pack and compare the six row-major layouts and
 //	                      the (snaked) optimal path for the featured workload
+//
+// Exit status: 0 on success, 1 on generation or I/O errors, 2 on usage
+// errors.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -23,81 +27,111 @@ import (
 )
 
 func main() {
-	parts := flag.Int("parts", 40, "parts per manufacturer")
-	days := flag.Int("days", 30, "days per month")
-	years := flag.Int("years", 7, "years of ship dates")
-	seed := flag.Uint64("seed", 1999, "generation seed")
-	records := flag.Int("records", 0, "print the first n records")
-	csvPath := flag.String("csv", "", "export all records to this CSV file")
-	compare := flag.Bool("compare", false, "compare layouts under the featured workload")
-	samples := flag.Int("samples", 32, "queries sampled per class for -compare")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the testable entry point: it parses args, writes reports to
+// stdout, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpcdgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	parts := fs.Int("parts", 40, "parts per manufacturer")
+	days := fs.Int("days", 30, "days per month")
+	years := fs.Int("years", 7, "years of ship dates")
+	seed := fs.Uint64("seed", 1999, "generation seed")
+	records := fs.Int("records", 0, "print the first n records")
+	csvPath := fs.String("csv", "", "export all records to this CSV file")
+	compare := fs.Bool("compare", false, "compare layouts under the featured workload")
+	samples := fs.Int("samples", 32, "queries sampled per class for -compare")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := generate(stdout, *parts, *days, *years, *seed, *records, *csvPath, *compare, *samples); err != nil {
+		fmt.Fprintln(stderr, "tpcdgen:", err)
+		return 1
+	}
+	return 0
+}
+
+func generate(out io.Writer, parts, days, years int, seed uint64, records int, csvPath string, compare bool, samples int) error {
 	cfg := tpcd.DefaultConfig()
-	cfg.PartsPerMfr = *parts
-	cfg.DaysPerMonth = *days
-	cfg.Years = *years
-	cfg.Seed = *seed
+	cfg.PartsPerMfr = parts
+	cfg.DaysPerMonth = days
+	cfg.Years = years
+	cfg.Seed = seed
 
 	ds, err := tpcd.Build(cfg)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	sum := ds.Summarize()
-	fmt.Printf("schema: %v\n", ds.Schema)
-	fmt.Printf("cells: %d   records: %d   bytes: %.1f MB   empty cells: %d (%.1f%%)   max records/cell: %d\n",
+	fmt.Fprintf(out, "schema: %v\n", ds.Schema)
+	fmt.Fprintf(out, "cells: %d   records: %d   bytes: %.1f MB   empty cells: %d (%.1f%%)   max records/cell: %d\n",
 		sum.Cells, sum.Records, float64(sum.TotalBytes)/1e6,
 		sum.EmptyCells, 100*float64(sum.EmptyCells)/float64(sum.Cells), sum.MaxCell)
-	fmt.Printf("pages at %d B/page: %d\n", cfg.PageBytes, (sum.TotalBytes+cfg.PageBytes-1)/cfg.PageBytes)
+	fmt.Fprintf(out, "pages at %d B/page: %d\n", cfg.PageBytes, (sum.TotalBytes+cfg.PageBytes-1)/cfg.PageBytes)
 
-	fmt.Println("\nTPC-D query classes (parts, supplier, time levels):")
+	fmt.Fprintln(out, "\nTPC-D query classes (parts, supplier, time levels):")
 	for _, q := range tpcd.QueryClasses() {
-		fmt.Printf("  %-4s %v  %s\n", q.Name, q.Class, q.Desc)
+		fmt.Fprintf(out, "  %-4s %v  %s\n", q.Name, q.Class, q.Desc)
 	}
 
-	if *csvPath != "" {
-		n, err := exportCSV(ds, *csvPath)
-		fail(err)
-		fmt.Printf("\nwrote %d records to %s\n", n, *csvPath)
+	if csvPath != "" {
+		n, err := exportCSV(ds, csvPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %d records to %s\n", n, csvPath)
 	}
 
-	if *records > 0 {
-		fmt.Printf("\nfirst %d records:\n", *records)
+	if records > 0 {
+		fmt.Fprintf(out, "\nfirst %d records:\n", records)
 		n := 0
 		ds.EachRecord(func(li *tpcd.LineItem) bool {
-			fmt.Printf("  order=%d part=%d supp=%d day=%d qty=%d price=%.2f disc=%.2f\n",
+			fmt.Fprintf(out, "  order=%d part=%d supp=%d day=%d qty=%d price=%.2f disc=%.2f\n",
 				li.OrderKey, li.PartKey, li.SuppKey, li.ShipDay, li.Quantity, li.ExtendedPrice, li.Discount)
 			n++
-			return n < *records
+			return n < records
 		})
 	}
 
-	if *compare {
+	if compare {
 		mx := tpcd.PaperWorkload7()
 		w, err := ds.Workload(mx)
-		fail(err)
+		if err != nil {
+			return err
+		}
 		m := experiments.NewMeasurer(ds)
-		m.SamplesPerClass = *samples
-		fmt.Printf("\nlayout comparison under workload %v:\n", mx)
-		fmt.Printf("%-28s %14s %14s\n", "strategy", "norm blocks", "seeks/query")
+		m.SamplesPerClass = samples
+		fmt.Fprintf(out, "\nlayout comparison under workload %v:\n", mx)
+		fmt.Fprintf(out, "%-28s %14s %14s\n", "strategy", "norm blocks", "seeks/query")
 
 		opt, err := core.Optimal(w)
-		fail(err)
+		if err != nil {
+			return err
+		}
 		for _, snaked := range []bool{false, true} {
 			st, err := m.PathStats(opt.Path, snaked)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			seeks, norm := experiments.Expected(ds.Lattice, st, w)
 			name := "optimal lattice path"
 			if snaked {
 				name = "snaked " + name
 			}
-			fmt.Printf("%-28s %14.2f %14.2f\n", name, norm, seeks)
+			fmt.Fprintf(out, "%-28s %14.2f %14.2f\n", name, norm, seeks)
 		}
 		for _, perm := range experiments.Permutations3 {
 			st, err := m.RowMajorStats(perm)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			seeks, norm := experiments.Expected(ds.Lattice, st, w)
-			fmt.Printf("%-28s %14.2f %14.2f\n", fmt.Sprintf("row major %v", perm), norm, seeks)
+			fmt.Fprintf(out, "%-28s %14.2f %14.2f\n", fmt.Sprintf("row major %v", perm), norm, seeks)
 		}
 	}
+	return nil
 }
 
 // exportCSV streams every LineItem record to a CSV file with a TPC-D-ish
@@ -141,11 +175,4 @@ func exportCSV(ds *tpcd.Dataset, path string) (int64, error) {
 	}
 	w.Flush()
 	return n, w.Error()
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tpcdgen:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny warehouse args shared by the smoke tests.
+var tinyArgs = []string{"-parts", "2", "-days", "2", "-years", "2"}
+
+func TestRunBadFlagIsUsageError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "flag provided but not defined") {
+		t.Errorf("stderr = %q, want flag diagnostic", errOut.String())
+	}
+}
+
+func TestRunSummaryAndRecords(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := append(append([]string{}, tinyArgs...), "-records", "2")
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr = %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"cells:", "first 2 records:", "order="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Two record lines exactly.
+	if n := strings.Count(got, "order="); n != 2 {
+		t.Errorf("printed %d records, want 2", n)
+	}
+}
+
+func TestRunDeterministicUnderSeed(t *testing.T) {
+	render := func() string {
+		var out, errOut bytes.Buffer
+		args := append(append([]string{}, tinyArgs...), "-seed", "7", "-records", "3")
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("exit code = %d, stderr = %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	if render() != render() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lineitem.csv")
+	var out, errOut bytes.Buffer
+	args := append(append([]string{}, tinyArgs...), "-csv", path)
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr = %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "wrote ") {
+		t.Error("output missing the export summary")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines, want header plus records", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "orderkey,partkey,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}

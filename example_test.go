@@ -1,7 +1,13 @@
 package snakes_test
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
 
 	snakes "repro"
 )
@@ -73,6 +79,59 @@ func ExampleSchema_RowMajor() {
 	fmt.Printf("optimal %.0f, host-major %.0f, time-major %.0f\n", co, cg, cb)
 	// Output:
 	// optimal 1, host-major 1, time-major 16
+}
+
+// A FileStore may be shared across goroutines: here four workers each sum
+// one quadrant of the grid concurrently, and the totals add up exactly.
+// Schema, Strategy, and the Region values are immutable and shared freely;
+// only the GridQuery builder (not used here) is single-goroutine.
+func ExampleFileStore_concurrent() {
+	schema := snakes.NewSchema(snakes.Dim("A", 2, 2), snakes.Dim("B", 2, 2))
+	strategy, _ := schema.RowMajor(0, 1)
+
+	dir, _ := os.MkdirTemp("", "snakes-example")
+	defer os.RemoveAll(dir)
+
+	cells := schema.NumCells()
+	bytesPerCell := make([]int64, cells)
+	for i := range bytesPerCell {
+		bytesPerCell[i] = snakes.FrameSize(8)
+	}
+	store, _ := strategy.CreateFileStore(filepath.Join(dir, "facts.db"), bytesPerCell, 256, 8)
+	defer store.Close()
+
+	// Load one record of value c into each cell c, single-threaded.
+	rec := make([]byte, 8)
+	for c := 0; c < cells; c++ {
+		binary.LittleEndian.PutUint64(rec, math.Float64bits(float64(c)))
+		store.PutRecord(c, rec)
+	}
+
+	decode := func(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+	quadrants := []snakes.Region{
+		{{Lo: 0, Hi: 2}, {Lo: 0, Hi: 2}},
+		{{Lo: 0, Hi: 2}, {Lo: 2, Hi: 4}},
+		{{Lo: 2, Hi: 4}, {Lo: 0, Hi: 2}},
+		{{Lo: 2, Hi: 4}, {Lo: 2, Hi: 4}},
+	}
+	sums := make([]float64, len(quadrants))
+	var wg sync.WaitGroup
+	for i, q := range quadrants {
+		wg.Add(1)
+		go func(i int, q snakes.Region) {
+			defer wg.Done()
+			sums[i], _, _ = store.SumCtx(context.Background(), q, decode)
+		}(i, q)
+	}
+	wg.Wait()
+
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	fmt.Printf("total %.0f\n", total) // 0+1+...+15
+	// Output:
+	// total 120
 }
 
 // Strategies round-trip through versioned JSON for catalog persistence.

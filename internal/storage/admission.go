@@ -1,0 +1,178 @@
+package storage
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded marks a query rejected by admission control: the store's
+// in-flight capacity was exhausted and the query did not reach the front
+// of the wait queue within the admission queue timeout. Callers should
+// shed the query (and surface backpressure, e.g. HTTP 503) rather than
+// retry immediately.
+var ErrOverloaded = errors.New("storage: overloaded, admission queue timeout")
+
+// AdmissionStats is a snapshot of an Admission controller's state.
+type AdmissionStats struct {
+	Capacity   int64 // total admission weight
+	InUse      int64 // weight currently admitted
+	QueueDepth int   // queries waiting for admission right now
+	Admitted   int64 // queries admitted since creation
+	Rejected   int64 // queries that timed out waiting (ErrOverloaded)
+	Canceled   int64 // queries whose context ended while waiting
+}
+
+// Admission bounds the queries in flight against a store with a weighted
+// semaphore: each query acquires a weight (for grid queries, a natural
+// choice is the analytic page count from Layout.Query, so one huge scan
+// and many point queries compete for the same budget). Waiters are served
+// strictly FIFO — a heavy query at the front blocks lighter ones behind
+// it, so it cannot starve — and a waiter that does not reach the front
+// within the queue timeout is rejected with the typed ErrOverloaded, which
+// turns sustained overload into fast load-shedding instead of an
+// ever-growing convoy. Admission is safe for concurrent use.
+type Admission struct {
+	capacity int64
+	timeout  time.Duration
+
+	mu       sync.Mutex
+	inUse    int64
+	queue    *list.List // of *admitWaiter, FIFO
+	admitted int64
+	rejected int64
+	canceled int64
+}
+
+type admitWaiter struct {
+	weight  int64
+	granted bool
+	ready   chan struct{} // closed on grant
+}
+
+// NewAdmission creates a controller admitting up to capacity total weight.
+// queueTimeout bounds how long a query may wait for admission; zero or
+// negative means waiting is bounded only by the query's own context.
+func NewAdmission(capacity int64, queueTimeout time.Duration) (*Admission, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("storage: admission capacity %d must be positive", capacity)
+	}
+	return &Admission{capacity: capacity, timeout: queueTimeout, queue: list.New()}, nil
+}
+
+// clamp bounds a requested weight to [1, capacity], so a query heavier
+// than the whole budget still runs — alone — instead of waiting forever.
+func (a *Admission) clamp(weight int64) int64 {
+	if weight < 1 {
+		return 1
+	}
+	if weight > a.capacity {
+		return a.capacity
+	}
+	return weight
+}
+
+// Acquire admits weight (clamped to [1, capacity]) or blocks until it can,
+// the queue timeout elapses (ErrOverloaded), or ctx ends (its error). On a
+// non-nil error the caller holds no capacity and must not call Release.
+func (a *Admission) Acquire(ctx context.Context, weight int64) error {
+	weight = a.clamp(weight)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	if a.queue.Len() == 0 && a.inUse+weight <= a.capacity {
+		a.inUse += weight
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	w := &admitWaiter{weight: weight, ready: make(chan struct{})}
+	el := a.queue.PushBack(w)
+	a.mu.Unlock()
+
+	var timeoutC <-chan time.Time
+	if a.timeout > 0 {
+		t := time.NewTimer(a.timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case <-w.ready:
+		return nil
+	case <-timeoutC:
+		if a.abandon(el, w) {
+			a.mu.Lock()
+			a.rejected++
+			a.mu.Unlock()
+			return fmt.Errorf("%w (waited %v at depth %d)", ErrOverloaded, a.timeout, a.StatsSnapshot().QueueDepth)
+		}
+		return nil // the grant won the race: we are admitted
+	case <-ctx.Done():
+		if a.abandon(el, w) {
+			a.mu.Lock()
+			a.canceled++
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+		return nil
+	}
+}
+
+// abandon removes a waiter from the queue, reporting true if it was still
+// waiting. If the grant raced ahead (false), the waiter is admitted and
+// the caller keeps the capacity.
+func (a *Admission) abandon(el *list.Element, w *admitWaiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		return false
+	}
+	a.queue.Remove(el)
+	return true
+}
+
+// Release returns weight (clamped identically to Acquire) to the pool and
+// wakes queued waiters in FIFO order.
+func (a *Admission) Release(weight int64) {
+	weight = a.clamp(weight)
+	a.mu.Lock()
+	a.inUse -= weight
+	if a.inUse < 0 {
+		a.inUse = 0 // unbalanced Release; don't let capacity inflate
+	}
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked admits queued waiters from the front while they fit.
+func (a *Admission) grantLocked() {
+	for a.queue.Len() > 0 {
+		w := a.queue.Front().Value.(*admitWaiter)
+		if a.inUse+w.weight > a.capacity {
+			return // FIFO: nobody overtakes the blocked front waiter
+		}
+		a.queue.Remove(a.queue.Front())
+		a.inUse += w.weight
+		a.admitted++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// StatsSnapshot returns the controller's current state.
+func (a *Admission) StatsSnapshot() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Capacity:   a.capacity,
+		InUse:      a.inUse,
+		QueueDepth: a.queue.Len(),
+		Admitted:   a.admitted,
+		Rejected:   a.rejected,
+		Canceled:   a.canceled,
+	}
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBasicAcquireRelease(t *testing.T) {
+	a, err := NewAdmission(4, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := a.Acquire(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := a.StatsSnapshot()
+	if st.InUse != 4 || st.Admitted != 2 {
+		t.Errorf("stats = %+v, want InUse 4 Admitted 2", st)
+	}
+	a.Release(1)
+	a.Release(3)
+	if got := a.StatsSnapshot().InUse; got != 0 {
+		t.Errorf("InUse after release = %d", got)
+	}
+	if _, err := NewAdmission(0, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestAdmissionQueueTimeoutReturnsOverloaded(t *testing.T) {
+	a, err := NewAdmission(1, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := a.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	err = a.Acquire(ctx, 1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued acquire = %v, want ErrOverloaded", err)
+	}
+	st := a.StatsSnapshot()
+	if st.Rejected != 1 || st.QueueDepth != 0 {
+		t.Errorf("stats = %+v, want Rejected 1, empty queue", st)
+	}
+	// After releasing, admission works again.
+	a.Release(1)
+	if err := a.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.Release(1)
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a, err := NewAdmission(1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(ctx, 1) }()
+	// Wait until the goroutine is queued, then cancel it.
+	for a.StatsSnapshot().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire = %v, want context.Canceled", err)
+	}
+	if got := a.StatsSnapshot().Canceled; got != 1 {
+		t.Errorf("Canceled = %d, want 1", got)
+	}
+	a.Release(1)
+}
+
+func TestAdmissionFIFOHeavyFrontBlocksLight(t *testing.T) {
+	a, err := NewAdmission(4, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := a.Acquire(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // heavy waiter enqueues first
+		defer wg.Done()
+		if err := a.Acquire(ctx, 4); err != nil {
+			t.Error(err)
+			return
+		}
+		order <- 4
+		a.Release(4)
+	}()
+	for a.StatsSnapshot().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go func() { // a light query behind it; 1 weight is free but FIFO holds it back
+		defer wg.Done()
+		if err := a.Acquire(ctx, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		order <- 1
+		a.Release(1)
+	}()
+	for a.StatsSnapshot().QueueDepth < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	a.Release(3)
+	wg.Wait()
+	if first := <-order; first != 4 {
+		t.Errorf("first admitted weight = %d, want the heavy front waiter", first)
+	}
+}
+
+func TestAdmissionClampsOversizedWeight(t *testing.T) {
+	a, err := NewAdmission(2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query heavier than the whole budget runs alone instead of deadlocking.
+	if err := a.Acquire(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.StatsSnapshot().InUse; got != 2 {
+		t.Errorf("InUse = %d, want clamped 2", got)
+	}
+	a.Release(100)
+	if got := a.StatsSnapshot().InUse; got != 0 {
+		t.Errorf("InUse after release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionExpiredContext(t *testing.T) {
+	a, err := NewAdmission(1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.Acquire(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire with dead ctx = %v", err)
+	}
+	if got := a.StatsSnapshot().InUse; got != 0 {
+		t.Errorf("InUse = %d after rejected acquire", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // PageTrailerSize is the per-page overhead of the checksum trailer: a
@@ -23,9 +24,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // returns a CorruptPageError on any mismatch. A page that is entirely zero
 // (as produced by CreatePageFile) is accepted as never-written, so freshly
 // created files read back as zeros without a full initialization pass.
+// ChecksumFile is safe for concurrent use when its inner file is: each
+// operation works on pooled per-call scratch, never shared state.
 type ChecksumFile struct {
-	inner PagedFile
-	buf   []byte // one physical page of scratch
+	inner   PagedFile
+	scratch sync.Pool // *[]byte, one physical page each
 }
 
 // NewChecksumFile wraps inner, whose page size must exceed the trailer.
@@ -34,7 +37,12 @@ func NewChecksumFile(inner PagedFile) (*ChecksumFile, error) {
 		return nil, fmt.Errorf("storage: %d-byte pages cannot hold the %d-byte checksum trailer",
 			inner.PageSize(), PageTrailerSize)
 	}
-	return &ChecksumFile{inner: inner, buf: make([]byte, inner.PageSize())}, nil
+	cf := &ChecksumFile{inner: inner}
+	cf.scratch.New = func() any {
+		b := make([]byte, inner.PageSize())
+		return &b
+	}
+	return cf, nil
 }
 
 // PageSize returns the usable (data-region) bytes per page.
@@ -49,26 +57,29 @@ func (cf *ChecksumFile) ReadPage(page int64, buf []byte) error {
 	if len(buf) != usable {
 		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), usable)
 	}
-	if err := cf.inner.ReadPage(page, cf.buf); err != nil {
+	sp := cf.scratch.Get().(*[]byte)
+	defer cf.scratch.Put(sp)
+	phys := *sp
+	if err := cf.inner.ReadPage(page, phys); err != nil {
 		return err
 	}
-	magic := binary.LittleEndian.Uint32(cf.buf[usable:])
-	sum := binary.LittleEndian.Uint32(cf.buf[usable+4:])
+	magic := binary.LittleEndian.Uint32(phys[usable:])
+	sum := binary.LittleEndian.Uint32(phys[usable+4:])
 	if magic != pageMagic {
 		// A never-written page is all zeros, trailer included; anything
 		// else with a missing magic is damage (e.g. a torn write that only
 		// reached the data region).
-		if magic == 0 && sum == 0 && allZero(cf.buf[:usable]) {
-			copy(buf, cf.buf[:usable])
+		if magic == 0 && sum == 0 && allZero(phys[:usable]) {
+			copy(buf, phys[:usable])
 			return nil
 		}
 		return &CorruptPageError{Page: page, Reason: fmt.Sprintf("bad page magic %#08x", magic)}
 	}
-	if got := crc32.Checksum(cf.buf[:usable], castagnoli); got != sum {
+	if got := crc32.Checksum(phys[:usable], castagnoli); got != sum {
 		return &CorruptPageError{Page: page,
 			Reason: fmt.Sprintf("checksum mismatch: stored %#08x, computed %#08x", sum, got)}
 	}
-	copy(buf, cf.buf[:usable])
+	copy(buf, phys[:usable])
 	return nil
 }
 
@@ -78,10 +89,13 @@ func (cf *ChecksumFile) WritePage(page int64, buf []byte) error {
 	if len(buf) != usable {
 		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), usable)
 	}
-	copy(cf.buf, buf)
-	binary.LittleEndian.PutUint32(cf.buf[usable:], pageMagic)
-	binary.LittleEndian.PutUint32(cf.buf[usable+4:], crc32.Checksum(cf.buf[:usable], castagnoli))
-	return cf.inner.WritePage(page, cf.buf)
+	sp := cf.scratch.Get().(*[]byte)
+	defer cf.scratch.Put(sp)
+	phys := *sp
+	copy(phys, buf)
+	binary.LittleEndian.PutUint32(phys[usable:], pageMagic)
+	binary.LittleEndian.PutUint32(phys[usable+4:], crc32.Checksum(phys[:usable], castagnoli))
+	return cf.inner.WritePage(page, phys)
 }
 
 // Sync flushes the inner file.

@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrInjected marks an error manufactured by a FaultInjector, so tests can
@@ -86,14 +87,19 @@ func (f Fault) window() int64 {
 
 // FaultInjector wraps a PagedFile with a deterministic failure schedule.
 // Every behavior — which operation fails, how, and which bit a flip lands
-// on — is a pure function of the schedule and the seed, so a failing run
-// replays exactly. It also counts operations, so a test can run a workload
-// once cleanly, read Ops, and then re-run it injecting a fault at every
-// index. Not safe for concurrent use, like the pool above it.
+// on — is a pure function of the schedule and the seed, so a failing
+// single-threaded run replays exactly. It also counts operations, so a
+// test can run a workload once cleanly, read Ops, and then re-run it
+// injecting a fault at every index. A mutex serializes operations, so the
+// injector is safe to place under a concurrent BufferPool; under
+// concurrency the interleaving (and thus which goroutine draws each fault)
+// is scheduling-dependent, but the fault schedule itself still fires
+// exactly once per scheduled index.
 type FaultInjector struct {
 	inner    PagedFile
 	seed     int64
 	faults   []Fault
+	mu       sync.Mutex
 	counts   [numFaultOps]int64
 	injected int64
 }
@@ -105,10 +111,18 @@ func NewFaultInjector(inner PagedFile, seed int64, faults ...Fault) *FaultInject
 }
 
 // Ops returns how many operations of the class have been issued so far.
-func (fi *FaultInjector) Ops(op FaultOp) int64 { return fi.counts[op] }
+func (fi *FaultInjector) Ops(op FaultOp) int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.counts[op]
+}
 
 // Injected returns how many faults have fired.
-func (fi *FaultInjector) Injected() int64 { return fi.injected }
+func (fi *FaultInjector) Injected() int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.injected
+}
 
 // match returns the scheduled fault covering this operation, if any.
 func (fi *FaultInjector) match(op FaultOp, idx int64) *Fault {
@@ -141,6 +155,8 @@ func (fi *FaultInjector) Pages() int64 { return fi.inner.Pages() }
 
 // ReadPage reads through, applying any scheduled read fault.
 func (fi *FaultInjector) ReadPage(page int64, buf []byte) error {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
 	idx := fi.counts[OpRead]
 	fi.counts[OpRead]++
 	f := fi.match(OpRead, idx)
@@ -165,6 +181,8 @@ func (fi *FaultInjector) ReadPage(page int64, buf []byte) error {
 
 // WritePage writes through, applying any scheduled write fault.
 func (fi *FaultInjector) WritePage(page int64, buf []byte) error {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
 	idx := fi.counts[OpWrite]
 	fi.counts[OpWrite]++
 	f := fi.match(OpWrite, idx)
@@ -200,6 +218,8 @@ func (fi *FaultInjector) WritePage(page int64, buf []byte) error {
 
 // Sync syncs through, applying any scheduled sync fault.
 func (fi *FaultInjector) Sync() error {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
 	idx := fi.counts[OpSync]
 	fi.counts[OpSync]++
 	f := fi.match(OpSync, idx)

@@ -1,8 +1,10 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/linear"
 )
@@ -12,13 +14,24 @@ import (
 // BufferPool, so real page traffic (pool misses) can be compared against
 // the analytic seek/page model. Between the pool and the file sits a
 // ChecksumFile, so every pool miss verifies the page's CRC32C trailer and
-// surfaces silent corruption as ErrCorruptPage. Not safe for concurrent
-// use.
+// surfaces silent corruption as ErrCorruptPage.
+//
+// Concurrency contract: a FileStore may be shared freely across
+// goroutines. Reads (ReadQueryCtx, ReadCellCtx, Scan, Sum, Verify) run
+// concurrently with each other under a read lock; writers (PutRecord,
+// Close) are exclusive. Close is safe to call while readers are in flight:
+// it waits for them to drain, and any operation issued after (or a second
+// Close) fails with the typed ErrClosed instead of racing on the
+// underlying file. Context-accepting methods check cancellation between
+// page accesses, so a cancelled query stops seeking immediately.
 type FileStore struct {
 	layout *Layout
 	file   *ChecksumFile // the pool's backing store; Verify reads it directly
 	pool   *BufferPool
+
+	mu     sync.RWMutex // guards fill and closed
 	fill   []int64
+	closed bool
 }
 
 // CreateFileStore creates a new page file sized for the layout and wraps it
@@ -103,6 +116,8 @@ func (fs *FileStore) Pool() *BufferPool { return fs.pool }
 // LoadedBytes returns the written byte count per cell, the value to pass
 // back to OpenFileStore after a restart.
 func (fs *FileStore) LoadedBytes() []int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	out := make([]int64, len(fs.fill))
 	for pos, b := range fs.fill {
 		out[fs.layout.order.CellAt(pos)] = b
@@ -112,6 +127,11 @@ func (fs *FileStore) LoadedBytes() []int64 {
 
 // PutRecord appends a length-prefixed record to the cell, through the pool.
 func (fs *FileStore) PutRecord(cell int, payload []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
 	pos := fs.layout.order.PosOf(cell)
 	lo, hi := fs.layout.start[pos], fs.layout.start[pos+1]
 	need := FrameSize(len(payload))
@@ -131,10 +151,43 @@ func (fs *FileStore) PutRecord(cell int, payload []byte) error {
 	return nil
 }
 
-// Scan streams every record in the region in disk order through the pool.
-func (fs *FileStore) Scan(r linear.Region, fn func(cell int, record []byte) error) error {
+// walkRecords parses the length-prefixed framing of one cell's filled
+// bytes, calling fn per record.
+func walkRecords(cell int, buf []byte, fn func(cell int, record []byte) error) error {
+	filled := int64(len(buf))
+	off := int64(0)
+	for off < filled {
+		if filled-off < 4 {
+			return fmt.Errorf("storage: corrupt record header in cell %d", cell)
+		}
+		n := int64(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if off+n > filled {
+			return fmt.Errorf("storage: truncated record in cell %d", cell)
+		}
+		if err := fn(cell, buf[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// ReadQueryCtx streams every record in the region in disk order through the
+// pool, checking ctx between cells (and, inside the pool, between page
+// loads), so a cancelled or expired query stops issuing I/O immediately.
+// Returns ErrClosed if the store has been closed.
+func (fs *FileStore) ReadQueryCtx(ctx context.Context, r linear.Region, fn func(cell int, record []byte) error) error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return ErrClosed
+	}
 	var buf []byte
 	for _, pos := range fs.layout.order.Positions(r) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		filled := fs.fill[pos]
 		if filled == 0 {
 			continue
@@ -144,35 +197,53 @@ func (fs *FileStore) Scan(r linear.Region, fn func(cell int, record []byte) erro
 			buf = make([]byte, filled)
 		}
 		buf = buf[:filled]
-		if err := fs.pool.ReadAt(buf, lo); err != nil {
+		if err := fs.pool.ReadAtCtx(ctx, buf, lo); err != nil {
 			return err
 		}
-		cell := fs.layout.order.CellAt(pos)
-		off := int64(0)
-		for off < filled {
-			if filled-off < 4 {
-				return fmt.Errorf("storage: corrupt record header in cell %d", cell)
-			}
-			n := int64(binary.LittleEndian.Uint32(buf[off:]))
-			off += 4
-			if off+n > filled {
-				return fmt.Errorf("storage: truncated record in cell %d", cell)
-			}
-			if err := fn(cell, buf[off:off+n]); err != nil {
-				return err
-			}
-			off += n
+		if err := walkRecords(fs.layout.order.CellAt(pos), buf, fn); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// Sum executes an aggregate grid query against the file store, returning
-// the total and the pool traffic it generated.
-func (fs *FileStore) Sum(r linear.Region, decode func(record []byte) float64) (float64, PoolStats, error) {
+// ReadCellCtx streams the records of a single cell through the pool under
+// the same cancellation contract as ReadQueryCtx.
+func (fs *FileStore) ReadCellCtx(ctx context.Context, cell int, fn func(record []byte) error) error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	pos := fs.layout.order.PosOf(cell)
+	filled := fs.fill[pos]
+	if filled == 0 {
+		return nil
+	}
+	buf := make([]byte, filled)
+	if err := fs.pool.ReadAtCtx(ctx, buf, fs.layout.start[pos]); err != nil {
+		return err
+	}
+	return walkRecords(cell, buf, func(_ int, record []byte) error { return fn(record) })
+}
+
+// Scan streams every record in the region in disk order through the pool.
+// It is ReadQueryCtx without a deadline.
+func (fs *FileStore) Scan(r linear.Region, fn func(cell int, record []byte) error) error {
+	return fs.ReadQueryCtx(context.Background(), r, fn)
+}
+
+// SumCtx executes an aggregate grid query against the file store under the
+// given context, returning the total and the pool traffic it generated.
+// The traffic delta is exact only when no other queries run concurrently;
+// under concurrent load it includes their pool activity too.
+func (fs *FileStore) SumCtx(ctx context.Context, r linear.Region, decode func(record []byte) float64) (float64, PoolStats, error) {
 	before := fs.pool.Stats()
 	total := 0.0
-	err := fs.Scan(r, func(cell int, record []byte) error {
+	err := fs.ReadQueryCtx(ctx, r, func(cell int, record []byte) error {
 		total += decode(record)
 		return nil
 	})
@@ -181,18 +252,33 @@ func (fs *FileStore) Sum(r linear.Region, decode func(record []byte) float64) (f
 	}
 	after := fs.pool.Stats()
 	return total, PoolStats{
-		Hits:      after.Hits - before.Hits,
-		Misses:    after.Misses - before.Misses,
-		Evictions: after.Evictions - before.Evictions,
-		Writes:    after.Writes - before.Writes,
-		Retries:   after.Retries - before.Retries,
+		Hits:              after.Hits - before.Hits,
+		Misses:            after.Misses - before.Misses,
+		Evictions:         after.Evictions - before.Evictions,
+		Writes:            after.Writes - before.Writes,
+		Retries:           after.Retries - before.Retries,
+		SingleFlightWaits: after.SingleFlightWaits - before.SingleFlightWaits,
 	}, nil
+}
+
+// Sum is SumCtx without a deadline.
+func (fs *FileStore) Sum(r linear.Region, decode func(record []byte) float64) (float64, PoolStats, error) {
+	return fs.SumCtx(context.Background(), r, decode)
 }
 
 // Close flushes the pool and closes the file. A flush or sync failure is
 // reported — never swallowed — and the file is closed regardless, so a
-// caller that sees an error knows the on-disk state may be behind.
+// caller that sees an error knows the on-disk state may be behind. Close
+// waits for in-flight readers to drain before touching the file; once it
+// begins, every later operation (including a second Close) returns
+// ErrClosed.
 func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	fs.closed = true
 	flushErr := fs.pool.Flush()
 	closeErr := fs.file.Close()
 	if flushErr != nil {

@@ -12,13 +12,22 @@ import (
 // store at newPath packed along newOrder. Cell payload capacities carry
 // over (they are a property of the data, not the order). The old store is
 // left open and untouched; callers typically Close and delete it after the
-// swap. On any failure the partial output file is deleted, so newPath
-// either holds a complete, flushed store or does not exist. Returns the
-// new store, flushed and ready to query.
+// swap. Migrate is safe to run while other readers query the old store (it
+// reads under the store's shared lock) and returns ErrClosed — instead of
+// racing on the underlying file — when the old store has been closed. On
+// any failure the partial output file is deleted, so newPath either holds
+// a complete, flushed store or does not exist. Returns the new store,
+// flushed and ready to query.
 func Migrate(old *FileStore, newPath string, newOrder *linear.Order, poolFrames int) (*FileStore, error) {
 	oldOrder := old.layout.order
 	if newOrder.Len() != oldOrder.Len() {
 		return nil, fmt.Errorf("storage: migrating %d cells onto an order with %d", oldOrder.Len(), newOrder.Len())
+	}
+	old.mu.RLock()
+	closed := old.closed
+	old.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("storage: migrating from a closed store: %w", ErrClosed)
 	}
 	// Reconstruct per-cell capacities from the old layout.
 	bytesPerCell := make([]int64, oldOrder.Len())

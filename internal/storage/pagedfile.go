@@ -9,8 +9,10 @@ import (
 // PagedFile is the abstract fixed-page-size file the storage stack is built
 // on: PageFile implements it against a real file, FaultInjector wraps any
 // implementation with deterministic failures, and ChecksumFile layers a
-// CRC32C trailer on top. Implementations need not be safe for concurrent
-// use.
+// CRC32C trailer on top. Implementations must be safe for concurrent use of
+// ReadPage/WritePage/Sync: the BufferPool above them issues page loads and
+// write-backs from many goroutines at once. Close may assume no concurrent
+// operations (the FileStore's closed flag provides that guarantee).
 type PagedFile interface {
 	// PageSize returns the page size in bytes as seen by callers of
 	// ReadPage/WritePage (wrappers may expose a smaller logical page than
@@ -53,8 +55,14 @@ func (e *CorruptPageError) Error() string {
 // Is makes errors.Is(err, ErrCorruptPage) match.
 func (e *CorruptPageError) Is(target error) bool { return target == ErrCorruptPage }
 
+// ErrClosed marks an operation issued against a FileStore that has been
+// closed. Concurrent readers that race with Close see this typed error
+// instead of undefined behaviour on a closed file descriptor.
+var ErrClosed = errors.New("storage: file store is closed")
+
 // RetryPolicy bounds the buffer pool's retries of transient I/O errors.
-// Backoff doubles after every failed attempt.
+// Backoff doubles after every failed attempt; the sleeps are context-aware,
+// so a cancelled query stops retrying immediately.
 type RetryPolicy struct {
 	MaxRetries int           // additional attempts after the first failure
 	Backoff    time.Duration // sleep before the first retry (0 = no sleep)

@@ -2,14 +2,20 @@ package storage
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // PageFile is a fixed-page-size file: the real-disk counterpart of the
 // in-memory simulator, with the same page-granular access pattern.
+// ReadPage, WritePage, and Sync are safe for concurrent use (they map to
+// positioned pread/pwrite on disjoint or idempotent ranges); Close must not
+// race with in-flight operations.
 type PageFile struct {
 	f        *os.File
 	pageSize int
@@ -98,33 +104,57 @@ func (pf *PageFile) Sync() error { return pf.f.Sync() }
 // Close closes the underlying file.
 func (pf *PageFile) Close() error { return pf.f.Close() }
 
-// PoolStats counts buffer pool traffic.
+// PoolStats counts buffer pool traffic. It is a point-in-time snapshot;
+// under concurrent load the fields are individually exact but need not be
+// mutually consistent.
 type PoolStats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Writes    int64 // physical page writes (write-back)
-	Retries   int64 // transient I/O errors ridden out by the retry policy
+	Hits              int64
+	Misses            int64 // physical page loads (one per coalesced miss group)
+	Evictions         int64
+	Writes            int64 // physical page writes (write-back)
+	Retries           int64 // transient I/O errors ridden out by the retry policy
+	SingleFlightWaits int64 // goroutines that waited on another goroutine's in-flight load of the same page
 }
 
 // BufferPool caches page frames over a PagedFile with LRU replacement and
-// write-back, the classic database buffer manager. Transient I/O errors
-// (errors matching ErrTransient) are retried with exponential backoff under
-// the pool's RetryPolicy; all other errors propagate to the caller. It is
-// not safe for concurrent use; wrap it if multiple goroutines share a pool.
+// write-back, the classic database buffer manager. It is safe for
+// concurrent use: a short pool mutex guards the page table and LRU list,
+// each frame carries its own latch for data access, and concurrent misses
+// on the same page coalesce into a single disk read (single-flight — the
+// extra goroutines wait for the first load and are counted in
+// PoolStats.SingleFlightWaits). Frames are pinned while a caller copies in
+// or out of them, and only unpinned frames are eviction victims, so the
+// frame capacity must exceed the number of goroutines touching the pool at
+// once (each goroutine pins at most one frame at a time).
+//
+// Transient I/O errors (errors matching ErrTransient) are retried with
+// exponential backoff under the pool's RetryPolicy; the backoff sleeps are
+// context-aware. All other errors propagate to the caller.
 type BufferPool struct {
 	pf       PagedFile
 	capacity int
-	frames   map[int64]*list.Element
-	lru      *list.List // front = most recently used
-	stats    PoolStats
-	retry    RetryPolicy
+
+	mu     sync.Mutex // guards frames, lru, and every frame's pins field
+	frames map[int64]*list.Element
+	lru    *list.List // front = most recently used
+
+	retryMu sync.Mutex
+	retry   RetryPolicy
+
+	hits, misses, evictions, writes, retries, sfWaits atomic.Int64
 }
 
+// frame is one cached page. The pool mutex guards pins and list membership;
+// the latch guards data and dirty. Latch holders always hold a pin, so a
+// frame with zero pins has no latch holder and may be evicted.
 type frame struct {
 	page  int64
 	data  []byte
+	mu    sync.Mutex // latch
 	dirty bool
+	pins  int
+	ready chan struct{} // closed once the initial load finished
+	err   error         // load error; set before ready is closed
 }
 
 // NewBufferPool wraps a paged file with a pool of the given frame capacity
@@ -143,83 +173,192 @@ func NewBufferPool(pf PagedFile, capacity int) (*BufferPool, error) {
 }
 
 // SetRetry replaces the pool's transient-error retry policy.
-func (bp *BufferPool) SetRetry(rp RetryPolicy) { bp.retry = rp }
+func (bp *BufferPool) SetRetry(rp RetryPolicy) {
+	bp.retryMu.Lock()
+	bp.retry = rp
+	bp.retryMu.Unlock()
+}
 
-// Stats returns the pool's traffic counters.
-func (bp *BufferPool) Stats() PoolStats { return bp.stats }
+// Stats returns a snapshot of the pool's traffic counters.
+func (bp *BufferPool) Stats() PoolStats {
+	return PoolStats{
+		Hits:              bp.hits.Load(),
+		Misses:            bp.misses.Load(),
+		Evictions:         bp.evictions.Load(),
+		Writes:            bp.writes.Load(),
+		Retries:           bp.retries.Load(),
+		SingleFlightWaits: bp.sfWaits.Load(),
+	}
+}
 
 // ResetStats clears the traffic counters.
-func (bp *BufferPool) ResetStats() { bp.stats = PoolStats{} }
+func (bp *BufferPool) ResetStats() {
+	bp.hits.Store(0)
+	bp.misses.Store(0)
+	bp.evictions.Store(0)
+	bp.writes.Store(0)
+	bp.retries.Store(0)
+	bp.sfWaits.Store(0)
+}
 
-// withRetry runs op, retrying transient failures per the pool's policy
-// with doubling backoff.
-func (bp *BufferPool) withRetry(op func() error) error {
-	backoff := bp.retry.Backoff
+// withRetry runs op, retrying transient failures per the pool's policy with
+// doubling backoff. The sleeps select on ctx, so a cancelled caller stops
+// retrying immediately.
+func (bp *BufferPool) withRetry(ctx context.Context, op func() error) error {
+	bp.retryMu.Lock()
+	rp := bp.retry
+	bp.retryMu.Unlock()
+	backoff := rp.Backoff
 	for attempt := 0; ; attempt++ {
 		err := op()
-		if err == nil || attempt >= bp.retry.MaxRetries || !errors.Is(err, ErrTransient) {
+		if err == nil || attempt >= rp.MaxRetries || !errors.Is(err, ErrTransient) {
 			return err
 		}
-		bp.stats.Retries++
+		bp.retries.Add(1)
 		if backoff > 0 {
-			time.Sleep(backoff)
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
 			backoff *= 2
+		} else if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
 }
 
-// get returns the frame of the page, faulting it in if needed.
-func (bp *BufferPool) get(page int64) (*frame, error) {
-	if el, ok := bp.frames[page]; ok {
-		bp.stats.Hits++
-		bp.lru.MoveToFront(el)
-		return el.Value.(*frame), nil
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// get returns the page's frame, pinned; the caller must unpin it. A miss
+// loads the page outside the pool mutex; concurrent misses on the same page
+// wait for the first loader instead of issuing duplicate reads. If the
+// loader abandons the load because its own context ended, waiters with a
+// live context retry the load themselves, so one query's cancellation never
+// surfaces as another query's error.
+func (bp *BufferPool) get(ctx context.Context, page int64) (*frame, error) {
+	for {
+		fr, err := bp.getOnce(ctx, page)
+		if err != nil && isCtxErr(err) && ctx.Err() == nil {
+			continue // the coalesced loader was cancelled, not us: reload
+		}
+		return fr, err
 	}
-	bp.stats.Misses++
+}
+
+func (bp *BufferPool) getOnce(ctx context.Context, page int64) (*frame, error) {
+	bp.mu.Lock()
+	if el, ok := bp.frames[page]; ok {
+		fr := el.Value.(*frame)
+		fr.pins++
+		bp.lru.MoveToFront(el)
+		bp.mu.Unlock()
+		select {
+		case <-fr.ready: // already loaded
+			bp.hits.Add(1)
+		default: // someone else's load is in flight: wait for it
+			bp.sfWaits.Add(1)
+			select {
+			case <-fr.ready:
+			case <-ctx.Done():
+				bp.unpin(fr)
+				return nil, ctx.Err()
+			}
+		}
+		if fr.err != nil {
+			bp.unpin(fr)
+			return nil, fr.err
+		}
+		return fr, nil
+	}
+	bp.misses.Add(1)
 	if bp.lru.Len() >= bp.capacity {
-		if err := bp.evict(); err != nil {
+		if err := bp.evictLocked(ctx); err != nil {
+			bp.mu.Unlock()
 			return nil, err
 		}
 	}
-	fr := &frame{page: page, data: make([]byte, bp.pf.PageSize())}
-	if err := bp.withRetry(func() error { return bp.pf.ReadPage(page, fr.data) }); err != nil {
+	fr := &frame{page: page, data: make([]byte, bp.pf.PageSize()), pins: 1, ready: make(chan struct{})}
+	bp.frames[page] = bp.lru.PushFront(fr)
+	bp.mu.Unlock()
+
+	if err := bp.withRetry(ctx, func() error { return bp.pf.ReadPage(page, fr.data) }); err != nil {
+		// Failed loads leave no frame behind: drop it so a later access
+		// retries from disk, then wake the waiters with the error.
+		bp.mu.Lock()
+		if el, ok := bp.frames[page]; ok && el.Value.(*frame) == fr {
+			bp.lru.Remove(el)
+			delete(bp.frames, page)
+		}
+		fr.pins--
+		bp.mu.Unlock()
+		fr.err = err
+		close(fr.ready)
 		return nil, err
 	}
-	bp.frames[page] = bp.lru.PushFront(fr)
+	close(fr.ready)
 	return fr, nil
 }
 
-// evict writes back and drops the least recently used frame.
-func (bp *BufferPool) evict() error {
-	el := bp.lru.Back()
-	if el == nil {
-		return fmt.Errorf("storage: evict on empty pool")
-	}
-	fr := el.Value.(*frame)
-	if fr.dirty {
-		if err := bp.withRetry(func() error { return bp.pf.WritePage(fr.page, fr.data) }); err != nil {
-			return err
+// unpin releases a pin taken by get.
+func (bp *BufferPool) unpin(fr *frame) {
+	bp.mu.Lock()
+	fr.pins--
+	bp.mu.Unlock()
+}
+
+// evictLocked writes back and drops the least recently used unpinned frame.
+// Called with the pool mutex held; the write-back happens under it, which
+// keeps a concurrent miss on the victim page from reading stale bytes.
+func (bp *BufferPool) evictLocked(ctx context.Context) error {
+	for el := bp.lru.Back(); el != nil; el = el.Prev() {
+		fr := el.Value.(*frame)
+		if fr.pins > 0 {
+			continue // pinned or still loading (loaders hold a pin)
 		}
-		bp.stats.Writes++
+		// pins == 0 ⇒ no latch holder, so data/dirty are stable here.
+		if fr.dirty {
+			if err := bp.withRetry(ctx, func() error { return bp.pf.WritePage(fr.page, fr.data) }); err != nil {
+				return err
+			}
+			bp.writes.Add(1)
+			fr.dirty = false
+		}
+		bp.lru.Remove(el)
+		delete(bp.frames, fr.page)
+		bp.evictions.Add(1)
+		return nil
 	}
-	bp.lru.Remove(el)
-	delete(bp.frames, fr.page)
-	bp.stats.Evictions++
-	return nil
+	return fmt.Errorf("storage: all %d pool frames are pinned; size the pool above the number of concurrent readers", bp.capacity)
 }
 
 // ReadAt copies n bytes at the byte offset into dst, faulting pages as
 // needed.
 func (bp *BufferPool) ReadAt(dst []byte, off int64) error {
+	return bp.ReadAtCtx(context.Background(), dst, off)
+}
+
+// ReadAtCtx is ReadAt with cancellation: the context is checked between
+// page accesses and during load waits and retry backoffs.
+func (bp *BufferPool) ReadAtCtx(ctx context.Context, dst []byte, off int64) error {
 	ps := int64(bp.pf.PageSize())
 	for len(dst) > 0 {
-		page := off / ps
-		po := off % ps
-		fr, err := bp.get(page)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fr, err := bp.get(ctx, off/ps)
 		if err != nil {
 			return err
 		}
-		n := copy(dst, fr.data[po:])
+		fr.mu.Lock()
+		n := copy(dst, fr.data[off%ps:])
+		fr.mu.Unlock()
+		bp.unpin(fr)
 		dst = dst[n:]
 		off += int64(n)
 	}
@@ -229,16 +368,25 @@ func (bp *BufferPool) ReadAt(dst []byte, off int64) error {
 // WriteAt copies src to the byte offset through the pool (write-back: pages
 // are marked dirty and reach the file on eviction or Flush).
 func (bp *BufferPool) WriteAt(src []byte, off int64) error {
+	return bp.WriteAtCtx(context.Background(), src, off)
+}
+
+// WriteAtCtx is WriteAt with cancellation.
+func (bp *BufferPool) WriteAtCtx(ctx context.Context, src []byte, off int64) error {
 	ps := int64(bp.pf.PageSize())
 	for len(src) > 0 {
-		page := off / ps
-		po := off % ps
-		fr, err := bp.get(page)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fr, err := bp.get(ctx, off/ps)
 		if err != nil {
 			return err
 		}
-		n := copy(fr.data[po:], src)
+		fr.mu.Lock()
+		n := copy(fr.data[off%ps:], src)
 		fr.dirty = true
+		fr.mu.Unlock()
+		bp.unpin(fr)
 		src = src[n:]
 		off += int64(n)
 	}
@@ -247,19 +395,50 @@ func (bp *BufferPool) WriteAt(src []byte, off int64) error {
 
 // Flush writes every dirty frame back to the file and syncs it. On error
 // the failed frame stays dirty, so a later Flush retries it; no write is
-// ever silently dropped.
-func (bp *BufferPool) Flush() error {
+// ever silently dropped. Flush pins one frame at a time, so concurrent
+// readers keep making progress while it runs.
+func (bp *BufferPool) Flush() error { return bp.FlushCtx(context.Background()) }
+
+// FlushCtx is Flush with cancellation.
+func (bp *BufferPool) FlushCtx(ctx context.Context) error {
+	bp.mu.Lock()
+	pages := make([]int64, 0, bp.lru.Len())
 	for el := bp.lru.Front(); el != nil; el = el.Next() {
-		fr := el.Value.(*frame)
-		if fr.dirty {
-			if err := bp.withRetry(func() error { return bp.pf.WritePage(fr.page, fr.data) }); err != nil {
-				return fmt.Errorf("storage: flushing page %d: %w", fr.page, err)
-			}
-			bp.stats.Writes++
-			fr.dirty = false
-		}
+		pages = append(pages, el.Value.(*frame).page)
 	}
-	if err := bp.withRetry(bp.pf.Sync); err != nil {
+	bp.mu.Unlock()
+	var firstErr error
+	for _, page := range pages {
+		bp.mu.Lock()
+		el, ok := bp.frames[page]
+		if !ok {
+			bp.mu.Unlock()
+			continue // evicted since the snapshot: its write-back already happened
+		}
+		fr := el.Value.(*frame)
+		fr.pins++
+		bp.mu.Unlock()
+		<-fr.ready
+		if fr.err == nil {
+			fr.mu.Lock()
+			if fr.dirty {
+				if err := bp.withRetry(ctx, func() error { return bp.pf.WritePage(fr.page, fr.data) }); err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("storage: flushing page %d: %w", fr.page, err)
+					}
+				} else {
+					bp.writes.Add(1)
+					fr.dirty = false
+				}
+			}
+			fr.mu.Unlock()
+		}
+		bp.unpin(fr)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := bp.withRetry(ctx, bp.pf.Sync); err != nil {
 		return fmt.Errorf("storage: sync: %w", err)
 	}
 	return nil

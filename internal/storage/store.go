@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -11,6 +12,10 @@ import (
 // by an in-memory paged "disk". Records are opaque byte strings written per
 // cell; grid queries read whole pages (counting the same pages and seeks
 // the analytic model predicts) and stream the selected records back.
+//
+// Store is the single-threaded analytic simulator and is NOT safe for
+// concurrent use (even Scan mutates the cumulative I/O counters); use
+// FileStore when goroutines share a store.
 type Store struct {
 	layout *Layout
 	data   []byte
@@ -59,8 +64,16 @@ func (s *Store) ResetIO() { s.io = Stats{} }
 // Scan reads every record in the region in disk order, charging the same
 // page and seek counts as Layout.Query, and calls fn with each record's
 // cell and bytes. Records within a cell are the Put-order prefix of its
-// filled range.
+// filled range. It is ScanCtx without a deadline.
 func (s *Store) Scan(r linear.Region, fn func(cell int, record []byte) error) error {
+	return s.ScanCtx(context.Background(), r, fn)
+}
+
+// ScanCtx is Scan with cancellation, mirroring FileStore.ReadQueryCtx: the
+// context is checked between cells, so a cancelled query stops partway.
+// The I/O counters still charge the full analytic cost of the region (the
+// model prices the query, not the prefix actually delivered).
+func (s *Store) ScanCtx(ctx context.Context, r linear.Region, fn func(cell int, record []byte) error) error {
 	// Charge I/O identically to the analytic measurement.
 	st := s.layout.Query(r)
 	s.io.Pages += st.Pages
@@ -68,6 +81,9 @@ func (s *Store) Scan(r linear.Region, fn func(cell int, record []byte) error) er
 	s.io.Bytes += st.Bytes
 
 	for _, pos := range s.layout.order.Positions(r) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		lo := s.layout.start[pos]
 		filled := s.fill[pos]
 		if filled == 0 {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -59,14 +60,27 @@ func (r *VerifyReport) Err() error {
 	return err
 }
 
-// Verify scrubs the store: it flushes the pool, re-reads every physical
+// Verify scrubs the store; it is VerifyCtx without a deadline.
+func (fs *FileStore) Verify() (*VerifyReport, error) {
+	return fs.VerifyCtx(context.Background())
+}
+
+// VerifyCtx scrubs the store: it flushes the pool, re-reads every physical
 // page through the checksum layer (bypassing the pool cache, so cached
 // frames cannot mask on-disk damage), and then walks every cell's record
 // framing against its fill state. It returns a report of everything found;
-// the error is non-nil only for I/O failures that stopped the scrub
-// itself, not for corruption, which lands in the report.
-func (fs *FileStore) Verify() (*VerifyReport, error) {
-	if err := fs.pool.Flush(); err != nil {
+// the error is non-nil only for I/O failures (or cancellation) that
+// stopped the scrub itself, not for corruption, which lands in the report.
+// The context is checked between pages, so a cancelled scrub stops
+// promptly; the scrub runs under the store's read lock and concurrently
+// with queries, and returns ErrClosed on a closed store.
+func (fs *FileStore) VerifyCtx(ctx context.Context) (*VerifyReport, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	if err := fs.pool.FlushCtx(ctx); err != nil {
 		return nil, fmt.Errorf("storage: verify flush: %w", err)
 	}
 	rep := &VerifyReport{}
@@ -74,6 +88,9 @@ func (fs *FileStore) Verify() (*VerifyReport, error) {
 	buf := make([]byte, u)
 	corrupt := make(map[int64]bool)
 	for p := int64(0); p < fs.layout.TotalPages(); p++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		rep.Pages++
 		err := fs.file.ReadPage(p, buf)
 		if err == nil {
@@ -88,6 +105,9 @@ func (fs *FileStore) Verify() (*VerifyReport, error) {
 	}
 	// Fill invariants and record framing, cell by cell.
 	for pos := 0; pos < fs.layout.order.Len(); pos++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		lo, hi := fs.layout.start[pos], fs.layout.start[pos+1]
 		filled := fs.fill[pos]
 		cell := fs.layout.order.CellAt(pos)

@@ -11,6 +11,11 @@ import (
 // dimension, written as value-level predicates. Dimensions without a
 // predicate select their root (the whole range), like Example 1's
 // "jeans = any".
+//
+// A GridQuery builder is NOT safe for concurrent use: build it (Where
+// chain) on one goroutine, then share the resulting Class and Region
+// values, which are plain data. The Schema it queries is itself safe to
+// share.
 type GridQuery struct {
 	schema *Schema
 	refs   []hierarchy.TreeNodeRef

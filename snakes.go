@@ -2,6 +2,7 @@ package snakes
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -84,6 +85,10 @@ func (s *Schema) Classes() []Class {
 }
 
 // Workload is a probability distribution over the schema's query classes.
+// Like Schema and Strategy it is immutable-after-build: construct and
+// populate it (Set/Normalize) on one goroutine, then share it freely —
+// concurrent readers (Prob, ExpectedCost, Optimize) need no locking as
+// long as no one mutates it anymore.
 type Workload struct {
 	schema *Schema
 	w      *workload.Workload
@@ -150,7 +155,9 @@ func (e *Estimator) Workload(smoothing float64) (*Workload, error) {
 
 // Strategy is a clustering strategy: a monotone lattice path, optionally
 // snaked. The zero value is not useful; obtain strategies from Optimize,
-// RowMajor or PathStrategy.
+// RowMajor or PathStrategy. A Strategy is immutable once built (WithSnaking
+// returns a copy) and safe to share across goroutines, as is the Schema it
+// came from.
 type Strategy struct {
 	schema *Schema
 	Path   *core.Path
@@ -294,7 +301,49 @@ func FrameSize(payloadLen int) int64 { return storage.FrameSize(payloadLen) }
 // FileStore is the file-backed Store: records live in a fixed-page file
 // accessed through an LRU buffer pool, so real page traffic can be compared
 // against the analytic model. See also Migrate for physical re-clustering.
+//
+// Unlike the in-memory Store (a single-threaded simulator), a FileStore may
+// be shared across goroutines: reads run concurrently, the pool coalesces
+// concurrent misses on the same page into one disk read, and Close waits
+// for in-flight readers before releasing the file. Context-accepting
+// methods (ReadQueryCtx, SumCtx, VerifyCtx) stop between page reads when
+// the context ends.
 type FileStore = storage.FileStore
+
+// PoolStats counts a FileStore buffer pool's traffic since creation.
+type PoolStats = storage.PoolStats
+
+// RetryPolicy configures how the buffer pool retries transient I/O errors;
+// its backoff sleeps are context-aware.
+type RetryPolicy = storage.RetryPolicy
+
+// ErrTransient marks a retryable I/O failure; the pool retries these under
+// its RetryPolicy before surfacing them.
+var ErrTransient = storage.ErrTransient
+
+// ErrClosed marks an operation issued against a FileStore after Close;
+// match with errors.Is.
+var ErrClosed = storage.ErrClosed
+
+// ErrOverloaded marks a query shed by admission control; match with
+// errors.Is and surface backpressure (e.g. HTTP 503) instead of retrying
+// immediately.
+var ErrOverloaded = storage.ErrOverloaded
+
+// Admission bounds concurrent query weight against a store with a strict
+// FIFO weighted semaphore; see NewAdmission.
+type Admission = storage.Admission
+
+// AdmissionStats is a snapshot of an Admission controller's state.
+type AdmissionStats = storage.AdmissionStats
+
+// NewAdmission creates an admission controller with the given total weight
+// capacity and queue-wait timeout. Weight a grid query by its analytic page
+// count (Layout.Query(region).Pages) so one huge scan and many point
+// queries compete for the same budget.
+func NewAdmission(capacity int64, queueTimeout time.Duration) (*Admission, error) {
+	return storage.NewAdmission(capacity, queueTimeout)
+}
 
 // CreateFileStore materializes the strategy and creates a page file at
 // path sized for the given per-cell byte capacities.
