@@ -1,13 +1,14 @@
 GO ?= go
+BENCH_NAME ?= local
 
-.PHONY: check fmt vet build test race fuzz stress staticcheck
+.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint bench
 
 # check is the tier-1 verification gate (see ROADMAP.md): formatting,
-# static analysis, a full build, and the test suite under the race
-# detector. Fuzz seed corpora run as ordinary tests. staticcheck runs
-# when the binary is installed and is skipped (with a notice) otherwise,
-# so check works on machines without network access.
-check: fmt vet staticcheck build race
+# static analysis, a full build, the metrics-name lint, and the test
+# suite under the race detector. Fuzz seed corpora run as ordinary tests.
+# staticcheck runs when the binary is installed and is skipped (with a
+# notice) otherwise, so check works on machines without network access.
+check: fmt vet staticcheck build metrics-lint race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -39,6 +40,19 @@ fuzz:
 # drain test. -count=3 defeats test caching and varies goroutine schedules.
 stress:
 	$(GO) test -race -count=3 -run 'TestConcurrent|TestBufferPool|TestClose|TestMigrateWhile|TestAdmission|TestServe' ./internal/storage ./cmd/snakestore
+
+# metrics-lint checks the daemon's metric names against the obs
+# conventions (unique series, snake_case, snakestore_ prefix, counters
+# end in _total) by scraping the real serving registry.
+metrics-lint:
+	$(GO) test -run 'TestMetricsLint|TestRegistryNameValidation' ./cmd/snakestore ./internal/obs
+
+# bench runs the end-to-end store benchmark on the reduced warehouse and
+# writes a machine-readable report; override BENCH_NAME to label runs
+# (e.g. `make bench BENCH_NAME=pr12` -> BENCH_pr12.json).
+bench:
+	$(GO) run ./cmd/snakebench -figures=false -tables "" \
+		-name $(BENCH_NAME) -json BENCH_$(BENCH_NAME).json
 
 # staticcheck is optional tooling: run it when installed, skip quietly
 # when not (the container has no network to fetch it).

@@ -4,10 +4,19 @@
 // Usage:
 //
 //	snakebench [-full] [-samples n] [-tables 1,2,3,4,5,6] [-figures]
+//	    [-seed n] [-json BENCH_name.json]
 //
 // By default the TPC-D tables run on a reduced warehouse that finishes in
 // seconds; -full uses the paper's dimensions (5×40 parts, 10 suppliers,
 // 7 years of days), which takes a few minutes.
+//
+// -json additionally runs an end-to-end store benchmark — build the
+// warehouse, load it into a paged file clustered by the snaked optimal
+// path, and execute a workload-sampled query stream — and writes a
+// machine-readable report (queries/sec, latency percentiles, pool stats,
+// predicted vs observed pages and seeks) to the given path, so successive
+// runs can be compared as a trajectory. `make bench` writes
+// BENCH_<name>.json this way.
 //
 // Exit status: 0 on success, 1 on computation errors, 2 on usage errors.
 package main
@@ -27,35 +36,82 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// benchOpts bundles every knob of a bench run; one seed feeds every
+// generated dataset so the whole run is reproducible from the flag.
+type benchOpts struct {
+	full       bool
+	samples    int
+	tables     string
+	figures    bool
+	all27      bool
+	validate   bool
+	robustness bool
+	seed       uint64
+	name       string
+	jsonPath   string
+	queries    int
+	frames     int
+}
+
 // run is the testable entry point: it parses args, writes reports to
 // stdout, and returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("snakebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	full := fs.Bool("full", false, "use the paper's full warehouse dimensions for Tables 4-6")
-	samples := fs.Int("samples", 48, "queries sampled per class when measuring the warehouse")
-	tables := fs.String("tables", "1,2,3,4,5,6", "comma-separated tables to run")
-	figures := fs.Bool("figures", true, "render Figures 1/2/3/5")
-	all27 := fs.Bool("all27", false, "run Table 4 over all 27 Section-6.2 workloads")
-	validate := fs.Bool("validate", false, "cross-check the analytic cost model against the storage simulator")
-	robustness := fs.Bool("robustness", false, "measure sensitivity of the optimized path to workload estimation error")
+	var o benchOpts
+	fs.BoolVar(&o.full, "full", false, "use the paper's full warehouse dimensions for Tables 4-6")
+	fs.IntVar(&o.samples, "samples", 48, "queries sampled per class when measuring the warehouse")
+	fs.StringVar(&o.tables, "tables", "1,2,3,4,5,6", "comma-separated tables to run")
+	fs.BoolVar(&o.figures, "figures", true, "render Figures 1/2/3/5")
+	fs.BoolVar(&o.all27, "all27", false, "run Table 4 over all 27 Section-6.2 workloads")
+	fs.BoolVar(&o.validate, "validate", false, "cross-check the analytic cost model against the storage simulator")
+	fs.BoolVar(&o.robustness, "robustness", false, "measure sensitivity of the optimized path to workload estimation error")
+	fs.Uint64Var(&o.seed, "seed", tpcd.DefaultConfig().Seed, "seed for every generated dataset and sampled query stream")
+	fs.StringVar(&o.name, "name", "local", "benchmark name recorded in the -json report")
+	fs.StringVar(&o.jsonPath, "json", "", "run the store benchmark and write its JSON report to this path")
+	fs.IntVar(&o.queries, "bench-queries", 256, "queries executed by the -json store benchmark")
+	fs.IntVar(&o.frames, "bench-frames", 256, "buffer pool frames for the -json store benchmark")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if err := bench(stdout, *full, *samples, *tables, *figures, *all27, *validate, *robustness); err != nil {
+	if err := bench(stdout, o); err != nil {
 		fmt.Fprintln(stderr, "snakebench:", err)
 		return 1
 	}
 	return 0
 }
 
-func bench(out io.Writer, full bool, samples int, tables string, figures, all27, validate, robustness bool) error {
+// validateConfig is the tiny uniform grid the model validation runs on.
+// The structure is fixed; the seed is the caller's, not a hardcoded one.
+func validateConfig(seed uint64) tpcd.Config {
+	return tpcd.Config{
+		Manufacturers: 2, PartsPerMfr: 3, Suppliers: 2,
+		Years: 2, MonthsPerYear: 2, DaysPerMonth: 2,
+		RecordBytes: 1, PageBytes: 1, MeanRecordsPerCell: 1, Seed: seed,
+	}
+}
+
+// warehouseConfig is the TPC-D warehouse for Tables 4-6 and the store
+// benchmark: the paper's dimensions when full, a reduced grid otherwise,
+// always generated from the caller's seed.
+func warehouseConfig(full bool, seed uint64) tpcd.Config {
+	cfg := tpcd.DefaultConfig()
+	cfg.Seed = seed
+	if !full {
+		cfg.PartsPerMfr = 8
+		cfg.DaysPerMonth = 6
+		cfg.Years = 4
+	}
+	return cfg
+}
+
+func bench(out io.Writer, o benchOpts) error {
 	want := map[string]bool{}
-	for _, t := range strings.Split(tables, ",") {
+	for _, t := range strings.Split(o.tables, ",") {
 		want[strings.TrimSpace(t)] = true
 	}
 
-	if figures {
+	if o.figures {
 		fmt.Fprintln(out, "== Figure 3: query class lattice of the example schema ==")
 		fmt.Fprintln(out, experiments.Figure3())
 		figs, err := experiments.FigureGrids()
@@ -67,12 +123,8 @@ func bench(out io.Writer, full bool, samples int, tables string, figures, all27,
 		}
 	}
 
-	if validate {
-		s, err := tpcd.Config{
-			Manufacturers: 2, PartsPerMfr: 3, Suppliers: 2,
-			Years: 2, MonthsPerYear: 2, DaysPerMonth: 2,
-			RecordBytes: 1, PageBytes: 1, MeanRecordsPerCell: 1, Seed: 1,
-		}.Schema()
+	if o.validate {
+		s, err := validateConfig(o.seed).Schema()
 		if err != nil {
 			return err
 		}
@@ -85,8 +137,10 @@ func bench(out io.Writer, full bool, samples int, tables string, figures, all27,
 		fmt.Fprintln(out)
 	}
 
-	if robustness {
-		ds, err := tpcd.Build(tpcd.DefaultConfig())
+	if o.robustness {
+		cfg := tpcd.DefaultConfig()
+		cfg.Seed = o.seed
+		ds, err := tpcd.Build(cfg)
 		if err != nil {
 			return err
 		}
@@ -130,74 +184,80 @@ func bench(out io.Writer, full bool, samples int, tables string, figures, all27,
 		fmt.Fprintln(out, experiments.FormatTable3(rows, experiments.Table3Fanouts))
 	}
 
-	if !want["4"] && !want["5"] && !want["6"] {
-		return nil
-	}
+	if want["4"] || want["5"] || want["6"] {
+		cfg := warehouseConfig(o.full, o.seed)
 
-	cfg := tpcd.DefaultConfig()
-	if !full {
-		cfg.PartsPerMfr = 8
-		cfg.DaysPerMonth = 6
-		cfg.Years = 4
-	}
+		if want["4"] {
+			ds, err := tpcd.Build(cfg)
+			if err != nil {
+				return err
+			}
+			sum := ds.Summarize()
+			fmt.Fprintf(out, "== TPC-D warehouse: %d cells, %d records (%d empty cells, %.1f MB) ==\n",
+				sum.Cells, sum.Records, sum.EmptyCells, float64(sum.TotalBytes)/1e6)
+			m := experiments.NewMeasurer(ds)
+			m.SamplesPerClass = o.samples
 
-	if want["4"] {
-		ds, err := tpcd.Build(cfg)
-		if err != nil {
-			return err
-		}
-		sum := ds.Summarize()
-		fmt.Fprintf(out, "== TPC-D warehouse: %d cells, %d records (%d empty cells, %.1f MB) ==\n",
-			sum.Cells, sum.Records, sum.EmptyCells, float64(sum.TotalBytes)/1e6)
-		m := experiments.NewMeasurer(ds)
-		m.SamplesPerClass = samples
-
-		// The paper reports workloads 1, 5, 7, 13 and 25 of its 27; we show
-		// the same positions of our enumeration plus the featured
-		// parts↑/supplier↓/time↑ mix (see EXPERIMENTS.md on numbering).
-		// -all27 runs the complete sweep the paper describes.
-		all := tpcd.Mixes()
-		var sel []tpcd.Mix
-		if all27 {
-			sel = all
-		} else {
-			sel = []tpcd.Mix{all[0], all[4], all[6], all[12], all[24]}
-			featured := tpcd.PaperWorkload7()
-			have := false
-			for _, mx := range sel {
-				if mx == featured {
-					have = true
+			// The paper reports workloads 1, 5, 7, 13 and 25 of its 27; we show
+			// the same positions of our enumeration plus the featured
+			// parts↑/supplier↓/time↑ mix (see EXPERIMENTS.md on numbering).
+			// -all27 runs the complete sweep the paper describes.
+			all := tpcd.Mixes()
+			var sel []tpcd.Mix
+			if o.all27 {
+				sel = all
+			} else {
+				sel = []tpcd.Mix{all[0], all[4], all[6], all[12], all[24]}
+				featured := tpcd.PaperWorkload7()
+				have := false
+				for _, mx := range sel {
+					if mx == featured {
+						have = true
+					}
+				}
+				if !have {
+					sel = append(sel, featured)
 				}
 			}
-			if !have {
-				sel = append(sel, featured)
+			rows, err := experiments.Table4(m, sel)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Table 4: normalized blocks read (seeks per query) ==")
+			fmt.Fprintln(out, experiments.FormatTable4(rows))
+		}
+
+		if want["5"] || want["6"] {
+			fanouts := []int{4, 10, 40}
+			if !o.full {
+				fanouts = []int{4, 10, 20}
+			}
+			rows, err := experiments.Table5(cfg, fanouts, o.samples)
+			if err != nil {
+				return err
+			}
+			if want["5"] {
+				fmt.Fprintln(out, "== Table 5: normalized blocks read for the featured workload ==")
+				fmt.Fprintln(out, experiments.FormatTable5(rows))
+			}
+			if want["6"] {
+				fmt.Fprintln(out, "== Table 6: normalized blocks read relative to the snaked optimal path ==")
+				fmt.Fprintln(out, experiments.FormatTable6(rows))
 			}
 		}
-		rows, err := experiments.Table4(m, sel)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "== Table 4: normalized blocks read (seeks per query) ==")
-		fmt.Fprintln(out, experiments.FormatTable4(rows))
 	}
 
-	if want["5"] || want["6"] {
-		fanouts := []int{4, 10, 40}
-		if !full {
-			fanouts = []int{4, 10, 20}
-		}
-		rows, err := experiments.Table5(cfg, fanouts, samples)
+	if o.jsonPath != "" {
+		rep, err := storeBench(warehouseConfig(o.full, o.seed), o.name, o.queries, o.frames)
 		if err != nil {
 			return err
 		}
-		if want["5"] {
-			fmt.Fprintln(out, "== Table 5: normalized blocks read for the featured workload ==")
-			fmt.Fprintln(out, experiments.FormatTable5(rows))
+		rep.Full = o.full
+		if err := rep.WriteFile(o.jsonPath); err != nil {
+			return err
 		}
-		if want["6"] {
-			fmt.Fprintln(out, "== Table 6: normalized blocks read relative to the snaked optimal path ==")
-			fmt.Fprintln(out, experiments.FormatTable6(rows))
-		}
+		fmt.Fprintf(out, "== Store bench %q: %s ==\n", o.name, rep.Summary())
+		fmt.Fprintf(out, "report written to %s\n", o.jsonPath)
 	}
 	return nil
 }

@@ -17,7 +17,11 @@
 // /healthz) against one shared store: requests run concurrently through the
 // goroutine-safe buffer pool, admission control sheds excess load with 503,
 // each request is bounded by a deadline, and SIGTERM drains in-flight
-// requests before flushing and closing the store.
+// requests before flushing and closing the store (while /healthz fails over
+// to 503 "draining"). /metrics exposes pool, admission, and request
+// telemetry in the Prometheus text format; -pprof mounts net/http/pprof
+// under /debug/pprof/; every request is logged in key=value form with a
+// unique request id.
 //
 // CSV layout: the first k columns are the record's leaf coordinates, one
 // per dimension in schema order; remaining columns are payload. The catalog

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strconv"
+
+	snakes "repro"
+	"repro/internal/obs"
+)
+
+// metricsPrefix namespaces every daemon metric; the metrics-name lint
+// (make metrics-lint, TestMetricsLint) enforces it together with
+// snake_case and per-series uniqueness.
+const metricsPrefix = "snakestore_"
+
+// handlerNames and responseCodes enumerate the closed label sets the
+// daemon pre-registers at startup — the obs registry deliberately has no
+// dynamic series creation, so the error taxonomy stays an explicit list.
+var (
+	handlerNames  = []string{"query", "verify", "healthz", "metrics"}
+	responseCodes = []int{200, 400, 500, 503, 504}
+)
+
+// handlerMetrics is one endpoint's request telemetry.
+type handlerMetrics struct {
+	requests  *obs.Counter
+	latency   *obs.Histogram
+	byCode    map[int]*obs.Counter
+	otherCode *obs.Counter // statuses outside responseCodes
+}
+
+// serverMetrics is the daemon's metric set over one obs.Registry, wired to
+// the live pool and admission counters at scrape time.
+type serverMetrics struct {
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+	draining *obs.Gauge
+	handlers map[string]*handlerMetrics
+
+	queryRecords  *obs.Counter
+	pagesAnalytic *obs.Histogram
+	pagesRead     *obs.Histogram
+	seeksAnalytic *obs.Histogram
+	seeksObserved *obs.Histogram
+}
+
+// latencyBuckets spans 0.5 ms – ~4 s, the daemon's plausible request range.
+var latencyBuckets = obs.ExpBuckets(0.0005, 2, 14)
+
+// pageBuckets spans 1 – 2048 pages/seeks per query.
+var pageBuckets = obs.ExpBuckets(1, 2, 12)
+
+// newServerMetrics builds the registry: pool and admission stats exposed
+// straight from their existing atomic counters, plus per-handler request
+// counters/histograms and the analytic-vs-observed query cost histograms.
+func newServerMetrics(store *snakes.FileStore, adm *snakes.Admission) *serverMetrics {
+	reg := obs.NewRegistry(metricsPrefix)
+	pool := func(f func(snakes.PoolStats) int64) func() int64 {
+		return func() int64 { return f(store.Pool().Stats()) }
+	}
+	reg.CounterFunc("snakestore_pool_hits_total", "buffer pool page hits", pool(func(s snakes.PoolStats) int64 { return s.Hits }))
+	reg.CounterFunc("snakestore_pool_misses_total", "buffer pool physical page loads", pool(func(s snakes.PoolStats) int64 { return s.Misses }))
+	reg.CounterFunc("snakestore_pool_evictions_total", "buffer pool frame evictions", pool(func(s snakes.PoolStats) int64 { return s.Evictions }))
+	reg.CounterFunc("snakestore_pool_writes_total", "buffer pool physical page write-backs", pool(func(s snakes.PoolStats) int64 { return s.Writes }))
+	reg.CounterFunc("snakestore_pool_retries_total", "transient I/O errors ridden out by the retry policy", pool(func(s snakes.PoolStats) int64 { return s.Retries }))
+	reg.CounterFunc("snakestore_pool_single_flight_waits_total", "goroutines that waited on another goroutine's in-flight load", pool(func(s snakes.PoolStats) int64 { return s.SingleFlightWaits }))
+
+	admf := func(f func(snakes.AdmissionStats) float64) func() float64 {
+		return func() float64 { return f(adm.StatsSnapshot()) }
+	}
+	reg.GaugeFunc("snakestore_admission_capacity_pages", "total admission weight capacity", admf(func(s snakes.AdmissionStats) float64 { return float64(s.Capacity) }))
+	reg.GaugeFunc("snakestore_admission_in_use_pages", "admission weight currently admitted", admf(func(s snakes.AdmissionStats) float64 { return float64(s.InUse) }))
+	reg.GaugeFunc("snakestore_admission_queue_depth", "queries waiting for admission", admf(func(s snakes.AdmissionStats) float64 { return float64(s.QueueDepth) }))
+	reg.CounterFunc("snakestore_admission_admitted_total", "queries admitted", func() int64 { return adm.StatsSnapshot().Admitted })
+	reg.CounterFunc("snakestore_admission_rejected_total", "queries shed on admission queue timeout", func() int64 { return adm.StatsSnapshot().Rejected })
+	reg.CounterFunc("snakestore_admission_canceled_total", "queries whose context ended while waiting for admission", func() int64 { return adm.StatsSnapshot().Canceled })
+
+	m := &serverMetrics{
+		reg:      reg,
+		inFlight: reg.Gauge("snakestore_http_in_flight", "HTTP requests currently being served"),
+		draining: reg.Gauge("snakestore_draining", "1 while graceful shutdown drains in-flight requests"),
+		handlers: make(map[string]*handlerMetrics, len(handlerNames)),
+
+		queryRecords:  reg.Counter("snakestore_query_records_total", "records streamed to query responses"),
+		pagesAnalytic: reg.Histogram("snakestore_query_pages_analytic", "pages per query predicted by the analytic cost model", pageBuckets),
+		pagesRead:     reg.Histogram("snakestore_query_pages_read", "physical page reads per query observed at the pool", pageBuckets),
+		seeksAnalytic: reg.Histogram("snakestore_query_seeks_analytic", "seeks per query predicted by the analytic cost model", pageBuckets),
+		seeksObserved: reg.Histogram("snakestore_query_seeks_observed", "seeks per query observed at the pool (runs of non-consecutive reads)", pageBuckets),
+	}
+	for _, h := range handlerNames {
+		hm := &handlerMetrics{
+			requests:  reg.Counter("snakestore_http_requests_total", "HTTP requests received", "handler", h),
+			latency:   reg.Histogram("snakestore_http_request_seconds", "HTTP request latency", latencyBuckets, "handler", h),
+			byCode:    make(map[int]*obs.Counter, len(responseCodes)),
+			otherCode: reg.Counter("snakestore_http_responses_total", "HTTP responses by status code", "handler", h, "code", "other"),
+		}
+		for _, code := range responseCodes {
+			hm.byCode[code] = reg.Counter("snakestore_http_responses_total", "HTTP responses by status code", "handler", h, "code", strconv.Itoa(code))
+		}
+		m.handlers[h] = hm
+	}
+	return m
+}
+
+// response counts one finished request against the handler's code series.
+func (hm *handlerMetrics) response(code int) {
+	if c, ok := hm.byCode[code]; ok {
+		c.Inc()
+		return
+	}
+	hm.otherCode.Inc()
+}

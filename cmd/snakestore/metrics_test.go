@@ -1,0 +1,310 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parseMetrics parses a Prometheus text exposition into per-series samples
+// (keyed `name{labels}`) and per-family types. Duplicate series are an
+// error: each (name, labels) pair must render exactly once per scrape.
+func parseMetrics(body string) (samples map[string]float64, types map[string]string, err error) {
+	samples = make(map[string]float64)
+	types = make(map[string]string)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if f, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(f, " ")
+			if !ok {
+				return nil, nil, fmt.Errorf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[name]; dup {
+				return nil, nil, fmt.Errorf("family %s declared twice", name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, nil, fmt.Errorf("malformed sample line %q", line)
+		}
+		key := line[:i]
+		v, perr := strconv.ParseFloat(line[i+1:], 64)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("sample %q: %v", line, perr)
+		}
+		if _, dup := samples[key]; dup {
+			return nil, nil, fmt.Errorf("duplicate series %s", key)
+		}
+		samples[key] = v
+	}
+	return samples, types, nil
+}
+
+// scrape fetches and parses /metrics, failing the test on any malformation.
+func scrape(t *testing.T, base string) (map[string]float64, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type = %q, want text format 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, types, err := parseMetrics(string(body))
+	if err != nil {
+		t.Fatalf("parsing /metrics: %v", err)
+	}
+	return samples, types
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := buildServed(t, 64, time.Second, 5*time.Second)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	getJSON(t, ts, "/query?where=x%3D1..2&where=y%3D2..6&sum=0", http.StatusOK, nil)
+	getJSON(t, ts, "/query?where=zz%3D0..1", http.StatusBadRequest, nil)
+
+	samples, types := scrape(t, ts.URL)
+	for key, want := range map[string]float64{
+		`snakestore_http_requests_total{handler="query"}`:             2,
+		`snakestore_http_responses_total{code="200",handler="query"}`: 1,
+		`snakestore_http_responses_total{code="400",handler="query"}`: 1,
+		`snakestore_query_pages_analytic_count`:                       1,
+	} {
+		if got, ok := samples[key]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+	// The store was opened cold, so the successful query did physical reads
+	// the pool and tally both saw.
+	for _, key := range []string{
+		"snakestore_pool_misses_total",
+		"snakestore_admission_admitted_total",
+		"snakestore_query_pages_read_sum",
+		"snakestore_query_seeks_observed_sum",
+		`snakestore_http_request_seconds_count{handler="query"}`,
+	} {
+		if samples[key] <= 0 {
+			t.Errorf("%s = %v, want positive", key, samples[key])
+		}
+	}
+	// Cumulative histogram: the +Inf bucket is the count.
+	inf := samples[`snakestore_http_request_seconds_bucket{handler="query",le="+Inf"}`]
+	cnt := samples[`snakestore_http_request_seconds_count{handler="query"}`]
+	if inf != cnt {
+		t.Errorf("+Inf bucket %v != _count %v", inf, cnt)
+	}
+	for name, typ := range map[string]string{
+		"snakestore_pool_hits_total":       "counter",
+		"snakestore_admission_queue_depth": "gauge",
+		"snakestore_http_request_seconds":  "histogram",
+		"snakestore_draining":              "gauge",
+		"snakestore_quarantined_pages":     "gauge",
+	} {
+		if types[name] != typ {
+			t.Errorf("type of %s = %q, want %q", name, types[name], typ)
+		}
+	}
+}
+
+// TestHealthzDraining: the moment graceful shutdown begins, /healthz must
+// flip to 503 "draining" — a load balancer probing it has to pull the
+// instance — while /metrics and in-flight queries keep working.
+func TestHealthzDraining(t *testing.T) {
+	srv, _ := buildServed(t, 64, time.Second, 5*time.Second)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	getJSON(t, ts, "/healthz", http.StatusOK, nil)
+	srv.beginDrain()
+
+	var h struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, ts, "/healthz", http.StatusServiceUnavailable, &h)
+	if h.Status != "draining" {
+		t.Errorf("draining healthz status = %q, want \"draining\"", h.Status)
+	}
+	getJSON(t, ts, "/query?where=x%3D1..2&where=y%3D2..6", http.StatusOK, nil)
+	samples, _ := scrape(t, ts.URL)
+	if samples["snakestore_draining"] != 1 {
+		t.Errorf("snakestore_draining = %v during drain, want 1", samples["snakestore_draining"])
+	}
+}
+
+// TestMetricsLint enforces the naming conventions on the real serving
+// registry: unique series, snake_case names, the snakestore_ prefix, and
+// counter/_total agreement. `make metrics-lint` runs this.
+func TestMetricsLint(t *testing.T) {
+	srv, _ := buildServed(t, 64, time.Second, 5*time.Second)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	getJSON(t, ts, "/query", http.StatusOK, nil)
+
+	// parseMetrics inside scrape already rejects duplicate series and
+	// duplicate family declarations.
+	samples, types := scrape(t, ts.URL)
+	nameRE := regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	for name, typ := range types {
+		if !nameRE.MatchString(name) || strings.Contains(name, "__") {
+			t.Errorf("metric %q is not snake_case", name)
+		}
+		if !strings.HasPrefix(name, "snakestore_") {
+			t.Errorf("metric %q lacks the snakestore_ prefix", name)
+		}
+		if typ == "counter" != strings.HasSuffix(name, "_total") {
+			t.Errorf("metric %q: type %s and _total suffix disagree", name, typ)
+		}
+	}
+	// Every sample belongs to a declared family (histograms via suffixes).
+	for key := range samples {
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if s, ok := strings.CutSuffix(name, suf); ok && types[s] == "histogram" {
+				base = s
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Errorf("series %s has no # TYPE declaration", key)
+		}
+	}
+}
+
+// TestConcurrentScrapeUnderDrain hammers /query and /metrics from eight
+// goroutines through a real serve() and cancels mid-traffic: /metrics must
+// never fail, scraped counters must be monotone, histograms must stay
+// self-consistent, and queries must never surface a 500.
+func TestConcurrentScrapeUnderDrain(t *testing.T) {
+	srv, _ := buildServed(t, 256, time.Second, 5*time.Second)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, 5*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	fail := make(chan string, 16) // non-test goroutines report here
+	report := func(msg string) {
+		select {
+		case fail <- msg:
+		default:
+		}
+	}
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped() {
+				resp, err := http.Get(base + "/query?where=x%3D1..2&where=y%3D2..6&sum=0")
+				if err != nil {
+					continue // refused during drain: expected
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusInternalServerError {
+					report("query returned 500")
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1.0
+			for !stopped() {
+				resp, err := http.Get(base + "/metrics")
+				if err != nil {
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					report(fmt.Sprintf("/metrics returned %d", resp.StatusCode))
+					return
+				}
+				samples, _, perr := parseMetrics(string(body))
+				if perr != nil {
+					report("bad exposition: " + perr.Error())
+					return
+				}
+				v := samples[`snakestore_http_requests_total{handler="query"}`]
+				if v < last {
+					report(fmt.Sprintf("request counter went backwards: %v -> %v", last, v))
+					return
+				}
+				last = v
+				inf := samples[`snakestore_http_request_seconds_bucket{handler="query",le="+Inf"}`]
+				cnt := samples[`snakestore_http_request_seconds_count{handler="query"}`]
+				if inf != cnt {
+					report(fmt.Sprintf("latency histogram inconsistent: +Inf %v, _count %v", inf, cnt))
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	cancel() // begin the drain while both kinds of traffic are in flight
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not drain in time")
+	}
+}

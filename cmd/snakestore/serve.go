@@ -6,13 +6,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -25,12 +29,22 @@ import (
 // that cannot be admitted in time are shed with 503 instead of queueing
 // without bound. A corrupt page discovered while serving is quarantined —
 // recorded and reported via /healthz — rather than crashing the daemon.
+//
+// Every request flows through the instrument middleware: it is counted and
+// timed in the /metrics registry and logged in key=value form with a
+// process-unique request id.
 type server struct {
 	store      *snakes.FileStore
 	schema     *snakes.Schema
 	dims       []snakes.Dimension
 	adm        *snakes.Admission
 	reqTimeout time.Duration
+	metrics    *serverMetrics
+	log        *slog.Logger
+	pprof      bool // mount /debug/pprof/ on the serving mux
+
+	draining atomic.Bool   // set once graceful shutdown begins
+	reqID    atomic.Uint64 // request id sequence for log correlation
 
 	mu         sync.Mutex
 	quarantine map[int64]string // corrupt page -> first error seen
@@ -38,22 +52,103 @@ type server struct {
 }
 
 func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dimension, adm *snakes.Admission, reqTimeout time.Duration) *server {
-	return &server{
+	s := &server{
 		store:      store,
 		schema:     schema,
 		dims:       dims,
 		adm:        adm,
 		reqTimeout: reqTimeout,
+		metrics:    newServerMetrics(store, adm),
+		log:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 		quarantine: make(map[int64]string),
 	}
+	s.metrics.reg.GaugeFunc("snakestore_quarantined_pages", "pages quarantined after checksum failures", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.quarantine))
+	})
+	return s
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/verify", s.handleVerify)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("/verify", s.instrument("verify", s.handleVerify))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	// /metrics keeps answering 200 through drain and even after the store
+	// closes: the registry reads atomics, never the file.
+	mux.Handle("/metrics", s.instrument("metrics", s.metrics.reg.Handler().ServeHTTP))
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// statusWriter captures the response code for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// reqIDKey carries the request id so handlers can tag their own log lines.
+type reqIDKey struct{}
+
+func reqIDFrom(ctx context.Context) uint64 {
+	id, _ := ctx.Value(reqIDKey{}).(uint64)
+	return id
+}
+
+// instrument wraps an endpoint with the shared telemetry: request counter,
+// in-flight gauge, latency histogram, per-status response counters, and one
+// key=value access-log line carrying a process-unique request id.
+func (s *server) instrument(name string, fn http.HandlerFunc) http.HandlerFunc {
+	hm := s.metrics.handlers[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqID.Add(1)
+		hm.requests.Inc()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		fn(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
+		elapsed := time.Since(start)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		hm.response(code)
+		hm.latency.Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"req", id, "handler", name, "method", r.Method, "url", r.URL.String(),
+			"status", code, "dur", elapsed.Round(time.Microsecond))
+	}
+}
+
+// beginDrain flips the daemon into draining: /healthz starts failing so load
+// balancers pull the instance while in-flight requests finish.
+func (s *server) beginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.metrics.draining.Set(1)
+		s.log.Info("drain", "msg", "graceful shutdown started")
+	}
 }
 
 // requestCtx bounds one request by the per-request timeout.
@@ -99,14 +194,19 @@ func (s *server) writeErr(w http.ResponseWriter, err error) {
 }
 
 type queryResponse struct {
-	Region  string   `json:"region"`
-	Records int64    `json:"records"`
-	Sum     *float64 `json:"sum,omitempty"`
-	Pages   int64    `json:"analyticPages"`
+	Region    string   `json:"region"`
+	Records   int64    `json:"records"`
+	Sum       *float64 `json:"sum,omitempty"`
+	Pages     int64    `json:"analyticPages"`
+	PagesRead int64    `json:"pagesRead"`
+	Seeks     int64    `json:"observedSeeks"`
 }
 
 // handleQuery answers GET /query?where=dim=lo..hi&...&sum=N. Unrestricted
-// dimensions select their full range, like the query subcommand.
+// dimensions select their full range, like the query subcommand. The
+// response reports both sides of the paper's cost model: the analytic page
+// prediction and the physical reads/seeks this request actually caused,
+// measured by a request-local pool tally.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
@@ -125,14 +225,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Admission weight is the query's analytic page count, so one huge scan
 	// and many point queries draw from the same budget.
-	weight := s.store.Layout().Query(region).Pages
-	if err := s.adm.Acquire(ctx, weight); err != nil {
+	pred := s.store.Layout().Query(region)
+	if err := s.adm.Acquire(ctx, pred.Pages); err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	defer s.adm.Release(weight)
+	defer s.adm.Release(pred.Pages)
 
-	resp := queryResponse{Region: fmt.Sprint(region), Pages: weight}
+	var tally snakes.PoolTally
+	ctx = snakes.WithPoolTally(ctx, &tally)
+	resp := queryResponse{Region: fmt.Sprint(region), Pages: pred.Pages}
 	var total float64
 	err = s.store.ReadQueryCtx(ctx, region, func(cell int, record []byte) error {
 		resp.Records++
@@ -152,6 +254,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if sumCol >= 0 {
 		resp.Sum = &total
 	}
+	resp.PagesRead = tally.Stats().Misses
+	resp.Seeks = tally.Seeks()
+	s.metrics.queryRecords.Add(resp.Records)
+	s.metrics.pagesAnalytic.Observe(float64(pred.Pages))
+	s.metrics.pagesRead.Observe(float64(resp.PagesRead))
+	s.metrics.seeksAnalytic.Observe(float64(pred.Seeks))
+	s.metrics.seeksObserved.Observe(float64(resp.Seeks))
+	s.log.Info("query",
+		"req", reqIDFrom(ctx), "region", resp.Region, "records", resp.Records,
+		"pagesAnalytic", pred.Pages, "pagesRead", resp.PagesRead,
+		"seeksAnalytic", pred.Seeks, "seeksObserved", resp.Seeks)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -194,8 +307,17 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz reports serving health: pool and admission stats, the
 // quarantined page set, and the last scrub outcome. Status degrades when
-// any page is quarantined.
+// any page is quarantined, and the endpoint fails outright with 503
+// "draining" the moment graceful shutdown begins — a load balancer probing
+// /healthz must pull the instance immediately, not keep routing to it for
+// the rest of the drain window.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
 	s.mu.Lock()
 	pages := make([]int64, 0, len(s.quarantine))
 	for p := range s.quarantine {
@@ -208,7 +330,6 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if len(pages) > 0 {
 		status = "degraded"
 	}
-	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":           status,
 		"pool":             s.store.Pool().Stats(),
@@ -235,24 +356,25 @@ func payloadColumn(record []byte, idx int) (float64, error) {
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then drains
-// gracefully: stop accepting, let in-flight requests finish (bounded by
-// drain), and close the store — which flushes the pool and fsyncs — before
-// returning. Split from cmdServe so tests can drive it with their own
-// listener and context.
-func serve(ctx context.Context, ln net.Listener, h http.Handler, store *snakes.FileStore, drain time.Duration) error {
-	srv := &http.Server{Handler: h}
+// gracefully: mark the server draining (so /healthz fails over), stop
+// accepting, let in-flight requests finish (bounded by drain), and close
+// the store — which flushes the pool and fsyncs — before returning. Split
+// from cmdServe so tests can drive it with their own listener and context.
+func serve(ctx context.Context, ln net.Listener, srv *server, drain time.Duration) error {
+	hs := &http.Server{Handler: srv.handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
-		store.Close()
+		srv.store.Close()
 		return err
 	case <-ctx.Done():
 	}
+	srv.beginDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	shutdownErr := srv.Shutdown(sctx)
-	closeErr := store.Close()
+	shutdownErr := hs.Shutdown(sctx)
+	closeErr := srv.store.Close()
 	if closeErr != nil && !errors.Is(closeErr, snakes.ErrClosed) {
 		return closeErr
 	}
@@ -269,6 +391,7 @@ func cmdServe(args []string) error {
 	queueTimeout := fs.Duration("queue-timeout", 100*time.Millisecond, "max wait for admission before shedding with 503")
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -298,9 +421,11 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := newServer(store, schema, schemaDims(cat), adm, *reqTimeout)
+	srv.log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv.pprof = *pprofOn
 	fmt.Printf("serving %s on http://%s (capacity %d pages, queue timeout %v)\n",
 		*storePath, ln.Addr(), *maxInflight, *queueTimeout)
-	if err := serve(ctx, ln, srv.handler(), store, *drainTimeout); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := serve(ctx, ln, srv, *drainTimeout); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	fmt.Println("drained and closed cleanly")

@@ -197,7 +197,7 @@ func TestServeGracefulDrain(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, srv.handler(), srv.store, 5*time.Second) }()
+	go func() { done <- serve(ctx, ln, srv, 5*time.Second) }()
 	base := fmt.Sprintf("http://%s", ln.Addr())
 
 	// Requests succeed while the daemon runs.

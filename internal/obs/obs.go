@@ -1,0 +1,350 @@
+// Package obs is a dependency-free metrics kernel for the serving stack:
+// atomic counters, gauges, and fixed-bucket histograms collected in a
+// Registry and rendered in the Prometheus text exposition format (version
+// 0.0.4). It exists so the daemon can export live cost telemetry — pool
+// traffic, admission pressure, request latency, analytic-vs-observed page
+// reads — without pulling a client library into the module.
+//
+// Conventions, enforced at registration (which panics on violation, the
+// same contract as prometheus.MustRegister):
+//
+//   - metric and label names are snake_case: ^[a-z][a-z0-9_]*$, no "__"
+//   - a registry built with a prefix requires every metric to carry it
+//   - counters end in _total; gauges and histograms must not
+//   - a name maps to exactly one type and help string; series under one
+//     name are distinguished by label sets, which must be unique
+//
+// All value types are safe for concurrent use; rendering takes a snapshot
+// per histogram so cumulative buckets and _count always agree within one
+// scrape.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// validName reports whether s is a legal snake_case metric or label name.
+func validName(s string) bool {
+	return nameRE.MatchString(s) && !strings.Contains(s, "__")
+}
+
+// Registry holds a set of metric families and renders them as Prometheus
+// text. The zero value is not usable; build one with NewRegistry.
+type Registry struct {
+	prefix string
+
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family groups every series registered under one metric name.
+type family struct {
+	name, help, typ string
+	series          []*series
+	byLabels        map[string]bool
+}
+
+// series is one (name, labels) stream with a render function.
+type series struct {
+	labels string // canonical `key="value",...` body, "" when unlabeled
+	write  func(b *bytes.Buffer, name, labels string)
+}
+
+// NewRegistry returns an empty registry. If prefix is non-empty, every
+// registered metric name must start with it — the hook for the
+// metrics-name lint (`make metrics-lint`).
+func NewRegistry(prefix string) *Registry {
+	return &Registry{prefix: prefix, families: make(map[string]*family)}
+}
+
+// labelBody canonicalizes kv pairs ("key", "value", ...) into the body of
+// a Prometheus label set, sorted by key.
+func labelBody(kv []string) string {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", kv))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		if !validName(kv[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", kv[i]))
+		}
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, p.k, escape(p.v))
+	}
+	return b.String()
+}
+
+// escape applies the exposition-format label value escaping: backslash,
+// double quote, and newline.
+func escape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// register validates and stores one series. kv are label pairs.
+func (r *Registry) register(name, help, typ string, kv []string, w func(b *bytes.Buffer, name, labels string)) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q (want snake_case)", name))
+	}
+	if r.prefix != "" && !strings.HasPrefix(name, r.prefix) {
+		panic(fmt.Sprintf("obs: metric %q lacks the registry prefix %q", name, r.prefix))
+	}
+	if typ == "counter" && !strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("obs: counter %q must end in _total", name))
+	}
+	if typ != "counter" && strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("obs: %s %q must not end in _total", typ, name))
+	}
+	labels := labelBody(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, byLabels: make(map[string]bool)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	if f.byLabels[labels] {
+		panic(fmt.Sprintf("obs: duplicate series %s{%s}", name, labels))
+	}
+	f.byLabels[labels] = true
+	f.series = append(f.series, &series{labels: labels, write: w})
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be non-negative (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers and returns a counter series. kv are constant label
+// pairs ("key", "value", ...).
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", kv, func(b *bytes.Buffer, name, labels string) {
+		writeSample(b, name, labels, float64(c.Value()))
+	})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for counters that already live elsewhere as atomics
+// (pool and admission stats). fn must be monotone and safe for concurrent
+// use.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, kv ...string) {
+	r.register(name, help, "counter", kv, func(b *bytes.Buffer, name, labels string) {
+		writeSample(b, name, labels, float64(fn()))
+	})
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative to subtract).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", kv, func(b *bytes.Buffer, name, labels string) {
+		writeSample(b, name, labels, g.Value())
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, kv ...string) {
+	r.register(name, help, "gauge", kv, func(b *bytes.Buffer, name, labels string) {
+		writeSample(b, name, labels, fn())
+	})
+}
+
+// Histogram is a fixed-bucket latency/size distribution. Buckets are upper
+// bounds (strictly increasing); every histogram carries an implicit +Inf
+// bucket, so Observe never drops a sample.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of samples observed.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Histogram registers and returns a histogram with the given bucket upper
+// bounds (use ExpBuckets for the usual exponential ladder).
+func (r *Registry) Histogram(name, help string, bounds []float64, kv ...string) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing at %v", name, bounds[i]))
+		}
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.register(name, help, "histogram", kv, func(b *bytes.Buffer, name, labels string) {
+		// Snapshot the counts once so the cumulative buckets and _count
+		// agree even while observations race the scrape.
+		snap := make([]int64, len(h.counts))
+		for i := range h.counts {
+			snap[i] = h.counts[i].Load()
+		}
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += snap[i]
+			writeSample(b, name+"_bucket", joinLabels(labels, fmt.Sprintf("le=%q", formatFloat(bound))), float64(cum))
+		}
+		cum += snap[len(snap)-1]
+		writeSample(b, name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum))
+		writeSample(b, name+"_sum", labels, h.Sum())
+		writeSample(b, name+"_count", labels, float64(cum))
+	})
+	return h
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start and multiplying by factor (> 1).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: bad bucket spec start=%v factor=%v n=%d", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// joinLabels merges a canonical label body with one extra rendered pair.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest exact).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSample emits one sample line.
+func writeSample(b *bytes.Buffer, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// Render returns the registry's current state in the Prometheus text
+// format, families sorted by name and series by label set.
+func (r *Registry) Render() []byte {
+	// Snapshot the family and series structure under the lock (so a racing
+	// registration cannot tear a slice), then collect values outside it —
+	// the write closures only read atomics.
+	r.mu.Lock()
+	fams := make([]family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, family{name: f.name, help: f.help, typ: f.typ, series: append([]*series(nil), f.series...)})
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b bytes.Buffer
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		for _, s := range f.series {
+			s.write(&b, f.name, s.labels)
+		}
+	}
+	return b.Bytes()
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint. It renders
+// to memory first, so a scrape can never half-fail: the endpoint always
+// answers 200 with a complete, self-consistent exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		out := r.Render()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(out)
+	})
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseExposition splits a rendered registry into sample values keyed by
+// "name{labels}" and comment lines (# HELP / # TYPE) keyed by metric name.
+func parseExposition(t *testing.T, out []byte) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = map[string]float64{}
+	types = map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("duplicate TYPE for %s", parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, valS, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(valS, 64)
+		if err != nil {
+			t.Fatalf("sample %q: %v", line, err)
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = v
+	}
+	return samples, types
+}
+
+func TestRenderFormat(t *testing.T) {
+	r := NewRegistry("app_")
+	c := r.Counter("app_requests_total", "requests served", "handler", "query")
+	c.Add(3)
+	g := r.Gauge("app_in_flight", "requests in flight")
+	g.Set(2)
+	g.Add(-1)
+	r.GaugeFunc("app_capacity", "static capacity", func() float64 { return 64 })
+	r.CounterFunc("app_hits_total", "cache hits", func() int64 { return 7 })
+	h := r.Histogram("app_latency_seconds", "request latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	samples, types := parseExposition(t, r.Render())
+	want := map[string]float64{
+		`app_requests_total{handler="query"}`:   3,
+		`app_in_flight`:                         1,
+		`app_capacity`:                          64,
+		`app_hits_total`:                        7,
+		`app_latency_seconds_bucket{le="0.1"}`:  1,
+		`app_latency_seconds_bucket{le="1"}`:    2,
+		`app_latency_seconds_bucket{le="+Inf"}`: 3,
+		`app_latency_seconds_sum`:               5.55,
+		`app_latency_seconds_count`:             3,
+	}
+	for k, v := range want {
+		if got, ok := samples[k]; !ok {
+			t.Errorf("missing sample %s", k)
+		} else if math.Abs(got-v) > 1e-9 {
+			t.Errorf("%s = %v, want %v", k, got, v)
+		}
+	}
+	for name, typ := range map[string]string{
+		"app_requests_total":  "counter",
+		"app_in_flight":       "gauge",
+		"app_latency_seconds": "histogram",
+	} {
+		if types[name] != typ {
+			t.Errorf("TYPE %s = %q, want %q", name, types[name], typ)
+		}
+	}
+}
+
+func TestLabelsCanonicalOrderAndEscaping(t *testing.T) {
+	r := NewRegistry("")
+	r.Counter("x_total", "x", "zeta", "1", "alpha", `a\b`+"\n")
+	out := string(r.Render())
+	if !strings.Contains(out, `x_total{alpha="a\\b\n",zeta="1"} 0`) {
+		t.Errorf("labels not canonical/escaped:\n%s", out)
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"bad chars", func(r *Registry) { r.Counter("Bad-Name_total", "h") }},
+		{"double underscore", func(r *Registry) { r.Counter("a__b_total", "h") }},
+		{"missing prefix", func(r *Registry) { NewRegistry("app_").Counter("other_total", "h") }},
+		{"counter without _total", func(r *Registry) { r.Counter("requests", "h") }},
+		{"gauge with _total", func(r *Registry) { r.Gauge("depth_total", "h") }},
+		{"duplicate series", func(r *Registry) { r.Counter("dup_total", "h"); r.Counter("dup_total", "h") }},
+		{"type conflict", func(r *Registry) { r.Counter("x_total", "h"); r.GaugeFunc("x_total", "h", nil) }},
+		{"bad label name", func(r *Registry) { r.Counter("y_total", "h", "Bad", "v") }},
+		{"odd labels", func(r *Registry) { r.Counter("z_total", "h", "only_key") }},
+		{"empty buckets", func(r *Registry) { r.Histogram("lat_seconds", "h", nil) }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("lat2_seconds", "h", []float64{1, 1}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: registration did not panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry(""))
+		})
+	}
+	// Distinct label sets under one name are fine.
+	r := NewRegistry("")
+	r.Counter("ok_total", "h", "handler", "a")
+	r.Counter("ok_total", "h", "handler", "b")
+}
+
+func TestHistogramConcurrentSumsAgree(t *testing.T) {
+	r := NewRegistry("")
+	h := r.Histogram("work_seconds", "h", ExpBuckets(0.001, 2, 10))
+	c := r.Counter("ops_total", "h")
+	const goroutines, perG = 8, 500
+	var observers, renderer sync.WaitGroup
+	stop := make(chan struct{})
+	inconsistent := make(chan string, 1)
+	// One goroutine renders continuously while others observe: every
+	// render must be internally consistent (+Inf bucket == _count), which
+	// holds because rendering snapshots the bucket counts once.
+	renderer.Add(1)
+	go func() {
+		defer renderer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var inf, count float64
+			for _, line := range strings.Split(string(r.Render()), "\n") {
+				if v, ok := strings.CutPrefix(line, `work_seconds_bucket{le="+Inf"} `); ok {
+					inf, _ = strconv.ParseFloat(v, 64)
+				}
+				if v, ok := strings.CutPrefix(line, `work_seconds_count `); ok {
+					count, _ = strconv.ParseFloat(v, 64)
+				}
+			}
+			if inf != count {
+				select {
+				case inconsistent <- fmt.Sprintf("+Inf bucket %v != _count %v", inf, count):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		observers.Add(1)
+		go func(g int) {
+			defer observers.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG+i) * 1e-4)
+				c.Inc()
+			}
+		}(g)
+	}
+	observers.Wait()
+	close(stop)
+	renderer.Wait()
+	select {
+	case msg := <-inconsistent:
+		t.Fatal(msg)
+	default:
+	}
+
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("count = %d, want %d", got, goroutines*perG)
+	}
+	wantSum := 0.0
+	for i := 0; i < goroutines*perG; i++ {
+		wantSum += float64(i) * 1e-4
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if c.Value() != goroutines*perG {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+}
+
+func TestCounterRejectsDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	NewRegistry("").Counter("n_total", "h").Add(-1)
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ExpBuckets = %v, want %v", got, want)
+	}
+}
+
+// TestMetricsLintNames is the registry-level half of the metrics-name
+// lint: rendered sample names must be snake_case and unique per label set
+// (parseExposition already rejects duplicates).
+func TestMetricsLintNames(t *testing.T) {
+	r := NewRegistry("app_")
+	r.Counter("app_requests_total", "h", "handler", "query")
+	r.Histogram("app_latency_seconds", "h", []float64{1})
+	nameRE := regexp.MustCompile(`^[a-z][a-z0-9_]*`)
+	samples, _ := parseExposition(t, r.Render())
+	for key := range samples {
+		name, _, _ := strings.Cut(key, "{")
+		if !nameRE.MatchString(name) || strings.Contains(name, "__") {
+			t.Errorf("metric %q is not snake_case", name)
+		}
+		if !strings.HasPrefix(name, "app_") {
+			t.Errorf("metric %q lacks the app_ prefix", name)
+		}
+	}
+}

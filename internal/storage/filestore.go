@@ -237,11 +237,16 @@ func (fs *FileStore) Scan(r linear.Region, fn func(cell int, record []byte) erro
 }
 
 // SumCtx executes an aggregate grid query against the file store under the
-// given context, returning the total and the pool traffic it generated.
-// The traffic delta is exact only when no other queries run concurrently;
-// under concurrent load it includes their pool activity too.
+// given context, returning the total and the pool traffic this query alone
+// generated. Attribution is exact under concurrency: the traffic is
+// counted in a request-local tally (WithPoolTally) rather than as a delta
+// over the shared pool counters, so concurrent queries never contaminate
+// each other's stats and a racing ResetStats cannot produce negative
+// numbers. A tally already attached to ctx by the caller is replaced for
+// the duration of this query.
 func (fs *FileStore) SumCtx(ctx context.Context, r linear.Region, decode func(record []byte) float64) (float64, PoolStats, error) {
-	before := fs.pool.Stats()
+	var tally PoolTally
+	ctx = WithPoolTally(ctx, &tally)
 	total := 0.0
 	err := fs.ReadQueryCtx(ctx, r, func(cell int, record []byte) error {
 		total += decode(record)
@@ -250,15 +255,7 @@ func (fs *FileStore) SumCtx(ctx context.Context, r linear.Region, decode func(re
 	if err != nil {
 		return 0, PoolStats{}, err
 	}
-	after := fs.pool.Stats()
-	return total, PoolStats{
-		Hits:              after.Hits - before.Hits,
-		Misses:            after.Misses - before.Misses,
-		Evictions:         after.Evictions - before.Evictions,
-		Writes:            after.Writes - before.Writes,
-		Retries:           after.Retries - before.Retries,
-		SingleFlightWaits: after.SingleFlightWaits - before.SingleFlightWaits,
-	}, nil
+	return total, tally.Stats(), nil
 }
 
 // Sum is SumCtx without a deadline.

@@ -191,7 +191,11 @@ func (bp *BufferPool) Stats() PoolStats {
 	}
 }
 
-// ResetStats clears the traffic counters.
+// ResetStats clears the pool's global traffic counters. Per-query
+// accounting (SumCtx, WithPoolTally) uses request-local tallies, never
+// deltas over these counters, so resetting mid-flight cannot corrupt any
+// query's reported stats — it only rewinds the process-lifetime totals
+// that Stats (and the /metrics endpoint) expose.
 func (bp *BufferPool) ResetStats() {
 	bp.hits.Store(0)
 	bp.misses.Store(0)
@@ -209,12 +213,16 @@ func (bp *BufferPool) withRetry(ctx context.Context, op func() error) error {
 	rp := bp.retry
 	bp.retryMu.Unlock()
 	backoff := rp.Backoff
+	tally := tallyFrom(ctx)
 	for attempt := 0; ; attempt++ {
 		err := op()
 		if err == nil || attempt >= rp.MaxRetries || !errors.Is(err, ErrTransient) {
 			return err
 		}
 		bp.retries.Add(1)
+		if tally != nil {
+			tally.retries.Add(1)
+		}
 		if backoff > 0 {
 			t := time.NewTimer(backoff)
 			select {
@@ -252,6 +260,7 @@ func (bp *BufferPool) get(ctx context.Context, page int64) (*frame, error) {
 }
 
 func (bp *BufferPool) getOnce(ctx context.Context, page int64) (*frame, error) {
+	tally := tallyFrom(ctx)
 	bp.mu.Lock()
 	if el, ok := bp.frames[page]; ok {
 		fr := el.Value.(*frame)
@@ -261,8 +270,14 @@ func (bp *BufferPool) getOnce(ctx context.Context, page int64) (*frame, error) {
 		select {
 		case <-fr.ready: // already loaded
 			bp.hits.Add(1)
+			if tally != nil {
+				tally.hits.Add(1)
+			}
 		default: // someone else's load is in flight: wait for it
 			bp.sfWaits.Add(1)
+			if tally != nil {
+				tally.sfWaits.Add(1)
+			}
 			select {
 			case <-fr.ready:
 			case <-ctx.Done():
@@ -277,6 +292,9 @@ func (bp *BufferPool) getOnce(ctx context.Context, page int64) (*frame, error) {
 		return fr, nil
 	}
 	bp.misses.Add(1)
+	if tally != nil {
+		tally.misses.Add(1)
+	}
 	if bp.lru.Len() >= bp.capacity {
 		if err := bp.evictLocked(ctx); err != nil {
 			bp.mu.Unlock()
@@ -301,6 +319,9 @@ func (bp *BufferPool) getOnce(ctx context.Context, page int64) (*frame, error) {
 		close(fr.ready)
 		return nil, err
 	}
+	if tally != nil {
+		tally.physRead(page)
+	}
 	close(fr.ready)
 	return fr, nil
 }
@@ -322,16 +343,24 @@ func (bp *BufferPool) evictLocked(ctx context.Context) error {
 			continue // pinned or still loading (loaders hold a pin)
 		}
 		// pins == 0 ⇒ no latch holder, so data/dirty are stable here.
+		// Eviction work is attributed to the request whose miss forced it.
+		tally := tallyFrom(ctx)
 		if fr.dirty {
 			if err := bp.withRetry(ctx, func() error { return bp.pf.WritePage(fr.page, fr.data) }); err != nil {
 				return err
 			}
 			bp.writes.Add(1)
+			if tally != nil {
+				tally.writes.Add(1)
+			}
 			fr.dirty = false
 		}
 		bp.lru.Remove(el)
 		delete(bp.frames, fr.page)
 		bp.evictions.Add(1)
+		if tally != nil {
+			tally.evictions.Add(1)
+		}
 		return nil
 	}
 	return fmt.Errorf("storage: all %d pool frames are pinned; size the pool above the number of concurrent readers", bp.capacity)

@@ -1,6 +1,7 @@
 package snakes
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -312,6 +313,17 @@ type FileStore = storage.FileStore
 
 // PoolStats counts a FileStore buffer pool's traffic since creation.
 type PoolStats = storage.PoolStats
+
+// PoolTally accumulates the pool traffic of one request, including an
+// observed seek count; attach one to a query's context with WithPoolTally
+// to get exact per-request cost attribution under concurrency.
+type PoolTally = storage.PoolTally
+
+// WithPoolTally routes the pool accounting of every context-accepting
+// FileStore read issued under the returned context into t.
+func WithPoolTally(ctx context.Context, t *PoolTally) context.Context {
+	return storage.WithPoolTally(ctx, t)
+}
 
 // RetryPolicy configures how the buffer pool retries transient I/O errors;
 // its backoff sleeps are context-aware.
