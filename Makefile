@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_NAME ?= local
 
-.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint bench
+.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint bench bench-adaptive reorg-smoke
 
 # check is the tier-1 verification gate (see ROADMAP.md): formatting,
 # static analysis, a full build, the metrics-name lint, and the test
@@ -36,10 +36,11 @@ fuzz:
 
 # stress re-runs the concurrency suite under the race detector several
 # times: the serving stress test (goroutines + faults + cancellation +
-# graceful shutdown), the pool coalescing tests, and the serve daemon's
-# drain test. -count=3 defeats test caching and varies goroutine schedules.
+# graceful shutdown), the pool coalescing tests, cancellable migration,
+# the serve daemon's drain test, and the adaptive-reorg swap tests.
+# -count=3 defeats test caching and varies goroutine schedules.
 stress:
-	$(GO) test -race -count=3 -run 'TestConcurrent|TestBufferPool|TestClose|TestMigrateWhile|TestAdmission|TestServe' ./internal/storage ./cmd/snakestore
+	$(GO) test -race -count=3 -run 'TestConcurrent|TestBufferPool|TestClose|TestMigrate|TestAdmission|TestServe|TestReorganizer|TestController' ./internal/storage ./internal/adaptive ./cmd/snakestore .
 
 # metrics-lint checks the daemon's metric names against the obs
 # conventions (unique series, snake_case, snakestore_ prefix, counters
@@ -53,6 +54,19 @@ metrics-lint:
 bench:
 	$(GO) run ./cmd/snakebench -figures=false -tables "" \
 		-name $(BENCH_NAME) -json BENCH_$(BENCH_NAME).json
+
+# bench-adaptive runs the workload-drift scenario end to end (serve under
+# workload A, drift to B, adaptive reorganization) and writes the
+# before/drift/after seek measurements as BENCH_adaptive.json.
+bench-adaptive:
+	$(GO) run ./cmd/snakebench -figures=false -tables "" \
+		-name $(BENCH_NAME) -adaptive-json BENCH_adaptive.json
+
+# reorg-smoke exercises the daemon's zero-downtime reorganization path
+# once under the race detector: automatic trigger, hot swap under load,
+# crash recovery, and the failure/cancellation paths.
+reorg-smoke:
+	$(GO) test -race -count=1 -run 'TestServeAdaptive|TestServeReorg' ./cmd/snakestore
 
 # staticcheck is optional tooling: run it when installed, skip quietly
 # when not (the container has no network to fetch it).

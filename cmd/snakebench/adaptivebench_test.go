@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAdaptiveBenchReorganizesAndImproves(t *testing.T) {
+	a, err := adaptiveBench(tinyConfig(42), "t", 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RecordsLoaded == 0 {
+		t.Fatalf("report moved no data: %+v", a)
+	}
+	if a.Generation != 1 {
+		t.Errorf("generation = %d, want 1 after the reorganization", a.Generation)
+	}
+	if a.Regret <= 1 {
+		t.Errorf("regret = %v, want > 1 (the drifted stream must mispredict the deployed layout)", a.Regret)
+	}
+	if a.StrategyAfter == "" || a.StrategyAfter == a.StrategyBefore {
+		t.Errorf("strategy did not change: before=%q after=%q", a.StrategyBefore, a.StrategyAfter)
+	}
+	if a.WorkloadAfter == a.WorkloadBefore {
+		t.Errorf("drift mix %q equals the design mix", a.WorkloadAfter)
+	}
+	for _, p := range []AdaptivePhase{a.Before, a.Drift, a.After} {
+		if p.Queries != 16 || p.RecordsRead == 0 || p.ObservedSeeks <= 0 || p.PredictedSeeks <= 0 {
+			t.Errorf("phase %q incomplete: %+v", p.Name, p)
+		}
+	}
+	// The point of the subsystem: the same drifted stream costs fewer seeks
+	// on the re-clustered generation than on the stale one.
+	if a.After.ObservedSeeks >= a.Drift.ObservedSeeks {
+		t.Errorf("reorg did not pay: drifted stream saw %d seeks before, %d after",
+			a.Drift.ObservedSeeks, a.After.ObservedSeeks)
+	}
+	// On each layout the physical seeks must match the analytic model (cold
+	// pool, exact replay).
+	if a.Drift.ObservedSeeks != a.Drift.PredictedSeeks {
+		t.Errorf("drift phase: observed %d seeks, model predicted %d", a.Drift.ObservedSeeks, a.Drift.PredictedSeeks)
+	}
+	if a.After.ObservedSeeks != a.After.PredictedSeeks {
+		t.Errorf("after phase: observed %d seeks, model predicted %d", a.After.ObservedSeeks, a.After.PredictedSeeks)
+	}
+
+	// The same seed must reproduce the data-dependent numbers exactly.
+	b, err := adaptiveBench(tinyConfig(42), "t", 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RecordsLoaded != b.RecordsLoaded ||
+		a.Before.ObservedSeeks != b.Before.ObservedSeeks ||
+		a.Drift.ObservedSeeks != b.Drift.ObservedSeeks ||
+		a.After.ObservedSeeks != b.After.ObservedSeeks ||
+		a.Regret != b.Regret {
+		t.Errorf("same seed, different measurements:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAdaptiveBenchReportJSON(t *testing.T) {
+	rep, err := adaptiveBench(tinyConfig(1), "roundtrip", 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_adaptive.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"name", "seed", "strategyBefore", "strategyAfter", "workloadBefore",
+		"workloadAfter", "regret", "generation", "migrationSeconds",
+		"beforeDrift", "afterDrift", "afterReorg",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report missing %q", key)
+		}
+	}
+	if m["name"] != "roundtrip" {
+		t.Errorf("name = %v, want roundtrip", m["name"])
+	}
+}

@@ -49,6 +49,7 @@ type benchOpts struct {
 	seed       uint64
 	name       string
 	jsonPath   string
+	adaptPath  string
 	queries    int
 	frames     int
 }
@@ -69,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Uint64Var(&o.seed, "seed", tpcd.DefaultConfig().Seed, "seed for every generated dataset and sampled query stream")
 	fs.StringVar(&o.name, "name", "local", "benchmark name recorded in the -json report")
 	fs.StringVar(&o.jsonPath, "json", "", "run the store benchmark and write its JSON report to this path")
+	fs.StringVar(&o.adaptPath, "adaptive-json", "", "run the adaptive reorganization benchmark and write its JSON report to this path")
 	fs.IntVar(&o.queries, "bench-queries", 256, "queries executed by the -json store benchmark")
 	fs.IntVar(&o.frames, "bench-frames", 256, "buffer pool frames for the -json store benchmark")
 	if err := fs.Parse(args); err != nil {
@@ -258,6 +260,19 @@ func bench(out io.Writer, o benchOpts) error {
 		}
 		fmt.Fprintf(out, "== Store bench %q: %s ==\n", o.name, rep.Summary())
 		fmt.Fprintf(out, "report written to %s\n", o.jsonPath)
+	}
+
+	if o.adaptPath != "" {
+		rep, err := adaptiveBench(warehouseConfig(o.full, o.seed), o.name, o.queries, o.frames)
+		if err != nil {
+			return err
+		}
+		rep.Full = o.full
+		if err := rep.WriteFile(o.adaptPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Adaptive bench %q: %s ==\n", o.name, rep.Summary())
+		fmt.Fprintf(out, "report written to %s\n", o.adaptPath)
 	}
 	return nil
 }

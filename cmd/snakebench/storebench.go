@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lattice"
 	"repro/internal/linear"
 	"repro/internal/storage"
 	"repro/internal/tpcd"
@@ -204,9 +205,17 @@ func storeBench(cfg tpcd.Config, name string, queries, frames int) (*BenchReport
 // dataset's seed. Vacuous regions (selecting no bytes) are resampled under
 // a bounded budget; exhausting it is an error, never a silent shortfall.
 func sampleRegions(ds *tpcd.Dataset, w *workload.Workload, o *linear.Order, n int) ([]linear.Region, error) {
+	regions, _, err := sampleRegionsWithClasses(ds, w, o, n)
+	return regions, err
+}
+
+// sampleRegionsWithClasses is sampleRegions plus the class each region was
+// drawn from, so the adaptive benchmark can replay the same stream into the
+// controller's workload estimator.
+func sampleRegionsWithClasses(ds *tpcd.Dataset, w *workload.Workload, o *linear.Order, n int) ([]linear.Region, []lattice.Point, error) {
 	classes := w.Support()
 	if len(classes) == 0 {
-		return nil, fmt.Errorf("storebench: workload has empty support")
+		return nil, nil, fmt.Errorf("storebench: workload has empty support")
 	}
 	cum := make([]float64, len(classes))
 	total := 0.0
@@ -217,13 +226,14 @@ func sampleRegions(ds *tpcd.Dataset, w *workload.Workload, o *linear.Order, n in
 	rng := rand.New(rand.NewSource(int64(ds.Config.Seed)))
 	layout, err := storage.NewFileLayout(o, paddedBytes(ds), ds.Config.PageBytes)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]linear.Region, 0, n)
+	drawn := make([]lattice.Point, 0, n)
 	budget := 100 * n
 	for len(out) < n {
 		if budget--; budget < 0 {
-			return nil, fmt.Errorf("storebench: could not sample %d non-empty queries (got %d); dataset too sparse", n, len(out))
+			return nil, nil, fmt.Errorf("storebench: could not sample %d non-empty queries (got %d); dataset too sparse", n, len(out))
 		}
 		u := rng.Float64() * total
 		ci := sort.SearchFloat64s(cum, u)
@@ -240,8 +250,9 @@ func sampleRegions(ds *tpcd.Dataset, w *workload.Workload, o *linear.Order, n in
 			continue // the paper's queries always select data; skip vacuous ones
 		}
 		out = append(out, r)
+		drawn = append(drawn, c)
 	}
-	return out, nil
+	return out, drawn, nil
 }
 
 // paddedBytes is the framed per-cell size the benchmark store reserves —

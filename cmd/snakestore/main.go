@@ -46,6 +46,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 
@@ -53,8 +54,9 @@ import (
 )
 
 // catalogVersion is the current catalog format. Version 1 (no dirty flag)
-// is still readable; writes always upgrade to the current version.
-const catalogVersion = 2
+// and version 2 (no generations) are still readable; writes always upgrade
+// to the current version.
+const catalogVersion = 3
 
 // catalog is the persistent description of one snakestore database.
 type catalog struct {
@@ -65,6 +67,60 @@ type catalog struct {
 	Dirty       bool            `json:"dirty,omitempty"`
 	BytesPer    []int64         `json:"bytesPerCell,omitempty"`
 	LoadedBytes []int64         `json:"loadedBytes,omitempty"`
+	// Generation and StoreFile record which physical file holds the live
+	// store after adaptive reorganizations: generation 0 is the original
+	// build at the base store path, generation N > 0 lives at base.gN. The
+	// catalog is rewritten atomically before the old generation is deleted,
+	// so a crash between the two leaves both files on disk and the catalog
+	// pointing at the valid one.
+	Generation int    `json:"generation,omitempty"`
+	StoreFile  string `json:"storeFile,omitempty"`
+}
+
+// genPath returns the store file for a generation: the base path itself for
+// generation 0, base.g<N> afterwards.
+func genPath(base string, gen int) string {
+	if gen <= 0 {
+		return base
+	}
+	return fmt.Sprintf("%s.g%d", base, gen)
+}
+
+// activeStorePath resolves the file holding the catalog's live generation,
+// relative to the -store base path the user passed.
+func activeStorePath(cat *catalog, base string) string {
+	if cat.StoreFile != "" {
+		return filepath.Join(filepath.Dir(base), cat.StoreFile)
+	}
+	return genPath(base, cat.Generation)
+}
+
+// cleanStaleGenerations removes generation files left behind by a crash
+// between the catalog swap and the old generation's deletion: every file
+// matching the base name or base.g<N> except the active one. Returns the
+// paths removed.
+func cleanStaleGenerations(base, active string) ([]string, error) {
+	dir := filepath.Dir(base)
+	re := regexp.MustCompile(`^` + regexp.QuoteMeta(filepath.Base(base)) + `(\.g\d+)?$`)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || !re.MatchString(e.Name()) {
+			continue
+		}
+		p := filepath.Join(dir, e.Name())
+		if p == active {
+			continue
+		}
+		if err := os.Remove(p); err != nil {
+			return removed, err
+		}
+		removed = append(removed, p)
+	}
+	return removed, nil
 }
 
 // errUsage marks errors caused by bad invocation (exit 2) rather than I/O
@@ -169,11 +225,17 @@ func cmdBuild(args []string) error {
 
 	// Mark the catalog dirty — atomically — before the store file is
 	// touched. A crash anywhere in the load leaves the flag set, so the
-	// next open knows the store and catalog may disagree.
+	// next open knows the store and catalog may disagree. A rebuild starts
+	// over at generation 0, so reorganized generations from an earlier
+	// serve are stale and removed.
 	cat.Version = catalogVersion
 	cat.Dirty = true
 	cat.BytesPer, cat.LoadedBytes = nil, nil
+	cat.Generation, cat.StoreFile = 0, ""
 	if err := writeCatalog(*catPath, cat); err != nil {
+		return err
+	}
+	if _, err := cleanStaleGenerations(*storePath, *storePath); err != nil {
 		return err
 	}
 
@@ -242,7 +304,7 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return usagef("%v", err)
 	}
-	store, err := strat.OpenFileStore(*storePath, cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
+	store, err := strat.OpenFileStore(activeStorePath(cat, *storePath), cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
 	if err != nil {
 		return err
 	}
@@ -301,7 +363,7 @@ func cmdVerify(args []string) error {
 	if cat.BytesPer == nil {
 		return fmt.Errorf("catalog has no load state; run build first")
 	}
-	store, err := strat.OpenFileStore(*storePath, cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
+	store, err := strat.OpenFileStore(activeStorePath(cat, *storePath), cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
 	if err != nil {
 		return err
 	}

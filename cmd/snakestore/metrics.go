@@ -2,6 +2,7 @@ package main
 
 import (
 	"strconv"
+	"strings"
 
 	snakes "repro"
 	"repro/internal/obs"
@@ -12,12 +13,14 @@ import (
 // snake_case and per-series uniqueness.
 const metricsPrefix = "snakestore_"
 
-// handlerNames and responseCodes enumerate the closed label sets the
-// daemon pre-registers at startup — the obs registry deliberately has no
-// dynamic series creation, so the error taxonomy stays an explicit list.
+// handlerNames, responseCodes, and reorgOutcomes enumerate the closed
+// label sets the daemon pre-registers at startup — the obs registry
+// deliberately has no dynamic series creation, so the error taxonomy stays
+// an explicit list.
 var (
-	handlerNames  = []string{"query", "verify", "healthz", "metrics"}
-	responseCodes = []int{200, 400, 500, 503, 504}
+	handlerNames  = []string{"query", "verify", "healthz", "metrics", "reorg"}
+	responseCodes = []int{200, 400, 409, 500, 503, 504}
+	reorgOutcomes = []string{"success", "failed", "canceled"}
 )
 
 // handlerMetrics is one endpoint's request telemetry.
@@ -41,6 +44,14 @@ type serverMetrics struct {
 	pagesRead     *obs.Histogram
 	seeksAnalytic *obs.Histogram
 	seeksObserved *obs.Histogram
+
+	// Adaptive reorganization: one counter per class the serve path has
+	// attributed queries to, the policy's last regret measurement, and
+	// per-outcome migration counts and durations.
+	classObserved map[string]*obs.Counter
+	reorgRegret   *obs.Gauge
+	reorgSeconds  *obs.Histogram
+	reorgOutcome  map[string]*obs.Counter
 }
 
 // latencyBuckets spans 0.5 ms – ~4 s, the daemon's plausible request range.
@@ -49,13 +60,26 @@ var latencyBuckets = obs.ExpBuckets(0.0005, 2, 14)
 // pageBuckets spans 1 – 2048 pages/seeks per query.
 var pageBuckets = obs.ExpBuckets(1, 2, 12)
 
+// classLabel renders a query class as a metric label value: its per-dim
+// levels comma-joined, e.g. "0,2".
+func classLabel(c snakes.Class) string {
+	parts := make([]string, len(c))
+	for i, lv := range c {
+		parts[i] = strconv.Itoa(lv)
+	}
+	return strings.Join(parts, ",")
+}
+
 // newServerMetrics builds the registry: pool and admission stats exposed
-// straight from their existing atomic counters, plus per-handler request
-// counters/histograms and the analytic-vs-observed query cost histograms.
-func newServerMetrics(store *snakes.FileStore, adm *snakes.Admission) *serverMetrics {
+// straight from their existing atomic counters, per-handler request
+// counters/histograms, the analytic-vs-observed query cost histograms, and
+// the adaptive reorganization families. The store is read through an
+// accessor because reorganization hot-swaps it at runtime; the schema fixes
+// the closed per-class label set.
+func newServerMetrics(store func() *snakes.FileStore, adm *snakes.Admission, schema *snakes.Schema) *serverMetrics {
 	reg := obs.NewRegistry(metricsPrefix)
 	pool := func(f func(snakes.PoolStats) int64) func() int64 {
-		return func() int64 { return f(store.Pool().Stats()) }
+		return func() int64 { return f(store().Pool().Stats()) }
 	}
 	reg.CounterFunc("snakestore_pool_hits_total", "buffer pool page hits", pool(func(s snakes.PoolStats) int64 { return s.Hits }))
 	reg.CounterFunc("snakestore_pool_misses_total", "buffer pool physical page loads", pool(func(s snakes.PoolStats) int64 { return s.Misses }))
@@ -85,6 +109,18 @@ func newServerMetrics(store *snakes.FileStore, adm *snakes.Admission) *serverMet
 		pagesRead:     reg.Histogram("snakestore_query_pages_read", "physical page reads per query observed at the pool", pageBuckets),
 		seeksAnalytic: reg.Histogram("snakestore_query_seeks_analytic", "seeks per query predicted by the analytic cost model", pageBuckets),
 		seeksObserved: reg.Histogram("snakestore_query_seeks_observed", "seeks per query observed at the pool (runs of non-consecutive reads)", pageBuckets),
+
+		classObserved: make(map[string]*obs.Counter, schema.NumClasses()),
+		reorgRegret:   reg.Gauge("snakestore_reorg_regret", "deployed strategy cost over DP-optimal cost at the last policy evaluation"),
+		reorgSeconds:  reg.Histogram("snakestore_reorg_migration_seconds", "wall time of reorganization attempts", latencyBuckets),
+		reorgOutcome:  make(map[string]*obs.Counter, len(reorgOutcomes)),
+	}
+	for _, c := range schema.Classes() {
+		lbl := classLabel(c)
+		m.classObserved[lbl] = reg.Counter("snakestore_query_class_observed_total", "queries served by attributed query class", "class", lbl)
+	}
+	for _, o := range reorgOutcomes {
+		m.reorgOutcome[o] = reg.Counter("snakestore_reorg_total", "reorganization attempts by outcome", "outcome", o)
 	}
 	for _, h := range handlerNames {
 		hm := &handlerMetrics{
@@ -108,4 +144,21 @@ func (hm *handlerMetrics) response(code int) {
 		return
 	}
 	hm.otherCode.Inc()
+}
+
+// observeClass counts one served query against its class series and feeds
+// the gauge consumers; unknown labels are impossible by construction (the
+// set is pre-registered from the schema) but ignored defensively.
+func (m *serverMetrics) observeClass(c snakes.Class) {
+	if ctr, ok := m.classObserved[classLabel(c)]; ok {
+		ctr.Inc()
+	}
+}
+
+// observeReorg counts one reorganization outcome and its duration.
+func (m *serverMetrics) observeReorg(outcome string, seconds float64) {
+	if ctr, ok := m.reorgOutcome[outcome]; ok {
+		ctr.Inc()
+	}
+	m.reorgSeconds.Observe(seconds)
 }

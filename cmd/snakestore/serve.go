@@ -13,6 +13,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -30,11 +31,21 @@ import (
 // without bound. A corrupt page discovered while serving is quarantined —
 // recorded and reported via /healthz — rather than crashing the daemon.
 //
+// With -adapt the daemon also closes the paper's loop at runtime: every
+// /query is attributed to its lattice class and fed to a Reorganizer, which
+// re-runs the Figure-4 DP against the decayed live distribution and — when
+// the deployed linearization's regret clears the policy — migrates the
+// store into a new generation file and hot-swaps the serving pointer. The
+// store field is therefore an atomic pointer: handlers snapshot it once per
+// request, in-flight readers on the old generation drain through its
+// close, and queries racing a swap see either generation but never a torn
+// state.
+//
 // Every request flows through the instrument middleware: it is counted and
 // timed in the /metrics registry and logged in key=value form with a
 // process-unique request id.
 type server struct {
-	store      *snakes.FileStore
+	store      atomic.Pointer[snakes.FileStore]
 	schema     *snakes.Schema
 	dims       []snakes.Dimension
 	adm        *snakes.Admission
@@ -42,6 +53,15 @@ type server struct {
 	metrics    *serverMetrics
 	log        *slog.Logger
 	pprof      bool // mount /debug/pprof/ on the serving mux
+
+	// Adaptive reorganization state; reorg stays nil when -adapt is off.
+	reorg      *snakes.Reorganizer
+	generation atomic.Int64
+	swapMu     sync.Mutex // serializes store swaps against drain
+	catPath    string
+	storeBase  string
+	frames     int
+	cat        *catalog
 
 	draining atomic.Bool   // set once graceful shutdown begins
 	reqID    atomic.Uint64 // request id sequence for log correlation
@@ -53,21 +73,135 @@ type server struct {
 
 func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dimension, adm *snakes.Admission, reqTimeout time.Duration) *server {
 	s := &server{
-		store:      store,
 		schema:     schema,
 		dims:       dims,
 		adm:        adm,
 		reqTimeout: reqTimeout,
-		metrics:    newServerMetrics(store, adm),
 		log:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 		quarantine: make(map[int64]string),
 	}
+	s.store.Store(store)
+	s.metrics = newServerMetrics(s.st, adm, schema)
 	s.metrics.reg.GaugeFunc("snakestore_quarantined_pages", "pages quarantined after checksum failures", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(len(s.quarantine))
 	})
+	s.metrics.reg.GaugeFunc("snakestore_store_generation", "store generation currently serving", func() float64 {
+		return float64(s.generation.Load())
+	})
 	return s
+}
+
+// st returns the store currently serving. Handlers call it once per request
+// so the analytic prediction and the physical read run against the same
+// generation even when a reorganization swaps the pointer mid-request.
+func (s *server) st() *snakes.FileStore { return s.store.Load() }
+
+// closeStore closes the serving store, synchronizing with any in-flight
+// swap commit so the store that survives is the one that gets closed.
+func (s *server) closeStore() error {
+	s.swapMu.Lock()
+	st := s.st()
+	s.swapMu.Unlock()
+	return st.Close()
+}
+
+// enableReorg wires the adaptive reorganizer onto the server: the policy
+// watches the classes handleQuery observes, and when it fires the server's
+// reorgMigrate runs the migration and the generation swap.
+func (s *server) enableReorg(catPath, storeBase string, frames int, cat *catalog, strat *snakes.Strategy, cfg snakes.ReorgConfig) error {
+	s.catPath, s.storeBase, s.frames, s.cat = catPath, storeBase, frames, cat
+	r, err := snakes.NewReorganizer(strat, cat.Generation, s.reorgMigrate, cfg)
+	if err != nil {
+		return err
+	}
+	r.OnEvaluate(func(e snakes.ReorgEvaluation) { s.metrics.reorgRegret.Set(e.Regret) })
+	r.OnReorg(func(outcome string, d time.Duration) {
+		s.metrics.observeReorg(outcome, d.Seconds())
+		s.log.Info("reorg", "outcome", outcome, "dur", d.Round(time.Millisecond), "gen", s.generation.Load())
+	})
+	s.reorg = r
+	s.generation.Store(int64(cat.Generation))
+	return nil
+}
+
+// reorgMigrate is the mechanism half of a reorganization: copy the store
+// into the next generation file under the new strategy, persist the catalog
+// (atomically, before anything is deleted), hot-swap the serving pointer,
+// drain readers off the old generation, and delete the old file only after
+// the new one passes a full scrub. A failure at any point before the
+// catalog write aborts with the old generation untouched and no partial
+// files; a crash after the catalog write leaves at most a stale file that
+// startup cleanup removes.
+func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) error {
+	old := s.st()
+	newPath := genPath(s.storeBase, d.Generation)
+	dst, err := d.Strategy.MigrateCtx(ctx, old, newPath, s.frames, d.Progress)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		dst.Close()
+		os.Remove(newPath)
+		return err
+	}
+	stratJSON, err := snakes.MarshalStrategy(d.Strategy)
+	if err != nil {
+		return abort(err)
+	}
+
+	// Commit point: catalog first (atomic rename), then the serving
+	// pointer, all under swapMu so a concurrent drain either beats the
+	// commit (we abort) or closes the store we just installed.
+	s.swapMu.Lock()
+	if s.draining.Load() {
+		s.swapMu.Unlock()
+		return abort(fmt.Errorf("reorg aborted: daemon draining: %w", snakes.ErrClosed))
+	}
+	oldPath := activeStorePath(s.cat, s.storeBase)
+	cat := *s.cat
+	cat.Version = catalogVersion
+	cat.Strategy = stratJSON
+	cat.Generation = d.Generation
+	cat.StoreFile = filepath.Base(newPath)
+	cat.LoadedBytes = dst.LoadedBytes()
+	if err := writeCatalog(s.catPath, &cat); err != nil {
+		s.swapMu.Unlock()
+		return abort(err)
+	}
+	*s.cat = cat
+	s.store.Store(dst)
+	s.generation.Store(int64(d.Generation))
+	s.swapMu.Unlock()
+
+	// The swap is committed: new requests already run on dst. Close the
+	// old generation — Close blocks until its in-flight readers drain —
+	// then gate the old file's deletion on a clean scrub of the new one.
+	if err := old.Close(); err != nil && !errors.Is(err, snakes.ErrClosed) {
+		s.log.Warn("reorg", "msg", "closing old generation", "err", err)
+	}
+	rep, verr := dst.VerifyCtx(context.Background())
+	if verr != nil || !rep.OK() {
+		if verr == nil {
+			verr = fmt.Errorf("%d problem(s)", len(rep.Problems))
+			for _, p := range rep.Problems {
+				if errors.Is(p.Err, snakes.ErrCorruptPage) {
+					s.noteCorrupt(fmt.Errorf("post-reorg scrub: %w", p.Err))
+				}
+			}
+		}
+		// The swap stands (the catalog already points at the new
+		// generation) but the old file is kept as a recovery artifact.
+		s.log.Warn("reorg", "msg", "post-swap scrub not clean; keeping old generation file", "err", verr)
+		return nil
+	}
+	if oldPath != newPath {
+		if err := os.Remove(oldPath); err != nil && !os.IsNotExist(err) {
+			s.log.Warn("reorg", "msg", "removing old generation file", "err", err)
+		}
+	}
+	return nil
 }
 
 func (s *server) handler() http.Handler {
@@ -75,6 +209,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("/verify", s.instrument("verify", s.handleVerify))
 	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/reorg", s.instrument("reorg", s.handleReorg))
 	// /metrics keeps answering 200 through drain and even after the store
 	// closes: the registry reads atomics, never the file.
 	mux.Handle("/metrics", s.instrument("metrics", s.metrics.reg.Handler().ServeHTTP))
@@ -143,7 +278,8 @@ func (s *server) instrument(name string, fn http.HandlerFunc) http.HandlerFunc {
 }
 
 // beginDrain flips the daemon into draining: /healthz starts failing so load
-// balancers pull the instance while in-flight requests finish.
+// balancers pull the instance while in-flight requests finish, and no
+// reorganization may commit a swap afterwards.
 func (s *server) beginDrain() {
 	if s.draining.CompareAndSwap(false, true) {
 		s.metrics.draining.Set(1)
@@ -174,13 +310,15 @@ func (s *server) noteCorrupt(err error) {
 }
 
 // writeErr maps the serving error taxonomy onto HTTP statuses: bad input
-// 400, shed or closed 503, timed out 504, corruption 500 (after
-// quarantining the page).
+// 400, a reorganization already running 409, shed or closed 503, timed out
+// 504, corruption 500 (after quarantining the page).
 func (s *server) writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, errUsage):
 		status = http.StatusBadRequest
+	case errors.Is(err, snakes.ErrReorgInProgress):
+		status = http.StatusConflict
 	case errors.Is(err, snakes.ErrOverloaded), errors.Is(err, snakes.ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -194,19 +332,21 @@ func (s *server) writeErr(w http.ResponseWriter, err error) {
 }
 
 type queryResponse struct {
-	Region    string   `json:"region"`
-	Records   int64    `json:"records"`
-	Sum       *float64 `json:"sum,omitempty"`
-	Pages     int64    `json:"analyticPages"`
-	PagesRead int64    `json:"pagesRead"`
-	Seeks     int64    `json:"observedSeeks"`
+	Region     string   `json:"region"`
+	Records    int64    `json:"records"`
+	Sum        *float64 `json:"sum,omitempty"`
+	Pages      int64    `json:"analyticPages"`
+	PagesRead  int64    `json:"pagesRead"`
+	Seeks      int64    `json:"observedSeeks"`
+	Generation int64    `json:"generation"`
 }
 
 // handleQuery answers GET /query?where=dim=lo..hi&...&sum=N. Unrestricted
 // dimensions select their full range, like the query subcommand. The
 // response reports both sides of the paper's cost model: the analytic page
 // prediction and the physical reads/seeks this request actually caused,
-// measured by a request-local pool tally.
+// measured by a request-local pool tally — plus the store generation that
+// served it, so clients can watch reorganizations land.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
@@ -223,9 +363,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Every valid query is demand evidence, observed before admission so
+	// shed load still teaches the reorganizer what clients wanted.
+	if class, cerr := s.schema.ClassOfRegion(region); cerr == nil {
+		s.metrics.observeClass(class)
+		if s.reorg != nil {
+			if oerr := s.reorg.Observe(class); oerr != nil {
+				s.log.Warn("reorg", "msg", "observing query class", "err", oerr)
+			}
+		}
+	}
+	// Snapshot the serving store once: prediction, admission weight, and
+	// the read below all run against the same generation even if a
+	// reorganization swaps the pointer mid-request.
+	st := s.st()
+	gen := s.generation.Load()
 	// Admission weight is the query's analytic page count, so one huge scan
 	// and many point queries draw from the same budget.
-	pred := s.store.Layout().Query(region)
+	pred := st.Layout().Query(region)
 	if err := s.adm.Acquire(ctx, pred.Pages); err != nil {
 		s.writeErr(w, err)
 		return
@@ -234,9 +389,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	var tally snakes.PoolTally
 	ctx = snakes.WithPoolTally(ctx, &tally)
-	resp := queryResponse{Region: fmt.Sprint(region), Pages: pred.Pages}
+	resp := queryResponse{Region: fmt.Sprint(region), Pages: pred.Pages, Generation: gen}
 	var total float64
-	err = s.store.ReadQueryCtx(ctx, region, func(cell int, record []byte) error {
+	err = st.ReadQueryCtx(ctx, region, func(cell int, record []byte) error {
 		resp.Records++
 		if sumCol >= 0 {
 			v, err := payloadColumn(record, sumCol)
@@ -263,7 +418,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.seeksObserved.Observe(float64(resp.Seeks))
 	s.log.Info("query",
 		"req", reqIDFrom(ctx), "region", resp.Region, "records", resp.Records,
-		"pagesAnalytic", pred.Pages, "pagesRead", resp.PagesRead,
+		"gen", gen, "pagesAnalytic", pred.Pages, "pagesRead", resp.PagesRead,
 		"seeksAnalytic", pred.Seeks, "seeksObserved", resp.Seeks)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
@@ -274,7 +429,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	rep, err := s.store.VerifyCtx(ctx)
+	rep, err := s.st().VerifyCtx(ctx)
 	if err != nil {
 		s.mu.Lock()
 		s.lastScrub = "aborted: " + err.Error()
@@ -305,6 +460,46 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReorg exposes the adaptive reorganizer: GET reports the policy's
+// status (generation, regret, hysteresis, migration progress, last
+// outcome), POST triggers one policy step now — with ?force=1 the
+// thresholds are bypassed and the current DP optimum deployed
+// unconditionally. A POST while a migration is already running answers 409.
+func (s *server) handleReorg(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch r.Method {
+	case http.MethodGet:
+		if s.reorg == nil {
+			json.NewEncoder(w).Encode(map[string]any{"enabled": false, "generation": s.generation.Load()})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"enabled": true, "status": s.reorg.Status()})
+	case http.MethodPost:
+		if s.reorg == nil {
+			s.writeErr(w, usagef("adaptive reorganization is disabled; restart serve with -adapt"))
+			return
+		}
+		// Migrations can legitimately outlast the per-request timeout, so
+		// the trigger runs under the raw request context: a disconnecting
+		// client cancels the migration cleanly (partial output removed).
+		d, err := s.reorg.Trigger(r.Context(), r.URL.Query().Get("force") == "1")
+		switch {
+		case err == nil:
+			json.NewEncoder(w).Encode(map[string]any{
+				"triggered":  true,
+				"generation": d.Generation,
+				"regret":     d.Regret,
+			})
+		case snakes.ReorgSkipped(err):
+			json.NewEncoder(w).Encode(map[string]any{"triggered": false, "reason": err.Error()})
+		default:
+			s.writeErr(w, err)
+		}
+	default:
+		s.writeErr(w, usagef("method %s not allowed on /reorg", r.Method))
+	}
+}
+
 // handleHealthz reports serving health: pool and admission stats, the
 // quarantined page set, and the last scrub outcome. Status degrades when
 // any page is quarantined, and the endpoint fails outright with 503
@@ -332,7 +527,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":           status,
-		"pool":             s.store.Pool().Stats(),
+		"generation":       s.generation.Load(),
+		"pool":             s.st().Pool().Stats(),
 		"admission":        s.adm.StatsSnapshot(),
 		"quarantinedPages": pages,
 		"lastScrub":        lastScrub,
@@ -356,17 +552,19 @@ func payloadColumn(record []byte, idx int) (float64, error) {
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then drains
-// gracefully: mark the server draining (so /healthz fails over), stop
-// accepting, let in-flight requests finish (bounded by drain), and close
-// the store — which flushes the pool and fsyncs — before returning. Split
-// from cmdServe so tests can drive it with their own listener and context.
+// gracefully: mark the server draining (so /healthz fails over and no
+// reorganization can commit a swap), stop accepting, let in-flight requests
+// finish (bounded by drain), and close the store — which flushes the pool
+// and fsyncs — before returning. Split from cmdServe so tests can drive it
+// with their own listener and context.
 func serve(ctx context.Context, ln net.Listener, srv *server, drain time.Duration) error {
 	hs := &http.Server{Handler: srv.handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
-		srv.store.Close()
+		srv.beginDrain()
+		srv.closeStore()
 		return err
 	case <-ctx.Done():
 	}
@@ -374,7 +572,7 @@ func serve(ctx context.Context, ln net.Listener, srv *server, drain time.Duratio
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	shutdownErr := hs.Shutdown(sctx)
-	closeErr := srv.store.Close()
+	closeErr := srv.closeStore()
 	if closeErr != nil && !errors.Is(closeErr, snakes.ErrClosed) {
 		return closeErr
 	}
@@ -384,7 +582,7 @@ func serve(ctx context.Context, ln net.Listener, srv *server, drain time.Duratio
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	catPath := fs.String("catalog", "catalog.json", "catalog file")
-	storePath := fs.String("store", "facts.db", "page file from build")
+	storePath := fs.String("store", "facts.db", "page file from build (base path; generations live beside it)")
 	frames := fs.Int("frames", 1024, "buffer pool frames")
 	addr := fs.String("addr", "127.0.0.1:7133", "listen address")
 	maxInflight := fs.Int64("max-inflight", 1024, "admission capacity in analytic pages")
@@ -392,6 +590,13 @@ func cmdServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	adapt := fs.Bool("adapt", false, "re-cluster the store automatically when the live workload drifts")
+	adaptInterval := fs.Duration("adapt-interval", 30*time.Second, "how often the reorg policy re-evaluates the workload")
+	adaptHalfLife := fs.Duration("adapt-half-life", 15*time.Minute, "decay half-life of the live workload estimate")
+	adaptThreshold := fs.Float64("adapt-threshold", 1.2, "cost regret factor that arms a reorganization (must exceed 1)")
+	adaptHysteresis := fs.Int("adapt-hysteresis", 3, "consecutive over-threshold evaluations required before acting")
+	adaptMinInterval := fs.Duration("adapt-min-interval", 10*time.Minute, "minimum time between reorganization attempts")
+	adaptMinWeight := fs.Float64("adapt-min-weight", 100, "minimum decayed observation mass before the policy may act")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -409,7 +614,15 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return usagef("%v", err)
 	}
-	store, err := strat.OpenFileStore(*storePath, cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
+	// Resolve the catalog's live generation and sweep any stale generation
+	// files a crash mid-reorganization left behind.
+	active := activeStorePath(cat, *storePath)
+	if removed, err := cleanStaleGenerations(*storePath, active); err != nil {
+		return err
+	} else if len(removed) > 0 {
+		fmt.Fprintf(os.Stderr, "snakestore: removed stale generation file(s): %v\n", removed)
+	}
+	store, err := strat.OpenFileStore(active, cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
 	if err != nil {
 		return err
 	}
@@ -423,8 +636,23 @@ func cmdServe(args []string) error {
 	srv := newServer(store, schema, schemaDims(cat), adm, *reqTimeout)
 	srv.log = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv.pprof = *pprofOn
-	fmt.Printf("serving %s on http://%s (capacity %d pages, queue timeout %v)\n",
-		*storePath, ln.Addr(), *maxInflight, *queueTimeout)
+	srv.generation.Store(int64(cat.Generation))
+	if *adapt {
+		cfg := snakes.DefaultReorgConfig()
+		cfg.CheckInterval = *adaptInterval
+		cfg.HalfLife = *adaptHalfLife
+		cfg.RegretThreshold = *adaptThreshold
+		cfg.Hysteresis = *adaptHysteresis
+		cfg.MinInterval = *adaptMinInterval
+		cfg.MinWeight = *adaptMinWeight
+		if err := srv.enableReorg(*catPath, *storePath, *frames, cat, strat, cfg); err != nil {
+			store.Close()
+			return usagef("%v", err)
+		}
+		go srv.reorg.Run(ctx)
+	}
+	fmt.Printf("serving %s (generation %d) on http://%s (capacity %d pages, queue timeout %v, adapt %v)\n",
+		active, cat.Generation, ln.Addr(), *maxInflight, *queueTimeout, *adapt)
 	if err := serve(ctx, ln, srv, *drainTimeout); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

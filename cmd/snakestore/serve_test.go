@@ -234,7 +234,7 @@ func TestServeGracefulDrain(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("serve did not drain in time")
 	}
-	if err := srv.store.Close(); err == nil {
+	if err := srv.st().Close(); err == nil {
 		t.Error("store was not closed by the drain")
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {

@@ -1,111 +1,200 @@
-// Adaptive: learn the workload from the query stream and re-cluster when
-// it drifts — the scenario the paper credits to Tom Mitchell's question on
-// "adapting the design of databases in response to learned workload
-// characteristics". A synthetic query stream shifts from per-day reporting
-// to per-month analytics; the estimator tracks it and re-optimization
-// recovers the lost locality.
+// Adaptive: learn the workload from the live query stream and re-cluster
+// the store when it drifts — the scenario the paper credits to Tom
+// Mitchell's question on "adapting the design of databases in response to
+// learned workload characteristics". An ops metrics store serves per-host,
+// per-hour reporting queries; incident analysis takes over with fleet-wide
+// per-minute scans that run against the clustering grain; the reorganizer
+// notices the regret, migrates the page file onto the new optimum in the
+// background, and the same scans get cheaper.
+//
+// This drives the real subsystem end to end: a paged FileStore on disk, a
+// snakes.Reorganizer running its policy loop, and a physical MigrateCtx
+// hot-swap — the same mechanism `snakestore serve -adapt` uses, minus the
+// HTTP layer and catalog.
 package main
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
 
 	snakes "repro"
 )
 
 func main() {
-	// An ops metrics warehouse: host → rack → all, and minute → hour → all.
+	// An ops metrics warehouse: 8 hosts in 2 racks, 24 "minutes" in 4
+	// "hours". 192 grid cells, one record per cell.
 	schema := snakes.NewSchema(
-		snakes.Dim("host", 16, 8),
-		snakes.Dim("time", 60, 24),
+		snakes.Dim("host", 4, 2),
+		snakes.Dim("time", 6, 4),
 	)
 
-	// Phase 1 of the stream: mostly single-host, single-hour queries.
-	phase1 := []struct {
-		c snakes.Class
-		p float64
-	}{
-		{snakes.Class{0, 1}, 0.7}, // host × hour
-		{snakes.Class{1, 1}, 0.2}, // rack × hour
-		{snakes.Class{0, 0}, 0.1}, // host × minute
+	// Deploy the optimum for the reporting workload: single host, single
+	// hour — class {0,1}.
+	st0, err := snakes.Optimize(schema.ClassWorkload(snakes.Class{0, 1}))
+	if err != nil {
+		log.Fatal(err)
 	}
-	// Phase 2: capacity planning takes over — whole-day scans per rack.
-	phase2 := []struct {
-		c snakes.Class
-		p float64
-	}{
-		{snakes.Class{1, 2}, 0.6}, // rack × all time
-		{snakes.Class{0, 2}, 0.3}, // host × all time
-		{snakes.Class{1, 1}, 0.1},
+
+	dir, err := os.MkdirTemp("", "adaptive-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cells := make([]int64, schema.NumCells())
+	for i := range cells {
+		cells[i] = snakes.FrameSize(8)
+	}
+	fs, err := st0.CreateFileStore(filepath.Join(dir, "metrics.g0.db"), cells, 64, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for c := 0; c < schema.NumCells(); c++ {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(float64(c)))
+		if err := fs.PutRecord(c, buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("generation 0 deployed on %v\n", st0.Path)
+
+	// The serving store lives behind an atomic pointer, exactly as in the
+	// daemon: queries snapshot it, the migrator swaps it.
+	var store atomic.Pointer[snakes.FileStore]
+	store.Store(fs)
+
+	// The migrator is the mechanism half of the loop: physically re-cluster
+	// into the next generation file, swap the serving store, drop the old
+	// one. The daemon does the same plus catalog persistence and a scrub.
+	newPath := func(gen int) string {
+		return filepath.Join(dir, fmt.Sprintf("metrics.g%d.db", gen))
+	}
+	migrate := func(ctx context.Context, d *snakes.ReorgDecision) error {
+		old := store.Load()
+		dst, err := d.Strategy.MigrateCtx(ctx, old, newPath(d.Generation), 16, d.Progress)
+		if err != nil {
+			return err
+		}
+		store.Store(dst)
+		return old.Close() // drains in-flight readers, then frees the file
+	}
+	reorg, err := snakes.NewReorganizer(st0, 0, migrate, snakes.ReorgConfig{
+		CheckInterval:   5 * time.Millisecond,
+		HalfLife:        2 * time.Second, // old traffic fades fast in this demo
+		Smoothing:       0.1,
+		MinWeight:       50,
+		RegretThreshold: 1.2,
+		Hysteresis:      3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Remember the regret measurement that tripped the policy (the gauge
+	// the daemon exports as snakestore_reorg_regret).
+	var tripRegret atomic.Uint64
+	reorg.OnEvaluate(func(ev snakes.ReorgEvaluation) {
+		if ev.Eligible {
+			tripRegret.Store(math.Float64bits(ev.Regret))
+		}
+	})
+
+	// serve executes one real query against the current store, reports it
+	// to the reorganizer (exactly what the daemon's /query handler does),
+	// and returns the physical seeks the buffer pool performed. A query
+	// caught by the hot-swap sees ErrClosed and retries on the fresh
+	// generation — no request is lost to a reorganization.
+	serve := func(r snakes.Region) int64 {
+		if err := reorg.ObserveRegion(r); err != nil {
+			log.Fatal(err)
+		}
+		for {
+			var tally snakes.PoolTally
+			qctx := snakes.WithPoolTally(context.Background(), &tally)
+			err := store.Load().ReadQueryCtx(qctx, r, func(int, []byte) error { return nil })
+			if errors.Is(err, snakes.ErrClosed) {
+				continue
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			return tally.Seeks()
+		}
 	}
 
 	rng := rand.New(rand.NewSource(2026))
-	sample := func(mix []struct {
-		c snakes.Class
-		p float64
-	}) snakes.Class {
-		u := rng.Float64()
-		acc := 0.0
-		for _, m := range mix {
-			acc += m.p
-			if u <= acc {
-				return m.c
-			}
-		}
-		return mix[len(mix)-1].c
+	reporting := func() snakes.Region { // one host, one hour: class {0,1}
+		h, b := rng.Intn(8), rng.Intn(4)
+		return snakes.Region{{Lo: h, Hi: h + 1}, {Lo: 6 * b, Hi: 6*b + 6}}
+	}
+	incident := func() snakes.Region { // every host, one minute: class {2,0}
+		m := rng.Intn(24)
+		return snakes.Region{{Lo: 0, Hi: 8}, {Lo: m, Hi: m + 1}}
 	}
 
-	est := schema.NewEstimator()
-	observe := func(mix []struct {
-		c snakes.Class
-		p float64
-	}, n int) {
-		for i := 0; i < n; i++ {
-			if err := est.Observe(sample(mix)); err != nil {
-				log.Fatal(err)
-			}
-		}
+	// Phase 1: the layout matches the traffic.
+	for i := 0; i < 300; i++ {
+		serve(reporting())
 	}
+	fmt.Printf("reporting phase served; generation still %d\n", reorg.Generation())
 
-	report := func(label string) *snakes.Strategy {
-		w, err := est.Workload(0.5)
-		if err != nil {
-			log.Fatal(err)
-		}
-		st, err := snakes.Optimize(w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		c, err := st.ExpectedCost(w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s: %d queries observed → %v, %.3f seeks/query\n",
-			label, est.Total(), st.Path, c)
-		return st
+	// Phase 2: incident analysis takes over. Per-minute fleet scans cut
+	// across the host-major clustering — count their cost on the stale
+	// layout before the policy is allowed to react.
+	var driftSeeks int64
+	const driftQueries = 300
+	for i := 0; i < driftQueries; i++ {
+		driftSeeks += serve(incident())
 	}
+	fmt.Printf("drifted: %d fleet scans cost %.1f seeks each on the stale layout\n",
+		driftQueries, float64(driftSeeks)/driftQueries)
 
-	observe(phase1, 5000)
-	st1 := report("after phase 1")
+	// Now start the policy loop, exactly as the daemon runs it, and keep
+	// serving while it works: regret above threshold, sustained across the
+	// hysteresis window, triggers the background migration and hot-swap
+	// under live traffic.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go reorg.Run(ctx)
+	deadline := time.Now().Add(10 * time.Second)
+	for reorg.Generation() == 0 {
+		if time.Now().After(deadline) {
+			log.Fatalf("reorganizer never fired: %+v", reorg.Status())
+		}
+		serve(incident())
+	}
+	status := reorg.Status()
+	fmt.Printf("reorganized at regret %.2f: generation %d on %v (%d/%d cells in %.0f ms)\n",
+		math.Float64frombits(tripRegret.Load()), status.Generation, reorg.Strategy().Path,
+		status.MigratedCells, status.TotalCells, status.LastReorgSecs*1e3)
 
-	// The workload drifts; the old layout decays.
-	observe(phase2, 20000)
-	w2, err := est.Workload(0.5)
+	// Reopen the new generation cold (migration wrote through its pool) and
+	// replay the incident scans: the seeks drop to the new layout's optimum.
+	cancel() // stop the policy loop before manually swapping the store
+	warm := store.Load()
+	loaded := warm.LoadedBytes()
+	if err := warm.Close(); err != nil {
+		log.Fatal(err)
+	}
+	cold, err := reorg.Strategy().OpenFileStore(newPath(reorg.Generation()), cells, 64, 16, loaded)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cOld, err := st1.ExpectedCost(w2)
-	if err != nil {
-		log.Fatal(err)
+	defer cold.Close()
+	store.Store(cold)
+	var afterSeeks int64
+	for i := 0; i < driftQueries; i++ {
+		afterSeeks += serve(incident())
 	}
-	fmt.Printf("phase-1 layout under the drifted workload: %.3f seeks/query\n", cOld)
-
-	st2 := report("after phase 2")
-	cNew, err := st2.ExpectedCost(w2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("re-clustering recovers %.1f%% of the expected seeks\n",
-		100*(cOld-cNew)/cOld)
+	fmt.Printf("after reorg: the same scans cost %.1f seeks each (%.0f%% saved)\n",
+		float64(afterSeeks)/driftQueries,
+		100*(1-float64(afterSeeks)/float64(driftSeeks)))
 }

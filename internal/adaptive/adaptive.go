@@ -1,0 +1,437 @@
+// Package adaptive closes the loop between the paper's optimizer and the
+// serving layer: it learns the live query-class distribution from the query
+// stream (exponentially decayed, so old traffic fades), periodically re-runs
+// the Figure-4 DP against that estimate, and — when the deployed
+// linearization's expected cost exceeds the new optimum's by a configurable
+// regret factor, persistently enough to clear a hysteresis window — invokes
+// a caller-supplied migrator that re-clusters the store in the background
+// and hot-swaps the daemon onto the new generation.
+//
+// The controller owns the decision policy (what to track, when to act); the
+// migrator owns the mechanism (copy, catalog, swap, cleanup). That split
+// keeps the policy unit-testable without a disk store and lets the daemon
+// implement the swap against its own catalog and metrics.
+package adaptive
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/lattice"
+	"repro/internal/workload"
+)
+
+// ErrReorgInProgress is returned by Trigger when a reorganization is
+// already running; reorganizations are strictly serialized.
+var ErrReorgInProgress = errors.New("adaptive: reorganization already in progress")
+
+// errSkipped distinguishes "evaluated, decided not to act" from failures.
+var errSkipped = errors.New("adaptive: reorganization not warranted")
+
+// Config tunes the controller's decision policy. The zero value is not
+// usable; use Defaults() as a base.
+type Config struct {
+	// CheckInterval is how often Run re-evaluates the workload.
+	CheckInterval time.Duration
+	// HalfLife is the decay half-life of the workload estimator; 0
+	// disables time decay (observations never fade).
+	HalfLife time.Duration
+	// Smoothing is the Laplace pseudo-count per class applied when the
+	// tracked stream is turned into a workload, so unseen classes keep
+	// nonzero mass and the DP does not overfit short streams.
+	Smoothing float64
+	// MinWeight is the minimum decayed observation mass required before
+	// an evaluation may trigger a reorganization: after an idle stretch
+	// the estimator carries little live evidence and should not act.
+	MinWeight float64
+	// RegretThreshold triggers reorganization when the deployed
+	// strategy's expected cost exceeds the optimum's by this factor
+	// (e.g. 1.2 = 20% more seeks than necessary). Must be > 1.
+	RegretThreshold float64
+	// Hysteresis is the number of consecutive evaluations that must
+	// exceed RegretThreshold before acting, so a transient spike or an
+	// oscillating workload does not thrash the store.
+	Hysteresis int
+	// MinInterval is the minimum time between reorganization attempts.
+	MinInterval time.Duration
+}
+
+// Defaults returns a conservative production-shaped policy.
+func Defaults() Config {
+	return Config{
+		CheckInterval:   30 * time.Second,
+		HalfLife:        15 * time.Minute,
+		Smoothing:       0.5,
+		MinWeight:       100,
+		RegretThreshold: 1.2,
+		Hysteresis:      3,
+		MinInterval:     10 * time.Minute,
+	}
+}
+
+func (c Config) validate() error {
+	if c.CheckInterval <= 0 {
+		return fmt.Errorf("adaptive: CheckInterval %v must be positive", c.CheckInterval)
+	}
+	if c.HalfLife < 0 {
+		return fmt.Errorf("adaptive: negative HalfLife %v", c.HalfLife)
+	}
+	if c.Smoothing < 0 {
+		return fmt.Errorf("adaptive: negative Smoothing %v", c.Smoothing)
+	}
+	if c.RegretThreshold <= 1 {
+		return fmt.Errorf("adaptive: RegretThreshold %v must exceed 1", c.RegretThreshold)
+	}
+	if c.Hysteresis < 1 {
+		return fmt.Errorf("adaptive: Hysteresis %d must be at least 1", c.Hysteresis)
+	}
+	if c.MinInterval < 0 {
+		return fmt.Errorf("adaptive: negative MinInterval %v", c.MinInterval)
+	}
+	return nil
+}
+
+// Decision is what the controller hands the migrator when it decides to
+// re-cluster: the new strategy, the evidence, and the generation number the
+// new store file should carry. Progress must be called by the migrator as
+// cells are copied so /reorg can report completion.
+type Decision struct {
+	Path        *core.Path
+	Snaked      bool
+	Workload    *workload.Workload
+	CurrentCost float64 // expected seeks/query of the deployed strategy
+	OptimalCost float64 // expected seeks/query of Path
+	Regret      float64 // CurrentCost / OptimalCost
+	Generation  int     // generation the new store assumes on success
+	Progress    func(done, total int)
+}
+
+// Migrator performs the mechanism of a reorganization: build the new
+// generation, persist the catalog, swap the serving store, clean up. A nil
+// error commits the controller to the decision's strategy and generation;
+// any error (including ctx cancellation) leaves the controller on the old
+// generation, ready to retry after MinInterval.
+type Migrator func(ctx context.Context, d *Decision) error
+
+// Evaluation is one regret measurement, surfaced by Status and the
+// OnEvaluate hook.
+type Evaluation struct {
+	Regret      float64
+	CurrentCost float64
+	OptimalCost float64
+	Weight      float64 // decayed mass backing the estimate
+	Eligible    bool    // enough mass and regret above threshold
+}
+
+// Status is the externally visible controller state, shaped for the
+// daemon's /reorg endpoint.
+type Status struct {
+	Generation    int     `json:"generation"`
+	Strategy      string  `json:"strategy"`
+	Snaked        bool    `json:"snaked"`
+	Observations  uint64  `json:"observations"`
+	Weight        float64 `json:"weight"`
+	Evaluations   uint64  `json:"evaluations"`
+	LastRegret    float64 `json:"lastRegret"`
+	Trips         int     `json:"trips"`
+	Reorgs        uint64  `json:"reorgs"`
+	Failures      uint64  `json:"failures"`
+	InProgress    bool    `json:"inProgress"`
+	MigratedCells int     `json:"migratedCells"`
+	TotalCells    int     `json:"totalCells"`
+	LastOutcome   string  `json:"lastOutcome,omitempty"` // success | failed | canceled
+	LastError     string  `json:"lastError,omitempty"`
+	LastReorgSecs float64 `json:"lastReorgSeconds,omitempty"`
+}
+
+// Controller tracks the live workload and decides when to reorganize.
+// Observe is safe to call from every serving goroutine; Run, Trigger, and
+// Status may be used concurrently with it.
+type Controller struct {
+	cfg     Config
+	lat     *lattice.Lattice
+	est     *workload.DecayingEstimator
+	migrate Migrator
+
+	mu         sync.Mutex
+	path       *core.Path // deployed strategy
+	snaked     bool
+	generation int
+	evals      uint64
+	lastRegret float64
+	trips      int       // consecutive evaluations above threshold
+	lastReorg  time.Time // last attempt (success or failure)
+	reorgs     uint64
+	failures   uint64
+	inProgress bool
+	migrated   int
+	totalCells int
+	lastOut    string
+	lastErr    string
+	lastSecs   float64
+
+	// OnEvaluate and OnReorg, when set before Run/Trigger, observe policy
+	// activity for metrics; they are called without the controller lock.
+	OnEvaluate func(Evaluation)
+	OnReorg    func(outcome string, d time.Duration)
+
+	now func() time.Time // injectable clock for tests
+}
+
+// New returns a controller deployed on the given strategy and generation.
+// The migrator is invoked from Run's goroutine (or Trigger's caller) when
+// the policy fires.
+func New(lat *lattice.Lattice, path *core.Path, snaked bool, generation int, migrate Migrator, cfg Config) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if migrate == nil {
+		return nil, fmt.Errorf("adaptive: nil migrator")
+	}
+	est, err := workload.NewDecayingEstimator(lat, cfg.HalfLife)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:        cfg,
+		lat:        lat,
+		est:        est,
+		migrate:    migrate,
+		path:       path,
+		snaked:     snaked,
+		generation: generation,
+		now:        time.Now,
+	}, nil
+}
+
+// Observe records one served query of the given lattice class.
+func (c *Controller) Observe(class lattice.Point) error {
+	return c.est.Observe(class)
+}
+
+// Generation returns the currently deployed strategy generation.
+func (c *Controller) Generation() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.generation
+}
+
+// Strategy returns the currently deployed path and snaking flag.
+func (c *Controller) Strategy() (*core.Path, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.path, c.snaked
+}
+
+// Status snapshots the controller for the /reorg endpoint.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Generation:    c.generation,
+		Strategy:      c.path.String(),
+		Snaked:        c.snaked,
+		Observations:  c.est.Total(),
+		Weight:        c.est.Weight(),
+		Evaluations:   c.evals,
+		LastRegret:    c.lastRegret,
+		Trips:         c.trips,
+		Reorgs:        c.reorgs,
+		Failures:      c.failures,
+		InProgress:    c.inProgress,
+		MigratedCells: c.migrated,
+		TotalCells:    c.totalCells,
+		LastOutcome:   c.lastOut,
+		LastError:     c.lastErr,
+		LastReorgSecs: c.lastSecs,
+	}
+}
+
+// Evaluate runs one policy step: estimate the workload, re-run the DP,
+// compute regret, and update the hysteresis counter. It returns the
+// measurement and, when the policy says to act, a non-nil Decision.
+// Evaluate itself never migrates.
+func (c *Controller) Evaluate() (Evaluation, *Decision, error) {
+	weight := c.est.Weight()
+	w, err := c.est.Workload(c.cfg.Smoothing)
+	if err != nil {
+		return Evaluation{Weight: weight}, nil, err
+	}
+	opt, err := core.Optimal(w)
+	if err != nil {
+		return Evaluation{Weight: weight}, nil, err
+	}
+	c.mu.Lock()
+	cur := cost.OfPath(c.path, c.snaked).ExpectedCost(w)
+	optCost := cost.OfPath(opt.Path, true).ExpectedCost(w)
+	ev := Evaluation{
+		CurrentCost: cur,
+		OptimalCost: optCost,
+		Weight:      weight,
+	}
+	if optCost > 0 {
+		ev.Regret = cur / optCost
+	} else {
+		ev.Regret = 1
+	}
+	c.evals++
+	c.lastRegret = ev.Regret
+	if ev.Regret > c.cfg.RegretThreshold && weight >= c.cfg.MinWeight {
+		c.trips++
+		ev.Eligible = true
+	} else {
+		c.trips = 0
+	}
+	act := ev.Eligible && c.trips >= c.cfg.Hysteresis &&
+		(c.lastReorg.IsZero() || c.now().Sub(c.lastReorg) >= c.cfg.MinInterval) &&
+		!c.inProgress
+	var d *Decision
+	if act {
+		d = &Decision{
+			Path:        opt.Path,
+			Snaked:      true,
+			Workload:    w,
+			CurrentCost: cur,
+			OptimalCost: optCost,
+			Regret:      ev.Regret,
+			Generation:  c.generation + 1,
+		}
+	}
+	c.mu.Unlock()
+	if c.OnEvaluate != nil {
+		c.OnEvaluate(ev)
+	}
+	return ev, d, nil
+}
+
+// Run evaluates the policy every CheckInterval and reorganizes when it
+// fires, until ctx is cancelled. Errors from individual evaluations or
+// migrations are absorbed into Status/metrics (the loop keeps serving the
+// policy); only ctx ends the loop.
+func (c *Controller) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_, d, err := c.Evaluate()
+			if err != nil || d == nil {
+				continue
+			}
+			c.reorganize(ctx, d) // outcome recorded in Status
+		}
+	}
+}
+
+// Trigger forces one policy step now. With force, the regret threshold,
+// hysteresis, minimum weight, and minimum interval are bypassed and the
+// current DP optimum is deployed unconditionally (the operator's "/reorg
+// POST" path). Returns the decision it acted on, or nil when the policy
+// declined (never nil alongside a nil error when force is set).
+func (c *Controller) Trigger(ctx context.Context, force bool) (*Decision, error) {
+	ev, d, err := c.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	if d == nil {
+		if !force {
+			c.mu.Lock()
+			trips := c.trips
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: regret %.3f, threshold %.3f, trips %d/%d",
+				errSkipped, ev.Regret, c.cfg.RegretThreshold, trips, c.cfg.Hysteresis)
+		}
+		w, err := c.est.Workload(c.cfg.Smoothing)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := core.Optimal(w)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		d = &Decision{
+			Path:        opt.Path,
+			Snaked:      true,
+			Workload:    w,
+			CurrentCost: ev.CurrentCost,
+			OptimalCost: ev.OptimalCost,
+			Regret:      ev.Regret,
+			Generation:  c.generation + 1,
+		}
+		c.mu.Unlock()
+	}
+	if err := c.reorganize(ctx, d); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// Skipped reports whether a Trigger error means "policy declined" rather
+// than a failed migration.
+func Skipped(err error) bool { return errors.Is(err, errSkipped) }
+
+// reorganize claims the single in-progress slot, runs the migrator, and
+// commits or rolls back the controller state.
+func (c *Controller) reorganize(ctx context.Context, d *Decision) error {
+	c.mu.Lock()
+	if c.inProgress {
+		c.mu.Unlock()
+		return ErrReorgInProgress
+	}
+	if d.Generation != c.generation+1 {
+		// A concurrent reorg landed between Evaluate and here.
+		c.mu.Unlock()
+		return ErrReorgInProgress
+	}
+	c.inProgress = true
+	c.migrated, c.totalCells = 0, 0
+	c.lastReorg = c.now()
+	c.mu.Unlock()
+
+	d.Progress = func(done, total int) {
+		c.mu.Lock()
+		c.migrated, c.totalCells = done, total
+		c.mu.Unlock()
+	}
+	start := c.now()
+	err := c.migrate(ctx, d)
+	dur := c.now().Sub(start)
+
+	c.mu.Lock()
+	c.inProgress = false
+	c.lastSecs = dur.Seconds()
+	outcome := "success"
+	if err != nil {
+		outcome = "failed"
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			outcome = "canceled"
+		}
+		c.failures++
+		c.lastErr = err.Error()
+	} else {
+		c.reorgs++
+		c.lastErr = ""
+		c.path = d.Path
+		c.snaked = d.Snaked
+		c.generation = d.Generation
+		c.trips = 0
+		// Halve the estimator so the post-reorg stream re-earns its
+		// influence: a full Reset would leave the policy blind, while
+		// keeping full mass would let the pre-reorg epoch linger.
+		c.est.Decay(0.5)
+	}
+	c.lastOut = outcome
+	c.mu.Unlock()
+	if c.OnReorg != nil {
+		c.OnReorg(outcome, dur)
+	}
+	return err
+}

@@ -1,24 +1,32 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"repro/internal/linear"
 )
 
-// Migrate re-clusters a file store onto a new linearization: every record
-// is streamed out of the old store in its disk order and written into a new
-// store at newPath packed along newOrder. Cell payload capacities carry
-// over (they are a property of the data, not the order). The old store is
-// left open and untouched; callers typically Close and delete it after the
-// swap. Migrate is safe to run while other readers query the old store (it
-// reads under the store's shared lock) and returns ErrClosed — instead of
-// racing on the underlying file — when the old store has been closed. On
-// any failure the partial output file is deleted, so newPath either holds
-// a complete, flushed store or does not exist. Returns the new store,
-// flushed and ready to query.
-func Migrate(old *FileStore, newPath string, newOrder *linear.Order, poolFrames int) (*FileStore, error) {
+// MigrateCtx re-clusters a file store onto a new linearization: every
+// record is streamed out of the old store cell by cell in its disk order
+// and written into a new store at newPath packed along newOrder. Cell
+// payload capacities carry over (they are a property of the data, not the
+// order). The old store is left open and untouched; callers typically
+// Close and delete it after the swap.
+//
+// Cancellation is checked between cells (and inside each cell read), so a
+// long migration can be abandoned promptly; progress, when non-nil, is
+// called after each copied cell with (done, total) counts — it runs on the
+// migrating goroutine and must be cheap. Each cell is read under the old
+// store's shared lock but the lock is released between cells, so in-flight
+// readers and even a concurrent Close interleave cleanly: Close surfaces
+// here as a typed ErrClosed instead of a race on the underlying file.
+//
+// On any failure — including cancellation — the partial output file is
+// deleted, so newPath either holds a complete, flushed store or does not
+// exist. Returns the new store, flushed and ready to query.
+func MigrateCtx(ctx context.Context, old *FileStore, newPath string, newOrder *linear.Order, poolFrames int, progress func(done, total int)) (*FileStore, error) {
 	oldOrder := old.layout.order
 	if newOrder.Len() != oldOrder.Len() {
 		return nil, fmt.Errorf("storage: migrating %d cells onto an order with %d", oldOrder.Len(), newOrder.Len())
@@ -29,9 +37,13 @@ func Migrate(old *FileStore, newPath string, newOrder *linear.Order, poolFrames 
 	if closed {
 		return nil, fmt.Errorf("storage: migrating from a closed store: %w", ErrClosed)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Reconstruct per-cell capacities from the old layout.
-	bytesPerCell := make([]int64, oldOrder.Len())
-	for pos := 0; pos < oldOrder.Len(); pos++ {
+	total := oldOrder.Len()
+	bytesPerCell := make([]int64, total)
+	for pos := 0; pos < total; pos++ {
 		bytesPerCell[oldOrder.CellAt(pos)] = old.layout.start[pos+1] - old.layout.start[pos]
 	}
 	dst, err := CreateFileStore(newPath, newOrder, bytesPerCell, int(old.layout.pageSize), poolFrames)
@@ -43,19 +55,30 @@ func Migrate(old *FileStore, newPath string, newOrder *linear.Order, poolFrames 
 		os.Remove(newPath)
 		return err
 	}
-	// Full-grid region over the old order.
-	shape := oldOrder.Shape()
-	all := make(linear.Region, len(shape))
-	for d, n := range shape {
-		all[d] = linear.Range{Lo: 0, Hi: n}
-	}
-	if err := old.Scan(all, func(cell int, record []byte) error {
-		return dst.PutRecord(cell, record)
-	}); err != nil {
-		return nil, abort(fmt.Errorf("storage: migration copy: %w", err))
+	// Copy cell by cell in the old disk order (sequential on the source
+	// file), checking the context at each cell boundary.
+	for pos := 0; pos < total; pos++ {
+		if err := ctx.Err(); err != nil {
+			return nil, abort(err)
+		}
+		cell := oldOrder.CellAt(pos)
+		err := old.ReadCellCtx(ctx, cell, func(record []byte) error {
+			return dst.PutRecord(cell, record)
+		})
+		if err != nil {
+			return nil, abort(fmt.Errorf("storage: migration copy of cell %d: %w", cell, err))
+		}
+		if progress != nil {
+			progress(pos+1, total)
+		}
 	}
 	if err := dst.pool.Flush(); err != nil {
 		return nil, abort(fmt.Errorf("storage: migration flush: %w", err))
 	}
 	return dst, nil
+}
+
+// Migrate is MigrateCtx without a deadline or progress reporting.
+func Migrate(old *FileStore, newPath string, newOrder *linear.Order, poolFrames int) (*FileStore, error) {
+	return MigrateCtx(context.Background(), old, newPath, newOrder, poolFrames, nil)
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"math"
@@ -129,6 +130,113 @@ func TestMigrateCleansUpOnFailure(t *testing.T) {
 	}
 	if _, err := os.Stat(newPath); !os.IsNotExist(err) {
 		t.Fatalf("partial migration output %s was not removed (stat err: %v)", newPath, err)
+	}
+}
+
+// newMigrateSource builds a loaded 4x4 store for the cancellation and
+// progress tests: cell c holds one 8-byte record encoding float64(c).
+func newMigrateSource(t *testing.T, dir string) (*FileStore, *linear.Order, *linear.Order) {
+	t.Helper()
+	s := hierarchy.MustSchema(hierarchy.Binary("A", 2), hierarchy.Binary("B", 2))
+	colMajor, err := linear.RowMajor(s, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := make([]int64, 16)
+	for i := range bytes {
+		bytes[i] = FrameSize(8)
+	}
+	src, err := CreateFileStore(filepath.Join(dir, "old.db"), colMajor, bytes, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for c := 0; c < 16; c++ {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(float64(c)))
+		if err := src.PutRecord(c, buf); err != nil {
+			src.Close()
+			t.Fatal(err)
+		}
+	}
+	rowMajor, err := linear.RowMajor(s, []int{0, 1})
+	if err != nil {
+		src.Close()
+		t.Fatal(err)
+	}
+	return src, colMajor, rowMajor
+}
+
+// TestMigrateCtxCancelCleansUp cancels the migration from its own progress
+// callback, partway through the copy: MigrateCtx must return the context
+// error and leave no partial output file behind.
+func TestMigrateCtxCancelCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	src, _, better := newMigrateSource(t, dir)
+	defer src.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	newPath := filepath.Join(dir, "new.db")
+	var calls int
+	_, err := MigrateCtx(ctx, src, newPath, better, 4, func(done, total int) {
+		calls++
+		if done == total/2 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("cancelled migration should fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled migration error is untyped: %v", err)
+	}
+	if calls >= 16 {
+		t.Errorf("progress ran %d times; cancellation should have cut the copy short", calls)
+	}
+	if _, err := os.Stat(newPath); !os.IsNotExist(err) {
+		t.Fatalf("partial migration output %s was not removed (stat err: %v)", newPath, err)
+	}
+	// A context cancelled before the copy starts must also leave nothing.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := MigrateCtx(pre, src, newPath, better, 4, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled migration: %v", err)
+	}
+	if _, err := os.Stat(newPath); !os.IsNotExist(err) {
+		t.Fatalf("pre-cancelled migration left %s behind", newPath)
+	}
+	// The source store is still fully readable afterwards.
+	all := linear.Region{{Lo: 0, Hi: 4}, {Lo: 0, Hi: 4}}
+	sum, _, err := src.Sum(all, decodeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 120.0; sum != want {
+		t.Errorf("source sum after aborted migration = %v, want %v", sum, want)
+	}
+}
+
+// TestMigrateCtxProgress checks the progress contract: monotone (done,
+// total) pairs, one call per cell, ending at (total, total).
+func TestMigrateCtxProgress(t *testing.T) {
+	dir := t.TempDir()
+	src, _, better := newMigrateSource(t, dir)
+	defer src.Close()
+
+	var got [][2]int
+	dst, err := MigrateCtx(context.Background(), src, filepath.Join(dir, "new.db"), better, 4,
+		func(done, total int) { got = append(got, [2]int{done, total}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if len(got) != 16 {
+		t.Fatalf("progress ran %d times, want 16", len(got))
+	}
+	for i, p := range got {
+		if p[0] != i+1 || p[1] != 16 {
+			t.Fatalf("progress call %d reported %v, want [%d 16]", i, p, i+1)
+		}
 	}
 }
 

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/lattice"
+)
+
+// DecayingEstimator estimates the query-class distribution from a live
+// stream while exponentially discounting old traffic, so a store that has
+// served for weeks can still react to this morning's workload shift. Each
+// observation carries weight 1 when it arrives and half that weight one
+// half-life later: the estimate is a continuous-time exponentially weighted
+// average of the class indicator stream. A zero half-life disables time
+// decay entirely (every observation keeps weight 1 forever), which makes
+// the estimator equivalent to Estimator up to floating point; Decay can
+// still be applied manually, e.g. once per re-clustering epoch.
+//
+// DecayingEstimator is safe for concurrent use by the threads executing
+// queries.
+type DecayingEstimator struct {
+	mu       sync.Mutex
+	lat      *lattice.Lattice
+	weights  []float64
+	weight   float64 // decayed total mass; denominator of the estimate
+	total    uint64  // raw observation count, never decayed
+	halfLife time.Duration
+	last     time.Time        // instant the weights were last brought current
+	now      func() time.Time // injectable clock for tests
+}
+
+// NewDecayingEstimator returns an empty estimator over the lattice whose
+// observations lose half their weight every halfLife. halfLife = 0 disables
+// time decay; negative half-lives are rejected.
+func NewDecayingEstimator(l *lattice.Lattice, halfLife time.Duration) (*DecayingEstimator, error) {
+	if halfLife < 0 {
+		return nil, fmt.Errorf("workload: negative half-life %v", halfLife)
+	}
+	return &DecayingEstimator{
+		lat:      l,
+		weights:  make([]float64, l.Size()),
+		halfLife: halfLife,
+		now:      time.Now,
+	}, nil
+}
+
+// decayTo brings the weights current to instant t. Caller holds mu.
+func (e *DecayingEstimator) decayTo(t time.Time) {
+	if e.halfLife == 0 {
+		return
+	}
+	if e.last.IsZero() {
+		e.last = t
+		return
+	}
+	dt := t.Sub(e.last)
+	if dt <= 0 {
+		return
+	}
+	e.scale(math.Exp2(-float64(dt) / float64(e.halfLife)))
+	e.last = t
+}
+
+// scale multiplies every weight (and the total mass) by f. Caller holds mu.
+func (e *DecayingEstimator) scale(f float64) {
+	for i := range e.weights {
+		e.weights[i] *= f
+	}
+	e.weight *= f
+}
+
+// Observe records one query of the given class at the current clock time.
+func (e *DecayingEstimator) Observe(c lattice.Point) error {
+	if !e.lat.Contains(c) {
+		return fmt.Errorf("workload: observed class %v outside lattice", c)
+	}
+	idx := e.lat.Index(c)
+	e.mu.Lock()
+	e.decayTo(e.now())
+	e.weights[idx]++
+	e.weight++
+	e.total++
+	e.mu.Unlock()
+	return nil
+}
+
+// Decay applies one explicit decay step, multiplying every weight by
+// factor in (0, 1]. It composes with time decay: epoch-driven callers
+// (e.g. "halve at every re-clustering") can use it with halfLife = 0.
+func (e *DecayingEstimator) Decay(factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("workload: decay factor %v outside (0, 1]", factor)
+	}
+	e.mu.Lock()
+	e.decayTo(e.now())
+	e.scale(factor)
+	e.mu.Unlock()
+	return nil
+}
+
+// Total returns the raw (undecayed) number of observations so far.
+func (e *DecayingEstimator) Total() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.total
+}
+
+// Weight returns the decayed total mass — the effective sample size of the
+// current estimate. Triggers should gate on this rather than Total: after a
+// long idle stretch the estimator may remember millions of queries but
+// carry almost no live evidence.
+func (e *DecayingEstimator) Weight() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.decayTo(e.now())
+	return e.weight
+}
+
+// Workload returns the decayed estimate with additive (Laplace) smoothing,
+// exactly as Estimator.Workload but over decayed weights: each class is
+// credited `smoothing` pseudo-observations. smoothing = 0 returns the
+// empirical decayed distribution (an error while no mass remains).
+func (e *DecayingEstimator) Workload(smoothing float64) (*Workload, error) {
+	if smoothing < 0 {
+		return nil, fmt.Errorf("workload: negative smoothing %v", smoothing)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.decayTo(e.now())
+	denom := e.weight + smoothing*float64(e.lat.Size())
+	if denom <= 0 {
+		return nil, fmt.Errorf("workload: no observation mass and no smoothing")
+	}
+	w := New(e.lat)
+	for i, c := range e.weights {
+		w.probs[i] = (c + smoothing) / denom
+	}
+	return w, nil
+}
+
+// Drifted reports whether the decayed distribution has moved more than
+// threshold (total-variation) from the baseline, as Estimator.Drifted.
+func (e *DecayingEstimator) Drifted(baseline *Workload, smoothing, threshold float64) (bool, float64, error) {
+	cur, err := e.Workload(smoothing)
+	if err != nil {
+		return false, 0, err
+	}
+	d, err := Distance(cur, baseline)
+	if err != nil {
+		return false, 0, err
+	}
+	return d > threshold, d, nil
+}
+
+// Reset clears all observations and forgets the clock, e.g. at a
+// re-clustering epoch boundary.
+func (e *DecayingEstimator) Reset() {
+	e.mu.Lock()
+	for i := range e.weights {
+		e.weights[i] = 0
+	}
+	e.weight = 0
+	e.total = 0
+	e.last = time.Time{}
+	e.mu.Unlock()
+}

@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lattice"
+)
+
+// fakeClock drives a DecayingEstimator through virtual time.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestDecaying(t *testing.T, l *lattice.Lattice, halfLife time.Duration) (*DecayingEstimator, *fakeClock) {
+	t.Helper()
+	e, err := NewDecayingEstimator(l, halfLife)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	e.now = clk.now
+	return e, clk
+}
+
+func TestDecayingEstimatorHalfLife(t *testing.T) {
+	l := exampleLattice()
+	e, clk := newTestDecaying(t, l, time.Minute)
+	if err := e.Observe(lattice.Point{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Weight(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("fresh weight = %v, want 1", got)
+	}
+	clk.advance(time.Minute)
+	if got := e.Weight(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("weight after one half-life = %v, want 0.5", got)
+	}
+	clk.advance(time.Minute)
+	if got := e.Weight(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("weight after two half-lives = %v, want 0.25", got)
+	}
+	if got := e.Total(); got != 1 {
+		t.Errorf("Total = %d, want 1 (raw counts never decay)", got)
+	}
+}
+
+// TestDecayingEstimatorTracksShift is the satellite's acceptance check: feed
+// both estimators workload A, then switch the stream to workload B at equal
+// rate. Two half-lives later the decayed estimate has moved most of its mass
+// onto B (old traffic is worth 1/4 per observation), while the undecayed
+// estimator still reports roughly the 50/50 blend of total history.
+func TestDecayingEstimatorTracksShift(t *testing.T) {
+	l := exampleLattice()
+	a, b := lattice.Point{0, 1}, lattice.Point{1, 0}
+	half := time.Minute
+
+	dec, clk := newTestDecaying(t, l, half)
+	flat := NewEstimator(l)
+	observe := func(c lattice.Point, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := dec.Observe(c); err != nil {
+				t.Fatal(err)
+			}
+			if err := flat.Observe(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Phase 1: 1000 queries of class a, then the shift: 500 queries of
+	// class b per half-life for two half-lives.
+	observe(a, 1000)
+	clk.advance(half)
+	observe(b, 500)
+	clk.advance(half)
+	observe(b, 500)
+
+	dw, err := dec.Workload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := flat.Workload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decayed: a's 1000 observations are two half-lives old (weight 250),
+	// b carries 500*0.5 + 500 = 750 → b holds 75% of the mass.
+	if got := dw.Prob(b); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("decayed P(b) = %v, want 0.75", got)
+	}
+	// Undecayed: 1000 a vs 1000 b → still a 50/50 blend, lagging the shift.
+	if got := fw.Prob(b); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("undecayed P(b) = %v, want 0.50", got)
+	}
+	if dw.Prob(b) <= fw.Prob(b)+0.2 {
+		t.Errorf("decayed estimate (P(b)=%v) should lead the undecayed one (P(b)=%v) by a wide margin",
+			dw.Prob(b), fw.Prob(b))
+	}
+}
+
+func TestDecayingEstimatorManualDecay(t *testing.T) {
+	l := exampleLattice()
+	e, err := NewDecayingEstimator(l, 0) // no time decay: explicit epochs only
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := e.Observe(lattice.Point{0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Decay(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Weight(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("weight after Decay(0.5) = %v, want 2", got)
+	}
+	// Distribution is scale-invariant: still all mass on {0,0}.
+	w, err := e.Workload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Prob(lattice.Point{0, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P({0,0}) = %v, want 1", got)
+	}
+	if err := e.Decay(0); err == nil {
+		t.Error("Decay(0) should fail")
+	}
+	if err := e.Decay(1.5); err == nil {
+		t.Error("Decay(1.5) should fail")
+	}
+}
+
+func TestDecayingEstimatorZeroHalfLifeMatchesEstimator(t *testing.T) {
+	l := exampleLattice()
+	e, clk := newTestDecaying(t, l, 0)
+	flat := NewEstimator(l)
+	pts := []lattice.Point{{0, 0}, {0, 1}, {1, 0}, {0, 1}, {2, 2}}
+	for _, p := range pts {
+		if !l.Contains(p) {
+			continue
+		}
+		if err := e.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := flat.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Hour)
+	}
+	ew, err := e.Workload(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := flat.Workload(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Distance(ew, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Errorf("zero half-life estimate differs from Estimator by TV %v", d)
+	}
+}
+
+func TestDecayingEstimatorErrorsAndReset(t *testing.T) {
+	l := exampleLattice()
+	if _, err := NewDecayingEstimator(l, -time.Second); err == nil {
+		t.Error("negative half-life should fail")
+	}
+	e, _ := newTestDecaying(t, l, time.Minute)
+	if err := e.Observe(lattice.Point{9, 9}); err == nil {
+		t.Error("out-of-lattice class should fail")
+	}
+	if _, err := e.Workload(0); err == nil {
+		t.Error("empty estimator without smoothing should fail")
+	}
+	if _, err := e.Workload(-1); err == nil {
+		t.Error("negative smoothing should fail")
+	}
+	if _, err := e.Workload(0.1); err != nil {
+		t.Errorf("smoothed empty estimate should work: %v", err)
+	}
+	if err := e.Observe(lattice.Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	if e.Total() != 0 || e.Weight() != 0 {
+		t.Errorf("Reset left total=%d weight=%v", e.Total(), e.Weight())
+	}
+}
+
+func TestDecayingEstimatorDrifted(t *testing.T) {
+	l := exampleLattice()
+	e, clk := newTestDecaying(t, l, time.Minute)
+	baseline := Point(l, lattice.Point{0, 1})
+	for i := 0; i < 100; i++ {
+		if err := e.Observe(lattice.Point{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drifted, d, err := e.Drifted(baseline, 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted {
+		t.Errorf("matching stream reported drift (tv=%v)", d)
+	}
+	clk.advance(3 * time.Minute)
+	for i := 0; i < 100; i++ {
+		if err := e.Observe(lattice.Point{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drifted, d, err = e.Drifted(baseline, 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drifted {
+		t.Errorf("shifted stream not reported as drift (tv=%v)", d)
+	}
+}
+
+func TestDecayingEstimatorConcurrent(t *testing.T) {
+	l := exampleLattice()
+	e, err := NewDecayingEstimator(l, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := lattice.Point{g % 3, (g / 3) % 3}
+			if !l.Contains(c) {
+				c = lattice.Point{0, 0}
+			}
+			for i := 0; i < 200; i++ {
+				if err := e.Observe(c); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%50 == 0 {
+					e.Weight()
+					if _, err := e.Workload(0.1); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := e.Total(); got != 8*200 {
+		t.Errorf("Total = %d, want %d", got, 8*200)
+	}
+}
