@@ -1,14 +1,15 @@
 GO ?= go
 BENCH_NAME ?= local
 
-.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint bench bench-adaptive reorg-smoke
+.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint trace-smoke bench bench-adaptive reorg-smoke
 
 # check is the tier-1 verification gate (see ROADMAP.md): formatting,
-# static analysis, a full build, the metrics-name lint, and the test
-# suite under the race detector. Fuzz seed corpora run as ordinary tests.
-# staticcheck runs when the binary is installed and is skipped (with a
-# notice) otherwise, so check works on machines without network access.
-check: fmt vet staticcheck build metrics-lint race
+# static analysis, a full build, the metrics-name lint, the tracing
+# smoke, and the test suite under the race detector. Fuzz seed corpora
+# run as ordinary tests. staticcheck runs when the binary is installed
+# and is skipped (with a notice) otherwise, so check works on machines
+# without network access.
+check: fmt vet staticcheck build metrics-lint trace-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -44,9 +45,18 @@ stress:
 
 # metrics-lint checks the daemon's metric names against the obs
 # conventions (unique series, snake_case, snakestore_ prefix, counters
-# end in _total) by scraping the real serving registry.
+# end in _total) by scraping the real serving registry, and that the
+# trace-derived families are declared with their documented types.
 metrics-lint:
-	$(GO) test -run 'TestMetricsLint|TestRegistryNameValidation' ./cmd/snakestore ./internal/obs
+	$(GO) test -run 'TestMetricsLint|TestMetricsTraceFamilies|TestRegistryNameValidation' ./cmd/snakestore ./internal/obs
+
+# trace-smoke drives the slow-query forensics path end to end under the
+# race detector: a fault-injected store plus retry backoff manufacture a
+# genuinely slow query, which must be retained in /debug/traces with its
+# span tree, echoed as traceId, logged as slow-query, and counted in the
+# trace metrics — plus the always-retain-slow and panic-recovery gates.
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TestServeTraceSmoke|TestServeSlowAlwaysRetained|TestServePanicRecovery|TestColdQueryFragmentSpansMatchTallyAndAnalytic|TestUntracedReadPathZeroAlloc' ./cmd/snakestore ./internal/storage
 
 # bench runs the end-to-end store benchmark on the reduced warehouse and
 # writes a machine-readable report; override BENCH_NAME to label runs

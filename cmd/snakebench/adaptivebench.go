@@ -17,6 +17,7 @@ import (
 	"repro/internal/linear"
 	"repro/internal/storage"
 	"repro/internal/tpcd"
+	"repro/internal/trace"
 )
 
 // AdaptivePhase is one measured query stream of the adaptive benchmark,
@@ -58,6 +59,11 @@ type AdaptiveBenchReport struct {
 	Regret           float64 `json:"regret"`
 	Generation       int     `json:"generation"`
 	MigrationSeconds float64 `json:"migrationSeconds"`
+
+	// MigrationPhases breaks MigrationSeconds down by traced span kind —
+	// dp, migrate, copy, flush — from a forced trace around the trigger, so
+	// a slow reorganization is attributable to its phase.
+	MigrationPhases []SpanKindSummary `json:"migrationPhases,omitempty"`
 
 	Before AdaptivePhase `json:"beforeDrift"`
 	Drift  AdaptivePhase `json:"afterDrift"`
@@ -269,13 +275,22 @@ func adaptiveBench(cfg tpcd.Config, name string, queries, frames int) (*Adaptive
 			return nil, err
 		}
 	}
+	// MaxSpans far above the serving default: the copy phase emits one
+	// page_load span per physical read, and a capped trace would silently
+	// drop the later phases (flush, and the daemon's commit/swap kinds).
+	rec := trace.NewRecorder(trace.Config{Capacity: 1, RetainedCapacity: 1, MaxSpans: 1 << 20})
+	tctx, tr := rec.StartForced(context.Background(), "bench-reorg")
 	start := time.Now()
-	d, err := ctrl.Trigger(context.Background(), false)
+	d, err := ctrl.Trigger(tctx, false)
+	tr.Finish(err)
 	if err != nil {
 		fs.Close()
 		return nil, fmt.Errorf("adaptivebench: reorganization did not fire: %w", err)
 	}
 	rep.MigrationSeconds = time.Since(start).Seconds()
+	phases := spanAccumulator{}
+	phases.add(tr.Spans())
+	rep.MigrationPhases = phases.summaries()
 	rep.Regret = d.Regret
 	rep.Generation = ctrl.Generation()
 

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestAdaptiveBenchReorganizesAndImproves(t *testing.T) {
@@ -46,6 +48,13 @@ func TestAdaptiveBenchReorganizesAndImproves(t *testing.T) {
 	if a.After.ObservedSeeks != a.After.PredictedSeeks {
 		t.Errorf("after phase: observed %d seeks, model predicted %d", a.After.ObservedSeeks, a.After.PredictedSeeks)
 	}
+	// The forced trigger trace must attribute the migration to its phases:
+	// one DP rerun, one migrate span wrapping one copy and one flush.
+	for _, kind := range []string{trace.KindDP, trace.KindMigrate, trace.KindCopy, trace.KindFlush} {
+		if got := kindCount(a.MigrationPhases, kind); got != 1 {
+			t.Errorf("migration phases: %d %s spans, want 1 (%+v)", got, kind, a.MigrationPhases)
+		}
+	}
 
 	// The same seed must reproduce the data-dependent numbers exactly.
 	b, err := adaptiveBench(tinyConfig(42), "t", 16, 4)
@@ -81,7 +90,7 @@ func TestAdaptiveBenchReportJSON(t *testing.T) {
 	for _, key := range []string{
 		"name", "seed", "strategyBefore", "strategyAfter", "workloadBefore",
 		"workloadAfter", "regret", "generation", "migrationSeconds",
-		"beforeDrift", "afterDrift", "afterReorg",
+		"migrationPhases", "beforeDrift", "afterDrift", "afterReorg",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("report missing %q", key)

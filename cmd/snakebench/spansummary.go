@@ -1,0 +1,49 @@
+package main
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// SpanKindSummary aggregates every closed span of one kind across a bench
+// run: how many there were and the total wall time inside them. The JSON
+// reports carry these so a latency regression is attributable to the phase
+// that slowed down — page loads, retry backoff, migration copy — and not
+// just visible in the aggregate percentiles.
+type SpanKindSummary struct {
+	Kind    string  `json:"kind"`
+	Count   int     `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// spanAccumulator folds sealed traces into per-kind totals.
+type spanAccumulator map[string]*SpanKindSummary
+
+// add folds one sealed trace's spans in. The root span is skipped — it
+// covers the whole trace and would double-count its children — and so is
+// any span that never closed.
+func (a spanAccumulator) add(spans []trace.Span) {
+	for _, sp := range spans {
+		if sp.Parent < 0 || sp.Dur < 0 {
+			continue
+		}
+		s := a[sp.Kind]
+		if s == nil {
+			s = &SpanKindSummary{Kind: sp.Kind}
+			a[sp.Kind] = s
+		}
+		s.Count++
+		s.Seconds += float64(sp.Dur) / 1e9
+	}
+}
+
+// summaries returns the accumulated kinds in deterministic sorted order.
+func (a spanAccumulator) summaries() []SpanKindSummary {
+	out := make([]SpanKindSummary, 0, len(a))
+	for _, s := range a {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/linear"
 	"repro/internal/storage"
 	"repro/internal/tpcd"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -54,6 +55,11 @@ type BenchReport struct {
 	ObservedSeeks     int64 `json:"observedSeeks"`
 
 	Pool storage.PoolStats `json:"pool"`
+
+	// SpanSummary breaks the measured stream down by traced span kind:
+	// every query runs under a SampleEvery-1 trace, so the totals account
+	// for where the wall time of the read path actually went.
+	SpanSummary []SpanKindSummary `json:"spanSummary,omitempty"`
 }
 
 // Summary is the one-line human rendering of the report.
@@ -158,20 +164,28 @@ func storeBench(cfg tpcd.Config, name string, queries, frames int) (*BenchReport
 	if err != nil {
 		return nil, err
 	}
+	// MaxSpans far above the serving default: a bench query may load
+	// thousands of pages, and a capped trace would silently undercount the
+	// span summary (the daemon wants bounded memory; the bench wants truth).
+	rec := trace.NewRecorder(trace.Config{SampleEvery: 1, Capacity: 1, RetainedCapacity: 1, MaxSpans: 1 << 20})
+	spans := spanAccumulator{}
 	latencies := make([]float64, 0, len(regions))
 	start := time.Now()
 	for _, r := range regions {
 		pred := fs.Layout().Query(r)
 		var tally storage.PoolTally
 		ctx := storage.WithPoolTally(context.Background(), &tally)
+		ctx, tr := rec.Start(ctx, "bench-query")
 		t0 := time.Now()
 		err := fs.ReadQueryCtx(ctx, r, func(cell int, record []byte) error {
 			rep.RecordsRead++
 			return nil
 		})
+		tr.Finish(err)
 		if err != nil {
 			return nil, err
 		}
+		spans.add(tr.Spans())
 		latencies = append(latencies, time.Since(t0).Seconds())
 		rep.PredictedPages += pred.Pages
 		rep.PredictedSeeks += pred.Seeks
@@ -184,6 +198,7 @@ func storeBench(cfg tpcd.Config, name string, queries, frames int) (*BenchReport
 		rep.QueriesPerSecond = float64(rep.Queries) / rep.WallSeconds
 	}
 	rep.Pool = fs.Pool().Stats()
+	rep.SpanSummary = spans.summaries()
 
 	sort.Float64s(latencies)
 	var sum float64

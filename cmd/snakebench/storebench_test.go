@@ -9,7 +9,18 @@ import (
 	"testing"
 
 	"repro/internal/tpcd"
+	"repro/internal/trace"
 )
+
+// kindCount returns the span count recorded for kind, 0 when absent.
+func kindCount(s []SpanKindSummary, kind string) int {
+	for _, k := range s {
+		if k.Kind == kind {
+			return k.Count
+		}
+	}
+	return 0
+}
 
 // tinyConfig is a warehouse small enough for the full build+load+query
 // cycle to run in milliseconds.
@@ -70,6 +81,14 @@ func TestStoreBenchDeterministicAndMeasured(t *testing.T) {
 	if a.LatencyMsP50 <= 0 || a.LatencyMsP99 < a.LatencyMsP50 || a.LatencyMsMax < a.LatencyMsP99 {
 		t.Errorf("latency percentiles not ordered: %+v", a)
 	}
+	// Every query ran traced against a cold pool, so the span summary must
+	// account for contiguous fragments and physical page loads.
+	if kindCount(a.SpanSummary, trace.KindFragment) == 0 || kindCount(a.SpanSummary, trace.KindPageLoad) == 0 {
+		t.Errorf("span summary missing read-path kinds: %+v", a.SpanSummary)
+	}
+	if got := int64(kindCount(a.SpanSummary, trace.KindPageLoad)); got != a.ObservedPageReads {
+		t.Errorf("page_load spans = %d, want one per observed page read (%d)", got, a.ObservedPageReads)
+	}
 
 	// The same seed must reproduce the data-dependent numbers exactly.
 	b, err := storeBench(tinyConfig(42), "t", 12, 4)
@@ -80,6 +99,12 @@ func TestStoreBenchDeterministicAndMeasured(t *testing.T) {
 		a.PredictedPages != b.PredictedPages || a.PredictedSeeks != b.PredictedSeeks ||
 		a.ObservedPageReads != b.ObservedPageReads || a.ObservedSeeks != b.ObservedSeeks {
 		t.Errorf("same seed, different measurements:\n%+v\n%+v", a, b)
+	}
+	// Span counts are data-dependent (seconds are not) and must reproduce.
+	for _, kind := range []string{trace.KindFragment, trace.KindPageLoad} {
+		if kindCount(a.SpanSummary, kind) != kindCount(b.SpanSummary, kind) {
+			t.Errorf("same seed, different %s span counts:\n%+v\n%+v", kind, a.SpanSummary, b.SpanSummary)
+		}
 	}
 
 	// A different seed generates a different warehouse.
@@ -112,7 +137,7 @@ func TestBenchReportJSON(t *testing.T) {
 	for _, key := range []string{
 		"name", "seed", "strategy", "queries", "queriesPerSecond",
 		"latencyMsP50", "latencyMsP99", "predictedPages", "observedPageReads",
-		"predictedSeeks", "observedSeeks", "pool",
+		"predictedSeeks", "observedSeeks", "pool", "spanSummary",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("report missing %q", key)

@@ -18,8 +18,8 @@ const metricsPrefix = "snakestore_"
 // deliberately has no dynamic series creation, so the error taxonomy stays
 // an explicit list.
 var (
-	handlerNames  = []string{"query", "verify", "healthz", "metrics", "reorg"}
-	responseCodes = []int{200, 400, 409, 500, 503, 504}
+	handlerNames  = []string{"query", "verify", "healthz", "metrics", "reorg", "traces"}
+	responseCodes = []int{200, 400, 404, 409, 500, 503, 504}
 	reorgOutcomes = []string{"success", "failed", "canceled"}
 )
 
@@ -52,6 +52,12 @@ type serverMetrics struct {
 	reorgRegret   *obs.Gauge
 	reorgSeconds  *obs.Histogram
 	reorgOutcome  map[string]*obs.Counter
+
+	// Tracing: requests past the slow threshold, handler panics caught by
+	// the middleware, and per-span-kind time observed from finished traces.
+	slowQuery   *obs.Counter
+	httpPanics  *obs.Counter
+	spanSeconds map[string]*obs.Histogram
 }
 
 // latencyBuckets spans 0.5 ms – ~4 s, the daemon's plausible request range.
@@ -114,6 +120,13 @@ func newServerMetrics(store func() *snakes.FileStore, adm *snakes.Admission, sch
 		reorgRegret:   reg.Gauge("snakestore_reorg_regret", "deployed strategy cost over DP-optimal cost at the last policy evaluation"),
 		reorgSeconds:  reg.Histogram("snakestore_reorg_migration_seconds", "wall time of reorganization attempts", latencyBuckets),
 		reorgOutcome:  make(map[string]*obs.Counter, len(reorgOutcomes)),
+
+		slowQuery:   reg.Counter("snakestore_slow_query_total", "traced requests at or past the slow-query threshold"),
+		httpPanics:  reg.Counter("snakestore_http_panics_total", "handler panics recovered by the serving middleware"),
+		spanSeconds: make(map[string]*obs.Histogram, len(snakes.TraceSpanKinds())),
+	}
+	for _, k := range snakes.TraceSpanKinds() {
+		m.spanSeconds[k] = reg.Histogram("snakestore_trace_span_seconds", "span time in finished traces by span kind", latencyBuckets, "kind", k)
 	}
 	for _, c := range schema.Classes() {
 		lbl := classLabel(c)
@@ -161,4 +174,19 @@ func (m *serverMetrics) observeReorg(outcome string, seconds float64) {
 		ctr.Inc()
 	}
 	m.reorgSeconds.Observe(seconds)
+}
+
+// observeTrace feeds one finished trace into the per-span-kind time
+// histograms and counts it against the slow-query series when the recorder
+// classified it slow. Span kinds are a closed set fixed at registration;
+// anything else (there should be nothing else) is ignored.
+func (m *serverMetrics) observeTrace(tr *snakes.Trace, res snakes.TraceResult) {
+	if res.Slow {
+		m.slowQuery.Inc()
+	}
+	for _, sp := range tr.Spans() {
+		if h, ok := m.spanSeconds[sp.Kind]; ok && sp.Dur >= 0 {
+			h.Observe(float64(sp.Dur) / 1e9)
+		}
+	}
 }

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	snakes "repro"
 )
 
 // parseMetrics parses a Prometheus text exposition into per-series samples
@@ -195,6 +197,65 @@ func TestMetricsLint(t *testing.T) {
 		}
 		if _, ok := types[base]; !ok {
 			t.Errorf("series %s has no # TYPE declaration", key)
+		}
+	}
+}
+
+// TestMetricsTraceFamilies: the tracing metric families are declared with
+// the right types, build_info carries its labels with a constant 1, and
+// the retention counters follow the recorder: tracing every request moves
+// started/kept, and the per-kind span histograms see the request's spans.
+func TestMetricsTraceFamilies(t *testing.T) {
+	srv := buildServedTrace(t, snakes.TraceConfig{SampleEvery: 1})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	getJSON(t, ts, "/query?where=x%3D1..2&where=y%3D2..6", http.StatusOK, nil)
+
+	samples, types := scrape(t, ts.URL)
+	for name, typ := range map[string]string{
+		"snakestore_slow_query_total":          "counter",
+		"snakestore_http_panics_total":         "counter",
+		"snakestore_trace_span_seconds":        "histogram",
+		"snakestore_traces_started_total":      "counter",
+		"snakestore_traces_kept_total":         "counter",
+		"snakestore_traces_discarded_total":    "counter",
+		"snakestore_trace_spans_dropped_total": "counter",
+		"snakestore_build_info":                "gauge",
+	} {
+		if types[name] != typ {
+			t.Errorf("type of %s = %q, want %q", name, types[name], typ)
+		}
+	}
+	found := false
+	for key, v := range samples {
+		if strings.HasPrefix(key, "snakestore_build_info{") {
+			found = true
+			if v != 1 {
+				t.Errorf("%s = %v, want constant 1", key, v)
+			}
+			for _, lbl := range []string{"version=", "goversion=", "generation="} {
+				if !strings.Contains(key, lbl) {
+					t.Errorf("build_info series %s lacks %s label", key, lbl)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no snakestore_build_info series rendered")
+	}
+	if samples["snakestore_traces_started_total"] != 1 {
+		t.Errorf("traces started = %v, want 1", samples["snakestore_traces_started_total"])
+	}
+	if samples[`snakestore_traces_kept_total{reason="sampled"}`] != 1 {
+		t.Errorf("traces kept sampled = %v, want 1", samples[`snakestore_traces_kept_total{reason="sampled"}`])
+	}
+	for _, key := range []string{
+		`snakestore_trace_span_seconds_count{kind="request"}`,
+		`snakestore_trace_span_seconds_count{kind="admission"}`,
+		`snakestore_trace_span_seconds_count{kind="fragment"}`,
+	} {
+		if samples[key] <= 0 {
+			t.Errorf("%s = %v, want positive", key, samples[key])
 		}
 	}
 }

@@ -60,7 +60,7 @@ func buildAdaptiveServed(t *testing.T, cfg snakes.ReorgConfig) (*server, string,
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(store, schema, schemaDims(c), adm, 5*time.Second)
+	srv := newServer(store, schema, schemaDims(c), adm, 5*time.Second, c.Generation, snakes.TraceConfig{})
 	if err := srv.enableReorg(catPath, storePath, 8, c, strat, cfg); err != nil {
 		store.Close()
 		t.Fatal(err)

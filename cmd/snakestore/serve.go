@@ -14,8 +14,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -23,6 +26,10 @@ import (
 
 	snakes "repro"
 )
+
+// buildVersion identifies the binary in snakestore_build_info; override at
+// link time with -ldflags "-X main.buildVersion=...".
+var buildVersion = "dev"
 
 // server answers grid queries over HTTP against one shared FileStore. The
 // store is goroutine-safe, so requests run concurrently; an admission
@@ -53,6 +60,8 @@ type server struct {
 	metrics    *serverMetrics
 	log        *slog.Logger
 	pprof      bool // mount /debug/pprof/ on the serving mux
+	traces     *snakes.TraceRecorder
+	started    time.Time
 
 	// Adaptive reorganization state; reorg stays nil when -adapt is off.
 	reorg      *snakes.Reorganizer
@@ -71,7 +80,7 @@ type server struct {
 	lastScrub  string           // outcome of the most recent /verify
 }
 
-func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dimension, adm *snakes.Admission, reqTimeout time.Duration) *server {
+func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dimension, adm *snakes.Admission, reqTimeout time.Duration, gen int, tcfg snakes.TraceConfig) *server {
 	s := &server{
 		schema:     schema,
 		dims:       dims,
@@ -79,8 +88,11 @@ func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dim
 		reqTimeout: reqTimeout,
 		log:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 		quarantine: make(map[int64]string),
+		traces:     snakes.NewTraceRecorder(tcfg),
+		started:    time.Now(),
 	}
 	s.store.Store(store)
+	s.generation.Store(int64(gen))
 	s.metrics = newServerMetrics(s.st, adm, schema)
 	s.metrics.reg.GaugeFunc("snakestore_quarantined_pages", "pages quarantined after checksum failures", func() float64 {
 		s.mu.Lock()
@@ -90,6 +102,21 @@ func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dim
 	s.metrics.reg.GaugeFunc("snakestore_store_generation", "store generation currently serving", func() float64 {
 		return float64(s.generation.Load())
 	})
+	s.metrics.reg.GaugeFunc("snakestore_build_info", "constant 1, labeled with the binary version, Go runtime, and startup store generation",
+		func() float64 { return 1 },
+		"version", buildVersion, "goversion", runtime.Version(), "generation", strconv.Itoa(gen))
+	// Trace retention counters read the recorder's atomics at scrape time,
+	// like the pool and admission families.
+	tst := func(f func(snakes.TraceStats) uint64) func() int64 {
+		return func() int64 { return int64(f(s.traces.Stats())) }
+	}
+	s.metrics.reg.CounterFunc("snakestore_traces_started_total", "requests that carried a candidate trace", tst(func(st snakes.TraceStats) uint64 { return st.Started }))
+	s.metrics.reg.CounterFunc("snakestore_traces_kept_total", "finished traces retained, by reason", tst(func(st snakes.TraceStats) uint64 { return st.KeptSampled }), "reason", "sampled")
+	s.metrics.reg.CounterFunc("snakestore_traces_kept_total", "finished traces retained, by reason", tst(func(st snakes.TraceStats) uint64 { return st.KeptSlow }), "reason", "slow")
+	s.metrics.reg.CounterFunc("snakestore_traces_kept_total", "finished traces retained, by reason", tst(func(st snakes.TraceStats) uint64 { return st.KeptError }), "reason", "error")
+	s.metrics.reg.CounterFunc("snakestore_traces_kept_total", "finished traces retained, by reason", tst(func(st snakes.TraceStats) uint64 { return st.KeptForced }), "reason", "forced")
+	s.metrics.reg.CounterFunc("snakestore_traces_discarded_total", "candidate traces finished without retention", tst(func(st snakes.TraceStats) uint64 { return st.Discarded }))
+	s.metrics.reg.CounterFunc("snakestore_trace_spans_dropped_total", "spans dropped from traces at the per-trace cap", tst(func(st snakes.TraceStats) uint64 { return st.DroppedSpans }))
 	return s
 }
 
@@ -153,7 +180,9 @@ func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) erro
 
 	// Commit point: catalog first (atomic rename), then the serving
 	// pointer, all under swapMu so a concurrent drain either beats the
-	// commit (we abort) or closes the store we just installed.
+	// commit (we abort) or closes the store we just installed. Each phase
+	// gets its own span, so a migration trace shows catalog commit, swap,
+	// drain, and verify separately.
 	s.swapMu.Lock()
 	if s.draining.Load() {
 		s.swapMu.Unlock()
@@ -166,22 +195,37 @@ func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) erro
 	cat.Generation = d.Generation
 	cat.StoreFile = filepath.Base(newPath)
 	cat.LoadedBytes = dst.LoadedBytes()
+	csp := snakes.StartTraceLeaf(ctx, snakes.TraceKindCatalogCommit, "")
 	if err := writeCatalog(s.catPath, &cat); err != nil {
+		csp.SetError(err)
+		csp.End()
 		s.swapMu.Unlock()
 		return abort(err)
 	}
+	csp.End()
+	ssp := snakes.StartTraceLeaf(ctx, snakes.TraceKindSwap, "")
+	ssp.SetAttr("generation", int64(d.Generation))
 	*s.cat = cat
 	s.store.Store(dst)
 	s.generation.Store(int64(d.Generation))
+	ssp.End()
 	s.swapMu.Unlock()
 
 	// The swap is committed: new requests already run on dst. Close the
 	// old generation — Close blocks until its in-flight readers drain —
 	// then gate the old file's deletion on a clean scrub of the new one.
+	// The post-swap work keeps the trace but drops ctx's cancellation: a
+	// canceled trigger must not abandon a committed swap half-tidied.
+	pctx := context.WithoutCancel(ctx)
+	dsp := snakes.StartTraceLeaf(pctx, snakes.TraceKindDrain, "")
 	if err := old.Close(); err != nil && !errors.Is(err, snakes.ErrClosed) {
 		s.log.Warn("reorg", "msg", "closing old generation", "err", err)
 	}
-	rep, verr := dst.VerifyCtx(context.Background())
+	dsp.End()
+	vctx, vsp := snakes.StartTraceSpan(pctx, snakes.TraceKindVerify, "")
+	rep, verr := dst.VerifyCtx(vctx)
+	vsp.SetError(verr)
+	vsp.End()
 	if verr != nil || !rep.OK() {
 		if verr == nil {
 			verr = fmt.Errorf("%d problem(s)", len(rep.Problems))
@@ -206,13 +250,14 @@ func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) erro
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.instrument("query", s.handleQuery))
-	mux.HandleFunc("/verify", s.instrument("verify", s.handleVerify))
-	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
-	mux.HandleFunc("/reorg", s.instrument("reorg", s.handleReorg))
+	mux.HandleFunc("/query", s.instrument("query", true, s.handleQuery))
+	mux.HandleFunc("/verify", s.instrument("verify", true, s.handleVerify))
+	mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.HandleFunc("/reorg", s.instrument("reorg", true, s.handleReorg))
+	mux.HandleFunc("/debug/traces", s.instrument("traces", false, s.handleTraces))
 	// /metrics keeps answering 200 through drain and even after the store
 	// closes: the registry reads atomics, never the file.
-	mux.Handle("/metrics", s.instrument("metrics", s.metrics.reg.Handler().ServeHTTP))
+	mux.Handle("/metrics", s.instrument("metrics", false, s.metrics.reg.Handler().ServeHTTP))
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -253,8 +298,17 @@ func reqIDFrom(ctx context.Context) uint64 {
 
 // instrument wraps an endpoint with the shared telemetry: request counter,
 // in-flight gauge, latency histogram, per-status response counters, and one
-// key=value access-log line carrying a process-unique request id.
-func (s *server) instrument(name string, fn http.HandlerFunc) http.HandlerFunc {
+// key=value access-log line carrying a process-unique request id. A handler
+// panic is recovered here — logged with its stack under the request id,
+// answered with a typed 500 if nothing was written yet, and counted — so
+// one bad request can never take the daemon down.
+//
+// Endpoints marked traced additionally run under a trace from the server's
+// recorder: the root span covers the whole request, handlers hang child
+// spans off the request context, and the recorder's policy decides at
+// finish whether the trace is retained for /debug/traces. A kept-slow
+// trace also emits a slow-query log line with its per-kind span breakdown.
+func (s *server) instrument(name string, traced bool, fn http.HandlerFunc) http.HandlerFunc {
 	hm := s.metrics.handlers[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqID.Add(1)
@@ -262,8 +316,13 @@ func (s *server) instrument(name string, fn http.HandlerFunc) http.HandlerFunc {
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
+		ctx := context.WithValue(r.Context(), reqIDKey{}, id)
+		var tr *snakes.Trace
+		if traced {
+			ctx, tr = s.traces.Start(ctx, name)
+		}
 		start := time.Now()
-		fn(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
+		panicErr := s.callHandler(sw, r.WithContext(ctx), fn, id)
 		elapsed := time.Since(start)
 		code := sw.code
 		if code == 0 {
@@ -271,10 +330,75 @@ func (s *server) instrument(name string, fn http.HandlerFunc) http.HandlerFunc {
 		}
 		hm.response(code)
 		hm.latency.Observe(elapsed.Seconds())
+		if tr != nil {
+			finishErr := panicErr
+			if finishErr == nil && code >= 500 {
+				finishErr = fmt.Errorf("http %d", code)
+			}
+			res := tr.Finish(finishErr)
+			s.metrics.observeTrace(tr, res)
+			if res.Kept && res.Slow {
+				s.log.Warn("slow-query",
+					"req", id, "trace", tr.ID(), "handler", name, "url", r.URL.String(),
+					"dur", res.Duration.Round(time.Microsecond), "spans", spanBreakdown(tr.Spans()))
+			}
+			s.log.Info("request",
+				"req", id, "handler", name, "method", r.Method, "url", r.URL.String(),
+				"status", code, "dur", elapsed.Round(time.Microsecond), "trace", tr.ID())
+			return
+		}
 		s.log.Info("request",
 			"req", id, "handler", name, "method", r.Method, "url", r.URL.String(),
 			"status", code, "dur", elapsed.Round(time.Microsecond))
 	}
+}
+
+// callHandler runs the handler under the panic guard, returning the panic
+// (as an error) when one was recovered.
+func (s *server) callHandler(w *statusWriter, r *http.Request, fn http.HandlerFunc, id uint64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+			s.metrics.httpPanics.Inc()
+			s.log.Error("panic", "req", id, "err", p, "stack", string(debug.Stack()))
+			if w.code == 0 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				json.NewEncoder(w).Encode(map[string]string{"error": "internal server error"})
+			}
+		}
+	}()
+	fn(w, r)
+	return nil
+}
+
+// spanBreakdown renders a finished trace's non-root spans as
+// "kind×count=totalms" pairs for the slow-query log line.
+func spanBreakdown(spans []snakes.TraceSpan) string {
+	type agg struct {
+		n  int
+		ns int64
+	}
+	byKind := make(map[string]*agg)
+	var order []string
+	for _, sp := range spans {
+		if sp.Kind == snakes.TraceKindRequest || sp.Dur < 0 {
+			continue
+		}
+		a := byKind[sp.Kind]
+		if a == nil {
+			a = &agg{}
+			byKind[sp.Kind] = a
+			order = append(order, sp.Kind)
+		}
+		a.n++
+		a.ns += sp.Dur
+	}
+	parts := make([]string, 0, len(order))
+	for _, k := range order {
+		parts = append(parts, fmt.Sprintf("%s×%d=%.2fms", k, byKind[k].n, float64(byKind[k].ns)/1e6))
+	}
+	return strings.Join(parts, " ")
 }
 
 // beginDrain flips the daemon into draining: /healthz starts failing so load
@@ -339,6 +463,7 @@ type queryResponse struct {
 	PagesRead  int64    `json:"pagesRead"`
 	Seeks      int64    `json:"observedSeeks"`
 	Generation int64    `json:"generation"`
+	TraceID    uint64   `json:"traceId,omitempty"` // set when this request was traced
 }
 
 // handleQuery answers GET /query?where=dim=lo..hi&...&sum=N. Unrestricted
@@ -381,15 +506,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Admission weight is the query's analytic page count, so one huge scan
 	// and many point queries draw from the same budget.
 	pred := st.Layout().Query(region)
+	asp := snakes.StartTraceLeaf(ctx, snakes.TraceKindAdmission, "")
+	asp.SetAttr("weight_pages", pred.Pages)
 	if err := s.adm.Acquire(ctx, pred.Pages); err != nil {
+		asp.SetError(err)
+		asp.End()
 		s.writeErr(w, err)
 		return
 	}
+	asp.End()
 	defer s.adm.Release(pred.Pages)
 
 	var tally snakes.PoolTally
 	ctx = snakes.WithPoolTally(ctx, &tally)
 	resp := queryResponse{Region: fmt.Sprint(region), Pages: pred.Pages, Generation: gen}
+	if tr := snakes.TraceFromContext(ctx); tr != nil {
+		resp.TraceID = tr.ID()
+	}
 	var total float64
 	err = st.ReadQueryCtx(ctx, region, func(cell int, record []byte) error {
 		resp.Records++
@@ -500,6 +633,44 @@ func (s *server) handleReorg(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTraces serves /debug/traces: without parameters, the retained
+// traces newest-first as summary lines plus the recorder's retention
+// stats; with ?id=N, the full span tree of one retained trace. A trace
+// that was never retained (or has been overwritten in its ring) answers
+// 404 — retention is a window, not an archive.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			s.writeErr(w, usagef("id=%q: want a trace id", idStr))
+			return
+		}
+		tr := s.traces.Get(id)
+		if tr == nil {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf("trace %d is not retained", id)})
+			return
+		}
+		json.NewEncoder(w).Encode(tr.DetailView())
+		return
+	}
+	snap := s.traces.Snapshot()
+	sums := make([]snakes.TraceSummary, 0, len(snap))
+	for _, tr := range snap {
+		sums = append(sums, tr.Summarize())
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"enabled": s.traces.Enabled(),
+		"config": map[string]any{
+			"sampleEvery":     s.traces.Config().SampleEvery,
+			"slowThresholdMs": float64(s.traces.Config().SlowThreshold.Nanoseconds()) / 1e6,
+		},
+		"stats":  s.traces.Stats(),
+		"traces": sums,
+	})
+}
+
 // handleHealthz reports serving health: pool and admission stats, the
 // quarantined page set, and the last scrub outcome. Status degrades when
 // any page is quarantined, and the endpoint fails outright with 503
@@ -528,6 +699,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":           status,
 		"generation":       s.generation.Load(),
+		"startedAt":        s.started.UTC().Format(time.RFC3339),
+		"uptimeSeconds":    time.Since(s.started).Seconds(),
 		"pool":             s.st().Pool().Stats(),
 		"admission":        s.adm.StatsSnapshot(),
 		"quarantinedPages": pages,
@@ -549,6 +722,36 @@ func payloadColumn(record []byte, idx int) (float64, error) {
 		}
 	}
 	return 0, fmt.Errorf("record has %d payload columns, sum asked for %d", col, idx)
+}
+
+// runReorgLoop is the daemon's background reorganization ticker: each tick
+// runs one policy step under a forced trace, so a migration's DP, copy,
+// flush, catalog-commit, swap, drain, and verify spans all land in
+// /debug/traces. Ticks where the policy declines (or a migration is
+// already running) discard their candidate trace — an uneventful tick is
+// not worth a retained slot. Errors are absorbed into the reorganizer's
+// status and metrics, exactly like Reorganizer.Run; only ctx ends the loop.
+func (s *server) runReorgLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			tctx, tr := s.traces.StartForced(ctx, "reorg-tick")
+			_, err := s.reorg.Trigger(tctx, false)
+			switch {
+			case snakes.ReorgSkipped(err) || errors.Is(err, snakes.ErrReorgInProgress):
+				tr.Discard()
+			default:
+				res := tr.Finish(err)
+				if tr != nil {
+					s.metrics.observeTrace(tr, res)
+				}
+			}
+		}
+	}
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then drains
@@ -590,6 +793,9 @@ func cmdServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceSample := fs.Int("trace-sample", 16, "trace every Nth request for /debug/traces; 0 disables head sampling")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "always retain traces of requests at least this slow; 0 disables")
+	traceCapacity := fs.Int("trace-capacity", 256, "retained sampled traces (slow/errored traces keep a quarter of this on top)")
 	adapt := fs.Bool("adapt", false, "re-cluster the store automatically when the live workload drifts")
 	adaptInterval := fs.Duration("adapt-interval", 30*time.Second, "how often the reorg policy re-evaluates the workload")
 	adaptHalfLife := fs.Duration("adapt-half-life", 15*time.Minute, "decay half-life of the live workload estimate")
@@ -633,10 +839,15 @@ func cmdServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := newServer(store, schema, schemaDims(cat), adm, *reqTimeout)
+	tcfg := snakes.TraceConfig{
+		SampleEvery:      *traceSample,
+		SlowThreshold:    *traceSlow,
+		Capacity:         *traceCapacity,
+		RetainedCapacity: *traceCapacity / 4,
+	}
+	srv := newServer(store, schema, schemaDims(cat), adm, *reqTimeout, cat.Generation, tcfg)
 	srv.log = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv.pprof = *pprofOn
-	srv.generation.Store(int64(cat.Generation))
 	if *adapt {
 		cfg := snakes.DefaultReorgConfig()
 		cfg.CheckInterval = *adaptInterval
@@ -649,7 +860,7 @@ func cmdServe(args []string) error {
 			store.Close()
 			return usagef("%v", err)
 		}
-		go srv.reorg.Run(ctx)
+		go srv.runReorgLoop(ctx, cfg.CheckInterval)
 	}
 	fmt.Printf("serving %s (generation %d) on http://%s (capacity %d pages, queue timeout %v, adapt %v)\n",
 		active, cat.Generation, ln.Addr(), *maxInflight, *queueTimeout, *adapt)

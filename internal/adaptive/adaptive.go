@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/lattice"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -257,6 +258,20 @@ func (c *Controller) Status() Status {
 // measurement and, when the policy says to act, a non-nil Decision.
 // Evaluate itself never migrates.
 func (c *Controller) Evaluate() (Evaluation, *Decision, error) {
+	return c.evaluate(context.Background())
+}
+
+// evaluate is Evaluate under a context, so a traced reorg tick records the
+// DP rerun as its own span (with the measured regret attached in milli
+// units — span attributes are integers).
+func (c *Controller) evaluate(ctx context.Context) (_ Evaluation, _ *Decision, retErr error) {
+	sp := trace.StartLeaf(ctx, trace.KindDP, "")
+	if sp.OK() {
+		defer func() {
+			sp.SetError(retErr)
+			sp.End()
+		}()
+	}
 	weight := c.est.Weight()
 	w, err := c.est.Workload(c.cfg.Smoothing)
 	if err != nil {
@@ -279,6 +294,7 @@ func (c *Controller) Evaluate() (Evaluation, *Decision, error) {
 	} else {
 		ev.Regret = 1
 	}
+	sp.SetAttr("regret_milli", int64(ev.Regret*1000))
 	c.evals++
 	c.lastRegret = ev.Regret
 	if ev.Regret > c.cfg.RegretThreshold && weight >= c.cfg.MinWeight {
@@ -321,7 +337,7 @@ func (c *Controller) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			_, d, err := c.Evaluate()
+			_, d, err := c.evaluate(ctx)
 			if err != nil || d == nil {
 				continue
 			}
@@ -336,7 +352,7 @@ func (c *Controller) Run(ctx context.Context) {
 // POST" path). Returns the decision it acted on, or nil when the policy
 // declined (never nil alongside a nil error when force is set).
 func (c *Controller) Trigger(ctx context.Context, force bool) (*Decision, error) {
-	ev, d, err := c.Evaluate()
+	ev, d, err := c.evaluate(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -348,14 +364,20 @@ func (c *Controller) Trigger(ctx context.Context, force bool) (*Decision, error)
 			return nil, fmt.Errorf("%w: regret %.3f, threshold %.3f, trips %d/%d",
 				errSkipped, ev.Regret, c.cfg.RegretThreshold, trips, c.cfg.Hysteresis)
 		}
+		sp := trace.StartLeaf(ctx, trace.KindDP, "forced")
 		w, err := c.est.Workload(c.cfg.Smoothing)
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return nil, err
 		}
 		opt, err := core.Optimal(w)
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return nil, err
 		}
+		sp.End()
 		c.mu.Lock()
 		d = &Decision{
 			Path:        opt.Path,
@@ -402,7 +424,11 @@ func (c *Controller) reorganize(ctx context.Context, d *Decision) error {
 		c.mu.Unlock()
 	}
 	start := c.now()
-	err := c.migrate(ctx, d)
+	mctx, msp := trace.Start(ctx, trace.KindMigrate, "")
+	msp.SetAttr("generation", int64(d.Generation))
+	err := c.migrate(mctx, d)
+	msp.SetError(err)
+	msp.End()
 	dur := c.now().Sub(start)
 
 	c.mu.Lock()

@@ -176,7 +176,10 @@ func walkRecords(cell int, buf []byte, fn func(cell int, record []byte) error) e
 // ReadQueryCtx streams every record in the region in disk order through the
 // pool, checking ctx between cells (and, inside the pool, between page
 // loads), so a cancelled or expired query stops issuing I/O immediately.
-// Returns ErrClosed if the store has been closed.
+// When ctx carries a trace (internal/trace), each maximal run of contiguous
+// cell reads is recorded as a fragment span with its tally deltas attached;
+// without one the tracing hooks cost nothing. Returns ErrClosed if the
+// store has been closed.
 func (fs *FileStore) ReadQueryCtx(ctx context.Context, r linear.Region, fn func(cell int, record []byte) error) error {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
@@ -184,8 +187,11 @@ func (fs *FileStore) ReadQueryCtx(ctx context.Context, r linear.Region, fn func(
 		return ErrClosed
 	}
 	var buf []byte
+	var ft fragmentTracer
+	ft.start(ctx)
 	for _, pos := range fs.layout.order.Positions(r) {
 		if err := ctx.Err(); err != nil {
+			ft.close(err)
 			return err
 		}
 		filled := fs.fill[pos]
@@ -193,17 +199,21 @@ func (fs *FileStore) ReadQueryCtx(ctx context.Context, r linear.Region, fn func(
 			continue
 		}
 		lo := fs.layout.start[pos]
+		cctx := ft.cellCtx(ctx, lo, fs.layout.start[pos+1], filled)
 		if int64(cap(buf)) < filled {
 			buf = make([]byte, filled)
 		}
 		buf = buf[:filled]
-		if err := fs.pool.ReadAtCtx(ctx, buf, lo); err != nil {
+		if err := fs.pool.ReadAtCtx(cctx, buf, lo); err != nil {
+			ft.close(err)
 			return err
 		}
 		if err := walkRecords(fs.layout.order.CellAt(pos), buf, fn); err != nil {
+			ft.close(nil)
 			return err
 		}
 	}
+	ft.close(nil)
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/linear"
+	"repro/internal/trace"
 )
 
 // MigrateCtx re-clusters a file store onto a new linearization: every
@@ -56,25 +57,39 @@ func MigrateCtx(ctx context.Context, old *FileStore, newPath string, newOrder *l
 		return err
 	}
 	// Copy cell by cell in the old disk order (sequential on the source
-	// file), checking the context at each cell boundary.
+	// file), checking the context at each cell boundary. Under a trace,
+	// the whole copy is one span (with the cell count attached) and the
+	// final flush is another, so a migration trace shows where the time
+	// went.
+	cctx, copySpan := trace.Start(ctx, trace.KindCopy, "")
+	copySpan.SetAttr("cells", int64(total))
 	for pos := 0; pos < total; pos++ {
 		if err := ctx.Err(); err != nil {
+			copySpan.SetError(err)
+			copySpan.End()
 			return nil, abort(err)
 		}
 		cell := oldOrder.CellAt(pos)
-		err := old.ReadCellCtx(ctx, cell, func(record []byte) error {
+		err := old.ReadCellCtx(cctx, cell, func(record []byte) error {
 			return dst.PutRecord(cell, record)
 		})
 		if err != nil {
+			copySpan.SetError(err)
+			copySpan.End()
 			return nil, abort(fmt.Errorf("storage: migration copy of cell %d: %w", cell, err))
 		}
 		if progress != nil {
 			progress(pos+1, total)
 		}
 	}
+	copySpan.End()
+	fsp := trace.StartLeaf(ctx, trace.KindFlush, "")
 	if err := dst.pool.Flush(); err != nil {
+		fsp.SetError(err)
+		fsp.End()
 		return nil, abort(fmt.Errorf("storage: migration flush: %w", err))
 	}
+	fsp.End()
 	return dst, nil
 }
 

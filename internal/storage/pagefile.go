@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // PageFile is a fixed-page-size file: the real-disk counterpart of the
@@ -224,11 +226,19 @@ func (bp *BufferPool) withRetry(ctx context.Context, op func() error) error {
 			tally.retries.Add(1)
 		}
 		if backoff > 0 {
+			// The backoff sleep is where a retried request's latency hides;
+			// give it a span so slow-query forensics can see it.
+			sp := trace.StartLeaf(ctx, trace.KindRetry, "")
+			sp.SetAttr("attempt", int64(attempt+1))
+			sp.SetAttr("backoff_ns", int64(backoff))
 			t := time.NewTimer(backoff)
 			select {
 			case <-t.C:
+				sp.End()
 			case <-ctx.Done():
 				t.Stop()
+				sp.SetError(ctx.Err())
+				sp.End()
 				return ctx.Err()
 			}
 			backoff *= 2
@@ -305,7 +315,11 @@ func (bp *BufferPool) getOnce(ctx context.Context, page int64) (*frame, error) {
 	bp.frames[page] = bp.lru.PushFront(fr)
 	bp.mu.Unlock()
 
+	sp := trace.StartLeaf(ctx, trace.KindPageLoad, "")
+	sp.SetAttr("page", page)
 	if err := bp.withRetry(ctx, func() error { return bp.pf.ReadPage(page, fr.data) }); err != nil {
+		sp.SetError(err)
+		sp.End()
 		// Failed loads leave no frame behind: drop it so a later access
 		// retries from disk, then wake the waiters with the error.
 		bp.mu.Lock()
@@ -319,6 +333,7 @@ func (bp *BufferPool) getOnce(ctx context.Context, page int64) (*frame, error) {
 		close(fr.ready)
 		return nil, err
 	}
+	sp.End()
 	if tally != nil {
 		tally.physRead(page)
 	}

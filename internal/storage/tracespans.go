@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"context"
+
+	"repro/internal/trace"
+)
+
+// fragmentTracer groups a query's cell reads into fragment spans: one span
+// per maximal run of byte-contiguous reserved cell ranges, the physical
+// unit the paper's seek model charges one seek for. Each fragment span
+// carries the request tally's deltas (pages_read, seeks, pool_hits) as
+// attributes, so a trace is checkable against both PoolTally and the
+// analytic Layout.Query prediction: over a cold pool the per-fragment
+// seek deltas sum to the observed — and predicted — seek count.
+//
+// The zero value with start() on an untraced context is completely
+// inert and allocation-free, keeping the hot read path clean when
+// tracing is off.
+type fragmentTracer struct {
+	on    bool
+	base  context.Context
+	cur   context.Context
+	tally *PoolTally
+	span  trace.SpanRef
+	open  bool
+	next  int64 // reserved hi of the last traced cell; a gap starts a new fragment
+	cells int64
+	bytes int64
+
+	seeks, pages, hits int64 // tally snapshot at fragment start
+}
+
+func (f *fragmentTracer) start(ctx context.Context) {
+	f.on = trace.Active(ctx)
+	if f.on {
+		f.base, f.cur = ctx, ctx
+		f.tally = tallyFrom(ctx)
+	}
+}
+
+// cellCtx is called before each non-empty cell read with the cell's
+// reserved byte range [lo, hi) and filled size; it returns the context the
+// read should run under. Byte-adjacent cells (empty cells reserve zero
+// bytes, so runs continue across them) share one fragment span, matching
+// the analytic model's page-range merge.
+func (f *fragmentTracer) cellCtx(ctx context.Context, lo, hi, filled int64) context.Context {
+	if !f.on {
+		return ctx
+	}
+	if !f.open || lo != f.next {
+		f.close(nil)
+		f.cur, f.span = trace.Start(f.base, trace.KindFragment, "")
+		f.open = true
+		f.cells, f.bytes = 0, 0
+		if f.tally != nil {
+			f.seeks = f.tally.seeks.Load()
+			f.pages = f.tally.misses.Load()
+			f.hits = f.tally.hits.Load()
+		}
+	}
+	f.next = hi
+	f.cells++
+	f.bytes += filled
+	return f.cur
+}
+
+// close seals the open fragment span, attaching the cell/byte totals and
+// the tally deltas accumulated since the fragment began.
+func (f *fragmentTracer) close(err error) {
+	if !f.open {
+		return
+	}
+	f.open = false
+	f.span.SetAttr("cells", f.cells)
+	f.span.SetAttr("bytes", f.bytes)
+	if f.tally != nil {
+		f.span.SetAttr("pages_read", f.tally.misses.Load()-f.pages)
+		f.span.SetAttr("seeks", f.tally.seeks.Load()-f.seeks)
+		f.span.SetAttr("pool_hits", f.tally.hits.Load()-f.hits)
+	}
+	f.span.SetError(err)
+	f.span.End()
+}

@@ -1,0 +1,292 @@
+// Package trace is a dependency-free span tracer for per-request
+// forensics: where did one slow query's time actually go — admission
+// wait, pool misses, checksum-retry backoff, or the seek pattern itself?
+//
+// A trace is a tree of spans belonging to one request (or one background
+// reorganization). It rides the request's context.Context exactly like
+// storage.PoolTally does: the serving layer opens a root span and attaches
+// the trace, and every layer below adds child spans through package-level
+// Start/StartLeaf calls that are no-ops when the context carries no trace.
+// The disabled path — no trace on the context — performs no allocations,
+// so tracing costs nothing when it is off (asserted by tests in this
+// package and in internal/storage).
+//
+// Retention is the Recorder's job: fixed-size lock-free rings with
+// head-based sampling (keep every Nth request) plus tail-based always-keep
+// for slow and errored requests, so the interesting traces survive any
+// sampling rate. See Recorder.
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span kinds used across the storage, adaptive, and serving layers. The
+// set is closed on purpose: metric families index per-kind histograms by
+// it, and the obs registry forbids dynamic series.
+const (
+	KindRequest       = "request"        // root span of a served request
+	KindAdmission     = "admission"      // wait for admission weight
+	KindFragment      = "fragment"       // one contiguous byte run of a query's cell reads
+	KindPageLoad      = "page_load"      // one physical page read at the pool
+	KindRetry         = "retry_backoff"  // backoff sleep after a transient I/O error
+	KindDP            = "dp"             // Figure-4 DP rerun against the live workload
+	KindMigrate       = "migrate"        // whole reorganization migration
+	KindCopy          = "copy"           // cell-by-cell copy into the new generation
+	KindFlush         = "flush"          // new generation's pool flush
+	KindCatalogCommit = "catalog_commit" // atomic catalog write (the commit point)
+	KindSwap          = "swap"           // serving-pointer hot swap
+	KindDrain         = "drain"          // old generation close / reader drain
+	KindVerify        = "verify"         // post-swap scrub of the new generation
+)
+
+// Kinds returns every span kind, in a stable order, for pre-registering
+// per-kind metric series.
+func Kinds() []string {
+	return []string{
+		KindRequest, KindAdmission, KindFragment, KindPageLoad, KindRetry,
+		KindDP, KindMigrate, KindCopy, KindFlush, KindCatalogCommit,
+		KindSwap, KindDrain, KindVerify,
+	}
+}
+
+// Attr is one integer attachment on a span — page numbers, tally deltas,
+// byte counts. Integers only: attributes must not allocate formatting
+// machinery on the read path.
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// Span is one timed operation inside a trace. Start is the offset from the
+// trace's start; Dur is -1 while the span is open and is forced closed at
+// Finish. Spans form a tree through Parent (-1 for the root).
+type Span struct {
+	ID     int32  `json:"id"`
+	Parent int32  `json:"parent"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	Start  int64  `json:"startNs"`
+	Dur    int64  `json:"durNs"`
+	Attrs  []Attr `json:"attrs,omitempty"`
+	Err    string `json:"error,omitempty"`
+}
+
+// Trace is one request's span tree. All methods are nil-safe: a nil
+// *Trace is the "not recording" state and every operation on it is a
+// no-op, so callers thread traces without nil checks.
+type Trace struct {
+	rec     *Recorder
+	id      uint64
+	name    string
+	start   time.Time
+	clock   func() time.Time
+	forced  bool // always retained (background reorgs) unless Discarded
+	sampled bool // head sampling chose this trace
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int
+	sealed  bool
+	dur     time.Duration
+	slow    bool
+	err     string
+	reason  string // retention reason once sealed: sampled|slow|error|forced
+}
+
+// ID returns the trace id (0 for a nil trace). Ids are assigned from one
+// atomic sequence per Recorder, so they are unique and monotone.
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Name returns the root span's name, e.g. the handler name.
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// StartTime returns when the trace began.
+func (t *Trace) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Duration returns the sealed trace's wall time (0 before Finish).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dur
+}
+
+// Slow reports whether Finish classified the trace as slow.
+func (t *Trace) Slow() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.slow
+}
+
+// Err returns the error recorded at Finish, if any.
+func (t *Trace) Err() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Spans returns a copy of the span tree (index 0 is the root).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// startSpan appends a child span and returns its id, or -1 when the trace
+// is sealed or full (the drop is counted, never silent).
+func (t *Trace) startSpan(parent int32, kind, name string) int32 {
+	off := t.clock().Sub(t.start).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sealed {
+		return -1
+	}
+	if len(t.spans) >= t.rec.cfg.MaxSpans {
+		t.dropped++
+		return -1
+	}
+	id := int32(len(t.spans))
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Kind: kind, Name: name, Start: off, Dur: -1})
+	return id
+}
+
+func (t *Trace) endSpan(id int32) {
+	off := t.clock().Sub(t.start).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sealed || t.spans[id].Dur >= 0 {
+		return
+	}
+	t.spans[id].Dur = off - t.spans[id].Start
+}
+
+func (t *Trace) setAttr(id int32, key string, v int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sealed {
+		return
+	}
+	t.spans[id].Attrs = append(t.spans[id].Attrs, Attr{Key: key, Value: v})
+}
+
+func (t *Trace) setErr(id int32, msg string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sealed {
+		return
+	}
+	t.spans[id].Err = msg
+}
+
+// SpanRef is a handle on one span of one trace. The zero value (and any
+// ref whose span was dropped) is a valid no-op, so instrumented code never
+// branches on whether tracing is live.
+type SpanRef struct {
+	tr *Trace
+	id int32
+}
+
+// OK reports whether the ref points at a recorded span.
+func (s SpanRef) OK() bool { return s.tr != nil && s.id >= 0 }
+
+// End closes the span at the current time. Ending twice is a no-op.
+func (s SpanRef) End() {
+	if s.OK() {
+		s.tr.endSpan(s.id)
+	}
+}
+
+// SetAttr attaches one integer attribute.
+func (s SpanRef) SetAttr(key string, v int64) {
+	if s.OK() {
+		s.tr.setAttr(s.id, key, v)
+	}
+}
+
+// SetError records err on the span (nil is a no-op).
+func (s SpanRef) SetError(err error) {
+	if s.OK() && err != nil {
+		s.tr.setErr(s.id, err.Error())
+	}
+}
+
+// ctxKey carries a ctxSpan — the trace plus the id of the span that new
+// children should parent under (the same single-key pattern as
+// storage.PoolTally).
+type ctxKey struct{}
+
+type ctxSpan struct {
+	tr   *Trace
+	span int32
+}
+
+// FromContext returns the trace attached to ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	cs, _ := ctx.Value(ctxKey{}).(ctxSpan)
+	return cs.tr
+}
+
+// Active reports whether ctx carries a live trace. It allocates nothing,
+// so hot paths may call it per operation.
+func Active(ctx context.Context) bool {
+	cs, _ := ctx.Value(ctxKey{}).(ctxSpan)
+	return cs.tr != nil
+}
+
+// Start opens a child of the span on ctx and returns a derived context
+// under which further spans nest inside the new one. With no trace on ctx
+// it returns ctx unchanged and a no-op ref without allocating.
+func Start(ctx context.Context, kind, name string) (context.Context, SpanRef) {
+	cs, _ := ctx.Value(ctxKey{}).(ctxSpan)
+	if cs.tr == nil {
+		return ctx, SpanRef{}
+	}
+	id := cs.tr.startSpan(cs.span, kind, name)
+	if id < 0 {
+		return ctx, SpanRef{tr: cs.tr, id: -1}
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxSpan{cs.tr, id}), SpanRef{cs.tr, id}
+}
+
+// StartLeaf opens a child of the span on ctx without deriving a new
+// context — the right call for spans that cannot have children (page
+// loads, retry backoffs), where a context allocation per span would be
+// pure overhead. With no trace on ctx it is free.
+func StartLeaf(ctx context.Context, kind, name string) SpanRef {
+	cs, _ := ctx.Value(ctxKey{}).(ctxSpan)
+	if cs.tr == nil {
+		return SpanRef{}
+	}
+	return SpanRef{cs.tr, cs.tr.startSpan(cs.span, kind, name)}
+}

@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// always returns a recorder that records every request.
+func always() *Recorder {
+	return NewRecorder(Config{SampleEvery: 1})
+}
+
+func TestSpanTree(t *testing.T) {
+	rec := always()
+	ctx, tr := rec.Start(context.Background(), "query")
+	if tr == nil {
+		t.Fatal("SampleEvery=1 recorder did not trace the first request")
+	}
+	if tr.ID() == 0 {
+		t.Error("trace id = 0, want a positive sequence value")
+	}
+
+	fctx, frag := Start(ctx, KindFragment, "")
+	load := StartLeaf(fctx, KindPageLoad, "")
+	load.SetAttr("page", 7)
+	load.End()
+	frag.SetAttr("cells", 3)
+	frag.End()
+	adm := StartLeaf(ctx, KindAdmission, "")
+	adm.SetError(errors.New("shed"))
+	adm.End()
+	res := tr.Finish(nil)
+	if !res.Kept || res.Reason != "sampled" {
+		t.Errorf("Finish = %+v, want kept as sampled", res)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+	root := spans[0]
+	if root.Kind != KindRequest || root.Parent != -1 || root.Name != "query" {
+		t.Errorf("root span = %+v", root)
+	}
+	if spans[1].Kind != KindFragment || spans[1].Parent != 0 {
+		t.Errorf("fragment span = %+v, want child of root", spans[1])
+	}
+	if spans[2].Kind != KindPageLoad || spans[2].Parent != spans[1].ID {
+		t.Errorf("page_load span = %+v, want child of fragment", spans[2])
+	}
+	if len(spans[2].Attrs) != 1 || spans[2].Attrs[0] != (Attr{"page", 7}) {
+		t.Errorf("page_load attrs = %+v", spans[2].Attrs)
+	}
+	if spans[3].Parent != 0 || spans[3].Err != "shed" {
+		t.Errorf("admission span = %+v, want root child carrying the error", spans[3])
+	}
+	for i, sp := range spans {
+		if sp.Dur < 0 {
+			t.Errorf("span %d still open after Finish: %+v", i, sp)
+		}
+		if sp.Start < 0 {
+			t.Errorf("span %d starts before the trace: %+v", i, sp)
+		}
+	}
+
+	// The sealed trace is in the sampled ring and retrievable by id.
+	if got := rec.Get(tr.ID()); got != tr {
+		t.Errorf("Get(%d) = %p, want %p", tr.ID(), got, tr)
+	}
+	if s := tr.Summarize(); s.SpanCount != 4 || s.Kept != "sampled" {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestDisabledPathIsFreeAndNoOp(t *testing.T) {
+	ctx := context.Background()
+	if Active(ctx) {
+		t.Fatal("background context reports an active trace")
+	}
+	errX := errors.New("x")
+	allocs := testing.AllocsPerRun(200, func() {
+		c2, sp := Start(ctx, KindFragment, "")
+		if c2 != ctx {
+			t.Fatal("Start derived a context without a trace")
+		}
+		sp.SetAttr("k", 1)
+		sp.End()
+		leaf := StartLeaf(ctx, KindPageLoad, "")
+		leaf.SetError(errX)
+		leaf.End()
+		_ = Active(ctx)
+		_ = FromContext(ctx)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled trace path allocates %.1f objects per op, want 0", allocs)
+	}
+
+	// A fully disabled recorder starts nothing.
+	rec := NewRecorder(Config{})
+	c2, tr := rec.Start(ctx, "query")
+	if tr != nil || c2 != ctx {
+		t.Errorf("disabled recorder produced a trace")
+	}
+	if rec.Enabled() {
+		t.Error("zero-config recorder reports enabled")
+	}
+	// Nil recorders and nil traces are inert everywhere.
+	var nilRec *Recorder
+	if _, tr := nilRec.Start(ctx, "q"); tr != nil {
+		t.Error("nil recorder produced a trace")
+	}
+	var nilTr *Trace
+	nilTr.Finish(nil)
+	nilTr.Discard()
+	if nilTr.ID() != 0 || nilTr.Slow() || len(nilTr.Spans()) != 0 {
+		t.Error("nil trace not inert")
+	}
+}
+
+func TestHeadSamplingKeepsEveryNth(t *testing.T) {
+	rec := NewRecorder(Config{SampleEvery: 4, Capacity: 32})
+	traced := 0
+	for i := 0; i < 16; i++ {
+		_, tr := rec.Start(context.Background(), "q")
+		if tr != nil {
+			traced++
+			tr.Finish(nil)
+		}
+	}
+	if traced != 4 {
+		t.Errorf("SampleEvery=4 traced %d of 16 requests, want 4", traced)
+	}
+	if st := rec.Stats(); st.Started != 4 || st.KeptSampled != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// fakeClock is a concurrency-safe test clock.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(d.Nanoseconds()) }
+
+func TestSlowAndErroredSurviveSampling(t *testing.T) {
+	clk := &fakeClock{}
+	rec := NewRecorder(Config{SampleEvery: 1 << 30, SlowThreshold: time.Millisecond})
+	rec.clock = clk.now
+
+	// A fast, clean request: candidate trace exists (slow threshold set)
+	// but is let go at Finish.
+	_, fast := rec.Start(context.Background(), "fast")
+	if fast == nil {
+		t.Fatal("slow threshold should force candidate traces")
+	}
+	if res := fast.Finish(nil); res.Kept || res.Slow {
+		t.Errorf("fast request kept: %+v", res)
+	}
+	if rec.Get(fast.ID()) != nil {
+		t.Error("fast trace retained")
+	}
+
+	// A slow request is always kept, at any sampling rate.
+	_, slow := rec.Start(context.Background(), "slow")
+	clk.advance(5 * time.Millisecond)
+	res := slow.Finish(nil)
+	if !res.Kept || res.Reason != "slow" || !res.Slow || res.Duration != 5*time.Millisecond {
+		t.Errorf("slow request: %+v", res)
+	}
+	if rec.Get(slow.ID()) == nil {
+		t.Error("slow trace not retrievable")
+	}
+
+	// So is an errored one.
+	_, bad := rec.Start(context.Background(), "bad")
+	if res := bad.Finish(errors.New("boom")); !res.Kept || res.Reason != "error" {
+		t.Errorf("errored request: %+v", res)
+	}
+	if tr := rec.Get(bad.ID()); tr == nil || tr.Err() != "boom" {
+		t.Errorf("errored trace = %v", tr)
+	}
+
+	// Forced traces are kept unless discarded.
+	_, forced := rec.StartForced(context.Background(), "reorg")
+	forced.Finish(nil)
+	if rec.Get(forced.ID()) == nil {
+		t.Error("forced trace not retained")
+	}
+	_, skipped := rec.StartForced(context.Background(), "reorg")
+	skipped.Discard()
+	if rec.Get(skipped.ID()) != nil {
+		t.Error("discarded trace retained")
+	}
+	if st := rec.Stats(); st.KeptSlow != 1 || st.KeptError != 1 || st.KeptForced != 1 || st.Discarded != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMaxSpansDropsAreCounted(t *testing.T) {
+	rec := NewRecorder(Config{SampleEvery: 1, MaxSpans: 4})
+	ctx, tr := rec.Start(context.Background(), "q")
+	for i := 0; i < 10; i++ {
+		sp := StartLeaf(ctx, KindPageLoad, "")
+		sp.SetAttr("page", int64(i)) // dropped refs must stay inert
+		sp.End()
+	}
+	tr.Finish(nil)
+	if got := len(tr.Spans()); got != 4 {
+		t.Errorf("spans = %d, want capped at 4", got)
+	}
+	if s := tr.Summarize(); s.DroppedSpans != 7 {
+		t.Errorf("dropped = %d, want 7 (10 page loads - 3 slots past the root)", s.DroppedSpans)
+	}
+	if st := rec.Stats(); st.DroppedSpans != 7 {
+		t.Errorf("recorder dropped-span stat = %d, want 7", st.DroppedSpans)
+	}
+}
+
+// TestRecorderConcurrentScrape is the ring-buffer race test: 8 goroutines
+// record traces (a fixed subset errored, so they must be retained) while
+// two readers continuously snapshot and re-read span trees mid-drain.
+// Run under -race this checks the lock-free rings; the final asserts check
+// no slot corruption, strictly monotone unique ids, and that every errored
+// trace survived the sampling pressure.
+func TestRecorderConcurrentScrape(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 400
+		errEvery  = 100 // 4 errored traces per writer, 32 total < RetainedCapacity
+	)
+	rec := NewRecorder(Config{SampleEvery: 3, Capacity: 64, RetainedCapacity: 64})
+
+	var writersWg, readersWg sync.WaitGroup
+	stop := make(chan struct{})
+	readErrs := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		readersWg.Add(1)
+		go func() {
+			defer readersWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := rec.Snapshot()
+				for i, tr := range snap {
+					if tr == nil {
+						readErrs <- fmt.Errorf("nil trace in snapshot slot %d", i)
+						return
+					}
+					if i > 0 && snap[i-1].ID() <= tr.ID() {
+						readErrs <- fmt.Errorf("snapshot ids not strictly descending: %d then %d", snap[i-1].ID(), tr.ID())
+						return
+					}
+					for _, sp := range tr.Spans() {
+						if sp.Dur < 0 || (sp.Parent >= 0 && sp.Parent >= sp.ID) {
+							readErrs <- fmt.Errorf("malformed span in retained trace %d: %+v", tr.ID(), sp)
+							return
+						}
+					}
+					// Get must agree with the snapshot while writers drain
+					// slots underneath us (old-or-new, never torn).
+					if got := rec.Get(tr.ID()); got != nil && got.ID() != tr.ID() {
+						readErrs <- fmt.Errorf("Get(%d) returned trace %d", tr.ID(), got.ID())
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var mu sync.Mutex
+	wantErrIDs := make(map[uint64]bool)
+	for w := 0; w < writers; w++ {
+		writersWg.Add(1)
+		go func(w int) {
+			defer writersWg.Done()
+			for i := 0; i < perWriter; i++ {
+				ctx, tr := rec.Start(context.Background(), "q")
+				if tr == nil {
+					continue
+				}
+				fctx, frag := Start(ctx, KindFragment, "")
+				sp := StartLeaf(fctx, KindPageLoad, "")
+				sp.SetAttr("page", int64(i))
+				sp.End()
+				frag.End()
+				if i%errEvery == errEvery-1 {
+					mu.Lock()
+					wantErrIDs[tr.ID()] = true
+					mu.Unlock()
+					tr.Finish(errors.New("injected"))
+				} else {
+					tr.Finish(nil)
+				}
+			}
+		}(w)
+	}
+
+	// Writers finish first, then the readers get one last clean pass.
+	writersWg.Wait()
+	close(stop)
+	readersWg.Wait()
+	select {
+	case err := <-readErrs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Every errored trace survived the sampling pressure (RetainedCapacity
+	// exceeds the error count, and sampled traffic never overwrites the
+	// retained ring).
+	snap := rec.Snapshot()
+	got := make(map[uint64]bool)
+	for _, tr := range snap {
+		if tr.Err() != "" {
+			got[tr.ID()] = true
+		}
+	}
+	for id := range wantErrIDs {
+		if !got[id] {
+			t.Errorf("errored trace %d was evicted from the retained ring", id)
+		}
+	}
+	if len(wantErrIDs) == 0 {
+		t.Fatal("test recorded no errored traces")
+	}
+	if st := rec.Stats(); st.KeptError != uint64(len(wantErrIDs)) {
+		t.Errorf("KeptError = %d, want %d", st.KeptError, len(wantErrIDs))
+	}
+}

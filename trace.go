@@ -1,0 +1,85 @@
+package snakes
+
+import (
+	"context"
+
+	"repro/internal/trace"
+)
+
+// Trace re-exports the request-tracing subsystem: a Trace is a tree of
+// timed spans carried on a context through the read and reorganization
+// paths, retained by a TraceRecorder under head sampling plus tail-based
+// always-keep for slow and errored requests. The serve daemon exposes
+// retained traces on /debug/traces.
+type Trace = trace.Trace
+
+// TraceSpan is one timed node of a trace's span tree.
+type TraceSpan = trace.Span
+
+// TraceSpanRef is a live handle to an open span; the zero value (and any
+// ref from an untraced context) is inert, so instrumentation needs no nil
+// checks.
+type TraceSpanRef = trace.SpanRef
+
+// TraceAttr is one integer attribute attached to a span.
+type TraceAttr = trace.Attr
+
+// TraceConfig tunes a TraceRecorder; the zero value records nothing.
+type TraceConfig = trace.Config
+
+// TraceRecorder decides which requests to trace and retains finished
+// traces. Nil-safe: a nil recorder traces nothing at zero cost.
+type TraceRecorder = trace.Recorder
+
+// TraceResult is Finish's retention verdict on one trace.
+type TraceResult = trace.Result
+
+// TraceStats counts a recorder's retention decisions.
+type TraceStats = trace.Stats
+
+// TraceSummary and TraceDetail are the JSON renderings used by
+// /debug/traces.
+type (
+	TraceSummary = trace.Summary
+	TraceDetail  = trace.Detail
+)
+
+// Span kinds recorded by the instrumented paths.
+const (
+	TraceKindRequest       = trace.KindRequest
+	TraceKindAdmission     = trace.KindAdmission
+	TraceKindFragment      = trace.KindFragment
+	TraceKindPageLoad      = trace.KindPageLoad
+	TraceKindRetry         = trace.KindRetry
+	TraceKindDP            = trace.KindDP
+	TraceKindMigrate       = trace.KindMigrate
+	TraceKindCopy          = trace.KindCopy
+	TraceKindFlush         = trace.KindFlush
+	TraceKindCatalogCommit = trace.KindCatalogCommit
+	TraceKindSwap          = trace.KindSwap
+	TraceKindDrain         = trace.KindDrain
+	TraceKindVerify        = trace.KindVerify
+)
+
+// TraceSpanKinds returns every span kind the instrumented paths record —
+// the closed label set for per-kind metrics.
+func TraceSpanKinds() []string { return trace.Kinds() }
+
+// NewTraceRecorder builds a recorder; see TraceConfig for the policy.
+func NewTraceRecorder(cfg TraceConfig) *TraceRecorder { return trace.NewRecorder(cfg) }
+
+// TraceFromContext returns the trace carried by ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return trace.FromContext(ctx) }
+
+// StartTraceSpan opens a child span of ctx's current span and returns the
+// derived context (so further spans nest under it). On an untraced context
+// it returns ctx unchanged and an inert ref, allocation-free.
+func StartTraceSpan(ctx context.Context, kind, name string) (context.Context, TraceSpanRef) {
+	return trace.Start(ctx, kind, name)
+}
+
+// StartTraceLeaf opens a child span without deriving a context, for spans
+// that will have no children of their own.
+func StartTraceLeaf(ctx context.Context, kind, name string) TraceSpanRef {
+	return trace.StartLeaf(ctx, kind, name)
+}
