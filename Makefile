@@ -1,15 +1,15 @@
 GO ?= go
 BENCH_NAME ?= local
 
-.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint trace-smoke bench bench-adaptive reorg-smoke
+.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint trace-smoke bench bench-adaptive bench-chaos reorg-smoke chaos chaos-long
 
 # check is the tier-1 verification gate (see ROADMAP.md): formatting,
 # static analysis, a full build, the metrics-name lint, the tracing
-# smoke, and the test suite under the race detector. Fuzz seed corpora
-# run as ordinary tests. staticcheck runs when the binary is installed
-# and is skipped (with a notice) otherwise, so check works on machines
-# without network access.
-check: fmt vet staticcheck build metrics-lint trace-smoke race
+# smoke, the deterministic chaos suite, and the test suite under the
+# race detector. Fuzz seed corpora run as ordinary tests. staticcheck
+# runs when the binary is installed and is skipped (with a notice)
+# otherwise, so check works on machines without network access.
+check: fmt vet staticcheck build metrics-lint trace-smoke chaos race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -71,6 +71,26 @@ bench:
 bench-adaptive:
 	$(GO) run ./cmd/snakebench -figures=false -tables "" \
 		-name $(BENCH_NAME) -adaptive-json BENCH_adaptive.json
+
+# bench-chaos measures the self-healing layer (repair throughput, paced
+# scrub overhead on query p99, time-to-healthy after a corruption burst)
+# and writes BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/snakebench -figures=false -tables "" \
+		-name $(BENCH_NAME) -chaos-json BENCH_chaos.json
+
+# chaos runs the deterministic self-healing suite under the race
+# detector: seeded fault schedules against parity repair, the live serve
+# loop with the paced scrubber, repair-under-migration, and the storm /
+# crash-point storage tests. Every schedule is a pure function of its
+# seed, so a failure replays exactly.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestParity|TestRepair|TestMigrate|TestStorm|TestCrashPoint|TestPlan|TestSchedule' ./internal/chaos ./internal/storage ./cmd/snakestore
+
+# chaos-long is the randomized long-haul variant: fresh seeds each run,
+# logged (go test -v) so any failure can be replayed deterministically.
+chaos-long:
+	CHAOS_LONG=1 $(GO) test -race -count=1 -v -run 'TestChaosLong' ./cmd/snakestore
 
 # reorg-smoke exercises the daemon's zero-downtime reorganization path
 # once under the race detector: automatic trigger, hot swap under load,

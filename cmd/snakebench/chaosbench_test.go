@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestChaosBenchMeasuresAndHeals(t *testing.T) {
+	rep, err := chaosBench(tinyConfig(42), "t", 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecordsLoaded == 0 || rep.TotalPages == 0 {
+		t.Fatalf("report moved no data: %+v", rep)
+	}
+	if rep.ParityGroup <= 0 || rep.ParityOverheadPct <= 0 {
+		t.Errorf("parity accounting missing: %+v", rep)
+	}
+	if rep.BurstFaults == 0 {
+		t.Error("no faults injected")
+	}
+	if rep.RepairedPages == 0 || rep.RepairPagesPerSecond <= 0 {
+		t.Errorf("repair throughput missing: repaired=%d rate=%v", rep.RepairedPages, rep.RepairPagesPerSecond)
+	}
+	if rep.TimeToHealthySeconds <= 0 {
+		t.Errorf("time-to-healthy = %v, want positive", rep.TimeToHealthySeconds)
+	}
+	if rep.BaselineLatencyMsP99 <= 0 || rep.ScrubLatencyMsP99 <= 0 {
+		t.Errorf("latency phases missing: %+v", rep)
+	}
+	if rep.Queries != 12 {
+		t.Errorf("queries = %d, want 12", rep.Queries)
+	}
+
+	// The same seed injects the same faults (timings vary, damage not).
+	rep2, err := chaosBench(tinyConfig(42), "t", 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BurstFaults != rep2.BurstFaults || rep.RepairedPages != rep2.RepairedPages {
+		t.Errorf("same seed, different damage: %d/%d faults, %d/%d repaired",
+			rep.BurstFaults, rep2.BurstFaults, rep.RepairedPages, rep2.RepairedPages)
+	}
+}
+
+func TestChaosReportJSON(t *testing.T) {
+	rep, err := chaosBench(tinyConfig(1), "roundtrip", 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"name", "seed", "parityGroup", "parityOverheadPct", "burstFaults",
+		"repairedPages", "repairPagesPerSecond", "timeToHealthySeconds",
+		"baselineLatencyMsP99", "scrubLatencyMsP99", "scrubOverheadP99Pct",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report missing %q", key)
+		}
+	}
+	if !strings.Contains(rep.Summary(), "time-to-healthy") {
+		t.Errorf("summary %q unreadable", rep.Summary())
+	}
+}

@@ -50,6 +50,7 @@ type benchOpts struct {
 	name       string
 	jsonPath   string
 	adaptPath  string
+	chaosPath  string
 	queries    int
 	frames     int
 }
@@ -71,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.name, "name", "local", "benchmark name recorded in the -json report")
 	fs.StringVar(&o.jsonPath, "json", "", "run the store benchmark and write its JSON report to this path")
 	fs.StringVar(&o.adaptPath, "adaptive-json", "", "run the adaptive reorganization benchmark and write its JSON report to this path")
+	fs.StringVar(&o.chaosPath, "chaos-json", "", "run the self-healing benchmark (repair throughput, scrub overhead, time-to-healthy) and write its JSON report to this path")
 	fs.IntVar(&o.queries, "bench-queries", 256, "queries executed by the -json store benchmark")
 	fs.IntVar(&o.frames, "bench-frames", 256, "buffer pool frames for the -json store benchmark")
 	if err := fs.Parse(args); err != nil {
@@ -273,6 +275,19 @@ func bench(out io.Writer, o benchOpts) error {
 		}
 		fmt.Fprintf(out, "== Adaptive bench %q: %s ==\n", o.name, rep.Summary())
 		fmt.Fprintf(out, "report written to %s\n", o.adaptPath)
+	}
+
+	if o.chaosPath != "" {
+		rep, err := chaosBench(warehouseConfig(o.full, o.seed), o.name, o.queries, o.frames)
+		if err != nil {
+			return err
+		}
+		rep.Full = o.full
+		if err := rep.WriteFile(o.chaosPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Chaos bench %q: %s ==\n", o.name, rep.Summary())
+		fmt.Fprintf(out, "report written to %s\n", o.chaosPath)
 	}
 	return nil
 }

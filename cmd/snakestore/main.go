@@ -38,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -97,11 +98,11 @@ func activeStorePath(cat *catalog, base string) string {
 
 // cleanStaleGenerations removes generation files left behind by a crash
 // between the catalog swap and the old generation's deletion: every file
-// matching the base name or base.g<N> except the active one. Returns the
-// paths removed.
+// matching the base name or base.g<N> — or one of their .parity sidecars —
+// except the active generation and its sidecar. Returns the paths removed.
 func cleanStaleGenerations(base, active string) ([]string, error) {
 	dir := filepath.Dir(base)
-	re := regexp.MustCompile(`^` + regexp.QuoteMeta(filepath.Base(base)) + `(\.g\d+)?$`)
+	re := regexp.MustCompile(`^` + regexp.QuoteMeta(filepath.Base(base)) + `(\.g\d+)?(\.parity)?$`)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -112,7 +113,7 @@ func cleanStaleGenerations(base, active string) ([]string, error) {
 			continue
 		}
 		p := filepath.Join(dir, e.Name())
-		if p == active {
+		if p == active || p == snakes.ParityPath(active) {
 			continue
 		}
 		if err := os.Remove(p); err != nil {
@@ -211,6 +212,7 @@ func cmdBuild(args []string) error {
 	csvPath := fs.String("csv", "", "input CSV: k leaf coordinates then payload columns")
 	storePath := fs.String("store", "facts.db", "output page file")
 	frames := fs.Int("frames", 1024, "buffer pool frames")
+	parityGroup := fs.Int("parity-group", snakes.DefaultParityGroup, "data pages per parity page in the repair sidecar; 0 skips parity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -266,6 +268,14 @@ func cmdBuild(args []string) error {
 	}
 	cat.BytesPer = bytesPerCell
 	cat.LoadedBytes = store.LoadedBytes()
+	// Write the repair sidecar while the loaded store is still open: parity
+	// covers the flushed pages, so a later bit-flip on disk is repairable.
+	if *parityGroup > 0 {
+		if err := store.WriteParity(snakes.ParityPath(*storePath), *parityGroup); err != nil {
+			store.Close()
+			return fmt.Errorf("building parity sidecar: %w", err)
+		}
+	}
 	if err := store.Close(); err != nil {
 		return err
 	}
@@ -276,6 +286,10 @@ func cmdBuild(args []string) error {
 	}
 	fmt.Printf("loaded %d records into %s (%d pages of %d B)\n",
 		records, *storePath, store.Layout().TotalPages(), cat.PageBytes)
+	if *parityGroup > 0 {
+		fmt.Printf("parity sidecar %s (group %d, %.1f%% overhead)\n",
+			snakes.ParityPath(*storePath), *parityGroup, 100.0/float64(*parityGroup))
+	}
 	return nil
 }
 
@@ -347,12 +361,15 @@ func cmdQuery(args []string) error {
 
 // cmdVerify scrubs the store: every page re-read from disk with its
 // checksum verified, every cell's record framing walked, and the catalog's
-// dirty flag surfaced. Exit status is 1 when anything is wrong.
+// dirty flag surfaced. With -repair, corrupt pages are reconstructed from
+// the parity sidecar instead of only reported: exit 0 when everything was
+// repaired (the store re-verifies clean), 1 when damage is unrepairable.
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	catPath := fs.String("catalog", "catalog.json", "catalog file")
 	storePath := fs.String("store", "facts.db", "page file from build")
 	frames := fs.Int("frames", 1024, "buffer pool frames")
+	repair := fs.Bool("repair", false, "repair corrupt pages from the parity sidecar instead of only reporting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -363,11 +380,31 @@ func cmdVerify(args []string) error {
 	if cat.BytesPer == nil {
 		return fmt.Errorf("catalog has no load state; run build first")
 	}
-	store, err := strat.OpenFileStore(activeStorePath(cat, *storePath), cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
+	active := activeStorePath(cat, *storePath)
+	store, err := strat.OpenFileStore(active, cat.BytesPer, cat.PageBytes, *frames, cat.LoadedBytes)
 	if err != nil {
 		return err
 	}
 	defer store.Close()
+	if *repair {
+		if err := store.AttachParity(snakes.ParityPath(active)); err != nil {
+			return fmt.Errorf("-repair needs the parity sidecar: %w", err)
+		}
+		rrep, err := store.RepairCtx(context.Background())
+		if err != nil {
+			return fmt.Errorf("repair sweep aborted: %w", err)
+		}
+		fmt.Printf("swept %d pages, repaired %d\n", rrep.Pages, len(rrep.Repaired))
+		for _, p := range rrep.Repaired {
+			fmt.Printf("repaired page %d from parity\n", p)
+		}
+		for _, p := range rrep.Failed {
+			fmt.Fprintln(os.Stderr, "snakestore: unrepairable:", p.String())
+		}
+		if !rrep.OK() {
+			return fmt.Errorf("repair failed: %d page(s) unrepairable: %w", len(rrep.Failed), snakes.ErrUnrepairable)
+		}
+	}
 	rep, err := store.Verify()
 	if err != nil {
 		return fmt.Errorf("scrub aborted: %w", err)
@@ -377,6 +414,9 @@ func cmdVerify(args []string) error {
 		fmt.Fprintln(os.Stderr, "snakestore: corrupt:", p.String())
 	}
 	if !rep.OK() {
+		if *repair {
+			return fmt.Errorf("repair left %d problem(s): %w", len(rep.Problems), snakes.ErrCorruptPage)
+		}
 		return fmt.Errorf("verify failed: %d problem(s): %w", len(rep.Problems), snakes.ErrCorruptPage)
 	}
 	if cat.Dirty {

@@ -18,9 +18,10 @@ const metricsPrefix = "snakestore_"
 // deliberately has no dynamic series creation, so the error taxonomy stays
 // an explicit list.
 var (
-	handlerNames  = []string{"query", "verify", "healthz", "metrics", "reorg", "traces"}
+	handlerNames  = []string{"query", "verify", "healthz", "metrics", "reorg", "repair", "traces"}
 	responseCodes = []int{200, 400, 404, 409, 500, 503, 504}
 	reorgOutcomes = []string{"success", "failed", "canceled"}
+	healthStates  = []string{"ok", "degraded", "healing"}
 )
 
 // handlerMetrics is one endpoint's request telemetry.
@@ -52,6 +53,13 @@ type serverMetrics struct {
 	reorgRegret   *obs.Gauge
 	reorgSeconds  *obs.Histogram
 	reorgOutcome  map[string]*obs.Counter
+
+	// Self-healing: pages checked by the background scrubber (and repair
+	// sweeps), pages reconstructed from parity, and repair attempts that
+	// found the damage beyond parity's single-fault budget.
+	scrubPages     *obs.Counter
+	pagesRepaired  *obs.Counter
+	repairFailures *obs.Counter
 
 	// Tracing: requests past the slow threshold, handler panics caught by
 	// the middleware, and per-span-kind time observed from finished traces.
@@ -120,6 +128,10 @@ func newServerMetrics(store func() *snakes.FileStore, adm *snakes.Admission, sch
 		reorgRegret:   reg.Gauge("snakestore_reorg_regret", "deployed strategy cost over DP-optimal cost at the last policy evaluation"),
 		reorgSeconds:  reg.Histogram("snakestore_reorg_migration_seconds", "wall time of reorganization attempts", latencyBuckets),
 		reorgOutcome:  make(map[string]*obs.Counter, len(reorgOutcomes)),
+
+		scrubPages:     reg.Counter("snakestore_scrub_pages_total", "pages checked by the background scrubber and repair sweeps"),
+		pagesRepaired:  reg.Counter("snakestore_pages_repaired_total", "corrupt pages reconstructed from parity and re-verified"),
+		repairFailures: reg.Counter("snakestore_repair_failures_total", "repair attempts that could not reconstruct the page"),
 
 		slowQuery:   reg.Counter("snakestore_slow_query_total", "traced requests at or past the slow-query threshold"),
 		httpPanics:  reg.Counter("snakestore_http_panics_total", "handler panics recovered by the serving middleware"),

@@ -127,10 +127,25 @@ func TestMetricsEndpoint(t *testing.T) {
 		"snakestore_http_request_seconds":  "histogram",
 		"snakestore_draining":              "gauge",
 		"snakestore_quarantined_pages":     "gauge",
+		"snakestore_scrub_pages_total":     "counter",
+		"snakestore_pages_repaired_total":  "counter",
+		"snakestore_repair_failures_total": "counter",
+		"snakestore_health_state":          "gauge",
 	} {
 		if types[name] != typ {
 			t.Errorf("type of %s = %q, want %q", name, types[name], typ)
 		}
+	}
+	// The health state machine renders exactly one active state.
+	active := 0.0
+	for _, st := range healthStates {
+		active += samples[fmt.Sprintf("snakestore_health_state{state=%q}", st)]
+	}
+	if active != 1 {
+		t.Errorf("health_state gauges sum to %v, want exactly 1 active state", active)
+	}
+	if samples[`snakestore_health_state{state="ok"}`] != 1 {
+		t.Errorf("fresh store health state is not ok: %v", samples)
 	}
 }
 

@@ -318,8 +318,16 @@ func TestServeReorgCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(removed) != 1 || removed[0] != storePath {
-		t.Fatalf("stale cleanup removed %v, want exactly [%s]", removed, storePath)
+	// Both the stale generation-0 file and its parity sidecar (written by
+	// build) are swept; the active generation and its sidecar survive.
+	want := map[string]bool{storePath: true, snakes.ParityPath(storePath): true}
+	if len(removed) != len(want) {
+		t.Fatalf("stale cleanup removed %v, want exactly %v", removed, want)
+	}
+	for _, p := range removed {
+		if !want[p] {
+			t.Fatalf("stale cleanup removed unexpected %s", p)
+		}
 	}
 	if _, err := os.Stat(storePath); !os.IsNotExist(err) {
 		t.Errorf("stale generation-0 file survived cleanup (stat err: %v)", err)
@@ -418,7 +426,7 @@ func TestServeReorgFailureKeepsServing(t *testing.T) {
 			continue
 		}
 		switch filepath.Join(filepath.Dir(storePath), name) {
-		case storePath, newPath:
+		case storePath, newPath, snakes.ParityPath(storePath):
 		default:
 			t.Errorf("unexpected store artifact %s after failed migrations", name)
 		}

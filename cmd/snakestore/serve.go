@@ -75,21 +75,30 @@ type server struct {
 	draining atomic.Bool   // set once graceful shutdown begins
 	reqID    atomic.Uint64 // request id sequence for log correlation
 
+	// Self-healing: the parity group size for regenerated sidecars and the
+	// health state machine. Health is derived from quarantine plus the
+	// healing flag: ok (quarantine empty) → degraded (corruption detected)
+	// → healing (repairs in progress) → back to ok when the quarantine
+	// empties, or degraded again when damage proves unrepairable.
+	parityGroup int
+
 	mu         sync.Mutex
 	quarantine map[int64]string // corrupt page -> first error seen
+	healing    bool             // a repair pass is actively working the quarantine
 	lastScrub  string           // outcome of the most recent /verify
 }
 
 func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dimension, adm *snakes.Admission, reqTimeout time.Duration, gen int, tcfg snakes.TraceConfig) *server {
 	s := &server{
-		schema:     schema,
-		dims:       dims,
-		adm:        adm,
-		reqTimeout: reqTimeout,
-		log:        slog.New(slog.NewTextHandler(io.Discard, nil)),
-		quarantine: make(map[int64]string),
-		traces:     snakes.NewTraceRecorder(tcfg),
-		started:    time.Now(),
+		schema:      schema,
+		dims:        dims,
+		adm:         adm,
+		reqTimeout:  reqTimeout,
+		log:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+		quarantine:  make(map[int64]string),
+		parityGroup: snakes.DefaultParityGroup,
+		traces:      snakes.NewTraceRecorder(tcfg),
+		started:     time.Now(),
 	}
 	s.store.Store(store)
 	s.generation.Store(int64(gen))
@@ -102,6 +111,15 @@ func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dim
 	s.metrics.reg.GaugeFunc("snakestore_store_generation", "store generation currently serving", func() float64 {
 		return float64(s.generation.Load())
 	})
+	for _, hs := range healthStates {
+		hs := hs
+		s.metrics.reg.GaugeFunc("snakestore_health_state", "1 for the current health state, by state", func() float64 {
+			if s.healthState() == hs {
+				return 1
+			}
+			return 0
+		}, "state", hs)
+	}
 	s.metrics.reg.GaugeFunc("snakestore_build_info", "constant 1, labeled with the binary version, Go runtime, and startup store generation",
 		func() float64 { return 1 },
 		"version", buildVersion, "goversion", runtime.Version(), "generation", strconv.Itoa(gen))
@@ -171,7 +189,14 @@ func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) erro
 	abort := func(err error) error {
 		dst.Close()
 		os.Remove(newPath)
+		os.Remove(snakes.ParityPath(newPath))
 		return err
+	}
+	// The new generation's parity sidecar is written before the catalog
+	// commit, so a generation is never live without its repair coverage; a
+	// crash in between leaves stale files that startup cleanup sweeps.
+	if err := dst.WriteParity(snakes.ParityPath(newPath), s.parityGroup); err != nil {
+		return abort(err)
 	}
 	stratJSON, err := snakes.MarshalStrategy(d.Strategy)
 	if err != nil {
@@ -211,6 +236,15 @@ func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) erro
 	ssp.End()
 	s.swapMu.Unlock()
 
+	// The quarantine describes pages of the generation that just retired;
+	// carrying its page ids against the new file would keep /healthz
+	// degraded forever on damage that no longer exists. The post-swap scrub
+	// below re-detects anything actually wrong with the new generation.
+	s.mu.Lock()
+	s.quarantine = make(map[int64]string)
+	s.healing = false
+	s.mu.Unlock()
+
 	// The swap is committed: new requests already run on dst. Close the
 	// old generation — Close blocks until its in-flight readers drain —
 	// then gate the old file's deletion on a clean scrub of the new one.
@@ -244,6 +278,9 @@ func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) erro
 		if err := os.Remove(oldPath); err != nil && !os.IsNotExist(err) {
 			s.log.Warn("reorg", "msg", "removing old generation file", "err", err)
 		}
+		if err := os.Remove(snakes.ParityPath(oldPath)); err != nil && !os.IsNotExist(err) {
+			s.log.Warn("reorg", "msg", "removing old generation parity sidecar", "err", err)
+		}
 	}
 	return nil
 }
@@ -254,6 +291,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/verify", s.instrument("verify", true, s.handleVerify))
 	mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealthz))
 	mux.HandleFunc("/reorg", s.instrument("reorg", true, s.handleReorg))
+	mux.HandleFunc("/repair", s.instrument("repair", true, s.handleRepair))
 	mux.HandleFunc("/debug/traces", s.instrument("traces", false, s.handleTraces))
 	// /metrics keeps answering 200 through drain and even after the store
 	// closes: the registry reads atomics, never the file.
@@ -426,11 +464,177 @@ func (s *server) noteCorrupt(err error) {
 	if errors.As(err, &cpe) {
 		page = cpe.Page
 	}
+	s.markQuarantined(page, err.Error())
+}
+
+// markQuarantined records one page in the quarantine set, keeping the first
+// error seen for it.
+func (s *server) markQuarantined(page int64, reason string) {
 	s.mu.Lock()
 	if _, seen := s.quarantine[page]; !seen {
-		s.quarantine[page] = err.Error()
+		s.quarantine[page] = reason
 	}
 	s.mu.Unlock()
+}
+
+// clearQuarantined re-admits one page after it verified clean. The healing
+// state ends when the quarantine empties — the scrubber has worked through
+// everything it detected.
+func (s *server) clearQuarantined(page int64) {
+	s.mu.Lock()
+	delete(s.quarantine, page)
+	if len(s.quarantine) == 0 {
+		s.healing = false
+	}
+	s.mu.Unlock()
+}
+
+// quarantinedPages snapshots the quarantine set, sorted.
+func (s *server) quarantinedPages() []int64 {
+	s.mu.Lock()
+	pages := make([]int64, 0, len(s.quarantine))
+	for p := range s.quarantine {
+		pages = append(pages, p)
+	}
+	s.mu.Unlock()
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
+// healthState reports the serving health state machine's current state.
+func (s *server) healthState() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.healing:
+		return "healing"
+	case len(s.quarantine) > 0:
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
+// repairPage attempts one parity repair on behalf of the scrubber, driving
+// the health state machine and the repair metrics. Returns true when the
+// page now reads clean.
+func (s *server) repairPage(ctx context.Context, st *snakes.FileStore, page int64) bool {
+	s.mu.Lock()
+	s.healing = true
+	s.mu.Unlock()
+	rsp := snakes.StartTraceLeaf(ctx, snakes.TraceKindRepair, "")
+	rsp.SetAttr("page", page)
+	err := st.RepairPage(page)
+	rsp.SetError(err)
+	rsp.End()
+	if err != nil {
+		s.metrics.repairFailures.Inc()
+		s.markQuarantined(page, err.Error())
+		s.mu.Lock()
+		s.healing = false // damage this pass cannot heal: back to degraded
+		s.mu.Unlock()
+		s.log.Warn("repair", "page", page, "err", err)
+		return false
+	}
+	s.metrics.pagesRepaired.Inc()
+	s.clearQuarantined(page)
+	s.log.Info("repair", "page", page, "msg", "reconstructed from parity")
+	return true
+}
+
+// runScrubLoop is the paced background scrubber: it walks the store's pages
+// continuously at about rate pages/sec (in batches, so the pacing costs one
+// timer per batch rather than one per page), re-checks quarantined pages
+// first, repairs checksum failures from parity on the spot, and re-admits
+// repaired pages from quarantine. The loop follows generation hot-swaps by
+// re-snapshotting the serving store every batch, rides out ErrClosed races
+// with a swap, and stops when the daemon drains or ctx ends. Batches that
+// performed repairs are retained as forced traces (a scrub span with repair
+// children); uneventful batches discard their trace.
+func (s *server) runScrubLoop(ctx context.Context, rate float64) {
+	if rate <= 0 {
+		return
+	}
+	batch := int64(rate / 10)
+	if batch < 1 {
+		batch = 1
+	}
+	interval := time.Duration(float64(batch) / rate * float64(time.Second))
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var cursor int64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if s.draining.Load() {
+				return
+			}
+			cursor = s.scrubBatch(ctx, cursor, batch)
+		}
+	}
+}
+
+// scrubBatch checks up to n pages starting at cursor against the current
+// generation and returns the cursor for the next batch (wrapping at the end
+// of the store, so the walk is continuous).
+func (s *server) scrubBatch(ctx context.Context, cursor, n int64) int64 {
+	st := s.st()
+	total := st.Layout().TotalPages()
+	if total == 0 {
+		return 0
+	}
+	if cursor >= total {
+		cursor = 0
+	}
+	tctx, tr := s.traces.StartForced(ctx, "scrub")
+	sctx, ssp := snakes.StartTraceSpan(tctx, snakes.TraceKindScrub, "")
+	checked, repairs := int64(0), 0
+	check := func(p int64) {
+		if p >= total {
+			return // quarantined id from an older, larger generation
+		}
+		err := st.CheckPage(p)
+		checked++
+		s.metrics.scrubPages.Inc()
+		switch {
+		case err == nil:
+			s.clearQuarantined(p)
+		case errors.Is(err, snakes.ErrClosed):
+			// Generation swapped or daemon closing mid-batch; the next
+			// batch re-snapshots the store.
+		case errors.Is(err, snakes.ErrCorruptPage):
+			repairs++
+			s.repairPage(sctx, st, p)
+		default:
+			s.log.Warn("scrub", "page", p, "err", err)
+		}
+	}
+	// Quarantined pages jump the queue: a page a query tripped over gets
+	// repaired within one batch instead of waiting for the cursor.
+	for _, p := range s.quarantinedPages() {
+		check(p)
+	}
+	end := cursor + n
+	if end > total {
+		end = total
+	}
+	for p := cursor; p < end; p++ {
+		check(p)
+	}
+	ssp.SetAttr("pages", checked)
+	ssp.End()
+	if repairs == 0 {
+		tr.Discard()
+	} else if tr != nil {
+		res := tr.Finish(nil)
+		s.metrics.observeTrace(tr, res)
+	}
+	if end >= total {
+		return 0
+	}
+	return end
 }
 
 // writeErr maps the serving error taxonomy onto HTTP statuses: bad input
@@ -633,6 +837,65 @@ func (s *server) handleReorg(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleRepair serves POST /repair: one full repair sweep of the current
+// generation, on demand — the synchronous counterpart of the background
+// scrubber for operators who do not want to wait for the cursor to come
+// around. Repaired pages leave quarantine immediately; unrepairable damage
+// is quarantined with its typed error and reported in the response.
+func (s *server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, usagef("method %s not allowed on /repair; POST to run a repair sweep", r.Method))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	st := s.st()
+	s.mu.Lock()
+	s.healing = len(s.quarantine) > 0
+	s.mu.Unlock()
+	rep, err := st.RepairCtx(ctx)
+	s.metrics.scrubPages.Add(rep.Pages)
+	if err != nil {
+		s.mu.Lock()
+		s.healing = false
+		s.mu.Unlock()
+		s.writeErr(w, err)
+		return
+	}
+	for _, p := range rep.Repaired {
+		s.metrics.pagesRepaired.Inc()
+		s.clearQuarantined(p)
+	}
+	failed := make([]string, 0, len(rep.Failed))
+	for _, pr := range rep.Failed {
+		s.metrics.repairFailures.Inc()
+		s.markQuarantined(pr.Page, pr.String())
+		failed = append(failed, pr.String())
+	}
+	if rep.OK() {
+		// Everything detectable was repaired: any quarantine leftovers are
+		// stale entries for pages that now read clean.
+		s.mu.Lock()
+		s.quarantine = make(map[int64]string)
+		s.healing = false
+		s.mu.Unlock()
+	} else {
+		s.mu.Lock()
+		s.healing = false
+		s.mu.Unlock()
+	}
+	s.log.Info("repair",
+		"req", reqIDFrom(ctx), "pages", rep.Pages, "repaired", len(rep.Repaired), "failed", len(rep.Failed))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"pages":    rep.Pages,
+		"repaired": rep.Repaired,
+		"failed":   failed,
+		"ok":       rep.OK(),
+		"health":   s.healthState(),
+	})
+}
+
 // handleTraces serves /debug/traces: without parameters, the retained
 // traces newest-first as summary lines plus the recorder's retention
 // stats; with ?id=N, the full span tree of one retained trace. A trace
@@ -685,26 +948,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	pages := make([]int64, 0, len(s.quarantine))
-	for p := range s.quarantine {
-		pages = append(pages, p)
-	}
 	lastScrub := s.lastScrub
 	s.mu.Unlock()
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	status := "ok"
-	if len(pages) > 0 {
-		status = "degraded"
-	}
+	pages := s.quarantinedPages()
+	st := s.st()
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":           status,
+		"status":           s.healthState(),
 		"generation":       s.generation.Load(),
 		"startedAt":        s.started.UTC().Format(time.RFC3339),
 		"uptimeSeconds":    time.Since(s.started).Seconds(),
-		"pool":             s.st().Pool().Stats(),
+		"pool":             st.Pool().Stats(),
 		"admission":        s.adm.StatsSnapshot(),
 		"quarantinedPages": pages,
 		"lastScrub":        lastScrub,
+		"parity":           map[string]any{"attached": st.HasParity(), "group": st.ParityGroup()},
 	})
 }
 
@@ -793,6 +1050,8 @@ func cmdServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	scrubRate := fs.Float64("scrub-rate", 128, "background scrub pace in pages/sec; 0 disables the scrubber")
+	parityGroup := fs.Int("parity-group", snakes.DefaultParityGroup, "data pages per parity page when (re)building sidecars")
 	traceSample := fs.Int("trace-sample", 16, "trace every Nth request for /debug/traces; 0 disables head sampling")
 	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "always retain traces of requests at least this slow; 0 disables")
 	traceCapacity := fs.Int("trace-capacity", 256, "retained sampled traces (slow/errored traces keep a quarter of this on top)")
@@ -832,6 +1091,17 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Attach the parity sidecar so the scrubber can repair, rebuilding it
+	// when missing or mismatched (older builds, changed geometry). A store
+	// too damaged to build parity still serves — detection keeps working,
+	// repair just has nothing to work from until the damage is resolved.
+	parityPath := snakes.ParityPath(active)
+	if err := store.AttachParity(parityPath); err != nil {
+		fmt.Fprintf(os.Stderr, "snakestore: parity sidecar %s unusable (%v); rebuilding\n", parityPath, err)
+		if werr := store.WriteParity(parityPath, *parityGroup); werr != nil {
+			fmt.Fprintf(os.Stderr, "snakestore: cannot build parity sidecar (%v); serving without repair\n", werr)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		store.Close()
@@ -848,6 +1118,12 @@ func cmdServe(args []string) error {
 	srv := newServer(store, schema, schemaDims(cat), adm, *reqTimeout, cat.Generation, tcfg)
 	srv.log = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv.pprof = *pprofOn
+	if *parityGroup > 0 {
+		srv.parityGroup = *parityGroup
+	}
+	if *scrubRate > 0 {
+		go srv.runScrubLoop(ctx, *scrubRate)
+	}
 	if *adapt {
 		cfg := snakes.DefaultReorgConfig()
 		cfg.CheckInterval = *adaptInterval

@@ -32,6 +32,13 @@ type FileStore struct {
 	mu     sync.RWMutex // guards fill and closed
 	fill   []int64
 	closed bool
+
+	// Self-healing state (parity.go): the attached parity sidecar and the
+	// mutex serializing repairs and sidecar swaps. repairMu guards the
+	// parity pointer and the stale flag; fs.mu (read) is held across every
+	// parity operation so Close cannot race a repair.
+	repairMu sync.Mutex
+	parity   *parityState
 }
 
 // CreateFileStore creates a new page file sized for the layout and wraps it
@@ -148,6 +155,13 @@ func (fs *FileStore) PutRecord(cell int, payload []byte) error {
 		return err
 	}
 	fs.fill[pos] += need
+	// Any write invalidates an attached parity sidecar: repairing from it
+	// would resurrect pre-write bytes. WriteParity after loading resets it.
+	fs.repairMu.Lock()
+	if fs.parity != nil {
+		fs.parity.stale = true
+	}
+	fs.repairMu.Unlock()
 	return nil
 }
 
@@ -288,6 +302,12 @@ func (fs *FileStore) Close() error {
 	fs.closed = true
 	flushErr := fs.pool.Flush()
 	closeErr := fs.file.Close()
+	fs.repairMu.Lock()
+	if fs.parity != nil {
+		fs.parity.inner.Close()
+		fs.parity = nil
+	}
+	fs.repairMu.Unlock()
 	if flushErr != nil {
 		return flushErr
 	}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 
@@ -70,13 +71,18 @@ func MigrateCtx(ctx context.Context, old *FileStore, newPath string, newOrder *l
 			return nil, abort(err)
 		}
 		cell := oldOrder.CellAt(pos)
-		err := old.ReadCellCtx(cctx, cell, func(record []byte) error {
-			return dst.PutRecord(cell, record)
-		})
+		records, err := readCellRepairing(cctx, old, cell)
 		if err != nil {
 			copySpan.SetError(err)
 			copySpan.End()
 			return nil, abort(fmt.Errorf("storage: migration copy of cell %d: %w", cell, err))
+		}
+		for _, rec := range records {
+			if err := dst.PutRecord(cell, rec); err != nil {
+				copySpan.SetError(err)
+				copySpan.End()
+				return nil, abort(fmt.Errorf("storage: migration copy of cell %d: %w", cell, err))
+			}
 		}
 		if progress != nil {
 			progress(pos+1, total)
@@ -91,6 +97,50 @@ func MigrateCtx(ctx context.Context, old *FileStore, newPath string, newOrder *l
 	}
 	fsp.End()
 	return dst, nil
+}
+
+// migrateRepairAttempts bounds the repair-and-reread loop per cell. A cell
+// spans at most a handful of pages, and each successful repair fixes a
+// distinct page, so the bound is never reached on a repairable store; it
+// exists to guarantee termination if repair keeps "succeeding" without the
+// reread getting further.
+const migrateRepairAttempts = 16
+
+// readCellRepairing reads all of a cell's records into memory, repairing
+// the source store's corrupt pages from its parity sidecar and retrying
+// when possible. Records are buffered — not streamed to the destination —
+// because a retry re-reads the whole cell and the destination's fill state
+// cannot be rewound, so streaming would duplicate records copied before
+// the error. Each repair is a trace span with the page attached.
+func readCellRepairing(ctx context.Context, old *FileStore, cell int) ([][]byte, error) {
+	var records [][]byte
+	read := func() error {
+		records = records[:0]
+		return old.ReadCellCtx(ctx, cell, func(record []byte) error {
+			records = append(records, append([]byte(nil), record...))
+			return nil
+		})
+	}
+	err := read()
+	for attempt := 0; err != nil && attempt < migrateRepairAttempts; attempt++ {
+		var cpe *CorruptPageError
+		if !errors.As(err, &cpe) || !old.HasParity() {
+			return nil, err
+		}
+		rsp := trace.StartLeaf(ctx, trace.KindRepair, "")
+		rsp.SetAttr("page", cpe.Page)
+		if rerr := old.RepairPage(cpe.Page); rerr != nil {
+			rsp.SetError(rerr)
+			rsp.End()
+			return nil, fmt.Errorf("repairing source page %d: %w", cpe.Page, rerr)
+		}
+		rsp.End()
+		err = read()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return records, nil
 }
 
 // Migrate is MigrateCtx without a deadline or progress reporting.

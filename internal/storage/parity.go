@@ -1,0 +1,453 @@
+package storage
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Parity sidecar: the self-healing layer of the file store. Beside every
+// store file lives <store>.parity, holding one XOR parity page per group of
+// DefaultParityGroup (or a caller-chosen K) consecutive data pages. Parity
+// covers the logical data region of each page — the bytes above the CRC32C
+// trailer — so reconstruction rewrites a damaged page *through* the
+// ChecksumFile and gets a fresh trailer for free. The sidecar is itself a
+// checksummed page file (header page + parity pages), so damage to the
+// parity is detected the same way damage to the data is, and it is written
+// atomically (temp file, fsync, rename), so a crash mid-build leaves either
+// the old sidecar or the new one, never a torn mix.
+//
+// The recovery guarantee is the classic RAID-4 one: any single bad page per
+// group is reconstructible from the surviving K−1 pages plus parity; two or
+// more bad pages in one group (or a bad parity page plus a bad data page)
+// are not, and surface as the typed ErrUnrepairable with the coordinates of
+// everything damaged.
+
+// DefaultParityGroup is the default number of data pages per parity page.
+// Smaller groups tolerate denser damage and repair faster (fewer sibling
+// reads) at the cost of proportionally more sidecar space: K=8 spends 1/8
+// of the store's size to survive any single-page fault per 8-page stripe.
+const DefaultParityGroup = 8
+
+// parityMagic marks a parity sidecar header ("SNKP").
+const parityMagic uint32 = 0x50_4B_4E_53
+
+// parityVersion is the current sidecar format.
+const parityVersion = 1
+
+// ErrUnrepairable marks a page that parity-based repair cannot reconstruct:
+// two or more pages of its parity group are damaged (or the parity page
+// itself is), exceeding the single-fault budget of XOR parity. Errors
+// carrying the damage coordinates are UnrepairableError values; both match
+// with errors.Is(err, ErrUnrepairable).
+var ErrUnrepairable = errors.New("storage: page unrepairable")
+
+// ErrNoParity marks a repair attempted on a store with no (or a stale)
+// parity sidecar attached; match with errors.Is.
+var ErrNoParity = errors.New("storage: no parity sidecar attached")
+
+// UnrepairableError reports a page that could not be reconstructed, with
+// the coordinates of everything damaged in its parity group: the physical
+// page indexes, the group, and — when the page holds cell data — the first
+// cell and its grid coordinates.
+type UnrepairableError struct {
+	Page     int64   // the page repair was asked for
+	Group    int64   // its parity group (Page / group size)
+	BadPages []int64 // every damaged page found in the group, sorted
+	Cell     int     // first cell with data on Page; -1 when none
+	Coords   []int   // the cell's leaf coordinates, nil when Cell is -1
+	Reason   string
+}
+
+func (e *UnrepairableError) Error() string {
+	loc := fmt.Sprintf("storage: page %d (parity group %d", e.Page, e.Group)
+	if e.Cell >= 0 {
+		loc += fmt.Sprintf(", cell %d @ %v", e.Cell, e.Coords)
+	}
+	return fmt.Sprintf("%s) unrepairable: %s; damaged pages %v", loc, e.Reason, e.BadPages)
+}
+
+// Is makes errors.Is(err, ErrUnrepairable) match.
+func (e *UnrepairableError) Is(target error) bool { return target == ErrUnrepairable }
+
+// ParityPath returns the conventional sidecar path for a store file.
+func ParityPath(storePath string) string { return storePath + ".parity" }
+
+// parityState is the attached sidecar: its checksummed file, the group
+// size it was built with, and a staleness flag set by writes to the store
+// (a parity built before a PutRecord no longer matches the data and must
+// not be used to "repair" pages back to their pre-write contents).
+type parityState struct {
+	file  *ChecksumFile
+	inner *PageFile
+	group int
+	path  string
+	stale bool
+}
+
+func (ps *parityState) groups(dataPages int64) int64 {
+	k := int64(ps.group)
+	return (dataPages + k - 1) / k
+}
+
+// parityHeaderSize is the encoded header length: magic, version, group
+// (uint32 each), data page count (uint64), page size (uint32). Kept to 24
+// bytes so the header fits the usable region of even the smallest pages.
+const parityHeaderSize = 24
+
+// encodeParityHeader fills the sidecar's header page data region.
+func encodeParityHeader(buf []byte, group int, dataPages, pageSize int64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint32(buf[0:], parityMagic)
+	binary.LittleEndian.PutUint32(buf[4:], parityVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(group))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(dataPages))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(pageSize))
+}
+
+// decodeParityHeader validates a sidecar header against the store's
+// geometry and returns the group size.
+func decodeParityHeader(buf []byte, dataPages, pageSize int64) (int, error) {
+	if len(buf) < parityHeaderSize {
+		return 0, fmt.Errorf("storage: parity header needs %d bytes, page holds %d", parityHeaderSize, len(buf))
+	}
+	if got := binary.LittleEndian.Uint32(buf[0:]); got != parityMagic {
+		return 0, fmt.Errorf("storage: bad parity magic %#08x", got)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != parityVersion {
+		return 0, fmt.Errorf("storage: unsupported parity version %d", v)
+	}
+	group := int(binary.LittleEndian.Uint32(buf[8:]))
+	if group <= 0 {
+		return 0, fmt.Errorf("storage: parity group size %d must be positive", group)
+	}
+	if got := int64(binary.LittleEndian.Uint64(buf[12:])); got != dataPages {
+		return 0, fmt.Errorf("storage: parity covers %d data pages, store has %d", got, dataPages)
+	}
+	if got := int64(binary.LittleEndian.Uint32(buf[20:])); got != pageSize {
+		return 0, fmt.Errorf("storage: parity built for %d-byte pages, store uses %d", got, pageSize)
+	}
+	return group, nil
+}
+
+// HasParity reports whether a usable (attached and non-stale) parity
+// sidecar backs RepairPage.
+func (fs *FileStore) HasParity() bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.parity != nil && !fs.parity.stale
+}
+
+// ParityGroup returns the attached sidecar's group size (0 when none).
+func (fs *FileStore) ParityGroup() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.parity == nil {
+		return 0
+	}
+	return fs.parity.group
+}
+
+// WriteParity builds the parity sidecar at path — one XOR parity page per
+// groupSize data pages (DefaultParityGroup when groupSize <= 0) — and
+// attaches it to the store, replacing any sidecar attached before. The
+// pool is flushed first so parity covers what is actually on disk, the
+// sidecar is written to a temp file and renamed into place, and a failure
+// leaves any previous sidecar file untouched. Building requires every data
+// page to read clean; a corrupt page fails the build with its typed error
+// (repair needs parity, so heal — or rebuild the store — first).
+func (fs *FileStore) WriteParity(path string, groupSize int) error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if groupSize <= 0 {
+		groupSize = DefaultParityGroup
+	}
+	if err := fs.pool.Flush(); err != nil {
+		return fmt.Errorf("storage: parity flush: %w", err)
+	}
+	u := fs.layout.usable()
+	if u < parityHeaderSize {
+		return fmt.Errorf("storage: %d-byte pages leave %d usable bytes, parity header needs %d", fs.layout.pageSize, u, parityHeaderSize)
+	}
+	dataPages := fs.layout.TotalPages()
+	k := int64(groupSize)
+	groups := (dataPages + k - 1) / k
+	tmp := path + ".tmp"
+	pf, err := CreatePageFile(tmp, int(fs.layout.pageSize), 1+groups)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		pf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	cf, err := NewChecksumFile(pf)
+	if err != nil {
+		return abort(err)
+	}
+	hdr := make([]byte, u)
+	encodeParityHeader(hdr, groupSize, dataPages, fs.layout.pageSize)
+	if err := cf.WritePage(0, hdr); err != nil {
+		return abort(err)
+	}
+	acc := make([]byte, u)
+	buf := make([]byte, u)
+	for g := int64(0); g < groups; g++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		hi := (g + 1) * k
+		if hi > dataPages {
+			hi = dataPages
+		}
+		for p := g * k; p < hi; p++ {
+			if err := fs.file.ReadPage(p, buf); err != nil {
+				return abort(fmt.Errorf("storage: parity build reading page %d: %w", p, err))
+			}
+			xorInto(acc, buf)
+		}
+		if err := cf.WritePage(1+g, acc); err != nil {
+			return abort(err)
+		}
+	}
+	if err := pf.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := pf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return fs.attachParityLocked(path)
+}
+
+// AttachParity opens an existing parity sidecar and validates it against
+// the store's geometry. A sidecar already attached is replaced.
+func (fs *FileStore) AttachParity(path string) error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	return fs.attachParityLocked(path)
+}
+
+// attachParityLocked opens and validates the sidecar; callers hold at
+// least the store's read lock. The parity pointer itself is guarded by
+// repairMu so concurrent attach/repair never race on it.
+func (fs *FileStore) attachParityLocked(path string) error {
+	pf, err := OpenPageFile(path, int(fs.layout.pageSize))
+	if err != nil {
+		return err
+	}
+	cf, err := NewChecksumFile(pf)
+	if err != nil {
+		pf.Close()
+		return err
+	}
+	hdr := make([]byte, fs.layout.usable())
+	if err := cf.ReadPage(0, hdr); err != nil {
+		pf.Close()
+		return fmt.Errorf("storage: parity header: %w", err)
+	}
+	group, err := decodeParityHeader(hdr, fs.layout.TotalPages(), fs.layout.pageSize)
+	if err != nil {
+		pf.Close()
+		return err
+	}
+	want := 1 + (fs.layout.TotalPages()+int64(group)-1)/int64(group)
+	if pf.Pages() != want {
+		pf.Close()
+		return fmt.Errorf("storage: parity sidecar has %d pages, geometry needs %d", pf.Pages(), want)
+	}
+	fs.repairMu.Lock()
+	old := fs.parity
+	fs.parity = &parityState{file: cf, inner: pf, group: group, path: path}
+	fs.repairMu.Unlock()
+	if old != nil {
+		old.inner.Close()
+	}
+	return nil
+}
+
+// CheckPage re-reads one physical page from disk through the checksum
+// layer, bypassing the pool cache — the scrubber's primitive. A clean page
+// returns nil; damage returns the typed CorruptPageError. Safe to call
+// concurrently with queries.
+func (fs *FileStore) CheckPage(page int64) error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if page < 0 || page >= fs.layout.TotalPages() {
+		return fmt.Errorf("storage: page %d out of range [0,%d)", page, fs.layout.TotalPages())
+	}
+	buf := make([]byte, fs.layout.usable())
+	return fs.file.ReadPage(page, buf)
+}
+
+// RepairPage reconstructs a damaged page from its parity group: XOR of the
+// group's parity page and every sibling data page, rewritten through the
+// ChecksumFile (fresh trailer) and re-verified from disk. A page that
+// already reads clean is a no-op, so racing repairers are harmless. The
+// typed errors: ErrNoParity when no usable sidecar is attached,
+// ErrUnrepairable (an UnrepairableError with coordinates) when more than
+// one page of the group — or the parity page itself — is damaged, or when
+// the reconstruction fails re-verification.
+//
+// Repairs are serialized by an internal mutex but run concurrently with
+// queries: the reconstruction restores the page's original bytes, so any
+// clean frame the pool already caches stays consistent, and a failed pool
+// load never leaves a frame behind to go stale.
+func (fs *FileStore) RepairPage(page int64) error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if page < 0 || page >= fs.layout.TotalPages() {
+		return fmt.Errorf("storage: page %d out of range [0,%d)", page, fs.layout.TotalPages())
+	}
+	fs.repairMu.Lock()
+	defer fs.repairMu.Unlock()
+	ps := fs.parity
+	if ps == nil {
+		return ErrNoParity
+	}
+	if ps.stale {
+		return fmt.Errorf("%w: sidecar %s predates writes to the store; rebuild parity first", ErrNoParity, ps.path)
+	}
+	u := fs.layout.usable()
+	buf := make([]byte, u)
+	if err := fs.file.ReadPage(page, buf); err == nil {
+		return nil // already clean: nothing to repair
+	} else if !errors.Is(err, ErrCorruptPage) {
+		return err // transient or positional failure: not parity's problem
+	}
+	k := int64(ps.group)
+	g := page / k
+	unrepairable := func(bad []int64, reason string) error {
+		sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+		cell, coords := fs.cellOnPage(page)
+		return &UnrepairableError{Page: page, Group: g, BadPages: bad, Cell: cell, Coords: coords, Reason: reason}
+	}
+	acc := make([]byte, u)
+	if err := ps.file.ReadPage(1+g, acc); err != nil {
+		if errors.Is(err, ErrCorruptPage) {
+			return unrepairable([]int64{page}, "parity page is itself damaged")
+		}
+		return err
+	}
+	hi := (g + 1) * k
+	if hi > fs.layout.TotalPages() {
+		hi = fs.layout.TotalPages()
+	}
+	bad := []int64{page}
+	for p := g * k; p < hi; p++ {
+		if p == page {
+			continue
+		}
+		if err := fs.file.ReadPage(p, buf); err != nil {
+			if errors.Is(err, ErrCorruptPage) {
+				bad = append(bad, p)
+				continue
+			}
+			return err
+		}
+		xorInto(acc, buf)
+	}
+	if len(bad) > 1 {
+		return unrepairable(bad, fmt.Sprintf("%d damaged pages share one parity group; XOR parity recovers at most one", len(bad)))
+	}
+	if err := fs.file.WritePage(page, acc); err != nil {
+		return fmt.Errorf("storage: repair rewrite of page %d: %w", page, err)
+	}
+	if err := fs.file.Sync(); err != nil {
+		return fmt.Errorf("storage: repair sync of page %d: %w", page, err)
+	}
+	if err := fs.file.ReadPage(page, buf); err != nil {
+		return unrepairable([]int64{page}, fmt.Sprintf("reconstruction failed re-verification: %v", err))
+	}
+	return nil
+}
+
+// RepairReport is the outcome of a RepairCtx sweep.
+type RepairReport struct {
+	Pages    int64   // pages scanned
+	Repaired []int64 // pages reconstructed and re-verified
+	Failed   []VerifyProblem
+}
+
+// OK reports whether the sweep left the store clean.
+func (r *RepairReport) OK() bool { return len(r.Failed) == 0 }
+
+// RepairCtx sweeps the whole store like VerifyCtx but heals as it goes:
+// every page is re-read from disk and any checksum failure is repaired
+// from parity on the spot. Damage that repair cannot fix lands in the
+// report's Failed list with its typed error; the returned error is non-nil
+// only for I/O failures or cancellation that stopped the sweep itself.
+// When ctx carries a trace, the sweep is a scrub span with one repair
+// child span per damaged page.
+func (fs *FileStore) RepairCtx(ctx context.Context) (*RepairReport, error) {
+	rep := &RepairReport{}
+	total := fs.Layout().TotalPages()
+	sctx, ssp := trace.Start(ctx, trace.KindScrub, "")
+	defer func() {
+		ssp.SetAttr("pages", rep.Pages)
+		ssp.SetAttr("repaired", int64(len(rep.Repaired)))
+		ssp.End()
+	}()
+	for p := int64(0); p < total; p++ {
+		if err := ctx.Err(); err != nil {
+			ssp.SetError(err)
+			return rep, err
+		}
+		rep.Pages++
+		err := fs.CheckPage(p)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrCorruptPage) {
+			ssp.SetError(err)
+			return rep, err
+		}
+		rsp := trace.StartLeaf(sctx, trace.KindRepair, "")
+		rsp.SetAttr("page", p)
+		if rerr := fs.RepairPage(p); rerr != nil {
+			rsp.SetError(rerr)
+			rsp.End()
+			rep.Failed = append(rep.Failed, fs.problemAt(p, rerr))
+			continue
+		}
+		rsp.End()
+		rep.Repaired = append(rep.Repaired, p)
+	}
+	return rep, nil
+}
+
+// xorInto accumulates src into dst byte-wise.
+func xorInto(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

@@ -40,6 +40,8 @@ const (
 	KindSwap          = "swap"           // serving-pointer hot swap
 	KindDrain         = "drain"          // old generation close / reader drain
 	KindVerify        = "verify"         // post-swap scrub of the new generation
+	KindScrub         = "scrub"          // one background scrub batch over the store
+	KindRepair        = "repair"         // parity reconstruction of a corrupt page
 )
 
 // Kinds returns every span kind, in a stable order, for pre-registering
@@ -48,7 +50,7 @@ func Kinds() []string {
 	return []string{
 		KindRequest, KindAdmission, KindFragment, KindPageLoad, KindRetry,
 		KindDP, KindMigrate, KindCopy, KindFlush, KindCatalogCommit,
-		KindSwap, KindDrain, KindVerify,
+		KindSwap, KindDrain, KindVerify, KindScrub, KindRepair,
 	}
 }
 

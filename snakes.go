@@ -412,6 +412,31 @@ type VerifyReport = storage.VerifyReport
 // page, cell, and grid coordinates.
 type VerifyProblem = storage.VerifyProblem
 
+// ErrUnrepairable marks a corrupt page whose parity group has more damage
+// than one XOR parity page can reconstruct; match with errors.Is.
+var ErrUnrepairable = storage.ErrUnrepairable
+
+// ErrNoParity marks a repair attempted on a store with no usable parity
+// sidecar (never written, or stale after later writes).
+var ErrNoParity = storage.ErrNoParity
+
+// UnrepairableError carries the coordinates of unrepairable damage: the
+// page asked about, its parity group, every bad page in the group, and the
+// cell/grid coordinates of the page; extract with errors.As.
+type UnrepairableError = storage.UnrepairableError
+
+// RepairReport is the outcome of FileStore.RepairCtx, the sweep that
+// repairs every corrupt page it can and reports the rest.
+type RepairReport = storage.RepairReport
+
+// DefaultParityGroup is the default number of data pages per XOR parity
+// page — 1/8 space overhead for one-bad-page-per-group repair.
+const DefaultParityGroup = storage.DefaultParityGroup
+
+// ParityPath returns the parity sidecar path for a store file
+// ("<store>.parity").
+func ParityPath(storePath string) string { return storage.ParityPath(storePath) }
+
 // Region is a grid query's footprint: one coordinate range per dimension.
 type Region = linear.Region
 

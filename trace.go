@@ -59,6 +59,8 @@ const (
 	TraceKindSwap          = trace.KindSwap
 	TraceKindDrain         = trace.KindDrain
 	TraceKindVerify        = trace.KindVerify
+	TraceKindScrub         = trace.KindScrub
+	TraceKindRepair        = trace.KindRepair
 )
 
 // TraceSpanKinds returns every span kind the instrumented paths record —
