@@ -1,15 +1,16 @@
 GO ?= go
 BENCH_NAME ?= local
 
-.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint trace-smoke bench bench-adaptive bench-chaos reorg-smoke chaos chaos-long
+.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint trace-smoke bench bench-adaptive bench-chaos bench-sustained bench-smoke bench-lint reorg-smoke chaos chaos-long
 
 # check is the tier-1 verification gate (see ROADMAP.md): formatting,
 # static analysis, a full build, the metrics-name lint, the tracing
-# smoke, the deterministic chaos suite, and the test suite under the
-# race detector. Fuzz seed corpora run as ordinary tests. staticcheck
-# runs when the binary is installed and is skipped (with a notice)
-# otherwise, so check works on machines without network access.
-check: fmt vet staticcheck build metrics-lint trace-smoke chaos race
+# smoke, the deterministic chaos suite, the bench-artifact lint plus the
+# sustained-bench smoke, and the test suite under the race detector.
+# Fuzz seed corpora run as ordinary tests. staticcheck runs when the
+# binary is installed and is skipped (with a notice) otherwise, so check
+# works on machines without network access.
+check: fmt vet staticcheck build metrics-lint trace-smoke chaos bench-lint bench-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -78,6 +79,28 @@ bench-adaptive:
 bench-chaos:
 	$(GO) run ./cmd/snakebench -figures=false -tables "" \
 		-name $(BENCH_NAME) -chaos-json BENCH_chaos.json
+
+# bench-sustained runs the sustained-load benchmark of the parallel
+# fragment read path — cold sequential vs parallel QPS, Parallelism=1
+# bit-identity, exact analytic-model reconciliation, and a 30-second
+# open-loop phase with SLO percentiles — and writes BENCH_sustained.json.
+bench-sustained:
+	$(GO) run ./cmd/snakebench -figures=false -tables "" \
+		-name $(BENCH_NAME) -sustained-json BENCH_sustained.json
+
+# bench-smoke drives every phase of the sustained benchmark on a tiny
+# warehouse: the deterministic gates (bit-identity, predicted == observed
+# pages/seeks) are hard errors, so a broken parallel read path fails here
+# in seconds instead of in a 30-second bench run.
+bench-smoke:
+	$(GO) test -count=1 -run 'TestSustainedBenchSmoke' ./cmd/snakebench
+
+# bench-lint parses every committed BENCH_*.json under its registered
+# schema (unknown fields, trailing bytes, and unknown suffixes all fail)
+# and checks each artifact's own sanity gate — e.g. BENCH_sustained.json
+# must show the >= 3x cold speedup it was committed to demonstrate.
+bench-lint:
+	$(GO) test -count=1 -run 'TestBenchArtifacts|TestReportWriter' ./cmd/snakebench
 
 # chaos runs the deterministic self-healing suite under the race
 # detector: seeded fault schedules against parity repair, the live serve

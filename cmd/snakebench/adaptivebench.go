@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -85,13 +84,9 @@ func seeksPerQuery(p AdaptivePhase) float64 {
 	return float64(p.ObservedSeeks) / float64(p.Queries)
 }
 
-// WriteFile writes the report as indented JSON.
+// WriteFile writes the report as indented JSON, atomically.
 func (r *AdaptiveBenchReport) WriteFile(path string) error {
-	b, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return writeReportJSON(path, r)
 }
 
 // driftMix picks the Section-6.2 mix whose optimum the deployed strategy

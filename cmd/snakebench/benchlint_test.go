@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchArtifactSchema validates one committed BENCH_<suffix>.json artifact:
+// decode strictly (unknown fields are an error, so schema drift between the
+// reports and the committed artifacts cannot pass silently) and run the
+// artifact's own sanity gate.
+type benchArtifactSchema struct {
+	decode func(dec *json.Decoder) (any, error)
+	check  func(v any) error
+}
+
+func schemaOf[T any](check func(*T) error) benchArtifactSchema {
+	return benchArtifactSchema{
+		decode: func(dec *json.Decoder) (any, error) {
+			v := new(T)
+			if err := dec.Decode(v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+		check: func(v any) error { return check(v.(*T)) },
+	}
+}
+
+// benchArtifactSchemas maps the BENCH_<suffix>.json suffix to its schema.
+// A committed artifact whose suffix is not listed here fails the lint:
+// either it is a stray file to delete, or a new benchmark mode forgot to
+// register its report shape.
+var benchArtifactSchemas = map[string]benchArtifactSchema{
+	"store": schemaOf(func(r *BenchReport) error {
+		if r.Queries <= 0 || r.QueriesPerSecond <= 0 {
+			return fmt.Errorf("store artifact ran no queries: %+v", r)
+		}
+		return nil
+	}),
+	"local": schemaOf(func(r *BenchReport) error {
+		if r.Queries <= 0 {
+			return fmt.Errorf("store artifact ran no queries: %+v", r)
+		}
+		return nil
+	}),
+	"sustained": schemaOf(func(r *SustainedReport) error {
+		if !r.IdenticalAtParallelismOne {
+			return fmt.Errorf("Parallelism=1 was not bit-identical to the sequential path")
+		}
+		if r.ColdSpeedup < 3 {
+			return fmt.Errorf("cold speedup %.2fx is below the 3x gate", r.ColdSpeedup)
+		}
+		if r.PredictedPages != r.ObservedPageReads || r.PredictedSeeks != r.ObservedSeeks {
+			return fmt.Errorf("analytic model did not reconcile: pages %d/%d, seeks %d/%d",
+				r.PredictedPages, r.ObservedPageReads, r.PredictedSeeks, r.ObservedSeeks)
+		}
+		if r.SustainedQueries <= 0 {
+			return fmt.Errorf("open-loop phase ran no queries")
+		}
+		return nil
+	}),
+	"adaptive": schemaOf(func(r *AdaptiveBenchReport) error { return nil }),
+	"chaos":    schemaOf(func(r *ChaosReport) error { return nil }),
+}
+
+// TestBenchArtifacts lints every committed BENCH_*.json at the repo root:
+// each must parse completely under its registered schema — a truncated,
+// stray, or schema-drifted artifact fails loudly instead of rotting. This
+// is the guard against the failure mode where an artifact silently never
+// lands (or lands half-written) and nobody notices for a whole release.
+func TestBenchArtifacts(t *testing.T) {
+	root := filepath.Join("..", "..")
+	matches, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no BENCH_*.json artifacts at the repo root; the benchmark trajectory has been dropped (check .gitignore)")
+	}
+	for _, path := range matches {
+		base := filepath.Base(path)
+		suffix := strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
+		schema, ok := benchArtifactSchemas[suffix]
+		if !ok {
+			t.Errorf("%s: unknown artifact suffix %q — register its schema in benchArtifactSchemas or delete the stray file", base, suffix)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", base, err)
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		v, err := schema.decode(dec)
+		if err != nil {
+			t.Errorf("%s: does not parse under its schema (truncated or drifted?): %v", base, err)
+			continue
+		}
+		// Exactly one JSON document, nothing trailing: a concatenated or
+		// half-overwritten artifact fails here.
+		if dec.More() {
+			t.Errorf("%s: trailing data after the report document", base)
+			continue
+		}
+		if err := schema.check(v); err != nil {
+			t.Errorf("%s: %v", base, err)
+		}
+	}
+}
+
+// TestSustainedBenchSmoke drives every phase of the sustained benchmark —
+// equivalence gate, preparation pass, timed cold passes, per-query model
+// reconciliation, and a short open-loop phase — on a tiny warehouse. The
+// deterministic gates (bit-identity, predicted == observed) are hard
+// errors inside sustainedBench, so this smoke catches a broken parallel
+// read path; the speedup itself is timing and is asserted only on the
+// committed artifact by TestBenchArtifacts.
+func TestSustainedBenchSmoke(t *testing.T) {
+	o := sustainedOpts{
+		queries:   16,
+		frames:    256,
+		parallel:  3,
+		readahead: 8,
+		passes:    2,
+		seconds:   0.2,
+		inflight:  2,
+		reconcile: 8,
+		loadFrac:  0.25,
+	}
+	rep, err := sustainedBench(tinyConfig(11), "smoke", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IdenticalAtParallelismOne {
+		t.Error("Parallelism=1 equivalence did not run")
+	}
+	if rep.ReconcileQueries != o.reconcile {
+		t.Errorf("reconciled %d queries, want %d", rep.ReconcileQueries, o.reconcile)
+	}
+	if rep.PredictedPages != rep.ObservedPageReads || rep.PredictedSeeks != rep.ObservedSeeks {
+		t.Errorf("model reconciliation drifted: %+v", rep)
+	}
+	if rep.SustainedQueries == 0 || rep.AchievedQPS <= 0 {
+		t.Errorf("open-loop phase ran nothing: %+v", rep)
+	}
+	if rep.BaselineQPS <= 0 || rep.ParallelQPS <= 0 {
+		t.Errorf("cold comparison missing: %+v", rep)
+	}
+}

@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -71,13 +70,9 @@ func (r *ChaosReport) Summary() string {
 		r.BaselineLatencyMsP99, r.ScrubLatencyMsP99, r.ScrubOverheadP99Pct)
 }
 
-// WriteFile writes the report as indented JSON.
+// WriteFile writes the report as indented JSON, atomically.
 func (r *ChaosReport) WriteFile(path string) error {
-	b, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return writeReportJSON(path, r)
 }
 
 // chaosBench builds the warehouse store with a parity sidecar, then runs

@@ -51,3 +51,49 @@ func TestRunFigures(t *testing.T) {
 		t.Error("output missing the Figure 3 lattice")
 	}
 }
+
+// Flag combinations that would silently ignore input must be usage errors
+// (exit 2), not half-executed runs: that is how a benchmark artifact goes
+// missing for a whole release without anyone noticing.
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-figures=false", "stray-arg"}, &out, &errOut); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unexpected arguments") {
+		t.Errorf("stderr = %q, want a positional-argument diagnostic", errOut.String())
+	}
+}
+
+func TestRunRejectsBenchKnobsWithoutMode(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench-queries", "8"},
+		{"-bench-frames", "64"},
+		{"-name", "orphan"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), "no effect without a benchmark mode") {
+			t.Errorf("run(%v) stderr = %q, want a mode diagnostic", args, errOut.String())
+		}
+	}
+}
+
+func TestRunRejectsSustainedKnobsWithoutSustainedMode(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sustained-seconds", "1"},
+		{"-read-parallel", "2"},
+		{"-read-ahead", "4"},
+		{"-json", "x.json", "-read-parallel", "2"}, // a mode, but not the sustained one
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), "without -sustained-json") {
+			t.Errorf("run(%v) stderr = %q, want a sustained-mode diagnostic", args, errOut.String())
+		}
+	}
+}

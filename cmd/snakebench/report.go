@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// crashEnv, when set in the environment, makes writeReportJSON exit the
+// process after writing half of the temp file — simulating a benchmark run
+// killed mid-emit. Only the subprocess crash test sets it; see
+// TestReportWriterKilledMidEmit.
+const crashEnv = "SNAKEBENCH_CRASH_MID_WRITE"
+
+// crashExitCode is the status the crash hook exits with, distinct from the
+// real exit codes (0/1/2) so the test can tell the hook fired.
+const crashExitCode = 42
+
+// writeReportJSON writes a bench artifact atomically: marshal, write to a
+// sibling temp file, fsync, rename over the destination, then fsync the
+// parent directory. A run killed mid-emit can leave a stale *.tmp behind,
+// but the BENCH_*.json path itself is only ever absent or a complete
+// report — never truncated JSON that a later reader would choke on.
+func writeReportJSON(path string, report any) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if os.Getenv(crashEnv) != "" {
+		f.Write(data[:len(data)/2])
+		f.Sync()
+		os.Exit(crashExitCode)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself; best-effort, as on the catalog commit path.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReportWriterAtomic: the happy path writes a complete report and
+// leaves no temp file behind.
+func TestReportWriterAtomic(t *testing.T) {
+	dest := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := writeReportJSON(dest, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]int
+	if err := json.Unmarshal(data, &v); err != nil || v["a"] != 1 {
+		t.Fatalf("round trip = %v, %v", v, err)
+	}
+	if _, err := os.Stat(dest + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind after a successful write")
+	}
+}
+
+// TestReportWriterKilledMidEmit re-executes the test binary with the crash
+// hook armed, so writeReportJSON dies halfway through emitting the temp
+// file — the way a benchmark run killed mid-write would. The destination
+// path must be absent or complete valid JSON, never a truncated artifact;
+// a stale *.tmp is acceptable debris. The same helper without the hook is
+// the control: the write must land.
+func TestReportWriterKilledMidEmit(t *testing.T) {
+	if os.Getenv("SNAKEBENCH_CRASH_HELPER") == "1" {
+		if err := writeReportJSON(os.Getenv("SNAKEBENCH_CRASH_PATH"), &BenchReport{Name: "crash", Queries: 1}); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	dest := filepath.Join(t.TempDir(), "BENCH_crash.json")
+	helper := func(crash bool) error {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestReportWriterKilledMidEmit")
+		cmd.Env = append(os.Environ(),
+			"SNAKEBENCH_CRASH_HELPER=1",
+			"SNAKEBENCH_CRASH_PATH="+dest)
+		if crash {
+			cmd.Env = append(cmd.Env, crashEnv+"=1")
+		}
+		return cmd.Run()
+	}
+
+	err := helper(true)
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != crashExitCode {
+		t.Fatalf("crashed helper err = %v, want exit code %d", err, crashExitCode)
+	}
+	if data, err := os.ReadFile(dest); err == nil {
+		var rep BenchReport
+		if json.Unmarshal(data, &rep) != nil {
+			t.Fatalf("destination exists after crash and is not valid JSON: %q", data)
+		}
+	} else if !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+
+	if err := helper(false); err != nil {
+		t.Fatalf("control helper: %v", err)
+	}
+	data, err := os.ReadFile(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var rep BenchReport
+	if err := dec.Decode(&rep); err != nil || rep.Name != "crash" {
+		t.Fatalf("control write round trip = %+v, %v", rep, err)
+	}
+	if _, err := os.Stat(dest + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("control write left a temp file behind")
+	}
+}

@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -71,24 +70,33 @@ func (r *BenchReport) Summary() string {
 		r.PredictedSeeks, r.ObservedSeeks)
 }
 
-// WriteFile writes the report as indented JSON.
+// WriteFile writes the report as indented JSON, atomically.
 func (r *BenchReport) WriteFile(path string) error {
-	b, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return writeReportJSON(path, r)
 }
 
-// storeBench runs the end-to-end benchmark: generate the warehouse, pick
-// the snaked optimal clustering for the featured workload, load a paged
-// store in a temp directory, then execute a workload-sampled query stream
-// against a cold pool, timing every query and comparing the analytic
-// page/seek prediction with the traffic the pool actually saw.
-func storeBench(cfg tpcd.Config, name string, queries, frames int) (*BenchReport, error) {
-	if queries <= 0 {
-		return nil, fmt.Errorf("storebench: need a positive query count, got %d", queries)
-	}
+// benchStore is a generated warehouse loaded into a paged store in a temp
+// directory, plus everything needed to reopen it cold and sample queries
+// against it. It is the shared substrate of the store and sustained
+// benchmarks.
+type benchStore struct {
+	ds     *tpcd.Dataset
+	w      *workload.Workload
+	order  *linear.Order
+	framed []int64
+	dir    string
+	path   string
+	frames int
+	loaded []int64
+
+	fs            *storage.FileStore
+	recordsLoaded int64
+}
+
+// buildBenchStore generates the warehouse, picks the snaked optimal
+// clustering for the featured workload, loads a paged store in a temp
+// directory, and reopens it so b.fs starts on a cold pool.
+func buildBenchStore(cfg tpcd.Config, frames int) (*benchStore, error) {
 	if cfg.RecordBytes < 8 {
 		return nil, fmt.Errorf("storebench: RecordBytes = %d cannot hold the 8-byte measure", cfg.RecordBytes)
 	}
@@ -109,27 +117,18 @@ func storeBench(cfg tpcd.Config, name string, queries, frames int) (*BenchReport
 		return nil, err
 	}
 
-	framed := paddedBytes(ds)
-
-	dir, err := os.MkdirTemp("", "snakebench")
+	b := &benchStore{ds: ds, w: w, order: o, framed: paddedBytes(ds), frames: frames}
+	b.dir, err = os.MkdirTemp("", "snakebench")
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, "bench.db")
-	fs, err := storage.CreateFileStore(path, o, framed, int(cfg.PageBytes), frames)
+	b.path = filepath.Join(b.dir, "bench.db")
+	fs, err := storage.CreateFileStore(b.path, o, b.framed, int(cfg.PageBytes), frames)
 	if err != nil {
+		os.RemoveAll(b.dir)
 		return nil, err
 	}
 
-	rep := &BenchReport{
-		Name:       name,
-		Seed:       cfg.Seed,
-		Strategy:   o.Name,
-		Cells:      len(ds.BytesPerCell),
-		PageBytes:  cfg.PageBytes,
-		PoolFrames: frames,
-	}
 	shape := ds.Schema.LeafCounts()
 	nSupp, nTime := shape[1], shape[2]
 	payload := make([]byte, cfg.RecordBytes)
@@ -140,27 +139,82 @@ func storeBench(cfg tpcd.Config, name string, queries, frames int) (*BenchReport
 		if loadErr = fs.PutRecord((part*nSupp+supp)*nTime+day, payload); loadErr != nil {
 			return false
 		}
-		rep.RecordsLoaded++
+		b.recordsLoaded++
 		return true
 	})
 	if loadErr != nil {
 		fs.Close()
+		os.RemoveAll(b.dir)
 		return nil, loadErr
 	}
 
 	// Reopen so the query stream starts on a cold pool: loading itself goes
 	// through the pool and would otherwise pre-warm every page.
-	loaded := fs.LoadedBytes()
+	b.loaded = fs.LoadedBytes()
 	if err := fs.Close(); err != nil {
+		os.RemoveAll(b.dir)
 		return nil, err
 	}
-	fs, err = storage.OpenFileStore(path, o, framed, int(cfg.PageBytes), frames, loaded)
+	if err := b.reopenCold(); err != nil {
+		os.RemoveAll(b.dir)
+		return nil, err
+	}
+	return b, nil
+}
+
+// reopenCold returns the store to a cold buffer pool, so the next query
+// stream measures physical reads. An open store is reset in place
+// (BufferPool.Reset drops every frame; prepared plans survive, exactly as
+// they would across quiet periods of a long-running server); a closed one is
+// reopened from the file.
+func (b *benchStore) reopenCold() error {
+	if b.fs != nil {
+		return b.fs.Pool().Reset(context.Background())
+	}
+	fs, err := storage.OpenFileStore(b.path, b.order, b.framed, int(b.ds.Config.PageBytes), b.frames, b.loaded)
+	if err != nil {
+		return err
+	}
+	b.fs = fs
+	return nil
+}
+
+// Close releases the store and its temp directory.
+func (b *benchStore) Close() {
+	if b.fs != nil {
+		b.fs.Close()
+		b.fs = nil
+	}
+	os.RemoveAll(b.dir)
+}
+
+// storeBench runs the end-to-end benchmark: generate the warehouse, pick
+// the snaked optimal clustering for the featured workload, load a paged
+// store in a temp directory, then execute a workload-sampled query stream
+// against a cold pool, timing every query and comparing the analytic
+// page/seek prediction with the traffic the pool actually saw.
+func storeBench(cfg tpcd.Config, name string, queries, frames int) (*BenchReport, error) {
+	if queries <= 0 {
+		return nil, fmt.Errorf("storebench: need a positive query count, got %d", queries)
+	}
+	bs, err := buildBenchStore(cfg, frames)
 	if err != nil {
 		return nil, err
 	}
-	defer fs.Close()
+	defer bs.Close()
+	fs := bs.fs
 
-	regions, err := sampleRegions(ds, w, o, queries)
+	rep := &BenchReport{
+		Name:          name,
+		Seed:          cfg.Seed,
+		Strategy:      bs.order.Name,
+		Cells:         len(bs.ds.BytesPerCell),
+		RecordsLoaded: bs.recordsLoaded,
+		PageBytes:     cfg.PageBytes,
+		PoolFrames:    frames,
+	}
+
+	regions, err := sampleRegions(bs.ds, bs.w, bs.order, queries)
 	if err != nil {
 		return nil, err
 	}

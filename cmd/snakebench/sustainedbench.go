@@ -1,0 +1,347 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/linear"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// SustainedReport is the machine-readable result of the sustained-load
+// benchmark (snakebench -sustained-json → BENCH_sustained.json). It gates
+// the parallel fragment read path the way BENCH_store.json gates the
+// sequential one, in four acts:
+//
+//  1. Cold-pool comparison: several timed passes of the sampled query
+//     stream on the sequential SumCtx path and on the parallel path, the
+//     buffer pool reset before every pass, giving ColdSpeedup — the
+//     headline number. An untimed preparation pass first warms the store's
+//     prepared query plans, so both sides measure steady-state cold-page
+//     IO, not first-contact planning.
+//  2. Equivalence: Parallelism=1 must produce bit-identical sums to the
+//     sequential path (it delegates to it); the bench hard-fails otherwise.
+//  3. Reconciliation: a per-query slice of the stream re-runs cold with a
+//     request tally, and predicted pages/seeks from the analytic model must
+//     equal the observed physical reads exactly — a mismatch is an error,
+//     not a report field.
+//  4. Sustained open-loop phase: queries arrive on a deterministic Poisson
+//     schedule (seeded by the dataset seed) at a fixed fraction of the
+//     measured parallel capacity, served by a bounded worker set. Latency
+//     is measured from the scheduled arrival, so queueing delay counts —
+//     the SLO percentiles describe what a client would see, not just
+//     service time.
+//
+// Cold means a cold buffer pool: the store itself stays open across passes
+// (prepared query plans survive, exactly as they would across quiet periods
+// of a long-running server), and every pass re-reads each page it touches
+// through the pool.
+type SustainedReport struct {
+	Name     string `json:"name"`
+	Seed     uint64 `json:"seed"`
+	Full     bool   `json:"full"`
+	Strategy string `json:"strategy"`
+
+	Cells         int   `json:"cells"`
+	RecordsLoaded int64 `json:"recordsLoaded"`
+	PageBytes     int64 `json:"pageBytes"`
+	PoolFrames    int   `json:"poolFrames"`
+
+	ReadParallel int `json:"readParallel"`
+	ReadAhead    int `json:"readAhead"`
+
+	BaselineQueries int     `json:"baselineQueries"`
+	BaselineSeconds float64 `json:"baselineSeconds"`
+	BaselineQPS     float64 `json:"baselineQPS"`
+	ParallelSeconds float64 `json:"parallelSeconds"`
+	ParallelQPS     float64 `json:"parallelQPS"`
+	ColdSpeedup     float64 `json:"coldSpeedup"`
+
+	IdenticalAtParallelismOne bool `json:"identicalAtParallelismOne"`
+
+	ReconcileQueries  int   `json:"reconcileQueries"`
+	PredictedPages    int64 `json:"predictedPages"`
+	ObservedPageReads int64 `json:"observedPageReads"`
+	PredictedSeeks    int64 `json:"predictedSeeks"`
+	ObservedSeeks     int64 `json:"observedSeeks"`
+
+	SustainSeconds   float64 `json:"sustainSeconds"`
+	OfferedQPS       float64 `json:"offeredQPS"`
+	MaxInflight      int     `json:"maxInflight"`
+	SustainedQueries int     `json:"sustainedQueries"`
+	SustainedWall    float64 `json:"sustainedWallSeconds"`
+	AchievedQPS      float64 `json:"achievedQPS"`
+
+	LatencyMsMean float64 `json:"latencyMsMean"`
+	LatencyMsP50  float64 `json:"latencyMsP50"`
+	LatencyMsP90  float64 `json:"latencyMsP90"`
+	LatencyMsP99  float64 `json:"latencyMsP99"`
+	LatencyMsMax  float64 `json:"latencyMsMax"`
+}
+
+// Summary is the one-line human rendering of the report.
+func (r *SustainedReport) Summary() string {
+	return fmt.Sprintf("cold %.0f q/s sequential vs %.0f q/s parallel (%.2fx, P=%d RA=%d); sustained %d queries at %.0f q/s offered, latency ms p50=%.3f p99=%.3f; pages predicted=%d read=%d, seeks predicted=%d observed=%d",
+		r.BaselineQPS, r.ParallelQPS, r.ColdSpeedup, r.ReadParallel, r.ReadAhead,
+		r.SustainedQueries, r.OfferedQPS,
+		r.LatencyMsP50, r.LatencyMsP99,
+		r.PredictedPages, r.ObservedPageReads, r.PredictedSeeks, r.ObservedSeeks)
+}
+
+// WriteFile writes the report as indented JSON, atomically.
+func (r *SustainedReport) WriteFile(path string) error {
+	return writeReportJSON(path, r)
+}
+
+// sustainedOpts are the knobs of one sustained bench run.
+type sustainedOpts struct {
+	queries   int     // distinct sampled query regions
+	frames    int     // buffer pool frames
+	parallel  int     // ReadOptions.Parallelism of the parallel path
+	readahead int     // ReadOptions.Readahead of the parallel path
+	passes    int     // timed cold passes per side of the QPS comparison
+	seconds   float64 // open-loop phase duration
+	inflight  int     // open-loop concurrent queries
+	reconcile int     // queries in the per-query reconciliation slice
+	loadFrac  float64 // offered load as a fraction of measured parallel QPS
+}
+
+// defaultSustainedOpts is the `make bench-sustained` configuration. The
+// pool is sized above the store's page count so a cold pass misses each
+// distinct page exactly once — the regime a provisioned server runs in —
+// and the open-loop phase offers half the measured parallel capacity.
+func defaultSustainedOpts() sustainedOpts {
+	return sustainedOpts{
+		queries:   256,
+		frames:    4096,
+		parallel:  3,
+		readahead: 32,
+		passes:    5,
+		seconds:   30,
+		inflight:  4,
+		reconcile: 32,
+		loadFrac:  0.5,
+	}
+}
+
+// decodeMeasure reads the benchmark record's 8-byte measure.
+func decodeMeasure(rec []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(rec[:8]))
+}
+
+// sustainedBench runs the sustained-load benchmark. The equivalence and
+// reconciliation phases are hard gates: any Parallelism=1 divergence or
+// predicted/observed mismatch returns an error rather than a report.
+func sustainedBench(cfg tpcd.Config, name string, o sustainedOpts) (*SustainedReport, error) {
+	bs, err := buildBenchStore(cfg, o.frames)
+	if err != nil {
+		return nil, err
+	}
+	defer bs.Close()
+
+	regions, err := sampleRegions(bs.ds, bs.w, bs.order, o.queries)
+	if err != nil {
+		return nil, err
+	}
+	opt := storage.ReadOptions{Parallelism: o.parallel, Readahead: o.readahead}
+	ctx := context.Background()
+
+	rep := &SustainedReport{
+		Name:           name,
+		Seed:           cfg.Seed,
+		Strategy:       bs.order.Name,
+		Cells:          len(bs.ds.BytesPerCell),
+		RecordsLoaded:  bs.recordsLoaded,
+		PageBytes:      cfg.PageBytes,
+		PoolFrames:     o.frames,
+		ReadParallel:   o.parallel,
+		ReadAhead:      o.readahead,
+		MaxInflight:    o.inflight,
+		SustainSeconds: o.seconds,
+	}
+
+	// Reference pass: sequential sums for every region — the bit-identity
+	// and tolerance reference for everything below.
+	seqSums := make([]float64, len(regions))
+	for i, r := range regions {
+		if seqSums[i], _, err = bs.fs.SumCtx(ctx, r, decodeMeasure); err != nil {
+			return nil, err
+		}
+	}
+
+	// Equivalence gate: Parallelism=1 must be the sequential path, bit for
+	// bit. Runs warm — equivalence is about bytes, not timing.
+	for i, r := range regions {
+		s1, _, err := bs.fs.SumOptCtx(ctx, r, storage.ReadOptions{Parallelism: 1}, decodeMeasure)
+		if err != nil {
+			return nil, err
+		}
+		if math.Float64bits(s1) != math.Float64bits(seqSums[i]) {
+			return nil, fmt.Errorf("sustainedbench: query %d: Parallelism=1 sum %x differs from sequential %x",
+				i, math.Float64bits(s1), math.Float64bits(seqSums[i]))
+		}
+	}
+	rep.IdenticalAtParallelismOne = true
+
+	// Untimed parallel preparation pass: validates every parallel sum
+	// against the sequential reference and leaves the store's prepared
+	// query plans warm — the steady state a serving process reaches after
+	// its first encounter with each query shape. The timed cold passes
+	// below reset only the buffer pool, so they measure cold-page IO under
+	// prepared plans, not first-contact planning.
+	for i, r := range regions {
+		sum, _, err := bs.fs.SumOptCtx(ctx, r, opt, decodeMeasure)
+		if err != nil {
+			return nil, err
+		}
+		if math.Abs(sum-seqSums[i]) > 1e-9*(1+math.Abs(seqSums[i])) {
+			return nil, fmt.Errorf("sustainedbench: query %d: parallel sum %v, sequential %v", i, sum, seqSums[i])
+		}
+	}
+
+	// Cold QPS comparison: o.passes cold passes per side, pool reset before
+	// each, identical query stream.
+	timed := func(pass func(r linear.Region) error) (float64, error) {
+		var total time.Duration
+		for p := 0; p < o.passes; p++ {
+			if err := bs.reopenCold(); err != nil {
+				return 0, err
+			}
+			t0 := time.Now()
+			for _, r := range regions {
+				if err := pass(r); err != nil {
+					return 0, err
+				}
+			}
+			total += time.Since(t0)
+		}
+		return total.Seconds(), nil
+	}
+	rep.BaselineQueries = o.passes * len(regions)
+	if rep.BaselineSeconds, err = timed(func(r linear.Region) error {
+		_, _, e := bs.fs.SumCtx(ctx, r, decodeMeasure)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	rep.BaselineQPS = float64(rep.BaselineQueries) / rep.BaselineSeconds
+	if rep.ParallelSeconds, err = timed(func(r linear.Region) error {
+		_, _, e := bs.fs.SumOptCtx(ctx, r, opt, decodeMeasure)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	rep.ParallelQPS = float64(rep.BaselineQueries) / rep.ParallelSeconds
+	rep.ColdSpeedup = rep.ParallelQPS / rep.BaselineQPS
+
+	// Phase 3: per-query reconciliation against the analytic model. Each
+	// query runs on a freshly reset pool so its tally counts exactly its own
+	// physical reads; the store is exactly filled, so predicted == observed
+	// must hold with equality.
+	n := o.reconcile
+	if n > len(regions) {
+		n = len(regions)
+	}
+	for _, r := range regions[:n] {
+		if err := bs.reopenCold(); err != nil {
+			return nil, err
+		}
+		pred := bs.fs.Layout().Query(r)
+		var tally storage.PoolTally
+		tctx := storage.WithPoolTally(ctx, &tally)
+		if _, _, err := bs.fs.SumOptCtx(tctx, r, opt, decodeMeasure); err != nil {
+			return nil, err
+		}
+		obs := tally.Stats()
+		rep.PredictedPages += pred.Pages
+		rep.PredictedSeeks += pred.Seeks
+		rep.ObservedPageReads += obs.Misses
+		rep.ObservedSeeks += tally.Seeks()
+		if obs.Misses != pred.Pages {
+			return nil, fmt.Errorf("sustainedbench: region %v: observed %d page reads, analytic model predicts %d", r, obs.Misses, pred.Pages)
+		}
+		if tally.Seeks() != pred.Seeks {
+			return nil, fmt.Errorf("sustainedbench: region %v: observed %d seeks, analytic model predicts %d", r, tally.Seeks(), pred.Seeks)
+		}
+	}
+	rep.ReconcileQueries = n
+
+	// Phase 4: open-loop sustained load. Arrivals follow a Poisson schedule
+	// generated from the dataset seed — deterministic per seed — at
+	// loadFrac of the measured parallel capacity. Workers serve scheduled
+	// arrivals in order, sleeping until each arrival is due; when they fall
+	// behind, the wait queues, and latency (measured from the scheduled
+	// arrival) shows it.
+	if err := bs.reopenCold(); err != nil {
+		return nil, err
+	}
+	rep.OfferedQPS = o.loadFrac * rep.ParallelQPS
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	var sched []time.Duration
+	at := time.Duration(0)
+	horizon := time.Duration(o.seconds * float64(time.Second))
+	for at < horizon {
+		at += time.Duration(rng.ExpFloat64() / rep.OfferedQPS * float64(time.Second))
+		if at < horizon {
+			sched = append(sched, at)
+		}
+	}
+	latencies := make([]float64, len(sched))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	start := time.Now()
+	for w := 0; w < o.inflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(sched) || firstErr.Load() != nil {
+					return
+				}
+				if d := sched[i] - time.Since(start); d > 0 {
+					time.Sleep(d)
+				}
+				r := regions[i%len(regions)]
+				if _, _, err := bs.fs.SumOptCtx(ctx, r, opt, decodeMeasure); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				latencies[i] = (time.Since(start) - sched[i]).Seconds()
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return nil, *ep
+	}
+	rep.SustainedWall = time.Since(start).Seconds()
+	rep.SustainedQueries = len(sched)
+	if rep.SustainedWall > 0 {
+		rep.AchievedQPS = float64(len(sched)) / rep.SustainedWall
+	}
+
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	ms := func(s float64) float64 { return s * 1e3 }
+	if len(latencies) > 0 {
+		rep.LatencyMsMean = ms(sum / float64(len(latencies)))
+		rep.LatencyMsP50 = ms(percentile(latencies, 0.50))
+		rep.LatencyMsP90 = ms(percentile(latencies, 0.90))
+		rep.LatencyMsP99 = ms(percentile(latencies, 0.99))
+		rep.LatencyMsMax = ms(latencies[len(latencies)-1])
+	}
+	return rep, nil
+}

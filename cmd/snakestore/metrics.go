@@ -45,6 +45,7 @@ type serverMetrics struct {
 	pagesRead     *obs.Histogram
 	seeksAnalytic *obs.Histogram
 	seeksObserved *obs.Histogram
+	fragSeconds   *obs.Histogram
 
 	// Adaptive reorganization: one counter per class the serve path has
 	// attributed queries to, the policy's last regret measurement, and
@@ -101,6 +102,7 @@ func newServerMetrics(store func() *snakes.FileStore, adm *snakes.Admission, sch
 	reg.CounterFunc("snakestore_pool_writes_total", "buffer pool physical page write-backs", pool(func(s snakes.PoolStats) int64 { return s.Writes }))
 	reg.CounterFunc("snakestore_pool_retries_total", "transient I/O errors ridden out by the retry policy", pool(func(s snakes.PoolStats) int64 { return s.Retries }))
 	reg.CounterFunc("snakestore_pool_single_flight_waits_total", "goroutines that waited on another goroutine's in-flight load", pool(func(s snakes.PoolStats) int64 { return s.SingleFlightWaits }))
+	reg.GaugeFunc("snakestore_fragment_parallel_inflight", "fragment fetches currently running on the parallel read path", func() float64 { return float64(store().ParallelInflight()) })
 
 	admf := func(f func(snakes.AdmissionStats) float64) func() float64 {
 		return func() float64 { return f(adm.StatsSnapshot()) }
@@ -123,6 +125,7 @@ func newServerMetrics(store func() *snakes.FileStore, adm *snakes.Admission, sch
 		pagesRead:     reg.Histogram("snakestore_query_pages_read", "physical page reads per query observed at the pool", pageBuckets),
 		seeksAnalytic: reg.Histogram("snakestore_query_seeks_analytic", "seeks per query predicted by the analytic cost model", pageBuckets),
 		seeksObserved: reg.Histogram("snakestore_query_seeks_observed", "seeks per query observed at the pool (runs of non-consecutive reads)", pageBuckets),
+		fragSeconds:   reg.Histogram("snakestore_fragment_seconds", "wall time of one fragment fetch on the parallel read path", latencyBuckets),
 
 		classObserved: make(map[string]*obs.Counter, schema.NumClasses()),
 		reorgRegret:   reg.Gauge("snakestore_reorg_regret", "deployed strategy cost over DP-optimal cost at the last policy evaluation"),

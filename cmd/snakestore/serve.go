@@ -57,6 +57,7 @@ type server struct {
 	dims       []snakes.Dimension
 	adm        *snakes.Admission
 	reqTimeout time.Duration
+	readOpts   snakes.ReadOptions // parallel read knobs; zero = sequential path
 	metrics    *serverMetrics
 	log        *slog.Logger
 	pprof      bool // mount /debug/pprof/ on the serving mux
@@ -135,7 +136,18 @@ func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dim
 	s.metrics.reg.CounterFunc("snakestore_traces_kept_total", "finished traces retained, by reason", tst(func(st snakes.TraceStats) uint64 { return st.KeptForced }), "reason", "forced")
 	s.metrics.reg.CounterFunc("snakestore_traces_discarded_total", "candidate traces finished without retention", tst(func(st snakes.TraceStats) uint64 { return st.Discarded }))
 	s.metrics.reg.CounterFunc("snakestore_trace_spans_dropped_total", "spans dropped from traces at the per-trace cap", tst(func(st snakes.TraceStats) uint64 { return st.DroppedSpans }))
+	s.armFragmentObserver(store)
 	return s
+}
+
+// armFragmentObserver routes a store's per-fragment completion samples
+// from the parallel read path into the fragment latency histogram. Called
+// for every store generation that starts serving, since the observer lives
+// on the store, not the server.
+func (s *server) armFragmentObserver(st *snakes.FileStore) {
+	st.SetFragmentObserver(func(_ int64, seconds float64) {
+		s.metrics.fragSeconds.Observe(seconds)
+	})
 }
 
 // st returns the store currently serving. Handlers call it once per request
@@ -186,6 +198,7 @@ func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) erro
 	if err != nil {
 		return err
 	}
+	s.armFragmentObserver(dst)
 	abort := func(err error) error {
 		dst.Close()
 		os.Remove(newPath)
@@ -728,7 +741,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.TraceID = tr.ID()
 	}
 	var total float64
-	err = st.ReadQueryCtx(ctx, region, func(cell int, record []byte) error {
+	err = st.ReadQueryOptCtx(ctx, region, s.readOpts, func(cell int, record []byte) error {
 		resp.Records++
 		if sumCol >= 0 {
 			v, err := payloadColumn(record, sumCol)
@@ -1050,6 +1063,8 @@ func cmdServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	readParallel := fs.Int("read-parallel", 1, "concurrent fragment fetches per query (1 = sequential read path)")
+	readAhead := fs.Int("read-ahead", 8, "pages prefetched ahead of the decoder within a fragment; effective when -read-parallel > 1")
 	scrubRate := fs.Float64("scrub-rate", 128, "background scrub pace in pages/sec; 0 disables the scrubber")
 	parityGroup := fs.Int("parity-group", snakes.DefaultParityGroup, "data pages per parity page when (re)building sidecars")
 	traceSample := fs.Int("trace-sample", 16, "trace every Nth request for /debug/traces; 0 disables head sampling")
@@ -1118,6 +1133,7 @@ func cmdServe(args []string) error {
 	srv := newServer(store, schema, schemaDims(cat), adm, *reqTimeout, cat.Generation, tcfg)
 	srv.log = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv.pprof = *pprofOn
+	srv.readOpts = snakes.ReadOptions{Parallelism: *readParallel, Readahead: *readAhead}
 	if *parityGroup > 0 {
 		srv.parityGroup = *parityGroup
 	}

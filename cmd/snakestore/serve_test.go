@@ -117,6 +117,40 @@ func TestServeQueryAndHealthz(t *testing.T) {
 	}
 }
 
+// TestServeParallelReadPath: with -read-parallel style options armed, the
+// query handler returns the same results as the sequential path, the
+// analytic prediction still matches the observed page reads on a cold
+// store, and the parallel-path metrics are exported.
+func TestServeParallelReadPath(t *testing.T) {
+	srv, want := buildServed(t, 64, time.Second, 5*time.Second)
+	srv.readOpts = snakes.ReadOptions{Parallelism: 4, Readahead: 4}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var q queryResponse
+	getJSON(t, ts, "/query?where=x%3D1..2&where=y%3D2..6&sum=0", http.StatusOK, &q)
+	if q.Records != 4 {
+		t.Errorf("records = %d, want 4", q.Records)
+	}
+	if q.Sum == nil || math.Abs(*q.Sum-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", q.Sum, want)
+	}
+	if q.PagesRead != q.Pages {
+		t.Errorf("cold parallel query read %d pages, analytic predicts %d", q.PagesRead, q.Pages)
+	}
+
+	samples, types := scrape(t, ts.URL)
+	if types["snakestore_fragment_parallel_inflight"] != "gauge" {
+		t.Errorf("snakestore_fragment_parallel_inflight type = %q, want gauge", types["snakestore_fragment_parallel_inflight"])
+	}
+	if got := samples["snakestore_fragment_parallel_inflight"]; got != 0 {
+		t.Errorf("inflight gauge = %v while idle, want 0", got)
+	}
+	if got := samples["snakestore_fragment_seconds_count"]; got <= 0 {
+		t.Errorf("snakestore_fragment_seconds_count = %v, want positive (observer not armed?)", got)
+	}
+}
+
 func TestServeQuarantinesCorruptPage(t *testing.T) {
 	dir := t.TempDir()
 	cat := filepath.Join(dir, "cat.json")

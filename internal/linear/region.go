@@ -60,27 +60,46 @@ func ClassRegion(o *Order, c lattice.Point, nodes []int) Region {
 // Positions returns the sorted disk positions of all cells of the region.
 func (o *Order) Positions(r Region) []int {
 	ps := make([]int, 0, r.Size())
+	o.EachPosition(r, func(pos int) { ps = append(ps, pos) })
+	sort.Ints(ps)
+	return ps
+}
+
+// EachPosition calls f with the disk position of every cell of the region,
+// in region-iteration (not disk) order. The cell index is maintained
+// incrementally across the coordinate odometer (one stride add per step
+// instead of a full CellIndex dot product), and nothing is allocated beyond
+// the odometer, so hot paths that want position-set structure (e.g. a
+// bitmap) can build it without the sorted slice Positions returns.
+func (o *Order) EachPosition(r Region, f func(pos int)) {
+	for _, rng := range r {
+		if rng.Hi <= rng.Lo {
+			return
+		}
+	}
 	coords := make([]int, len(r))
+	idx := 0
 	for d := range coords {
 		coords[d] = r[d].Lo
+		idx += r[d].Lo * o.stride[d]
 	}
 	for {
-		ps = append(ps, o.pos[o.CellIndex(coords)])
+		f(o.pos[idx])
 		d := len(coords) - 1
 		for d >= 0 {
 			coords[d]++
+			idx += o.stride[d]
 			if coords[d] < r[d].Hi {
 				break
 			}
 			coords[d] = r[d].Lo
+			idx -= (r[d].Hi - r[d].Lo) * o.stride[d]
 			d--
 		}
 		if d < 0 {
 			break
 		}
 	}
-	sort.Ints(ps)
-	return ps
 }
 
 // Fragments returns the number of contiguous disk fragments needed to cover

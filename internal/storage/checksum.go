@@ -27,8 +27,9 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // ChecksumFile is safe for concurrent use when its inner file is: each
 // operation works on pooled per-call scratch, never shared state.
 type ChecksumFile struct {
-	inner   PagedFile
-	scratch sync.Pool // *[]byte, one physical page each
+	inner       PagedFile
+	scratch     sync.Pool // *[]byte, one physical page each
+	spanScratch sync.Pool // *[]byte, MaxSpanPages physical pages each
 }
 
 // NewChecksumFile wraps inner, whose page size must exceed the trailer.
@@ -40,6 +41,10 @@ func NewChecksumFile(inner PagedFile) (*ChecksumFile, error) {
 	cf := &ChecksumFile{inner: inner}
 	cf.scratch.New = func() any {
 		b := make([]byte, inner.PageSize())
+		return &b
+	}
+	cf.spanScratch.New = func() any {
+		b := make([]byte, MaxSpanPages*inner.PageSize())
 		return &b
 	}
 	return cf, nil
@@ -63,6 +68,14 @@ func (cf *ChecksumFile) ReadPage(page int64, buf []byte) error {
 	if err := cf.inner.ReadPage(page, phys); err != nil {
 		return err
 	}
+	return cf.verifyInto(page, phys, buf)
+}
+
+// verifyInto checks one physical page image and copies its data region into
+// buf (of exactly PageSize bytes). Shared by the per-page and span read
+// paths so both report identical CorruptPageError detail.
+func (cf *ChecksumFile) verifyInto(page int64, phys, buf []byte) error {
+	usable := cf.PageSize()
 	magic := binary.LittleEndian.Uint32(phys[usable:])
 	sum := binary.LittleEndian.Uint32(phys[usable+4:])
 	if magic != pageMagic {
@@ -80,6 +93,65 @@ func (cf *ChecksumFile) ReadPage(page int64, buf []byte) error {
 			Reason: fmt.Sprintf("checksum mismatch: stored %#08x, computed %#08x", sum, got)}
 	}
 	copy(buf, phys[:usable])
+	return nil
+}
+
+// ReadPageSpan reads and verifies len(bufs) consecutive pages starting at
+// page, scattering page+i's data region into bufs[i]. When the inner file
+// can bulk-read (BulkReader — the real PageFile), the whole span is fetched
+// with one positioned read into pooled scratch; otherwise it degrades to
+// per-page ReadPage calls, which keeps fault injectors and per-page test
+// wrappers observing exactly the reads they expect. The first verification
+// failure is returned as that page's CorruptPageError.
+func (cf *ChecksumFile) ReadPageSpan(page int64, bufs [][]byte) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	usable := cf.PageSize()
+	br, ok := cf.inner.(BulkReader)
+	if !ok || len(bufs) == 1 {
+		for i, buf := range bufs {
+			if err := cf.ReadPage(page+int64(i), buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, buf := range bufs {
+		if len(buf) != usable {
+			return fmt.Errorf("storage: span read buffer is %d bytes, want %d", len(buf), usable)
+		}
+	}
+	phys := cf.inner.PageSize()
+	if mr, ok := cf.inner.(MappedReader); ok {
+		// Zero-copy span: verify each page straight out of the file's
+		// mapping, one copy (data region into the frame) per page.
+		if m := mr.MappedPages(page, int64(len(bufs))); m != nil {
+			for i, buf := range bufs {
+				if err := cf.verifyInto(page+int64(i), m[i*phys:(i+1)*phys], buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	need := len(bufs) * phys
+	var scratch []byte
+	if len(bufs) <= MaxSpanPages {
+		sp := cf.spanScratch.Get().(*[]byte)
+		defer cf.spanScratch.Put(sp)
+		scratch = (*sp)[:need]
+	} else {
+		scratch = make([]byte, need) // oversized span: caller ignored MaxSpanPages
+	}
+	if err := br.ReadPages(page, scratch); err != nil {
+		return err
+	}
+	for i, buf := range bufs {
+		if err := cf.verifyInto(page+int64(i), scratch[i*phys:(i+1)*phys], buf); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -489,7 +489,17 @@ func TestConcurrentStress(t *testing.T) {
 					continue
 				}
 				queries.Add(1)
-				_, _, err = fs.SumCtx(ctx, r, decodeF64)
+				// Alternate between the sequential path and the parallel
+				// fragment path, so cancellation, faults, and Close race
+				// against in-flight parallel workers and prefetchers too.
+				switch rng.Intn(3) {
+				case 0:
+					_, _, err = fs.SumCtx(ctx, r, decodeF64)
+				case 1:
+					_, _, err = fs.SumOptCtx(ctx, r, ReadOptions{Parallelism: 4, Readahead: 2}, decodeF64)
+				default:
+					err = fs.ReadQueryOptCtx(ctx, r, ReadOptions{Parallelism: 4}, func(int, []byte) error { return nil })
+				}
 				adm.Release(weight)
 				cancel()
 				if err != nil {

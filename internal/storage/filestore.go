@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/linear"
 )
@@ -29,8 +30,9 @@ type FileStore struct {
 	file   *ChecksumFile // the pool's backing store; Verify reads it directly
 	pool   *BufferPool
 
-	mu     sync.RWMutex // guards fill and closed
+	mu     sync.RWMutex // guards fill, plan and closed
 	fill   []int64
+	plan   []posPlan // fused per-position layout; see posPlan
 	closed bool
 
 	// Self-healing state (parity.go): the attached parity sidecar and the
@@ -39,7 +41,28 @@ type FileStore struct {
 	// parity operation so Close cannot race a repair.
 	repairMu sync.Mutex
 	parity   *parityState
+
+	// Parallel read path state (parallel.go): fragment fetches currently in
+	// flight, the optional per-fragment completion observer, and recycled
+	// position bitmaps for query planning (readRuns returns them zeroed).
+	parInflight atomic.Int64
+	fragObs     atomic.Pointer[func(pagesRead int64, seconds float64)]
+	planBits    sync.Pool
+
+	// Prepared-plan cache for the parallel read path: region → seek runs.
+	// Runs are immutable while queries execute (workers only read them), so
+	// concurrent queries share one entry. Any PutRecord drops the whole cache
+	// — plans embed per-cell fill counts. Guarded by planMu, not fs.mu: the
+	// cache is touched under fs.mu's read lock from many queries at once.
+	planMu    sync.Mutex
+	planCache map[string][]readRun
 }
+
+// planCacheCap bounds the prepared-plan cache. On overflow the whole cache
+// is dropped rather than evicted piecemeal: workloads cycle through a small
+// set of query shapes, so hitting the cap means the shape set churned and
+// the old entries are dead weight anyway.
+const planCacheCap = 1024
 
 // CreateFileStore creates a new page file sized for the layout and wraps it
 // in a checksumming pool with the given frame capacity.
@@ -111,7 +134,30 @@ func NewFileStoreOn(pf PagedFile, o *linear.Order, bytesPerCell []int64, poolFra
 			fs.fill[pos] = b
 		}
 	}
+	fs.plan = make([]posPlan, o.Len())
+	for pos := range fs.plan {
+		fs.plan[pos] = posPlan{
+			lo:   layout.start[pos],
+			end:  layout.start[pos+1],
+			fill: fs.fill[pos],
+			cell: int32(o.CellAt(pos)),
+		}
+	}
 	return fs, nil
+}
+
+// posPlan fuses the per-position state the parallel planner reads — extent,
+// fill, cell id — into one 32-byte entry, so building a query's seek runs
+// touches one array sequentially instead of gathering from layout.start,
+// fill and the order's cell sequence separately (three cache misses per
+// cell on large grids). fill is mirrored here by PutRecord under fs.mu;
+// fs.fill stays the source of truth for every other path.
+type posPlan struct {
+	lo   int64
+	end  int64 // reserved end == next position's lo
+	fill int64
+	cell int32
+	_    int32
 }
 
 // Layout returns the store's packing.
@@ -155,6 +201,11 @@ func (fs *FileStore) PutRecord(cell int, payload []byte) error {
 		return err
 	}
 	fs.fill[pos] += need
+	fs.plan[pos].fill += need
+	// Cached read plans embed fill counts; any write invalidates them all.
+	fs.planMu.Lock()
+	fs.planCache = nil
+	fs.planMu.Unlock()
 	// Any write invalidates an attached parity sidecar: repairing from it
 	// would resurrect pre-write bytes. WriteParity after loading resets it.
 	fs.repairMu.Lock()
@@ -269,8 +320,13 @@ func (fs *FileStore) Scan(r linear.Region, fn func(cell int, record []byte) erro
 // numbers. A tally already attached to ctx by the caller is replaced for
 // the duration of this query.
 func (fs *FileStore) SumCtx(ctx context.Context, r linear.Region, decode func(record []byte) float64) (float64, PoolStats, error) {
-	var tally PoolTally
-	ctx = WithPoolTally(ctx, &tally)
+	// Reuse a caller-installed tally (callers that also want seek counts
+	// install one via WithPoolTally); otherwise account under a private one.
+	tally := tallyFrom(ctx)
+	if tally == nil {
+		tally = new(PoolTally)
+		ctx = WithPoolTally(ctx, tally)
+	}
 	total := 0.0
 	err := fs.ReadQueryCtx(ctx, r, func(cell int, record []byte) error {
 		total += decode(record)

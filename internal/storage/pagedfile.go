@@ -30,6 +30,37 @@ type PagedFile interface {
 	Close() error
 }
 
+// BulkReader is an optional PagedFile capability: fill buf (a whole number
+// of PageSize units) with the consecutive pages starting at page, in one
+// positioned read. PageFile implements it with a single pread; wrappers that
+// do not (fault injectors, test counters) simply lack the method and force
+// callers back onto per-page ReadPage, preserving their per-page semantics.
+type BulkReader interface {
+	ReadPages(page int64, buf []byte) error
+}
+
+// PageSpanReader is an optional PagedFile capability consumed by the buffer
+// pool's span path: read len(bufs) consecutive pages starting at page,
+// scattering page+i into bufs[i] (each of exactly PageSize bytes).
+// ChecksumFile implements it, verifying every page's trailer and reporting
+// the first failure as that page's CorruptPageError.
+type PageSpanReader interface {
+	ReadPageSpan(page int64, bufs [][]byte) error
+}
+
+// MappedReader is an optional PagedFile capability: zero-copy read-only
+// access to n consecutive pages' raw bytes, or nil when no mapping backs
+// the file. Callers must treat the returned bytes as immutable and must not
+// hold them across a Close.
+type MappedReader interface {
+	MappedPages(page, n int64) []byte
+}
+
+// MaxSpanPages bounds one span read: the buffer pool never asks a
+// PageSpanReader for more pages than this in a single call, so
+// implementations can size pooled scratch to MaxSpanPages physical pages.
+const MaxSpanPages = 32
+
 // ErrTransient marks an I/O error as retryable: the buffer pool retries
 // operations whose error chain matches it (errors.Is) under its RetryPolicy
 // before giving up. Real disks surface these as EINTR/EAGAIN-style hiccups;

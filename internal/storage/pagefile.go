@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/trace"
@@ -18,10 +19,20 @@ import (
 // ReadPage, WritePage, and Sync are safe for concurrent use (they map to
 // positioned pread/pwrite on disjoint or idempotent ranges); Close must not
 // race with in-flight operations.
+//
+// Bulk reads (ReadPages) go through a lazily established read-only mmap of
+// the file when the platform provides one: a span lands in the caller's
+// buffer with one copy out of the page cache and no syscall per window.
+// Writes keep using pwrite, which Linux keeps coherent with the mapping (a
+// single shared page cache backs both). When mmap is unavailable the bulk
+// path falls back to a single positioned read.
 type PageFile struct {
 	f        *os.File
 	pageSize int
 	pages    int64
+
+	mapOnce sync.Once
+	mapped  []byte // read-only mapping of the whole file; nil if unavailable
 }
 
 // CreatePageFile creates (truncating) a page file with the given number of
@@ -88,6 +99,61 @@ func (pf *PageFile) ReadPage(page int64, buf []byte) error {
 	return err
 }
 
+// ReadPages fills buf — a whole number of PageSize units — with the
+// consecutive pages starting at page, in one positioned read. This is the
+// BulkReader fast path the span read stack bottoms out in: one pread per
+// readahead window instead of one per page.
+func (pf *PageFile) ReadPages(page int64, buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if len(buf)%pf.pageSize != 0 {
+		return fmt.Errorf("storage: bulk read buffer is %d bytes, not a multiple of the %d-byte page", len(buf), pf.pageSize)
+	}
+	n := int64(len(buf) / pf.pageSize)
+	if page < 0 || page+n > pf.pages {
+		return fmt.Errorf("storage: pages [%d,%d) out of range [0,%d)", page, page+n, pf.pages)
+	}
+	off := page * int64(pf.pageSize)
+	if m := pf.mmapped(); m != nil {
+		copy(buf, m[off:off+int64(len(buf))])
+		return nil
+	}
+	_, err := pf.f.ReadAt(buf, off)
+	return err
+}
+
+// MappedPages returns the raw bytes of n consecutive pages straight from
+// the file's read-only mapping, or nil when mapping is unavailable.
+func (pf *PageFile) MappedPages(page, n int64) []byte {
+	if page < 0 || n <= 0 || page+n > pf.pages {
+		return nil
+	}
+	m := pf.mmapped()
+	if m == nil {
+		return nil
+	}
+	ps := int64(pf.pageSize)
+	return m[page*ps : (page+n)*ps]
+}
+
+// mmapped returns the file's read-only mapping, establishing it on first
+// use. Returns nil (and ReadPages preads instead) if the file is empty or
+// the mapping fails.
+func (pf *PageFile) mmapped() []byte {
+	pf.mapOnce.Do(func() {
+		size := int64(pf.pageSize) * pf.pages
+		if size <= 0 || size != int64(int(size)) {
+			return
+		}
+		m, err := syscall.Mmap(int(pf.f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err == nil {
+			pf.mapped = m
+		}
+	})
+	return pf.mapped
+}
+
 // WritePage writes buf (of PageSize bytes) to the page.
 func (pf *PageFile) WritePage(page int64, buf []byte) error {
 	if err := pf.checkPage(page); err != nil {
@@ -103,8 +169,15 @@ func (pf *PageFile) WritePage(page int64, buf []byte) error {
 // Sync flushes the file to stable storage.
 func (pf *PageFile) Sync() error { return pf.f.Sync() }
 
-// Close closes the underlying file.
-func (pf *PageFile) Close() error { return pf.f.Close() }
+// Close closes the underlying file, releasing the bulk-read mapping if one
+// was established.
+func (pf *PageFile) Close() error {
+	if pf.mapped != nil {
+		syscall.Munmap(pf.mapped)
+		pf.mapped = nil
+	}
+	return pf.f.Close()
+}
 
 // PoolStats counts buffer pool traffic. It is a point-in-time snapshot;
 // under concurrent load the fields are individually exact but need not be
@@ -136,9 +209,10 @@ type BufferPool struct {
 	pf       PagedFile
 	capacity int
 
-	mu     sync.Mutex // guards frames, lru, and every frame's pins field
+	mu     sync.Mutex // guards frames, lru, free, and every frame's pins field
 	frames map[int64]*list.Element
 	lru    *list.List // front = most recently used
+	free   [][]byte   // page buffers recycled from evicted frames, ≤ capacity
 
 	retryMu sync.Mutex
 	retry   RetryPolicy
@@ -311,7 +385,7 @@ func (bp *BufferPool) getOnce(ctx context.Context, page int64) (*frame, error) {
 			return nil, err
 		}
 	}
-	fr := &frame{page: page, data: make([]byte, bp.pf.PageSize()), pins: 1, ready: make(chan struct{})}
+	fr := &frame{page: page, data: bp.frameDataLocked(), pins: 1, ready: make(chan struct{})}
 	bp.frames[page] = bp.lru.PushFront(fr)
 	bp.mu.Unlock()
 
@@ -348,6 +422,250 @@ func (bp *BufferPool) unpin(fr *frame) {
 	bp.mu.Unlock()
 }
 
+// unpinSpan releases the pins of all frames under one pool-mutex round.
+func (bp *BufferPool) unpinSpan(frames []*frame) {
+	bp.mu.Lock()
+	for _, fr := range frames {
+		fr.pins--
+	}
+	bp.mu.Unlock()
+}
+
+// frameDataLocked returns a page-sized buffer for a new frame, recycling an
+// evicted frame's buffer when one is available. Called with bp.mu held.
+func (bp *BufferPool) frameDataLocked() []byte {
+	if n := len(bp.free); n > 0 {
+		d := bp.free[n-1]
+		bp.free[n-1] = nil
+		bp.free = bp.free[:n-1]
+		return d
+	}
+	return make([]byte, bp.pf.PageSize())
+}
+
+// getSpan returns pinned, ready frames for the n consecutive pages starting
+// at lo, appended to frames (a caller-owned scratch slice). Resident pages
+// are pinned in one pool-mutex pass; absent pages are claimed as loading
+// frames and then fetched with as few physical reads as possible — each
+// contiguous group of absent pages becomes one PageSpanReader call. Claims
+// are published (ready closed) before the call waits on any other
+// goroutine's in-flight load, so two overlapping spans cannot deadlock on
+// each other. On error no pins are retained. The caller must release the
+// returned frames with unpinSpan. Frames are returned in page order:
+// frames[base+i] holds page lo+i.
+func (bp *BufferPool) getSpan(ctx context.Context, lo int64, n int, frames []*frame) ([]*frame, error) {
+	sr, _ := bp.pf.(PageSpanReader)
+	if sr == nil || n == 1 {
+		// No span capability underneath (e.g. a bare test PagedFile):
+		// degrade to per-page gets with identical semantics.
+		base := len(frames)
+		for i := 0; i < n; i++ {
+			fr, err := bp.get(ctx, lo+int64(i))
+			if err != nil {
+				bp.unpinSpan(frames[base:])
+				return nil, err
+			}
+			frames = append(frames, fr)
+		}
+		return frames, nil
+	}
+
+	tally := tallyFrom(ctx)
+	base := len(frames)
+	var claimed []*frame // absent pages this call must load, ascending
+	bp.mu.Lock()
+	for p := lo; p < lo+int64(n); p++ {
+		if el, ok := bp.frames[p]; ok {
+			fr := el.Value.(*frame)
+			fr.pins++
+			bp.lru.MoveToFront(el)
+			frames = append(frames, fr)
+			continue
+		}
+		if bp.lru.Len() >= bp.capacity {
+			if err := bp.evictLocked(ctx); err != nil {
+				// Unwind everything taken so far: pins on resident frames
+				// and the claims (which nobody has loaded).
+				for _, fr := range claimed {
+					if el, ok := bp.frames[fr.page]; ok && el.Value.(*frame) == fr {
+						bp.lru.Remove(el)
+						delete(bp.frames, fr.page)
+					}
+				}
+				for _, fr := range frames[base:] {
+					fr.pins--
+				}
+				bp.mu.Unlock()
+				for _, fr := range claimed {
+					fr.err = err
+					close(fr.ready)
+				}
+				return nil, err
+			}
+		}
+		bp.misses.Add(1)
+		if tally != nil {
+			tally.misses.Add(1)
+		}
+		fr := &frame{page: p, data: bp.frameDataLocked(), pins: 1, ready: make(chan struct{})}
+		bp.frames[p] = bp.lru.PushFront(fr)
+		claimed = append(claimed, fr)
+		frames = append(frames, fr)
+	}
+	bp.mu.Unlock()
+
+	// Load our claims: one span read per contiguous page group. Claims must
+	// all be published (ready closed, with or without error) before this
+	// call returns or blocks on anyone else's load.
+	for i := 0; i < len(claimed); {
+		j := i + 1
+		for j < len(claimed) && claimed[j].page == claimed[j-1].page+1 {
+			j++
+		}
+		group := claimed[i:j]
+		bufs := make([][]byte, len(group))
+		for k, fr := range group {
+			bufs[k] = fr.data
+		}
+		sp := trace.StartLeaf(ctx, trace.KindPageLoad, "")
+		sp.SetAttr("page", group[0].page)
+		sp.SetAttr("pages", int64(len(group)))
+		err := bp.withRetry(ctx, func() error { return sr.ReadPageSpan(group[0].page, bufs) })
+		if err != nil {
+			sp.SetError(err)
+			sp.End()
+			bp.failSpanClaims(claimed[i:], err)
+			bp.unpinSpanExcept(frames[base:], claimed[i:])
+			return nil, err
+		}
+		sp.End()
+		for _, fr := range group {
+			if tally != nil {
+				tally.physRead(fr.page)
+			}
+			close(fr.ready)
+		}
+		i = j
+	}
+
+	// Resolve resident frames whose load (by another goroutine) is still in
+	// flight. Our own claims are already published, so waiting here cannot
+	// deadlock against a peer doing the same dance on an overlapping span.
+	// Counting mirrors getOnce: a resident frame that was ready is a hit, a
+	// wait on a peer's load is a single-flight wait, our claims were already
+	// counted as misses.
+	ci := 0
+	for idx := base; idx < len(frames); idx++ {
+		fr := frames[idx]
+		if ci < len(claimed) && claimed[ci] == fr {
+			ci++
+			continue
+		}
+		select {
+		case <-fr.ready:
+			bp.hits.Add(1)
+			if tally != nil {
+				tally.hits.Add(1)
+			}
+		default:
+			bp.sfWaits.Add(1)
+			if tally != nil {
+				tally.sfWaits.Add(1)
+			}
+			select {
+			case <-fr.ready:
+			case <-ctx.Done():
+				bp.unpinSpan(frames[base:])
+				return nil, ctx.Err()
+			}
+		}
+		if fr.err != nil {
+			// The peer's load failed. Mirror get(): if it was only the
+			// peer's cancellation and our context is live, reload the page
+			// ourselves; otherwise propagate.
+			err := fr.err
+			bp.unpin(fr)
+			if isCtxErr(err) && ctx.Err() == nil {
+				fr2, err2 := bp.get(ctx, fr.page)
+				if err2 == nil {
+					frames[idx] = fr2
+					continue
+				}
+				err = err2
+			}
+			copy(frames[idx:], frames[idx+1:])
+			frames = frames[:len(frames)-1]
+			bp.unpinSpan(frames[base:])
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+// failSpanClaims drops unloaded claim frames from the pool and publishes the
+// error to any waiters, mirroring getOnce's failed-load path.
+func (bp *BufferPool) failSpanClaims(claims []*frame, err error) {
+	bp.mu.Lock()
+	for _, fr := range claims {
+		if el, ok := bp.frames[fr.page]; ok && el.Value.(*frame) == fr {
+			bp.lru.Remove(el)
+			delete(bp.frames, fr.page)
+		}
+		fr.pins--
+	}
+	bp.mu.Unlock()
+	for _, fr := range claims {
+		fr.err = err
+		close(fr.ready)
+	}
+}
+
+// unpinSpanExcept unpins every frame in frames that is not in skip (whose
+// pins were already dropped by failSpanClaims).
+func (bp *BufferPool) unpinSpanExcept(frames, skip []*frame) {
+	bp.mu.Lock()
+outer:
+	for _, fr := range frames {
+		for _, s := range skip {
+			if fr == s {
+				continue outer
+			}
+		}
+		fr.pins--
+	}
+	bp.mu.Unlock()
+}
+
+// Reset empties the pool: dirty frames are written back and the file synced
+// (via FlushCtx), then every frame is dropped and its buffer recycled. The
+// next access to any page misses and reloads it from the file, exactly as if
+// the pool had just been created — without discarding the store above it or
+// any prepared state it holds. Reset is a quiescent-point operation (cold
+// benchmark passes, maintenance windows): it fails if any frame is pinned
+// rather than yank pages out from under a live reader.
+func (bp *BufferPool) Reset(ctx context.Context) error {
+	if err := bp.FlushCtx(ctx); err != nil {
+		return err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		if fr := el.Value.(*frame); fr.pins > 0 {
+			return fmt.Errorf("storage: reset with page %d pinned", fr.page)
+		}
+	}
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.data != nil && len(bp.free) < bp.capacity {
+			bp.free = append(bp.free, fr.data)
+			fr.data = nil
+		}
+	}
+	bp.frames = make(map[int64]*list.Element, bp.capacity)
+	bp.lru = list.New()
+	return nil
+}
+
 // evictLocked writes back and drops the least recently used unpinned frame.
 // Called with the pool mutex held; the write-back happens under it, which
 // keeps a concurrent miss on the victim page from reading stale bytes.
@@ -372,6 +690,12 @@ func (bp *BufferPool) evictLocked(ctx context.Context) error {
 		}
 		bp.lru.Remove(el)
 		delete(bp.frames, fr.page)
+		// Recycle the victim's buffer: with pins == 0 nobody holds the
+		// latch, so no reader can still be copying out of it.
+		if fr.data != nil && len(bp.free) < bp.capacity {
+			bp.free = append(bp.free, fr.data)
+			fr.data = nil
+		}
 		bp.evictions.Add(1)
 		if tally != nil {
 			tally.evictions.Add(1)

@@ -1,0 +1,786 @@
+package storage
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/linear"
+	"repro/internal/trace"
+)
+
+// This file is the parallel fragment read path: ReadQueryOptCtx and
+// SumOptCtx split a query into its seek runs — the maximal page-contiguous
+// fragments the analytic model charges one seek each — and fetch the runs
+// with a small worker set through the shared buffer pool. Within a run,
+// optional prefetch goroutines pull pages a bounded window ahead of the
+// decoder, and the sum path decodes records in place from pinned frames
+// (one pin per page per run) instead of copying every cell out first.
+//
+// Guarantees, in rough order of importance:
+//
+//   - Parallelism <= 1 delegates to the sequential methods verbatim, so the
+//     default path stays byte-identical to ReadQueryCtx/SumCtx.
+//   - ReadQueryOptCtx delivers records to fn in exact disk order, on the
+//     caller's goroutine, regardless of fetch interleaving: workers stream
+//     bounded chunks per run, and the caller drains the runs in order.
+//   - Accounting still reconciles with the analytic model. Each run gets a
+//     fresh fragment tally whose physical reads land in an
+//     order-independent page bitmap (see pageRecorder); at run end the
+//     bitmap's run count becomes the fragment's seek count and the whole
+//     tally is merged into the request tally. Runs are page-disjoint by
+//     construction, so per-run pages and seeks sum exactly.
+//   - Cancelling the query's context stops every in-flight worker and
+//     prefetcher promptly; a worker's I/O error does not cancel its
+//     siblings, and the error reported is the first in run order, so
+//     failures are deterministic.
+//
+// Pin budget: on the copy path a query at Parallelism=P holds up to P
+// decoder pins plus min(Readahead, 4) transient prefetcher pins per active
+// run. The sum kernel instead pins a window of up to Readahead pages per
+// worker, clamped to capacity/(2·workers) so a query can never pin more
+// than half the pool. Size the pool's frame capacity above the worst-case
+// sum across concurrent queries, exactly as with plain concurrent readers.
+
+// ReadOptions tunes the parallel fragment read path.
+type ReadOptions struct {
+	// Parallelism bounds the concurrent fragment (seek run) fetches of one
+	// query. Values <= 1 select the sequential read path.
+	Parallelism int
+	// Readahead is the number of pages prefetched ahead of the decoder
+	// within a fragment. 0 disables prefetch; the knob only takes effect
+	// when Parallelism > 1.
+	Readahead int
+}
+
+// maxPrefetchers bounds the prefetch goroutines per run regardless of the
+// readahead window.
+const maxPrefetchers = 4
+
+// streamChunkBytes is the copy path's target chunk size: workers flush a
+// chunk to the consumer once it holds about this many record bytes (always
+// at whole-cell boundaries).
+const streamChunkBytes = 64 << 10
+
+// runCell is one non-empty cell of a seek run: its cell id, the byte
+// offset of its data, and its filled byte count.
+type runCell struct {
+	cell int
+	lo   int64
+	n    int64
+}
+
+// readRun is one seek run: a maximal group of non-empty cells whose
+// reserved extents fall on contiguous (or shared) pages. Distinct runs are
+// separated by at least one full page, which is exactly the analytic
+// model's merged page-range — Layout.Query predicts one seek per run.
+type readRun struct {
+	cells  []runCell
+	pageLo int64 // first page of the run's reserved extents
+	pageHi int64 // last page (inclusive)
+	bytes  int64 // filled bytes across the run's cells
+}
+
+// readRuns groups the region's non-empty cells into seek runs. Callers
+// hold fs.mu (read). The grouping mirrors Layout.Query's page-range merge:
+// a cell joins the current run when its first page is adjacent to (or
+// shared with) the run's last page.
+//
+// Plans are cached per region (see FileStore.planCache): repeated query
+// shapes — the norm for a dimensional workload — skip planning entirely and
+// share one immutable run list. A cache miss computes the plan as follows:
+// positions are gathered into a bitmap and scanned ascending, instead of
+// sorting the position slice; for the big regions the bench workload reads,
+// the sort was a top-line profile entry, and the bitmap pass is linear in
+// the cell count with a single word-sized branch per position. All of a
+// run's cells share one backing array, so the whole plan is three
+// allocations regardless of region size.
+func (fs *FileStore) readRuns(r linear.Region) []readRun {
+	var kb [128]byte
+	key := kb[:0]
+	for _, rg := range r {
+		key = binary.AppendVarint(key, int64(rg.Lo))
+		key = binary.AppendVarint(key, int64(rg.Hi))
+	}
+	fs.planMu.Lock()
+	runs, ok := fs.planCache[string(key)]
+	fs.planMu.Unlock()
+	if ok {
+		return runs
+	}
+	runs = fs.computeRuns(r)
+	fs.planMu.Lock()
+	if fs.planCache == nil || len(fs.planCache) >= planCacheCap {
+		fs.planCache = make(map[string][]readRun)
+	}
+	fs.planCache[string(key)] = runs
+	fs.planMu.Unlock()
+	return runs
+}
+
+// computeRuns builds the seek-run plan for a region (the cache-miss path of
+// readRuns).
+func (fs *FileStore) computeRuns(r linear.Region) []readRun {
+	u := fs.layout.usable()
+	var words []uint64
+	if v := fs.planBits.Get(); v != nil {
+		words = *(v.(*[]uint64))
+	} else {
+		words = make([]uint64, (len(fs.fill)+63)/64)
+	}
+	n := 0
+	fs.layout.order.EachPosition(r, func(pos int) {
+		words[pos>>6] |= 1 << (uint(pos) & 63)
+		n++
+	})
+	cells := make([]runCell, 0, n)
+	var runs []readRun
+	for wi := range words {
+		w := words[wi]
+		if w == 0 {
+			continue
+		}
+		words[wi] = 0 // scan-and-clear: the buffer returns to the pool zeroed
+		for w != 0 {
+			pos := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			pp := &fs.plan[pos]
+			filled := pp.fill
+			if filled == 0 {
+				continue
+			}
+			pLo, pHi := pp.lo/u, (pp.end-1)/u
+			// cells never reallocates (cap n covers every position), so the
+			// runs' subslices of it stay valid as it grows.
+			cells = append(cells, runCell{cell: int(pp.cell), lo: pp.lo, n: filled})
+			if nr := len(runs); nr > 0 && pLo <= runs[nr-1].pageHi+1 {
+				rr := &runs[nr-1]
+				rr.cells = rr.cells[:len(rr.cells)+1]
+				if pHi > rr.pageHi {
+					rr.pageHi = pHi
+				}
+				rr.bytes += filled
+				continue
+			}
+			runs = append(runs, readRun{cells: cells[len(cells)-1 : len(cells)], pageLo: pLo, pageHi: pHi, bytes: filled})
+		}
+	}
+	fs.planBits.Put(&words)
+	return runs
+}
+
+// pageRecorder is an order-independent record of which pages a run
+// physically loaded: a bitmap over the run's page extent. Seeks are
+// derived at run end as the number of maximal set-bit runs, which makes
+// the count immune to load interleaving between a run's prefetchers and
+// its decoder, and idempotent when an evicted page is reloaded.
+type pageRecorder struct {
+	lo   int64
+	n    int
+	mu   sync.Mutex
+	bits []uint64
+}
+
+func (p *pageRecorder) reset(lo, hi int64) {
+	p.lo = lo
+	p.n = int(hi - lo + 1)
+	words := (p.n + 63) / 64
+	if cap(p.bits) < words {
+		p.bits = make([]uint64, words)
+		return
+	}
+	p.bits = p.bits[:words]
+	for i := range p.bits {
+		p.bits[i] = 0
+	}
+}
+
+func (p *pageRecorder) record(page int64) {
+	i := page - p.lo
+	if i < 0 || i >= int64(p.n) {
+		return // not a page of this run; cannot happen on the paths that install a recorder
+	}
+	p.mu.Lock()
+	p.bits[i>>6] |= 1 << (uint(i) & 63)
+	p.mu.Unlock()
+}
+
+// seekRuns counts the maximal runs of set bits: the fragment's observed
+// seek count.
+func (p *pageRecorder) seekRuns() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var seeks int64
+	prev := false
+	for i := 0; i < p.n; i++ {
+		set := p.bits[i>>6]&(1<<(uint(i)&63)) != 0
+		if set && !prev {
+			seeks++
+		}
+		prev = set
+	}
+	return seeks
+}
+
+// runScratch is per-worker reusable state, so steady-state runs allocate
+// nothing per record or page.
+type runScratch struct {
+	rec    pageRecorder
+	spill  []byte
+	pages  []int64
+	frames []*frame // pinned window frames of the sum kernel's span reads
+}
+
+// runProgress coordinates a run's decoder with its prefetchers: the
+// decoder advances consumed past finished pages and nudges; prefetchers
+// stay at most the readahead window ahead of it.
+type runProgress struct {
+	pages    []int64 // distinct pages the run demand-reads, ascending; nil = no prefetch
+	consumed atomic.Int64
+	nudge    chan struct{}
+}
+
+// mark advances the consumed pointer past every page <= page, starting the
+// scan at index pi, and returns the new index. Inert when prefetch is off.
+func (p *runProgress) mark(pi int, page int64) int {
+	if p.nudge == nil {
+		return pi
+	}
+	for pi < len(p.pages) && p.pages[pi] <= page {
+		pi++
+	}
+	if int64(pi) > p.consumed.Load() {
+		p.consumed.Store(int64(pi))
+		select {
+		case p.nudge <- struct{}{}:
+		default:
+		}
+	}
+	return pi
+}
+
+// runPages lists the distinct pages the run's cells demand-read, ascending,
+// reusing the scratch backing array.
+func runPages(run *readRun, u int64, sc *runScratch) []int64 {
+	pages := sc.pages[:0]
+	for i := range run.cells {
+		cc := &run.cells[i]
+		for p := cc.lo / u; p <= (cc.lo+cc.n-1)/u; p++ {
+			if n := len(pages); n == 0 || pages[n-1] != p {
+				pages = append(pages, p)
+			}
+		}
+	}
+	sc.pages = pages
+	return pages
+}
+
+// runFragment executes body under one seek run's accounting: a fresh
+// fragment tally (with the order-independent page recorder), a fragment
+// trace span, the parallel-inflight gauge, optional prefetchers, and — at
+// the end — the merge of the fragment tally into the request tally on wctx
+// plus the per-fragment observer callback.
+func (fs *FileStore) runFragment(wctx context.Context, run *readRun, opt ReadOptions, sc *runScratch, body func(fctx context.Context, pr *runProgress) error) error {
+	fs.parInflight.Add(1)
+	start := time.Now()
+	sc.rec.reset(run.pageLo, run.pageHi)
+	var ft PoolTally
+	ft.sink = &sc.rec
+	fctx := WithPoolTally(wctx, &ft)
+	fctx, sp := trace.Start(fctx, trace.KindFragment, "")
+	pr := &runProgress{}
+	var pwg sync.WaitGroup
+	stopPrefetch := func() {}
+	if opt.Readahead > 0 {
+		pr.pages = runPages(run, fs.layout.usable(), sc)
+		if len(pr.pages) > 1 {
+			pr.nudge = make(chan struct{}, 1)
+			var pctx context.Context
+			pctx, stopPrefetch = context.WithCancel(fctx)
+			fs.startPrefetch(pctx, pr, opt.Readahead, &pwg)
+		}
+	}
+	err := body(fctx, pr)
+	stopPrefetch()
+	pwg.Wait()
+	ft.seeks.Store(sc.rec.seekRuns())
+	sp.SetAttr("cells", int64(len(run.cells)))
+	sp.SetAttr("bytes", run.bytes)
+	sp.SetAttr("pages_read", ft.misses.Load())
+	sp.SetAttr("seeks", ft.seeks.Load())
+	sp.SetAttr("pool_hits", ft.hits.Load())
+	sp.SetError(err)
+	sp.End()
+	if parent := tallyFrom(wctx); parent != nil {
+		parent.merge(&ft)
+	}
+	fs.parInflight.Add(-1)
+	if obs := fs.fragObs.Load(); obs != nil {
+		(*obs)(ft.misses.Load(), time.Since(start).Seconds())
+	}
+	return err
+}
+
+// startPrefetch launches the run's prefetch goroutines: they share an
+// atomic cursor over the run's page list and pull each page through the
+// pool (pin and immediately unpin) at most the readahead window ahead of
+// the decoder. Prefetch errors are dropped — the demand read re-surfaces
+// them, since a failed load leaves no frame behind.
+func (fs *FileStore) startPrefetch(ctx context.Context, pr *runProgress, ra int, pwg *sync.WaitGroup) {
+	g := ra
+	if g > maxPrefetchers {
+		g = maxPrefetchers
+	}
+	if g > len(pr.pages) {
+		g = len(pr.pages)
+	}
+	cursor := new(atomic.Int64)
+	for k := 0; k < g; k++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for {
+				j := cursor.Add(1) - 1
+				if j >= int64(len(pr.pages)) {
+					return
+				}
+				for j >= pr.consumed.Load()+int64(ra) {
+					select {
+					case <-ctx.Done():
+						return
+					case <-pr.nudge:
+					}
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				fr, err := fs.pool.get(ctx, pr.pages[j])
+				if err != nil {
+					return
+				}
+				fs.pool.unpin(fr)
+			}
+		}()
+	}
+}
+
+// ParallelInflight returns the number of fragment fetches currently in
+// flight on the parallel read path, across all queries.
+func (fs *FileStore) ParallelInflight() int64 { return fs.parInflight.Load() }
+
+// SetFragmentObserver installs fn to be called once per completed fragment
+// fetch on the parallel read path with the fragment's physical page reads
+// and wall time. nil removes the observer. The observer runs on worker
+// goroutines and must be cheap and safe for concurrent use.
+func (fs *FileStore) SetFragmentObserver(fn func(pagesRead int64, seconds float64)) {
+	if fn == nil {
+		fs.fragObs.Store(nil)
+		return
+	}
+	fs.fragObs.Store(&fn)
+}
+
+// runChunk is a batch of copied-out cells streamed from a run's worker to
+// the consuming goroutine, or a terminal error.
+type runChunk struct {
+	cells []chunkCell
+	err   error
+}
+
+type chunkCell struct {
+	cell int
+	data []byte
+}
+
+// ReadQueryOptCtx is ReadQueryCtx with a parallel fetch plan: the region's
+// seek runs are fetched by up to opt.Parallelism workers while records are
+// delivered to fn on the caller's goroutine in exact disk order — the same
+// cell and record sequence the sequential path produces. opt.Parallelism
+// <= 1 delegates to ReadQueryCtx unchanged.
+func (fs *FileStore) ReadQueryOptCtx(ctx context.Context, r linear.Region, opt ReadOptions, fn func(cell int, record []byte) error) error {
+	if opt.Parallelism <= 1 {
+		return fs.ReadQueryCtx(ctx, r, fn)
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	runs := fs.readRuns(r)
+	if len(runs) == 0 {
+		return nil
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+	chans := make([]chan runChunk, len(runs))
+	for i := range chans {
+		chans[i] = make(chan runChunk, 2)
+	}
+	var next atomic.Int64
+	workers := min(opt.Parallelism, len(runs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &runScratch{}
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(runs) {
+					return
+				}
+				fs.streamRun(wctx, &runs[i], opt, sc, chans[i])
+				if wctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+	for i := range chans {
+		ch := chans[i]
+		for ch != nil {
+			select {
+			case chunk, ok := <-ch:
+				if !ok {
+					ch = nil
+					continue
+				}
+				if chunk.err != nil {
+					return chunk.err
+				}
+				for _, cc := range chunk.cells {
+					if err := walkRecords(cc.cell, cc.data, fn); err != nil {
+						return err
+					}
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}
+
+// streamRun fetches one run under fragment accounting and streams its
+// cells to out in bounded whole-cell chunks; a fetch error is sent as a
+// terminal chunk. The channel is always closed.
+func (fs *FileStore) streamRun(wctx context.Context, run *readRun, opt ReadOptions, sc *runScratch, out chan<- runChunk) {
+	u := fs.layout.usable()
+	err := fs.runFragment(wctx, run, opt, sc, func(fctx context.Context, pr *runProgress) error {
+		var chunk runChunk
+		var buf []byte
+		pi := 0
+		flush := func() error {
+			if len(chunk.cells) == 0 {
+				return nil
+			}
+			select {
+			case out <- chunk:
+				chunk, buf = runChunk{}, nil
+				return nil
+			case <-fctx.Done():
+				return fctx.Err()
+			}
+		}
+		for i := range run.cells {
+			cc := &run.cells[i]
+			if err := fctx.Err(); err != nil {
+				return err
+			}
+			if int64(len(buf))+cc.n > int64(cap(buf)) {
+				if err := flush(); err != nil {
+					return err
+				}
+				capacity := int64(streamChunkBytes)
+				if cc.n > capacity {
+					capacity = cc.n
+				}
+				buf = make([]byte, 0, capacity)
+			}
+			dst := buf[len(buf) : int64(len(buf))+cc.n]
+			if err := fs.pool.ReadAtCtx(fctx, dst, cc.lo); err != nil {
+				return err
+			}
+			buf = buf[:int64(len(buf))+cc.n]
+			chunk.cells = append(chunk.cells, chunkCell{cc.cell, dst})
+			pi = pr.mark(pi, (cc.lo+cc.n-1)/u)
+		}
+		return flush()
+	})
+	if err != nil {
+		select {
+		case out <- runChunk{err: err}:
+		case <-wctx.Done():
+		}
+	}
+	close(out)
+}
+
+// SumOptCtx is SumCtx with a parallel fetch plan and a batched decode
+// kernel: workers claim whole seek runs, decode records in place from
+// pinned frames (one pin per page per run instead of one pool access per
+// cell), and the per-run partial sums are folded in run order — so the
+// result is deterministic, though not bit-identical to the sequential
+// left-to-right accumulation when Parallelism > 1. opt.Parallelism <= 1
+// delegates to SumCtx unchanged.
+func (fs *FileStore) SumOptCtx(ctx context.Context, r linear.Region, opt ReadOptions, decode func(record []byte) float64) (float64, PoolStats, error) {
+	if opt.Parallelism <= 1 {
+		return fs.SumCtx(ctx, r, decode)
+	}
+	// Reuse a caller-installed tally, as SumCtx does: fragment tallies merge
+	// into it, so the caller sees per-query pages and seeks.
+	tally := tallyFrom(ctx)
+	if tally == nil {
+		tally = new(PoolTally)
+		ctx = WithPoolTally(ctx, tally)
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return 0, PoolStats{}, ErrClosed
+	}
+	runs := fs.readRuns(r)
+	if len(runs) == 0 {
+		return 0, tally.Stats(), nil
+	}
+	type partial struct {
+		sum float64
+		err error
+	}
+	parts := make([]partial, len(runs))
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := min(opt.Parallelism, len(runs))
+	// The sum kernel turns the readahead knob into synchronous span reads:
+	// each worker pins a window of up to Readahead consecutive pages with one
+	// physical read, decodes it, then advances. The window is clamped so all
+	// workers' pinned windows together never exceed half the pool, and to the
+	// span-read ceiling. With a window of one page the kernel degenerates to
+	// the per-page demand path plus the async prefetchers, exactly as before.
+	window := opt.Readahead
+	if window > MaxSpanPages {
+		window = MaxSpanPages
+	}
+	if maxW := fs.pool.capacity / (2 * workers); window > maxW {
+		window = maxW
+	}
+	if window < 1 {
+		window = 1
+	}
+	fopt := opt
+	if window > 1 {
+		fopt.Readahead = 0 // span windows replace the async prefetchers
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &runScratch{}
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(runs) {
+					return
+				}
+				run := &runs[i]
+				var sum float64
+				err := fs.runFragment(wctx, run, fopt, sc, func(fctx context.Context, pr *runProgress) error {
+					var e error
+					sum, e = fs.sumRun(fctx, run, pr, decode, sc, window)
+					return e
+				})
+				parts[i] = partial{sum: sum, err: err}
+				if err != nil && wctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0.0
+	for i := range parts {
+		if parts[i].err != nil {
+			return 0, PoolStats{}, parts[i].err
+		}
+		total += parts[i].sum
+	}
+	return total, tally.Stats(), nil
+}
+
+// sumRun is the batched decode kernel: it walks one run's cells while
+// holding a single pin (and latch) per page, feeding frame bytes straight
+// into a record walker, so the hot loop copies nothing and allocates
+// nothing in steady state. With window > 1 it pins a span of consecutive
+// pages at a time (getSpan: one physical read per window of misses) and
+// decodes the whole window before advancing — synchronous readahead that
+// replaces the async prefetchers. decode runs under the frame latch and
+// must not retain the record slice.
+func (fs *FileStore) sumRun(ctx context.Context, run *readRun, pr *runProgress, decode func(record []byte) float64, sc *runScratch, window int) (float64, error) {
+	u := int64(fs.file.PageSize())
+	total := 0.0
+	var fr *frame
+	curPage := int64(-1)
+	pi := 0
+	win := sc.frames[:0]
+	winLo, winEnd := int64(0), int64(0) // current pinned window [winLo, winEnd)
+	var w recordWalker
+	w.spill = sc.spill[:0]
+	var err error
+loop:
+	for ci := range run.cells {
+		cc := &run.cells[ci]
+		w.begin(cc.cell)
+		off, rem := cc.lo, cc.n
+		for rem > 0 {
+			if page := off / u; page != curPage {
+				// Cancellation is polled here, once per page instead of per
+				// cell: small cells share pages, and the poll was a visible
+				// slice of the kernel's time.
+				if err = ctx.Err(); err != nil {
+					break loop
+				}
+				if fr != nil {
+					fr.mu.Unlock()
+					fr = nil
+				}
+				if window <= 1 {
+					if len(win) > 0 {
+						fs.pool.unpinSpan(win)
+						win = win[:0]
+					}
+					var f *frame
+					if f, err = fs.pool.get(ctx, page); err != nil {
+						break loop
+					}
+					win = append(win, f)
+				} else if page >= winEnd {
+					if len(win) > 0 {
+						fs.pool.unpinSpan(win)
+					}
+					m := run.pageHi - page + 1
+					if m > int64(window) {
+						m = int64(window)
+					}
+					if win, err = fs.pool.getSpan(ctx, page, int(m), win[:0]); err != nil {
+						win = nil
+						break loop
+					}
+					winLo, winEnd = page, page+m
+				}
+				if window <= 1 {
+					fr = win[0]
+				} else {
+					fr = win[page-winLo]
+				}
+				fr.mu.Lock()
+				curPage = page
+				pi = pr.mark(pi, page)
+			}
+			b := fr.data[off%u:]
+			if int64(len(b)) > rem {
+				b = b[:rem]
+			}
+			if err = w.feed(b, &total, decode); err != nil {
+				break loop
+			}
+			off += int64(len(b))
+			rem -= int64(len(b))
+		}
+		if err = w.finish(); err != nil {
+			break
+		}
+	}
+	if fr != nil {
+		fr.mu.Unlock()
+	}
+	if len(win) > 0 {
+		fs.pool.unpinSpan(win)
+	}
+	sc.frames = win[:0]
+	sc.spill = w.spill[:0]
+	return total, err
+}
+
+// recordWalker is the kernel's incremental counterpart of walkRecords: it
+// parses the same length-prefixed framing from page-sized byte windows,
+// carrying header bytes and record tails across page boundaries in a
+// reusable spill buffer. Records never span cells, so framing restarts at
+// every begin; the error messages match walkRecords exactly.
+type recordWalker struct {
+	cell   int
+	recLen int64 // pending record length; -1 while reading the header
+	hdr    [4]byte
+	hdrN   int
+	spill  []byte // bytes of the pending record gathered from earlier windows
+}
+
+func (w *recordWalker) begin(cell int) {
+	w.cell = cell
+	w.recLen = -1
+	w.hdrN = 0
+	w.spill = w.spill[:0]
+}
+
+// feed consumes one window of the cell's bytes, decoding every record that
+// completes within it into *total.
+func (w *recordWalker) feed(b []byte, total *float64, decode func(record []byte) float64) error {
+	for {
+		if w.recLen < 0 {
+			if w.hdrN == 0 && len(b) >= 4 {
+				// Fast path: the whole header is in this window — read it in
+				// place instead of staging it through w.hdr.
+				w.recLen = int64(binary.LittleEndian.Uint32(b))
+				b = b[4:]
+				w.spill = w.spill[:0]
+			} else {
+				if len(b) == 0 {
+					return nil
+				}
+				n := copy(w.hdr[w.hdrN:], b)
+				w.hdrN += n
+				b = b[n:]
+				if w.hdrN < 4 {
+					return nil
+				}
+				w.recLen = int64(binary.LittleEndian.Uint32(w.hdr[:]))
+				w.spill = w.spill[:0]
+			}
+		}
+		need := w.recLen - int64(len(w.spill))
+		if int64(len(b)) < need {
+			w.spill = append(w.spill, b...)
+			return nil
+		}
+		var rec []byte
+		if len(w.spill) > 0 {
+			w.spill = append(w.spill, b[:need]...)
+			rec = w.spill
+		} else {
+			rec = b[:need:need]
+		}
+		b = b[need:]
+		*total += decode(rec)
+		w.recLen = -1
+		w.hdrN = 0
+	}
+}
+
+// finish checks that the cell ended on a record boundary, mirroring
+// walkRecords' partial-header and truncated-record errors.
+func (w *recordWalker) finish() error {
+	if w.recLen >= 0 {
+		return fmt.Errorf("storage: truncated record in cell %d", w.cell)
+	}
+	if w.hdrN != 0 {
+		return fmt.Errorf("storage: corrupt record header in cell %d", w.cell)
+	}
+	return nil
+}

@@ -1,0 +1,767 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/linear"
+	"repro/internal/trace"
+)
+
+// buildParallelStore packs the 8×8 grid with a varied fill: some cells are
+// empty, payload sizes differ per record (so records cross page
+// boundaries), and every non-empty cell's reservation is exactly filled —
+// the precondition for exact predicted == observed reconciliation.
+func buildParallelStore(t *testing.T, frames int) (*FileStore, *linear.Order, []int64, string, float64) {
+	t.Helper()
+	o := concurrentOrder(t)
+	n := o.Len()
+	sizes := make([]int64, n)
+	payloads := make([][][]byte, n)
+	total := 0.0
+	for c := 0; c < n; c++ {
+		k := c % 4 // 0..3 records; every 4th cell empty
+		for i := 0; i < k; i++ {
+			p := make([]byte, 8+(c*7+i*13)%41)
+			v := float64(c*100 + i)
+			binary.LittleEndian.PutUint64(p, math.Float64bits(v))
+			total += v
+			payloads[c] = append(payloads[c], p)
+			sizes[c] += FrameSize(len(p))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "par.db")
+	fs, err := CreateFileStore(path, o, sizes, 64, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, ps := range payloads {
+		for _, p := range ps {
+			if err := fs.PutRecord(c, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return fs, o, sizes, path, total
+}
+
+// reopenCold closes fs and reopens the same file with an empty pool.
+func reopenCold(t *testing.T, fs *FileStore, path string, o *linear.Order, sizes []int64, frames int) *FileStore {
+	t.Helper()
+	loaded := fs.LoadedBytes()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileStore(path, o, sizes, 64, frames, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
+}
+
+func parallelTestRegions() []linear.Region {
+	return []linear.Region{
+		{{Lo: 0, Hi: 8}, {Lo: 0, Hi: 8}}, // full grid
+		{{Lo: 2, Hi: 3}, {Lo: 0, Hi: 8}}, // one row: contiguous
+		{{Lo: 0, Hi: 8}, {Lo: 3, Hi: 4}}, // one column: maximally fragmented
+		{{Lo: 1, Hi: 6}, {Lo: 2, Hi: 7}}, // interior block
+		{{Lo: 5, Hi: 6}, {Lo: 5, Hi: 6}}, // single cell
+		{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}, // single empty cell (cell 0)
+	}
+}
+
+type readEvent struct {
+	cell int
+	rec  []byte
+}
+
+func collectReads(t *testing.T, read func(fn func(cell int, record []byte) error) error) []readEvent {
+	t.Helper()
+	var got []readEvent
+	if err := read(func(cell int, record []byte) error {
+		got = append(got, readEvent{cell, append([]byte(nil), record...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestParallelReadMatchesSequential: for every region and parallelism, the
+// parallel read path must deliver the exact record sequence of the
+// sequential path — same cells, same order, same bytes.
+func TestParallelReadMatchesSequential(t *testing.T) {
+	fs, _, _, _, _ := buildParallelStore(t, 128)
+	defer fs.Close()
+	ctx := context.Background()
+	for _, r := range parallelTestRegions() {
+		want := collectReads(t, func(fn func(int, []byte) error) error {
+			return fs.ReadQueryCtx(ctx, r, fn)
+		})
+		wantSum, _, err := fs.SumCtx(ctx, r, decodeF64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opt := range []ReadOptions{{Parallelism: 2}, {Parallelism: 4, Readahead: 2}, {Parallelism: 8, Readahead: 8}} {
+			got := collectReads(t, func(fn func(int, []byte) error) error {
+				return fs.ReadQueryOptCtx(ctx, r, opt, fn)
+			})
+			if len(got) != len(want) {
+				t.Fatalf("region %v opt %+v: %d records, want %d", r, opt, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].cell != want[i].cell || !bytes.Equal(got[i].rec, want[i].rec) {
+					t.Fatalf("region %v opt %+v: record %d = cell %d %x, want cell %d %x",
+						r, opt, i, got[i].cell, got[i].rec, want[i].cell, want[i].rec)
+				}
+			}
+			gotSum, _, err := fs.SumOptCtx(ctx, r, opt, decodeF64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(gotSum-wantSum) > 1e-9*(1+math.Abs(wantSum)) {
+				t.Errorf("region %v opt %+v: sum %v, want %v", r, opt, gotSum, wantSum)
+			}
+		}
+	}
+}
+
+// TestParallelismOneIsSequentialPath: Parallelism <= 1 must delegate to
+// the sequential methods — bit-identical sums and identical tallies.
+func TestParallelismOneIsSequentialPath(t *testing.T) {
+	fs, o, sizes, path, _ := buildParallelStore(t, 128)
+	r := linear.Region{{Lo: 0, Hi: 8}, {Lo: 0, Hi: 8}}
+
+	fs = reopenCold(t, fs, path, o, sizes, 128)
+	seqSum, seqStats, err := fs.SumCtx(context.Background(), r, decodeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSeeks := int64(-1)
+	{
+		var tally PoolTally
+		ctx := WithPoolTally(context.Background(), &tally)
+		fs = reopenCold(t, fs, path, o, sizes, 128)
+		if err := fs.ReadQueryCtx(ctx, r, func(int, []byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		seqSeeks = tally.Seeks()
+	}
+
+	fs = reopenCold(t, fs, path, o, sizes, 128)
+	defer fs.Close()
+	optSum, optStats, err := fs.SumOptCtx(context.Background(), r, ReadOptions{Parallelism: 1, Readahead: 8}, decodeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(optSum) != math.Float64bits(seqSum) {
+		t.Errorf("Parallelism=1 sum %v not bit-identical to sequential %v", optSum, seqSum)
+	}
+	if optStats != seqStats {
+		t.Errorf("Parallelism=1 stats %+v, sequential %+v", optStats, seqStats)
+	}
+	pred := fs.Layout().Query(r)
+	if seqSeeks != pred.Seeks {
+		t.Errorf("sequential seeks %d, analytic %d", seqSeeks, pred.Seeks)
+	}
+}
+
+// TestParallelRunsMatchAnalyticModel: the parallel fetch plan's seek runs
+// are page-disjoint (separated by at least one full page) and — on an
+// exactly-filled store — equal the analytic model's merged page ranges:
+// one run per predicted seek, summing to the predicted page count.
+func TestParallelRunsMatchAnalyticModel(t *testing.T) {
+	fs, _, _, _, _ := buildParallelStore(t, 128)
+	defer fs.Close()
+	rng := rand.New(rand.NewSource(7))
+	regions := parallelTestRegions()
+	for trial := 0; trial < 40; trial++ {
+		r := make(linear.Region, 2)
+		for d := 0; d < 2; d++ {
+			lo := rng.Intn(8)
+			r[d] = linear.Range{Lo: lo, Hi: lo + 1 + rng.Intn(8-lo)}
+		}
+		regions = append(regions, r)
+	}
+	for _, r := range regions {
+		fs.mu.RLock()
+		runs := fs.readRuns(r)
+		fs.mu.RUnlock()
+		pred := fs.Layout().Query(r)
+		if int64(len(runs)) != pred.Seeks {
+			t.Errorf("region %v: %d runs, analytic predicts %d seeks", r, len(runs), pred.Seeks)
+		}
+		var pages int64
+		for i := range runs {
+			if runs[i].pageHi < runs[i].pageLo || len(runs[i].cells) == 0 {
+				t.Fatalf("region %v: malformed run %+v", r, runs[i])
+			}
+			if i > 0 && runs[i].pageLo <= runs[i-1].pageHi+1 {
+				t.Errorf("region %v: runs %d and %d are not page-disjoint: [%d,%d] then [%d,%d]",
+					r, i-1, i, runs[i-1].pageLo, runs[i-1].pageHi, runs[i].pageLo, runs[i].pageHi)
+			}
+			pages += runs[i].pageHi - runs[i].pageLo + 1
+		}
+		if pages != pred.Pages {
+			t.Errorf("region %v: runs span %d pages, analytic predicts %d", r, pages, pred.Pages)
+		}
+	}
+}
+
+// TestParallelColdQueryReconcilesWithAnalytic: on a cold pool, the
+// parallel path's merged tally and its fragment trace spans must equal the
+// analytic prediction exactly — same pages, same seeks, one fragment span
+// per seek run — just like the sequential reconciliation test.
+func TestParallelColdQueryReconcilesWithAnalytic(t *testing.T) {
+	for _, opt := range []ReadOptions{{Parallelism: 4}, {Parallelism: 4, Readahead: 4}, {Parallelism: 16, Readahead: 2}} {
+		for _, r := range parallelTestRegions() {
+			fs, o, sizes, path, _ := buildParallelStore(t, 128)
+			fs = reopenCold(t, fs, path, o, sizes, 128)
+			pred := fs.Layout().Query(r)
+
+			rec := trace.NewRecorder(trace.Config{SampleEvery: 1})
+			ctx, tr := rec.Start(context.Background(), "query")
+			if tr == nil {
+				t.Fatal("recorder did not trace")
+			}
+			sum, stats, err := fs.SumOptCtx(ctx, r, opt, decodeF64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Finish(nil)
+
+			var tally PoolTally
+			ctx2 := WithPoolTally(context.Background(), &tally)
+			if err := fs.ReadQueryCtx(ctx2, r, func(int, []byte) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+			warmSum, _, err := fs.SumCtx(context.Background(), r, decodeF64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(sum-warmSum) > 1e-9*(1+math.Abs(warmSum)) {
+				t.Errorf("opt %+v region %v: parallel sum %v, sequential %v", opt, r, sum, warmSum)
+			}
+			if stats.Misses != pred.Pages {
+				t.Errorf("opt %+v region %v: cold misses %d, analytic pages %d", opt, r, stats.Misses, pred.Pages)
+			}
+
+			var frags, spanSeeks, spanPages int64
+			for _, sp := range tr.Spans() {
+				if sp.Kind == trace.KindFragment {
+					frags++
+					spanSeeks += attrVal(t, sp, "seeks")
+					spanPages += attrVal(t, sp, "pages_read")
+				}
+			}
+			if spanSeeks != pred.Seeks {
+				t.Errorf("opt %+v region %v: fragment seek attrs sum to %d, analytic %d", opt, r, spanSeeks, pred.Seeks)
+			}
+			if spanPages != pred.Pages {
+				t.Errorf("opt %+v region %v: fragment pages_read sum to %d, analytic %d", opt, r, spanPages, pred.Pages)
+			}
+			if pred.Seeks > 0 && frags != pred.Seeks {
+				t.Errorf("opt %+v region %v: %d fragment spans, want one per analytic seek run %d", opt, r, frags, pred.Seeks)
+			}
+			fs.Close()
+		}
+	}
+}
+
+// slowCountFile wraps a paged file, counting physical reads per page and
+// optionally holding every read on a gate until it is closed.
+type slowCountFile struct {
+	PagedFile
+	gate    chan struct{}
+	mu      sync.Mutex
+	perPage map[int64]int
+	reads   atomic.Int64
+}
+
+func (f *slowCountFile) ReadPage(page int64, buf []byte) error {
+	f.reads.Add(1)
+	f.mu.Lock()
+	if f.perPage == nil {
+		f.perPage = make(map[int64]int)
+	}
+	f.perPage[page]++
+	f.mu.Unlock()
+	if f.gate != nil {
+		<-f.gate
+	}
+	return f.PagedFile.ReadPage(page, buf)
+}
+
+// openGated reopens the store behind a slowCountFile.
+func openGated(t *testing.T, fs *FileStore, path string, o *linear.Order, sizes []int64, frames int, gate chan struct{}) (*FileStore, *slowCountFile) {
+	t.Helper()
+	loaded := fs.LoadedBytes()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := OpenPageFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := &slowCountFile{PagedFile: pf, gate: gate}
+	re, err := NewFileStoreOn(sf, o, sizes, frames, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re, sf
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParallelSingleFlightCoalesces: when a run's prefetcher and decoder —
+// and two whole concurrent queries — all want the same pages at once, the
+// pool's single-flight load must keep every page at exactly one physical
+// read, and the per-query tallies must attribute every load exactly once.
+func TestParallelSingleFlightCoalesces(t *testing.T) {
+	fs, o, sizes, path, _ := buildParallelStore(t, 128)
+	gate := make(chan struct{})
+	fs, sf := openGated(t, fs, path, o, sizes, 128, gate)
+	defer fs.Close()
+
+	r := linear.Region{{Lo: 0, Hi: 8}, {Lo: 0, Hi: 8}}
+	pred := fs.Layout().Query(r)
+	opt := ReadOptions{Parallelism: 4, Readahead: 4}
+	var stats [2]PoolStats
+	var wg sync.WaitGroup
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			_, st, err := fs.SumOptCtx(context.Background(), r, opt, decodeF64)
+			if err != nil {
+				t.Errorf("query %d: %v", q, err)
+			}
+			stats[q] = st
+		}(q)
+	}
+	// Let the first demand read block on the gate with the second query's
+	// whole overlapping span pinned behind it, then release: if coalescing
+	// were broken the second query would have issued duplicate loads. (The
+	// sum kernel's span windows serialize loads within a query, so only one
+	// read can be in flight here — both queries fight over the same pages.)
+	waitFor(t, "blocked page loads", func() bool { return sf.reads.Load() >= 1 })
+	close(gate)
+	wg.Wait()
+
+	sf.mu.Lock()
+	for page, n := range sf.perPage {
+		if n != 1 {
+			t.Errorf("page %d physically read %d times, want 1 (single-flight broken)", page, n)
+		}
+	}
+	distinct := int64(len(sf.perPage))
+	sf.mu.Unlock()
+	if distinct != pred.Pages {
+		t.Errorf("%d distinct pages read, analytic predicts %d", distinct, pred.Pages)
+	}
+	if got := stats[0].Misses + stats[1].Misses; got != sf.reads.Load() {
+		t.Errorf("tallies attribute %d misses, file saw %d reads", got, sf.reads.Load())
+	}
+	for q, st := range stats {
+		if st.Misses+st.SingleFlightWaits+st.Hits < pred.Pages {
+			t.Errorf("query %d accounts for %d page accesses (miss+wait+hit), needs >= %d", q, st.Misses+st.SingleFlightWaits+st.Hits, pred.Pages)
+		}
+	}
+}
+
+// TestParallelCancelStopsSiblings: cancelling a query's context while its
+// parallel fragment reads are stuck in the file must stop the sibling
+// workers promptly — the query returns Canceled, no loads remain in
+// flight after it returns, and most of the scan never happened.
+func TestParallelCancelStopsSiblings(t *testing.T) {
+	fs, o, sizes, path, _ := buildParallelStore(t, 128)
+	gate := make(chan struct{})
+	fs, sf := openGated(t, fs, path, o, sizes, 128, gate)
+	defer fs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	// A column region fragments into one seek run per row, so several
+	// workers issue page loads at once.
+	go func() {
+		_, _, err := fs.SumOptCtx(ctx, linear.Region{{Lo: 0, Hi: 8}, {Lo: 3, Hi: 4}},
+			ReadOptions{Parallelism: 4}, decodeF64)
+		errc <- err
+	}()
+	waitFor(t, "workers blocked in page loads", func() bool { return sf.reads.Load() >= 2 })
+	cancel()
+	close(gate)
+	var err error
+	select {
+	case err = <-errc:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled query did not return")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	settled := sf.reads.Load()
+	time.Sleep(50 * time.Millisecond)
+	if now := sf.reads.Load(); now != settled {
+		t.Errorf("stray page loads after the query returned: %d -> %d", settled, now)
+	}
+	if total := fs.Layout().TotalPages(); settled >= total/2 {
+		t.Errorf("%d of %d pages read despite early cancel", settled, total)
+	}
+}
+
+// TestParallelErrorIsFirstInRunOrder: a failing page surfaces as the same
+// deterministic error regardless of which worker hits it first, and the
+// error matches the sequential path's.
+func TestParallelReadErrorsMatchSequential(t *testing.T) {
+	fs, _, _, _, _ := buildParallelStore(t, 128)
+	defer fs.Close()
+	// Corrupt cell 13's record framing: an absurd length prefix makes the
+	// record overrun the cell.
+	pos := fs.layout.order.PosOf(13)
+	if err := fs.pool.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, fs.layout.start[pos]); err != nil {
+		t.Fatal(err)
+	}
+	r := linear.Region{{Lo: 0, Hi: 8}, {Lo: 0, Hi: 8}}
+	_, _, seqErr := fs.SumCtx(context.Background(), r, decodeF64)
+	if seqErr == nil {
+		t.Fatal("sequential path missed the corrupt framing")
+	}
+	for _, opt := range []ReadOptions{{Parallelism: 4}, {Parallelism: 8, Readahead: 4}} {
+		_, _, parErr := fs.SumOptCtx(context.Background(), r, opt, decodeF64)
+		if parErr == nil || parErr.Error() != seqErr.Error() {
+			t.Errorf("opt %+v: parallel err %v, sequential %v", opt, parErr, seqErr)
+		}
+		rdErr := fs.ReadQueryOptCtx(context.Background(), r, opt, func(int, []byte) error { return nil })
+		if rdErr == nil || rdErr.Error() != seqErr.Error() {
+			t.Errorf("opt %+v: parallel read err %v, sequential %v", opt, rdErr, seqErr)
+		}
+	}
+}
+
+// TestParallelClosedStore: both parallel entry points fail with ErrClosed
+// after Close, like their sequential counterparts.
+func TestParallelClosedStore(t *testing.T) {
+	fs, _, _, _, _ := buildParallelStore(t, 16)
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := linear.Region{{Lo: 0, Hi: 8}, {Lo: 0, Hi: 8}}
+	if err := fs.ReadQueryOptCtx(context.Background(), r, ReadOptions{Parallelism: 4}, func(int, []byte) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("ReadQueryOptCtx err = %v, want ErrClosed", err)
+	}
+	if _, _, err := fs.SumOptCtx(context.Background(), r, ReadOptions{Parallelism: 4}, decodeF64); !errors.Is(err, ErrClosed) {
+		t.Errorf("SumOptCtx err = %v, want ErrClosed", err)
+	}
+}
+
+// TestSumRunKernelZeroAlloc: the batched decode kernel must not allocate
+// in steady state on a warm pool.
+func TestSumRunKernelZeroAlloc(t *testing.T) {
+	fs, _, _, _, _ := buildParallelStore(t, 128)
+	defer fs.Close()
+	r := linear.Region{{Lo: 0, Hi: 8}, {Lo: 0, Hi: 8}}
+	if _, _, err := fs.Sum(r, decodeF64); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	fs.mu.RLock()
+	runs := fs.readRuns(r)
+	fs.mu.RUnlock()
+	if len(runs) == 0 {
+		t.Fatal("no runs")
+	}
+	ctx := context.Background()
+	pr := &runProgress{}
+	sc := &runScratch{}
+	for _, window := range []int{1, 4} {
+		if _, err := fs.sumRun(ctx, &runs[0], pr, decodeF64, sc, window); err != nil { // size the scratch buffers
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			for i := range runs {
+				if _, err := fs.sumRun(ctx, &runs[i], pr, decodeF64, sc, window); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("sum kernel (window %d) allocates %v times per warm query, want 0", window, allocs)
+		}
+	}
+}
+
+// TestRecordWalkerMatchesWalkRecords feeds the incremental walker the same
+// framed cells as walkRecords, split at every possible window boundary,
+// and requires identical decoded streams and identical errors — including
+// zero-length records, partial headers, and truncated records.
+func TestRecordWalkerMatchesWalkRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		// Random framing, sometimes deliberately damaged.
+		var buf []byte
+		var want []float64
+		for r := 0; r < rng.Intn(5); r++ {
+			n := rng.Intn(20)
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(n))
+			buf = append(buf, hdr[:]...)
+			p := make([]byte, n)
+			if n >= 8 {
+				v := float64(rng.Intn(1000))
+				binary.LittleEndian.PutUint64(p, math.Float64bits(v))
+				want = append(want, v)
+			} else {
+				want = append(want, float64(n))
+			}
+			buf = append(buf, p...)
+		}
+		switch rng.Intn(4) {
+		case 0:
+			if len(buf) > 0 {
+				buf = buf[:rng.Intn(len(buf))] // truncate anywhere
+			}
+		case 1:
+			buf = append(buf, byte(rng.Intn(3))) // trailing partial header
+		}
+		decode := func(rec []byte) float64 {
+			if len(rec) >= 8 {
+				return math.Float64frombits(binary.LittleEndian.Uint64(rec))
+			}
+			return float64(len(rec))
+		}
+		wantSum := 0.0
+		wantErr := walkRecords(5, buf, func(_ int, rec []byte) error {
+			wantSum += decode(rec)
+			return nil
+		})
+		// Feed the same bytes in random windows.
+		var w recordWalker
+		w.begin(5)
+		gotSum := 0.0
+		rest := buf
+		var gotErr error
+		for len(rest) > 0 && gotErr == nil {
+			k := 1 + rng.Intn(len(rest))
+			gotErr = w.feed(rest[:k], &gotSum, decode)
+			rest = rest[k:]
+		}
+		if gotErr == nil {
+			gotErr = w.finish()
+		}
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d buf %x: walker err %v, walkRecords err %v", trial, buf, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("trial %d buf %x: walker err %q, walkRecords err %q", trial, buf, gotErr, wantErr)
+			}
+			continue
+		}
+		if gotSum != wantSum {
+			t.Fatalf("trial %d buf %x: walker sum %v, walkRecords sum %v", trial, buf, gotSum, wantSum)
+		}
+	}
+}
+
+// TestParallelInflightGaugeSettles: the inflight gauge rises while
+// fragments are being fetched and returns to zero after.
+func TestParallelInflightGaugeSettles(t *testing.T) {
+	fs, o, sizes, path, _ := buildParallelStore(t, 128)
+	gate := make(chan struct{})
+	fs, sf := openGated(t, fs, path, o, sizes, 128, gate)
+	defer fs.Close()
+	var peak atomic.Int64
+	fs.SetFragmentObserver(func(pages int64, seconds float64) {
+		if pages < 0 || seconds < 0 {
+			t.Errorf("observer got pages=%d seconds=%v", pages, seconds)
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, err := fs.SumOptCtx(context.Background(), linear.Region{{Lo: 0, Hi: 8}, {Lo: 3, Hi: 4}},
+			ReadOptions{Parallelism: 4}, decodeF64)
+		if err != nil {
+			t.Errorf("SumOptCtx: %v", err)
+		}
+	}()
+	waitFor(t, "inflight fragments", func() bool {
+		if v := fs.ParallelInflight(); v > peak.Load() {
+			peak.Store(v)
+		}
+		return peak.Load() > 0 && sf.reads.Load() >= 2
+	})
+	close(gate)
+	<-done
+	if got := fs.ParallelInflight(); got != 0 {
+		t.Errorf("inflight gauge = %d after queries drained, want 0", got)
+	}
+	if peak.Load() < 1 {
+		t.Errorf("inflight gauge never rose above 0")
+	}
+}
+
+// TestReadRunsEmptyRegion: a region of only-empty cells yields no runs and
+// the parallel paths return immediately.
+func TestParallelEmptyRegion(t *testing.T) {
+	fs, _, _, _, _ := buildParallelStore(t, 16)
+	defer fs.Close()
+	r := linear.Region{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}} // cell 0 is empty
+	calls := 0
+	if err := fs.ReadQueryOptCtx(context.Background(), r, ReadOptions{Parallelism: 4}, func(int, []byte) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("%d records from an empty region", calls)
+	}
+	sum, stats, err := fs.SumOptCtx(context.Background(), r, ReadOptions{Parallelism: 4}, decodeF64)
+	if err != nil || sum != 0 {
+		t.Errorf("empty region sum = %v, err %v", sum, err)
+	}
+	if stats.Misses != 0 {
+		t.Errorf("empty region touched %d pages", stats.Misses)
+	}
+}
+
+// TestPoolResetColdReload: BufferPool.Reset must flush dirty frames, drop
+// everything, and leave the next pass genuinely cold — the same misses a
+// fresh pool would take — while the store (and its prepared plans) lives on.
+func TestPoolResetColdReload(t *testing.T) {
+	fs, _, _, _, total := buildParallelStore(t, 128)
+	defer fs.Close()
+	ctx := context.Background()
+	full := linear.Region{{Lo: 0, Hi: 8}, {Lo: 0, Hi: 8}}
+
+	// The load left every touched page dirty in the pool; Reset must write
+	// them back before dropping the frames, or the sums below read zeros.
+	if err := fs.Pool().Reset(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	sum1, st1, err := fs.SumCtx(ctx, full, decodeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1 != total {
+		t.Fatalf("post-reset sum = %v, want %v", sum1, total)
+	}
+	if st1.Misses == 0 {
+		t.Fatal("cold pass took no misses")
+	}
+	_, warm, err := fs.SumCtx(ctx, full, decodeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Misses != 0 {
+		t.Fatalf("warm pass took %d misses, want 0", warm.Misses)
+	}
+	if err := fs.Pool().Reset(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := fs.SumCtx(ctx, full, decodeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Misses != st1.Misses {
+		t.Fatalf("second cold pass took %d misses, want %d", st2.Misses, st1.Misses)
+	}
+}
+
+// TestPoolResetRefusesPinnedFrames: Reset is a quiescent-point operation —
+// with any frame pinned it must fail rather than pull pages out from under
+// the pinner.
+func TestPoolResetRefusesPinnedFrames(t *testing.T) {
+	fs, _, _, _, _ := buildParallelStore(t, 128)
+	defer fs.Close()
+	ctx := context.Background()
+	fr, err := fs.pool.get(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Pool().Reset(ctx); err == nil {
+		t.Fatal("Reset succeeded with a pinned frame")
+	}
+	fs.pool.unpin(fr)
+	if err := fs.Pool().Reset(ctx); err != nil {
+		t.Fatalf("Reset after unpin: %v", err)
+	}
+}
+
+// TestPlanCacheInvalidatedByPut: the parallel path's prepared plans embed
+// fill counts, so a PutRecord between queries must invalidate them — a
+// stale plan would silently drop the new record.
+func TestPlanCacheInvalidatedByPut(t *testing.T) {
+	o := concurrentOrder(t)
+	n := o.Len()
+	sizes := make([]int64, n)
+	for c := range sizes {
+		sizes[c] = 4 * FrameSize(8) // room for four records; we load one
+	}
+	path := filepath.Join(t.TempDir(), "plancache.db")
+	fs, err := CreateFileStore(path, o, sizes, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	put := func(cell int, v float64) {
+		p := make([]byte, 8)
+		binary.LittleEndian.PutUint64(p, math.Float64bits(v))
+		if err := fs.PutRecord(cell, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 0.0
+	for c := 0; c < n; c++ {
+		put(c, float64(c))
+		want += float64(c)
+	}
+	ctx := context.Background()
+	full := linear.Region{{Lo: 0, Hi: 8}, {Lo: 0, Hi: 8}}
+	opt := ReadOptions{Parallelism: 4, Readahead: 4}
+	for pass := 0; pass < 2; pass++ { // second pass serves from the plan cache
+		got, _, err := fs.SumOptCtx(ctx, full, opt, decodeF64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("pass %d: sum = %v, want %v", pass, got, want)
+		}
+	}
+	put(3, 1000) // grows cell 3's fill: every cached plan is now stale
+	want += 1000
+	got, _, err := fs.SumOptCtx(ctx, full, opt, decodeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-put sum = %v, want %v (stale plan dropped the new record?)", got, want)
+	}
+	count := 0
+	if err := fs.ReadQueryOptCtx(ctx, full, opt, func(int, []byte) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n+1 {
+		t.Fatalf("post-put read saw %d records, want %d", count, n+1)
+	}
+}

@@ -23,6 +23,14 @@ type PoolTally struct {
 	hits, misses, evictions, writes, retries, sfWaits atomic.Int64
 	seeks                                             atomic.Int64
 	lastPage                                          atomic.Int64 // page+2 of the last physical read; 0 = none yet
+
+	// sink, when set, replaces the run-detection above: physical reads are
+	// recorded in an order-independent page bitmap instead of bumping seeks
+	// as they happen. The parallel read path uses this — its prefetchers and
+	// decoder load pages out of order, which would make the sequential
+	// last-page heuristic nondeterministic — and stores the bitmap's run
+	// count into seeks when the fragment completes.
+	sink *pageRecorder
 }
 
 // Stats returns the tallied traffic as a PoolStats snapshot.
@@ -45,9 +53,26 @@ func (t *PoolTally) Seeks() int64 { return t.seeks.Load() }
 // physRead records one physical page read for seek accounting: a read
 // that does not continue the previous page starts a new run.
 func (t *PoolTally) physRead(page int64) {
+	if t.sink != nil {
+		t.sink.record(page)
+		return
+	}
 	if prev := t.lastPage.Swap(page + 2); prev != page+1 {
 		t.seeks.Add(1)
 	}
+}
+
+// merge folds a completed fragment tally into the request tally. lastPage
+// is deliberately not transferred: fragments are page-disjoint seek runs,
+// so their seek counts add without cross-fragment run merging.
+func (t *PoolTally) merge(c *PoolTally) {
+	t.hits.Add(c.hits.Load())
+	t.misses.Add(c.misses.Load())
+	t.evictions.Add(c.evictions.Load())
+	t.writes.Add(c.writes.Load())
+	t.retries.Add(c.retries.Load())
+	t.sfWaits.Add(c.sfWaits.Load())
+	t.seeks.Add(c.seeks.Load())
 }
 
 // tallyKey is the context key WithPoolTally stores under.

@@ -311,6 +311,13 @@ func FrameSize(payloadLen int) int64 { return storage.FrameSize(payloadLen) }
 // the context ends.
 type FileStore = storage.FileStore
 
+// ReadOptions tunes the parallel fragment read path
+// (FileStore.ReadQueryOptCtx / SumOptCtx): Parallelism bounds the
+// concurrent fragment fetches of one query (<= 1 selects the sequential
+// path), Readahead the pages prefetched ahead of the decoder within a
+// fragment.
+type ReadOptions = storage.ReadOptions
+
 // PoolStats counts a FileStore buffer pool's traffic since creation.
 type PoolStats = storage.PoolStats
 
