@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_NAME ?= local
 
-.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint trace-smoke bench bench-adaptive bench-chaos bench-sustained bench-smoke bench-lint reorg-smoke chaos chaos-long
+.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint trace-smoke bench bench-adaptive bench-chaos bench-sustained bench-ingest bench-smoke bench-lint reorg-smoke ingest-smoke chaos chaos-long
 
 # check is the tier-1 verification gate (see ROADMAP.md): formatting,
 # static analysis, a full build, the metrics-name lint, the tracing
@@ -10,7 +10,7 @@ BENCH_NAME ?= local
 # Fuzz seed corpora run as ordinary tests. staticcheck runs when the
 # binary is installed and is skipped (with a notice) otherwise, so check
 # works on machines without network access.
-check: fmt vet staticcheck build metrics-lint trace-smoke chaos bench-lint bench-smoke race
+check: fmt vet staticcheck build metrics-lint trace-smoke ingest-smoke chaos bench-lint bench-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -88,12 +88,21 @@ bench-sustained:
 	$(GO) run ./cmd/snakebench -figures=false -tables "" \
 		-name $(BENCH_NAME) -sustained-json BENCH_sustained.json
 
+# bench-ingest runs the write-path benchmark — delta-store ingest under
+# mixed load (>= 10% writes), merge-on-read, paced compaction that drains
+# without ever rewriting the whole file in one tick, exact cold
+# reconciliation, and incremental re-clustering onto the DP-optimal order
+# — and writes BENCH_ingest.json.
+bench-ingest:
+	$(GO) run ./cmd/snakebench -figures=false -tables "" \
+		-name $(BENCH_NAME) -ingest-json BENCH_ingest.json
+
 # bench-smoke drives every phase of the sustained benchmark on a tiny
 # warehouse: the deterministic gates (bit-identity, predicted == observed
 # pages/seeks) are hard errors, so a broken parallel read path fails here
 # in seconds instead of in a 30-second bench run.
 bench-smoke:
-	$(GO) test -count=1 -run 'TestSustainedBenchSmoke' ./cmd/snakebench
+	$(GO) test -count=1 -run 'TestSustainedBenchSmoke|TestIngestBenchSmoke' ./cmd/snakebench
 
 # bench-lint parses every committed BENCH_*.json under its registered
 # schema (unknown fields, trailing bytes, and unknown suffixes all fail)
@@ -114,6 +123,14 @@ chaos:
 # logged (go test -v) so any failure can be replayed deterministically.
 chaos-long:
 	CHAOS_LONG=1 $(GO) test -race -count=1 -v -run 'TestChaosLong' ./cmd/snakestore
+
+# ingest-smoke drives the daemon's write path end to end under the race
+# detector: POST /ingest merge-on-read with delta attribution, validation
+# and backlog shedding, the kill-subprocess crash matrix (mid-append,
+# mid-compaction, post-catalog-commit), and a reorganization carrying
+# pending deltas into the new generation.
+ingest-smoke:
+	$(GO) test -race -count=1 -run 'TestIngest|TestCrashPointIngestMatrix|TestReorgCarriesDeltas' ./cmd/snakestore
 
 # reorg-smoke exercises the daemon's zero-downtime reorganization path
 # once under the race detector: automatic trigger, hot swap under load,

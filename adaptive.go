@@ -132,8 +132,14 @@ type ReorgDecision struct {
 	OptimalCost float64
 	Regret      float64
 	Generation  int
+	Pacing      ReorgPacing
 	Progress    func(done, total int)
 }
+
+// ReorgPacing is the I/O budget a decision hands the incremental migrator
+// (regions per scoring window, cells per tick, pause between ticks); see
+// Strategy.MigrateRegionsCtx.
+type ReorgPacing = adaptive.Pacing
 
 // ReorgMigrator executes a reorganization decision: build the new
 // generation (typically Strategy.MigrateCtx), persist metadata, swap the
@@ -167,6 +173,7 @@ func NewReorganizer(st *Strategy, generation int, migrate ReorgMigrator, cfg Reo
 			OptimalCost: d.OptimalCost,
 			Regret:      d.Regret,
 			Generation:  d.Generation,
+			Pacing:      d.Pacing,
 			Progress:    d.Progress,
 		})
 	}
@@ -231,6 +238,7 @@ func (r *Reorganizer) Trigger(ctx context.Context, force bool) (*ReorgDecision, 
 		OptimalCost: d.OptimalCost,
 		Regret:      d.Regret,
 		Generation:  d.Generation,
+		Pacing:      d.Pacing,
 		Progress:    d.Progress,
 	}, err
 }

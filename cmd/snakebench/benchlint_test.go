@@ -67,6 +67,28 @@ var benchArtifactSchemas = map[string]benchArtifactSchema{
 	}),
 	"adaptive": schemaOf(func(r *AdaptiveBenchReport) error { return nil }),
 	"chaos":    schemaOf(func(r *ChaosReport) error { return nil }),
+	"ingest": schemaOf(func(r *IngestReport) error {
+		if r.WriteFraction < 0.10 {
+			return fmt.Errorf("mixed phase wrote only %.1f%% of operations, below the 10%% floor", 100*r.WriteFraction)
+		}
+		if r.ReadP99MixedMs > 2*r.ReadP99BaselineMs {
+			return fmt.Errorf("mixed-load read p99 %.3fms exceeds 2x the read-only baseline %.3fms", r.ReadP99MixedMs, r.ReadP99BaselineMs)
+		}
+		if r.MaxTickFraction >= 1 || r.ReclusterMaxTickFraction >= 1 {
+			return fmt.Errorf("a single tick rewrote the whole file (compaction %.2f, recluster %.2f)", r.MaxTickFraction, r.ReclusterMaxTickFraction)
+		}
+		if r.ConvergedRegret > 1.05 {
+			return fmt.Errorf("incremental re-clustering converged to %.3fx the DP-optimal expected seeks, above the 1.05 gate", r.ConvergedRegret)
+		}
+		if r.PredictedPages != r.ObservedPageReads || r.PredictedSeeks != r.ObservedSeeks {
+			return fmt.Errorf("cold path did not reconcile after compaction: pages %d/%d, seeks %d/%d",
+				r.PredictedPages, r.ObservedPageReads, r.PredictedSeeks, r.ObservedSeeks)
+		}
+		if r.ReconcileQueries <= 0 || r.DeltaHitCells <= 0 {
+			return fmt.Errorf("ingest artifact skipped a phase: %+v", r)
+		}
+		return nil
+	}),
 }
 
 // TestBenchArtifacts lints every committed BENCH_*.json at the repo root:

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestIngestBenchSmoke drives every phase of the write-path benchmark —
+// read-only baseline, mixed load with a live compactor, drain, exact cold
+// reconciliation, and the incremental re-clustering — on a tiny warehouse.
+// The deterministic gates (validated sums, predicted == observed) are hard
+// errors inside ingestBench; the timing gate (p99 ratio) is asserted only
+// on the committed artifact by TestBenchArtifacts.
+func TestIngestBenchSmoke(t *testing.T) {
+	o := ingestOpts{
+		queries:    24,
+		frames:     256,
+		passes:     2,
+		writeEvery: 4,
+		writeCells: 8,
+		reconcile:  8,
+	}
+	rep, err := ingestBench(tinyConfig(13), "smoke", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineReads != o.passes*o.queries {
+		t.Errorf("baseline ran %d reads, want %d", rep.BaselineReads, o.passes*o.queries)
+	}
+	if rep.MixedWrites == 0 || rep.WriteFraction < 0.10 {
+		t.Errorf("mixed phase wrote %d ops (%.2f fraction), want >= 10%%", rep.MixedWrites, rep.WriteFraction)
+	}
+	if rep.CompactedCells == 0 {
+		t.Error("compactor folded nothing")
+	}
+	if rep.MaxTickFraction >= 1 || rep.ReclusterMaxTickFraction >= 1 {
+		t.Errorf("a tick covered the whole file: %+v", rep)
+	}
+	if rep.ReconcileQueries != o.reconcile {
+		t.Errorf("reconciled %d queries, want %d", rep.ReconcileQueries, o.reconcile)
+	}
+	if rep.PredictedPages != rep.ObservedPageReads || rep.PredictedSeeks != rep.ObservedSeeks {
+		t.Errorf("model reconciliation drifted: %+v", rep)
+	}
+	if rep.ReclusterTicks < 2 {
+		t.Errorf("recluster finished in %d ticks, want an actually incremental migration", rep.ReclusterTicks)
+	}
+	if rep.ConvergedRegret > 1.05 {
+		t.Errorf("converged regret %.3f above the 1.05 gate", rep.ConvergedRegret)
+	}
+	if rep.StartRegret < 1 {
+		t.Errorf("row-major start regret %.3f below 1: the DP-optimal layout should not lose to it", rep.StartRegret)
+	}
+	if rep.DeltaHitCells == 0 {
+		t.Error("no read observed an overlaid delta cell during the mixed phase")
+	}
+}

@@ -65,6 +65,7 @@ type benchOpts struct {
 	adaptPath  string
 	chaosPath  string
 	sustPath   string
+	ingestPath string
 	queries    int
 	frames     int
 	framesSet  bool
@@ -93,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.adaptPath, "adaptive-json", "", "run the adaptive reorganization benchmark and write its JSON report to this path")
 	fs.StringVar(&o.chaosPath, "chaos-json", "", "run the self-healing benchmark (repair throughput, scrub overhead, time-to-healthy) and write its JSON report to this path")
 	fs.StringVar(&o.sustPath, "sustained-json", "", "run the sustained-load benchmark (parallel read path: cold speedup, model reconciliation, open-loop SLO percentiles) and write its JSON report to this path")
+	fs.StringVar(&o.ingestPath, "ingest-json", "", "run the write-path benchmark (delta-store ingest under mixed load, compaction convergence, incremental re-clustering) and write its JSON report to this path")
 	fs.IntVar(&o.queries, "bench-queries", 256, "queries executed by the benchmark modes")
 	fs.IntVar(&o.frames, "bench-frames", 256, "buffer pool frames for the benchmark modes (the sustained benchmark defaults to a pool sized above the store instead)")
 	fs.Float64Var(&o.sustSeconds, "sustained-seconds", 30, "duration of the sustained benchmark's open-loop phase")
@@ -128,10 +130,10 @@ func validateFlags(fs *flag.FlagSet, stderr io.Writer) int {
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	anyMode := set["json"] || set["adaptive-json"] || set["chaos-json"] || set["sustained-json"]
+	anyMode := set["json"] || set["adaptive-json"] || set["chaos-json"] || set["sustained-json"] || set["ingest-json"]
 	for _, name := range []string{"bench-queries", "bench-frames", "name"} {
 		if set[name] && !anyMode {
-			fmt.Fprintf(stderr, "snakebench: -%s has no effect without a benchmark mode (-json, -adaptive-json, -chaos-json or -sustained-json)\n", name)
+			fmt.Fprintf(stderr, "snakebench: -%s has no effect without a benchmark mode (-json, -adaptive-json, -chaos-json, -sustained-json or -ingest-json)\n", name)
 			fs.Usage()
 			return 2
 		}
@@ -349,6 +351,24 @@ func bench(out io.Writer, o benchOpts) error {
 		}
 		fmt.Fprintf(out, "== Chaos bench %q: %s ==\n", o.name, rep.Summary())
 		fmt.Fprintf(out, "report written to %s\n", o.chaosPath)
+	}
+
+	if o.ingestPath != "" {
+		iop := defaultIngestOpts()
+		iop.queries = o.queries
+		if o.framesSet {
+			iop.frames = o.frames
+		}
+		rep, err := ingestBench(warehouseConfig(o.full, o.seed), o.name, iop)
+		if err != nil {
+			return err
+		}
+		rep.Full = o.full
+		if err := rep.WriteFile(o.ingestPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Ingest bench %q: %s ==\n", o.name, rep.Summary())
+		fmt.Fprintf(out, "report written to %s\n", o.ingestPath)
 	}
 
 	if o.sustPath != "" {

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	snakes "repro"
+)
+
+// The daemon's write path: POST /ingest lands whole-cell upserts in a
+// delta log beside the store file, reads merge them automatically through
+// the store's overlay hook, and a background compactor folds them into the
+// base file in paced ticks (heaviest linearization regions first). The
+// catalog is committed before every checkpoint, so an acknowledged write
+// survives any crash: it is either in the base file (catalog knows) or
+// still in the log (startup recovery replays it).
+
+// ingestState is the server's write-path machinery; nil when -ingest is
+// off. mu serializes puts, compaction ticks, and the reorganization
+// cutover against each other: puts hold it briefly to append, a tick holds
+// it for one bounded apply pass, and a reorg holds it while folding the
+// log's tail into the new generation and swapping in its fresh log.
+type ingestState struct {
+	mu   sync.Mutex
+	log  *snakes.DeltaLog
+	comp *snakes.Compactor
+	opt  snakes.DeltaOptions
+	rate *snakes.RateTracker
+}
+
+// ingestConfig carries the -compact-* flags.
+type ingestConfig struct {
+	regionCells int
+	tickBytes   int64
+}
+
+// enableIngest opens the active generation's delta log, replays any
+// entries a crash left pending into the base store (redo recovery), and
+// wires the compactor and its metrics. Must run before serving starts.
+func (s *server) enableIngest(catPath, storeBase string, cat *catalog, dopt snakes.DeltaOptions, cfg ingestConfig) error {
+	s.catPath, s.storeBase, s.cat = catPath, storeBase, cat
+	active := activeStorePath(cat, storeBase)
+	l, err := snakes.OpenDeltaLog(snakes.DeltaPath(active), int64(cat.Generation), dopt)
+	if err != nil {
+		return err
+	}
+	st := s.st()
+	if l.PendingCells() > 0 {
+		applied, n, err := snakes.RecoverDeltas(context.Background(), st, l)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("delta recovery: %w", err)
+		}
+		// A crash mid-compaction may have patched the parity sidecar for
+		// base pages that never reached disk, so after the redo pass the
+		// sidecar is rebuilt from the recovered base content.
+		if st.HasParity() {
+			if perr := st.WriteParity(snakes.ParityPath(active), st.ParityGroup()); perr != nil {
+				fmt.Fprintf(os.Stderr, "snakestore: rebuilding parity after delta recovery: %v\n", perr)
+			}
+		}
+		// Catalog before checkpoint: once the log forgets an entry, the
+		// catalog must already describe the base file that absorbed it.
+		cat.LoadedBytes = st.LoadedBytes()
+		if err := writeCatalog(catPath, cat); err != nil {
+			l.Close()
+			return fmt.Errorf("delta recovery catalog: %w", err)
+		}
+		if err := l.Checkpoint(applied); err != nil {
+			l.Close()
+			return fmt.Errorf("delta recovery checkpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "snakestore: recovered %d pending delta entr%s into %s\n",
+			n, map[bool]string{true: "y", false: "ies"}[n == 1], active)
+	}
+	snakes.AttachDeltaLog(st, l)
+	s.ing = &ingestState{
+		log: l,
+		opt: dopt,
+		comp: snakes.NewCompactor(snakes.CompactorConfig{
+			RegionCells:     cfg.regionCells,
+			MaxBytesPerTick: cfg.tickBytes,
+			Commit:          s.commitLoadedBytes,
+		}),
+		rate: snakes.NewRateTracker(time.Minute),
+	}
+	s.registerIngestMetrics()
+	return nil
+}
+
+// commitLoadedBytes is the compactor's catalog hook: persist the new fill
+// state atomically before the log checkpoint forgets the entries behind
+// it. Serialized against generation swaps by swapMu.
+func (s *server) commitLoadedBytes(ctx context.Context, loaded []int64) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cat := *s.cat
+	cat.LoadedBytes = loaded
+	sp := snakes.StartTraceLeaf(ctx, snakes.TraceKindCatalogCommit, "")
+	err := writeCatalog(s.catPath, &cat)
+	sp.SetError(err)
+	sp.End()
+	if err == nil {
+		*s.cat = cat
+	}
+	return err
+}
+
+// registerIngestMetrics adds the write-path families that need the live
+// log: backlog gauges, compaction progress, and the decayed write rate.
+func (s *server) registerIngestMetrics() {
+	ing := s.ing
+	pending := func(f func(*snakes.DeltaLog) float64) func() float64 {
+		return func() float64 {
+			ing.mu.Lock()
+			defer ing.mu.Unlock()
+			return f(ing.log)
+		}
+	}
+	s.metrics.reg.GaugeFunc("snakestore_delta_pending_bytes", "delta payload bytes awaiting compaction", pending(func(l *snakes.DeltaLog) float64 { return float64(l.PendingBytes()) }))
+	s.metrics.reg.GaugeFunc("snakestore_delta_pending_cells", "cells with pending delta upserts", pending(func(l *snakes.DeltaLog) float64 { return float64(l.PendingCells()) }))
+	s.metrics.reg.GaugeFunc("snakestore_compaction_lag_seconds", "age of the oldest delta entry not yet folded into the base file", pending(func(l *snakes.DeltaLog) float64 { return l.OldestPendingAge(time.Now()).Seconds() }))
+	s.metrics.reg.GaugeFunc("snakestore_ingest_write_rate_bytes", "decayed accepted upsert bytes per second", func() float64 { return ing.rate.Rate(time.Now()) })
+	comp := func(f func(ticks, cells, bytes int64) int64) func() int64 {
+		return func() int64 { return f(ing.comp.Ticks()) }
+	}
+	s.metrics.reg.CounterFunc("snakestore_compaction_ticks_total", "background compaction ticks that applied at least one cell", comp(func(t, _, _ int64) int64 { return t }))
+	s.metrics.reg.CounterFunc("snakestore_compaction_cells_total", "cells folded from the delta log into the base file", comp(func(_, c, _ int64) int64 { return c }))
+	s.metrics.reg.CounterFunc("snakestore_compaction_bytes_total", "delta payload bytes folded into the base file", comp(func(_, _, b int64) int64 { return b }))
+}
+
+// runCompactorLoop folds the delta backlog into the base file on a fixed
+// cadence. Drain-aware: once shutdown begins the loop stops touching the
+// store (the log is durable; the next startup recovers what remains).
+func (s *server) runCompactorLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if s.draining.Load() {
+				return
+			}
+			s.ing.mu.Lock()
+			st := s.st()
+			stats, err := s.ing.comp.Tick(ctx, st, s.ing.log)
+			s.ing.mu.Unlock()
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return
+				}
+				s.log.Warn("compact", "err", err)
+				continue
+			}
+			if stats.CellsApplied > 0 {
+				s.log.Info("compact", "cells", stats.CellsApplied, "bytes", stats.BytesApplied,
+					"regions", stats.Regions, "pendingCells", stats.PendingCells, "pendingBytes", stats.PendingBytes)
+			}
+		}
+	}
+}
+
+// closeIngest flushes and closes the delta log on shutdown; acknowledged
+// writes that were not yet compacted are recovered at the next startup.
+func (s *server) closeIngest() {
+	if s.ing == nil {
+		return
+	}
+	s.ing.mu.Lock()
+	defer s.ing.mu.Unlock()
+	if err := s.ing.log.Close(); err != nil {
+		s.log.Warn("ingest", "msg", "closing delta log", "err", err)
+	}
+}
+
+type ingestCellReq struct {
+	Coords []int    `json:"coords"`
+	Rows   []string `json:"rows"`
+}
+
+type ingestRequest struct {
+	Cells []ingestCellReq `json:"cells"`
+}
+
+type ingestResponse struct {
+	Accepted     int   `json:"accepted"`
+	Bytes        int64 `json:"bytes"`
+	PendingCells int   `json:"pendingCells"`
+	PendingBytes int64 `json:"pendingBytes"`
+	Generation   int64 `json:"generation"`
+}
+
+// handleIngest accepts POST {"cells":[{"coords":[...],"rows":["..."]}]}:
+// each entry replaces the named cell's records, durably per the
+// -ingest-sync policy, visible to queries immediately via merge-on-read.
+// The batch is validated in full before any cell is accepted, so a 400
+// never leaves a partial batch behind; a full backlog sheds with 503.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.ing == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "ingest disabled; start with -ingest"})
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.writeErr(w, usagef("ingest wants POST, got %s", r.Method))
+		return
+	}
+	if s.draining.Load() {
+		s.writeErr(w, fmt.Errorf("draining: %w", snakes.ErrClosed))
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, usagef("decoding body: %v", err))
+		return
+	}
+	if len(req.Cells) == 0 {
+		s.writeErr(w, usagef("empty ingest batch"))
+		return
+	}
+	st := s.st()
+	order := st.Layout().Order()
+	shape := order.Shape()
+	type framedCell struct {
+		cell   int
+		framed []byte
+	}
+	batch := make([]framedCell, 0, len(req.Cells))
+	for i, c := range req.Cells {
+		if len(c.Coords) != len(shape) {
+			s.writeErr(w, usagef("cell %d: %d coords for a %d-dimensional grid", i, len(c.Coords), len(shape)))
+			return
+		}
+		for d, v := range c.Coords {
+			if v < 0 || v >= shape[d] {
+				s.writeErr(w, usagef("cell %d: coord %d out of range [0,%d)", i, v, shape[d]))
+				return
+			}
+		}
+		if len(c.Rows) == 0 {
+			s.writeErr(w, usagef("cell %d: no rows", i))
+			return
+		}
+		records := make([][]byte, len(c.Rows))
+		for j, row := range c.Rows {
+			records[j] = []byte(row)
+		}
+		cell := order.CellIndex(c.Coords)
+		framed := snakes.FrameRecords(records...)
+		if cap := st.Layout().CellCapacity(cell); int64(len(framed)) > cap {
+			s.writeErr(w, usagef("cell %d: %d bytes of rows exceed cell capacity %d", i, len(framed), cap))
+			return
+		}
+		batch = append(batch, framedCell{cell: cell, framed: framed})
+	}
+	resp := ingestResponse{Generation: s.generation.Load()}
+	s.ing.mu.Lock()
+	for _, fc := range batch {
+		if err := s.ing.log.Put(fc.cell, fc.framed); err != nil {
+			s.ing.mu.Unlock()
+			s.metrics.ingestRejected.Inc()
+			if errors.Is(err, snakes.ErrIngestBacklog) {
+				err = fmt.Errorf("%w: %v", snakes.ErrOverloaded, err)
+			}
+			s.writeErr(w, err)
+			return
+		}
+		st.InvalidateCellPlans(fc.cell)
+		resp.Accepted++
+		resp.Bytes += int64(len(fc.framed))
+	}
+	resp.PendingCells = s.ing.log.PendingCells()
+	resp.PendingBytes = s.ing.log.PendingBytes()
+	s.ing.mu.Unlock()
+	s.ing.rate.Observe(float64(resp.Bytes), time.Now())
+	s.metrics.ingestPuts.Add(int64(resp.Accepted))
+	s.metrics.ingestBytes.Add(resp.Bytes)
+	s.log.Info("ingest", "req", reqIDFrom(r.Context()), "cells", resp.Accepted, "bytes", resp.Bytes,
+		"pendingCells", resp.PendingCells, "pendingBytes", resp.PendingBytes)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -98,11 +98,12 @@ func activeStorePath(cat *catalog, base string) string {
 
 // cleanStaleGenerations removes generation files left behind by a crash
 // between the catalog swap and the old generation's deletion: every file
-// matching the base name or base.g<N> — or one of their .parity sidecars —
-// except the active generation and its sidecar. Returns the paths removed.
+// matching the base name or base.g<N> — or one of their .parity or .delta
+// sidecars — except the active generation and its sidecars. Returns the
+// paths removed.
 func cleanStaleGenerations(base, active string) ([]string, error) {
 	dir := filepath.Dir(base)
-	re := regexp.MustCompile(`^` + regexp.QuoteMeta(filepath.Base(base)) + `(\.g\d+)?(\.parity)?$`)
+	re := regexp.MustCompile(`^` + regexp.QuoteMeta(filepath.Base(base)) + `(\.g\d+)?(\.parity|\.delta)?$`)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -113,7 +114,7 @@ func cleanStaleGenerations(base, active string) ([]string, error) {
 			continue
 		}
 		p := filepath.Join(dir, e.Name())
-		if p == active || p == snakes.ParityPath(active) {
+		if p == active || p == snakes.ParityPath(active) || p == snakes.DeltaPath(active) {
 			continue
 		}
 		if err := os.Remove(p); err != nil {

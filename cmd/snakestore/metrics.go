@@ -18,7 +18,7 @@ const metricsPrefix = "snakestore_"
 // deliberately has no dynamic series creation, so the error taxonomy stays
 // an explicit list.
 var (
-	handlerNames  = []string{"query", "verify", "healthz", "metrics", "reorg", "repair", "traces"}
+	handlerNames  = []string{"query", "verify", "healthz", "metrics", "reorg", "repair", "traces", "ingest"}
 	responseCodes = []int{200, 400, 404, 409, 500, 503, 504}
 	reorgOutcomes = []string{"success", "failed", "canceled"}
 	healthStates  = []string{"ok", "degraded", "healing"}
@@ -67,6 +67,15 @@ type serverMetrics struct {
 	slowQuery   *obs.Counter
 	httpPanics  *obs.Counter
 	spanSeconds map[string]*obs.Histogram
+
+	// Write path: accepted/rejected upserts and the cells queries served
+	// from the delta store instead of the base file. The backlog gauges and
+	// compaction counters are registered by enableIngest, which owns the
+	// live delta log they read.
+	ingestPuts      *obs.Counter
+	ingestBytes     *obs.Counter
+	ingestRejected  *obs.Counter
+	queryDeltaCells *obs.Counter
 }
 
 // latencyBuckets spans 0.5 ms – ~4 s, the daemon's plausible request range.
@@ -139,6 +148,21 @@ func newServerMetrics(store func() *snakes.FileStore, adm *snakes.Admission, sch
 		slowQuery:   reg.Counter("snakestore_slow_query_total", "traced requests at or past the slow-query threshold"),
 		httpPanics:  reg.Counter("snakestore_http_panics_total", "handler panics recovered by the serving middleware"),
 		spanSeconds: make(map[string]*obs.Histogram, len(snakes.TraceSpanKinds())),
+
+		ingestPuts:      reg.Counter("snakestore_ingest_puts_total", "cell upserts accepted into the delta store"),
+		ingestBytes:     reg.Counter("snakestore_ingest_bytes_total", "framed payload bytes accepted into the delta store"),
+		ingestRejected:  reg.Counter("snakestore_ingest_rejected_total", "cell upserts shed on delta backlog pressure or put failure"),
+		queryDeltaCells: reg.Counter("snakestore_query_delta_cells_total", "cells queries served from the delta store via merge-on-read"),
+	}
+	for _, scope := range []string{"cell", "all"} {
+		scope := scope
+		reg.CounterFunc("snakestore_plan_cache_invalidations_total", "parallel read plans invalidated, by scope (cell = targeted by a write, all = cache overflow)", func() int64 {
+			cell, all := store().PlanCacheInvalidations()
+			if scope == "cell" {
+				return cell
+			}
+			return all
+		}, "scope", scope)
 	}
 	for _, k := range snakes.TraceSpanKinds() {
 		m.spanSeconds[k] = reg.Histogram("snakestore_trace_span_seconds", "span time in finished traces by span kind", latencyBuckets, "kind", k)

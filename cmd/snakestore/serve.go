@@ -64,6 +64,9 @@ type server struct {
 	traces     *snakes.TraceRecorder
 	started    time.Time
 
+	// Write path state; ing stays nil when -ingest is off.
+	ing *ingestState
+
 	// Adaptive reorganization state; reorg stays nil when -adapt is off.
 	reorg      *snakes.Reorganizer
 	generation atomic.Int64
@@ -158,6 +161,7 @@ func (s *server) st() *snakes.FileStore { return s.store.Load() }
 // closeStore closes the serving store, synchronizing with any in-flight
 // swap commit so the store that survives is the one that gets closed.
 func (s *server) closeStore() error {
+	s.closeIngest()
 	s.swapMu.Lock()
 	st := s.st()
 	s.swapMu.Unlock()
@@ -194,16 +198,71 @@ func (s *server) enableReorg(catPath, storeBase string, frames int, cat *catalog
 func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) error {
 	old := s.st()
 	newPath := genPath(s.storeBase, d.Generation)
-	dst, err := d.Strategy.MigrateCtx(ctx, old, newPath, s.frames, d.Progress)
+	// The copy is incremental: the target linearization is cut into regions
+	// scored by (1 + pending delta bytes) × (1 + clustering violation), and
+	// the worst-clustered regions are rewritten first in paced bounded
+	// ticks, so the migration converges toward the DP-optimal layout
+	// without ever rewriting the whole file in one burst. Pending delta
+	// upserts are folded in through the overlay as their cells are copied.
+	var migLog *snakes.DeltaLog
+	if s.ing != nil {
+		s.ing.mu.Lock()
+		migLog = s.ing.log
+		s.ing.mu.Unlock()
+	}
+	dst, ticks, err := d.Strategy.MigrateRegionsCtx(ctx, old, newPath, s.frames, migLog, snakes.RegionMigrateOptions{
+		RegionCells:     d.Pacing.RegionCells,
+		MaxCellsPerTick: d.Pacing.MaxCellsPerTick,
+		Pause:           d.Pacing.TickPause,
+		Progress:        d.Progress,
+	})
 	if err != nil {
 		return err
 	}
+	s.log.Info("reorg", "msg", "incremental region copy complete", "ticks", ticks, "gen", d.Generation)
 	s.armFragmentObserver(dst)
+	var newLog *snakes.DeltaLog
 	abort := func(err error) error {
+		if newLog != nil {
+			newLog.Close()
+			os.Remove(newLog.Path())
+		}
 		dst.Close()
 		os.Remove(newPath)
 		os.Remove(snakes.ParityPath(newPath))
 		return err
+	}
+	// Cutover: block puts and compaction ticks, fold every entry still in
+	// the log into the new generation (upserts that landed during the copy,
+	// plus already-copied ones — PutCellBytes is an idempotent replace), and
+	// open the new generation's fresh log. ing.mu is held through the swap
+	// below so no put can land in the old log after its tail was carried.
+	ingLocked := false
+	unlockIngest := func() {
+		if ingLocked {
+			s.ing.mu.Unlock()
+			ingLocked = false
+		}
+	}
+	if s.ing != nil {
+		s.ing.mu.Lock()
+		ingLocked = true
+	}
+	defer unlockIngest()
+	if s.ing != nil {
+		for _, p := range s.ing.log.SnapshotPending() {
+			if perr := dst.PutCellBytes(p.Cell, p.Payload); perr != nil {
+				return abort(fmt.Errorf("reorg: carrying delta for cell %d: %w", p.Cell, perr))
+			}
+		}
+		if ferr := dst.Pool().Flush(); ferr != nil {
+			return abort(ferr)
+		}
+		newLog, err = snakes.OpenDeltaLog(snakes.DeltaPath(newPath), int64(d.Generation), s.ing.opt)
+		if err != nil {
+			return abort(err)
+		}
+		snakes.AttachDeltaLog(dst, newLog)
 	}
 	// The new generation's parity sidecar is written before the catalog
 	// commit, so a generation is never live without its repair coverage; a
@@ -248,6 +307,22 @@ func (s *server) reorgMigrate(ctx context.Context, d *snakes.ReorgDecision) erro
 	s.generation.Store(int64(d.Generation))
 	ssp.End()
 	s.swapMu.Unlock()
+
+	// The new generation is serving; retire the old delta log. Its entries
+	// were all folded into dst under ing.mu above, so the file is dead
+	// weight (and would fail its generation check on the next startup).
+	if s.ing != nil {
+		oldLog := s.ing.log
+		s.ing.log = newLog
+		newLog = nil // the abort path must not remove the serving log
+		if cerr := oldLog.Close(); cerr != nil {
+			s.log.Warn("reorg", "msg", "closing retired delta log", "err", cerr)
+		}
+		if rerr := os.Remove(oldLog.Path()); rerr != nil && !os.IsNotExist(rerr) {
+			s.log.Warn("reorg", "msg", "removing retired delta log", "err", rerr)
+		}
+	}
+	unlockIngest()
 
 	// The quarantine describes pages of the generation that just retired;
 	// carrying its page ids against the new file would keep /healthz
@@ -305,6 +380,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealthz))
 	mux.HandleFunc("/reorg", s.instrument("reorg", true, s.handleReorg))
 	mux.HandleFunc("/repair", s.instrument("repair", true, s.handleRepair))
+	mux.HandleFunc("/ingest", s.instrument("ingest", true, s.handleIngest))
 	mux.HandleFunc("/debug/traces", s.instrument("traces", false, s.handleTraces))
 	// /metrics keeps answering 200 through drain and even after the store
 	// closes: the registry reads atomics, never the file.
@@ -679,6 +755,7 @@ type queryResponse struct {
 	Pages      int64    `json:"analyticPages"`
 	PagesRead  int64    `json:"pagesRead"`
 	Seeks      int64    `json:"observedSeeks"`
+	DeltaCells int64    `json:"deltaCells,omitempty"` // cells served from the delta store
 	Generation int64    `json:"generation"`
 	TraceID    uint64   `json:"traceId,omitempty"` // set when this request was traced
 }
@@ -761,7 +838,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.PagesRead = tally.Stats().Misses
 	resp.Seeks = tally.Seeks()
+	resp.DeltaCells = tally.DeltaHits()
 	s.metrics.queryRecords.Add(resp.Records)
+	s.metrics.queryDeltaCells.Add(resp.DeltaCells)
 	s.metrics.pagesAnalytic.Observe(float64(pred.Pages))
 	s.metrics.pagesRead.Observe(float64(resp.PagesRead))
 	s.metrics.seeksAnalytic.Observe(float64(pred.Seeks))
@@ -965,7 +1044,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	pages := s.quarantinedPages()
 	st := s.st()
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":           s.healthState(),
 		"generation":       s.generation.Load(),
 		"startedAt":        s.started.UTC().Format(time.RFC3339),
@@ -975,7 +1054,25 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"quarantinedPages": pages,
 		"lastScrub":        lastScrub,
 		"parity":           map[string]any{"attached": st.HasParity(), "group": st.ParityGroup()},
-	})
+	}
+	if s.ing != nil {
+		s.ing.mu.Lock()
+		l := s.ing.log
+		ticks, cells, bytes := s.ing.comp.Ticks()
+		ingest := map[string]any{
+			"pendingCells":       l.PendingCells(),
+			"pendingBytes":       l.PendingBytes(),
+			"puts":               l.Puts(),
+			"compactionTicks":    ticks,
+			"compactedCells":     cells,
+			"compactedBytes":     bytes,
+			"compactionLagSecs":  l.OldestPendingAge(time.Now()).Seconds(),
+			"writeRateBytesPerS": s.ing.rate.Rate(time.Now()),
+		}
+		s.ing.mu.Unlock()
+		body["ingest"] = ingest
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 // payloadColumn extracts the idx-th comma-separated payload column as a
@@ -1077,6 +1174,13 @@ func cmdServe(args []string) error {
 	adaptHysteresis := fs.Int("adapt-hysteresis", 3, "consecutive over-threshold evaluations required before acting")
 	adaptMinInterval := fs.Duration("adapt-min-interval", 10*time.Minute, "minimum time between reorganization attempts")
 	adaptMinWeight := fs.Float64("adapt-min-weight", 100, "minimum decayed observation mass before the policy may act")
+	ingestOn := fs.Bool("ingest", false, "accept cell upserts on POST /ingest (delta store + background compaction)")
+	ingestSync := fs.String("ingest-sync", "batch", "delta log fsync policy: always, batch, or none")
+	ingestBatchKB := fs.Int("ingest-batch-kb", 256, "fsync batch size in KiB for -ingest-sync=batch")
+	ingestMaxPendingMB := fs.Int("ingest-max-pending-mb", 64, "delta backlog ceiling in MiB before puts shed with 503; 0 = unbounded")
+	compactInterval := fs.Duration("compact-interval", time.Second, "background compaction tick interval")
+	compactRegion := fs.Int("compact-region", 64, "compaction scoring window in linearization positions")
+	compactTickKB := fs.Int("compact-tick-kb", 1024, "delta bytes in KiB folded into the base file per compaction tick")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -1140,6 +1244,26 @@ func cmdServe(args []string) error {
 	if *scrubRate > 0 {
 		go srv.runScrubLoop(ctx, *scrubRate)
 	}
+	if *ingestOn {
+		pol, perr := snakes.ParseSyncPolicy(*ingestSync)
+		if perr != nil {
+			store.Close()
+			return usagef("%v", perr)
+		}
+		dopt := snakes.DeltaOptions{
+			Policy:          pol,
+			BatchBytes:      int64(*ingestBatchKB) << 10,
+			MaxPendingBytes: int64(*ingestMaxPendingMB) << 20,
+		}
+		if err := srv.enableIngest(*catPath, *storePath, cat, dopt, ingestConfig{
+			regionCells: *compactRegion,
+			tickBytes:   int64(*compactTickKB) << 10,
+		}); err != nil {
+			store.Close()
+			return err
+		}
+		go srv.runCompactorLoop(ctx, *compactInterval)
+	}
 	if *adapt {
 		cfg := snakes.DefaultReorgConfig()
 		cfg.CheckInterval = *adaptInterval
@@ -1154,8 +1278,8 @@ func cmdServe(args []string) error {
 		}
 		go srv.runReorgLoop(ctx, cfg.CheckInterval)
 	}
-	fmt.Printf("serving %s (generation %d) on http://%s (capacity %d pages, queue timeout %v, adapt %v)\n",
-		active, cat.Generation, ln.Addr(), *maxInflight, *queueTimeout, *adapt)
+	fmt.Printf("serving %s (generation %d) on http://%s (capacity %d pages, queue timeout %v, adapt %v, ingest %v)\n",
+		active, cat.Generation, ln.Addr(), *maxInflight, *queueTimeout, *adapt, *ingestOn)
 	if err := serve(ctx, ln, srv, *drainTimeout); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

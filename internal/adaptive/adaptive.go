@@ -60,6 +60,22 @@ type Config struct {
 	Hysteresis int
 	// MinInterval is the minimum time between reorganization attempts.
 	MinInterval time.Duration
+	// Pacing bounds the incremental migrator the decision is handed to.
+	Pacing Pacing
+}
+
+// Pacing is the controller's I/O budget for a reorganization: the
+// incremental migrator copies the store in region-scored ticks of at most
+// MaxCellsPerTick cells, sleeping TickPause between them, so a re-cluster
+// never rewrites the whole file in one burst and concurrent queries keep
+// their latency. The zero value lets the migrator pick its own defaults.
+type Pacing struct {
+	// RegionCells is the scoring window in consecutive target positions.
+	RegionCells int
+	// MaxCellsPerTick bounds the cells copied per tick.
+	MaxCellsPerTick int
+	// TickPause is slept between ticks.
+	TickPause time.Duration
 }
 
 // Defaults returns a conservative production-shaped policy.
@@ -72,6 +88,11 @@ func Defaults() Config {
 		RegretThreshold: 1.2,
 		Hysteresis:      3,
 		MinInterval:     10 * time.Minute,
+		Pacing: Pacing{
+			RegionCells:     64,
+			MaxCellsPerTick: 256,
+			TickPause:       10 * time.Millisecond,
+		},
 	}
 }
 
@@ -94,6 +115,9 @@ func (c Config) validate() error {
 	if c.MinInterval < 0 {
 		return fmt.Errorf("adaptive: negative MinInterval %v", c.MinInterval)
 	}
+	if c.Pacing.RegionCells < 0 || c.Pacing.MaxCellsPerTick < 0 || c.Pacing.TickPause < 0 {
+		return fmt.Errorf("adaptive: negative pacing %+v", c.Pacing)
+	}
 	return nil
 }
 
@@ -109,6 +133,7 @@ type Decision struct {
 	OptimalCost float64 // expected seeks/query of Path
 	Regret      float64 // CurrentCost / OptimalCost
 	Generation  int     // generation the new store assumes on success
+	Pacing      Pacing  // I/O budget for the incremental migrator
 	Progress    func(done, total int)
 }
 
@@ -316,6 +341,7 @@ func (c *Controller) evaluate(ctx context.Context) (_ Evaluation, _ *Decision, r
 			OptimalCost: optCost,
 			Regret:      ev.Regret,
 			Generation:  c.generation + 1,
+			Pacing:      c.cfg.Pacing,
 		}
 	}
 	c.mu.Unlock()
@@ -387,6 +413,7 @@ func (c *Controller) Trigger(ctx context.Context, force bool) (*Decision, error)
 			OptimalCost: ev.OptimalCost,
 			Regret:      ev.Regret,
 			Generation:  c.generation + 1,
+			Pacing:      c.cfg.Pacing,
 		}
 		c.mu.Unlock()
 	}

@@ -1,0 +1,370 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/linear"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// This file is the background half of the write path: paced compaction of
+// the delta log into the base file, and the incremental region migration
+// that replaces whole-file MigrateCtx as the adaptive controller's default
+// action.
+//
+// Both share one scoring idea. The linearization is cut into fixed-size
+// windows of consecutive positions ("regions"), and each region scores
+//
+//	score = (1 + deltaBytes) × (1 + violation)
+//
+// where deltaBytes is the pending upsert payload in the region and
+// violation is the region's mean displacement |targetPos − deployedPos|
+// against the current DP-optimal order. In-place compaction runs with the
+// deployed order as target (violation = 0), so the score degenerates to
+// the delta mass and the compactor simply drains the heaviest regions
+// first; a reorganization decision supplies the new target order, and the
+// same formula makes the migrator rewrite the worst-clustered regions
+// first, amortizing the O(N) reorg over bounded ticks.
+
+// CompactorConfig tunes the paced compactor.
+type CompactorConfig struct {
+	// RegionCells is the scoring window in consecutive positions
+	// (default 64).
+	RegionCells int
+	// MaxBytesPerTick bounds the delta payload applied per tick
+	// (default 1 MiB). A tick never rewrites more than this plus one
+	// region's overshoot, so compaction cost stays amortized no matter how
+	// large the backlog grows.
+	MaxBytesPerTick int64
+	// Commit, when non-nil, persists the store's catalog (the new
+	// LoadedBytes) after the tick's cells are applied and flushed, before
+	// the log is checkpointed — the catalog-first commit point. A failed
+	// commit aborts the checkpoint; the entries simply remain pending.
+	Commit func(ctx context.Context, loadedBytes []int64) error
+}
+
+// TickStats reports one compaction tick.
+type TickStats struct {
+	CellsApplied int
+	BytesApplied int64
+	Regions      int // regions the applied cells spanned
+	PendingCells int // left after the tick
+	PendingBytes int64
+}
+
+// Compactor folds the delta log into the base store in paced ticks. It
+// keeps only counters; the store and log are passed per tick so the serve
+// loop can hot-swap generations without rebuilding the compactor.
+type Compactor struct {
+	cfg   CompactorConfig
+	crash string
+
+	ticks, cells, bytes int64
+}
+
+// NewCompactor validates the config and applies defaults.
+func NewCompactor(cfg CompactorConfig) *Compactor {
+	if cfg.RegionCells <= 0 {
+		cfg.RegionCells = 64
+	}
+	if cfg.MaxBytesPerTick <= 0 {
+		cfg.MaxBytesPerTick = 1 << 20
+	}
+	return &Compactor{cfg: cfg, crash: os.Getenv(crashEnv)}
+}
+
+// Ticks returns the lifetime (ticks, cells applied, bytes applied).
+func (c *Compactor) Ticks() (ticks, cells, bytes int64) {
+	return c.ticks, c.cells, c.bytes
+}
+
+// regionScore aggregates one scoring window's pending cells.
+type regionScore struct {
+	region int
+	bytes  int64
+	cells  []Pending
+}
+
+// Tick applies up to MaxBytesPerTick of pending delta payload to the base
+// store, heaviest regions first, then commits the catalog and checkpoints
+// the log. Safe to call concurrently with queries: each PutCellBytes runs
+// under the store's write lock, and until the checkpoint removes an entry
+// the overlay keeps serving it, so readers never observe a half-applied
+// cell. Under a trace the tick is one compact span.
+func (c *Compactor) Tick(ctx context.Context, fs *storage.FileStore, log *Log) (TickStats, error) {
+	pend := log.SnapshotPending()
+	if len(pend) == 0 {
+		return TickStats{}, nil
+	}
+	c.ticks++
+	_, sp := trace.Start(ctx, trace.KindCompact, "")
+	defer sp.End()
+	order := fs.Layout().Order()
+	byRegion := make(map[int]*regionScore)
+	for _, p := range pend {
+		w := order.PosOf(p.Cell) / c.cfg.RegionCells
+		rs := byRegion[w]
+		if rs == nil {
+			rs = &regionScore{region: w}
+			byRegion[w] = rs
+		}
+		rs.bytes += int64(len(p.Payload))
+		rs.cells = append(rs.cells, p)
+	}
+	regions := make([]*regionScore, 0, len(byRegion))
+	for _, rs := range byRegion {
+		sort.Slice(rs.cells, func(i, j int) bool {
+			return order.PosOf(rs.cells[i].Cell) < order.PosOf(rs.cells[j].Cell)
+		})
+		regions = append(regions, rs)
+	}
+	// In-place compaction: target == deployed, violation = 0, so the score
+	// is the delta mass and ties break on region index for determinism.
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].bytes != regions[j].bytes {
+			return regions[i].bytes > regions[j].bytes
+		}
+		return regions[i].region < regions[j].region
+	})
+	stats := TickStats{}
+	applied := make(map[int]uint64)
+	budget := c.cfg.MaxBytesPerTick
+	for _, rs := range regions {
+		if stats.BytesApplied >= budget && stats.CellsApplied > 0 {
+			break
+		}
+		stats.Regions++
+		for _, p := range rs.cells {
+			if err := ctx.Err(); err != nil {
+				sp.SetError(err)
+				return stats, err
+			}
+			if err := fs.PutCellBytes(p.Cell, p.Payload); err != nil {
+				sp.SetError(err)
+				return stats, fmt.Errorf("ingest: compacting cell %d: %w", p.Cell, err)
+			}
+			stats.CellsApplied++
+			stats.BytesApplied += int64(len(p.Payload))
+			applied[p.Cell] = p.Seq
+			if c.crash == "mid-compact" {
+				// Orchestrated crash after one cell reached the base file but
+				// before flush, commit or checkpoint. The entry is still in
+				// the log; recovery re-applies it.
+				os.Exit(crashExitCode)
+			}
+		}
+	}
+	// Durability order: base pages, then catalog, then the checkpoint that
+	// forgets the entries. A crash between any two steps replays safely.
+	if err := fs.Pool().Flush(); err != nil {
+		sp.SetError(err)
+		return stats, fmt.Errorf("ingest: compaction flush: %w", err)
+	}
+	if c.cfg.Commit != nil {
+		if err := c.cfg.Commit(ctx, fs.LoadedBytes()); err != nil {
+			sp.SetError(err)
+			return stats, fmt.Errorf("ingest: compaction catalog commit: %w", err)
+		}
+	}
+	if err := log.Checkpoint(applied); err != nil {
+		sp.SetError(err)
+		return stats, fmt.Errorf("ingest: compaction checkpoint: %w", err)
+	}
+	c.cells += int64(stats.CellsApplied)
+	c.bytes += stats.BytesApplied
+	stats.PendingCells = log.PendingCells()
+	stats.PendingBytes = log.PendingBytes()
+	sp.SetAttr("cells", int64(stats.CellsApplied))
+	sp.SetAttr("bytes", stats.BytesApplied)
+	sp.SetAttr("regions", int64(stats.Regions))
+	sp.SetAttr("pending_cells", int64(stats.PendingCells))
+	return stats, nil
+}
+
+// Recover replays every pending log entry into the base store and flushes
+// it — the startup redo pass. The caller then rebuilds parity, persists
+// the catalog, and calls log.Checkpoint to retire the entries (Recover
+// returns the applied seqs). Idempotent: re-applying an entry the crashed
+// process already applied rewrites the same bytes.
+func Recover(ctx context.Context, fs *storage.FileStore, log *Log) (map[int]uint64, int, error) {
+	pend := log.SnapshotPending()
+	if len(pend) == 0 {
+		return nil, 0, nil
+	}
+	applied := make(map[int]uint64, len(pend))
+	for _, p := range pend {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		if err := fs.PutCellBytes(p.Cell, p.Payload); err != nil {
+			return nil, 0, fmt.Errorf("ingest: recovery of cell %d: %w", p.Cell, err)
+		}
+		applied[p.Cell] = p.Seq
+	}
+	if err := fs.Pool().Flush(); err != nil {
+		return nil, 0, fmt.Errorf("ingest: recovery flush: %w", err)
+	}
+	return applied, len(pend), nil
+}
+
+// RegionMigrateOptions paces an incremental migration.
+type RegionMigrateOptions struct {
+	// RegionCells is the copy unit in consecutive target positions
+	// (default 64).
+	RegionCells int
+	// MaxCellsPerTick bounds the cells copied per tick (default: one
+	// region). The migration never rewrites the whole file in one tick as
+	// long as this is below the cell count.
+	MaxCellsPerTick int
+	// Pause is slept between ticks (0 = no pacing), keeping the copy's I/O
+	// from starving concurrent queries.
+	Pause time.Duration
+	// Progress, when non-nil, is called after each tick with (cellsCopied,
+	// totalCells); it runs on the migrating goroutine and must be cheap.
+	Progress func(done, total int)
+}
+
+// MigrateRegionsCtx re-clusters a store onto a new linearization the
+// incremental way: the target order is cut into regions, regions are
+// scored by (1 + deltaBytes) × (1 + violation distance) — pending upserts
+// from log count toward deltaBytes, and violation is the mean |targetPos −
+// deployedPos| of the region's cells — and copied worst-first in paced,
+// bounded ticks. Reads through the old store are overlay-aware, so cells
+// with pending deltas are copied with their freshest content; entries put
+// *during* the copy carry newer seqs and survive the caller's checkpoint
+// into the next generation's log.
+//
+// Like MigrateCtx, the partial output is removed on any failure and the
+// returned store is flushed and ready to swap. The returned tick count and
+// per-tick ceiling let callers assert the full file was never rewritten in
+// one tick.
+func MigrateRegionsCtx(ctx context.Context, old *storage.FileStore, newPath string, newOrder *linear.Order, poolFrames int, log *Log, opt RegionMigrateOptions) (*storage.FileStore, int, error) {
+	if opt.RegionCells <= 0 {
+		opt.RegionCells = 64
+	}
+	if opt.MaxCellsPerTick <= 0 {
+		opt.MaxCellsPerTick = opt.RegionCells
+	}
+	oldOrder := old.Layout().Order()
+	total := oldOrder.Len()
+	if newOrder.Len() != total {
+		return nil, 0, fmt.Errorf("ingest: migrating %d cells onto an order with %d", total, newOrder.Len())
+	}
+	bytesPerCell := make([]int64, total)
+	for cell := 0; cell < total; cell++ {
+		bytesPerCell[cell] = old.Layout().CellCapacity(cell)
+	}
+	dst, err := storage.CreateFileStore(newPath, newOrder, bytesPerCell, int(old.Layout().PageSize()), poolFrames)
+	if err != nil {
+		return nil, 0, err
+	}
+	abort := func(err error) (*storage.FileStore, int, error) {
+		dst.Close()
+		os.Remove(newPath)
+		return nil, 0, err
+	}
+	// Score target regions: windows of consecutive *new* positions, so each
+	// copied region lands contiguously in the destination.
+	type migRegion struct {
+		lo, hi int // target position range [lo, hi)
+		score  float64
+	}
+	nRegions := (total + opt.RegionCells - 1) / opt.RegionCells
+	regions := make([]migRegion, 0, nRegions)
+	for w := 0; w < nRegions; w++ {
+		lo := w * opt.RegionCells
+		hi := lo + opt.RegionCells
+		if hi > total {
+			hi = total
+		}
+		var delta, violation int64
+		for pos := lo; pos < hi; pos++ {
+			cell := newOrder.CellAt(pos)
+			d := pos - oldOrder.PosOf(cell)
+			if d < 0 {
+				d = -d
+			}
+			violation += int64(d)
+			if log != nil {
+				if b, ok := log.Get(cell); ok {
+					delta += int64(len(b))
+				}
+			}
+		}
+		mean := float64(violation) / float64(hi-lo)
+		regions = append(regions, migRegion{lo: lo, hi: hi, score: (1 + float64(delta)) * (1 + mean)})
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].score != regions[j].score {
+			return regions[i].score > regions[j].score
+		}
+		return regions[i].lo < regions[j].lo
+	})
+	cctx, copySpan := trace.Start(ctx, trace.KindCopy, "")
+	copySpan.SetAttr("cells", int64(total))
+	copySpan.SetAttr("regions", int64(len(regions)))
+	done, ticks, inTick := 0, 0, 0
+	for _, rg := range regions {
+		for pos := rg.lo; pos < rg.hi; pos++ {
+			if err := ctx.Err(); err != nil {
+				copySpan.SetError(err)
+				copySpan.End()
+				return abort(err)
+			}
+			if inTick >= opt.MaxCellsPerTick {
+				ticks++
+				inTick = 0
+				if opt.Progress != nil {
+					opt.Progress(done, total)
+				}
+				if opt.Pause > 0 {
+					select {
+					case <-ctx.Done():
+						copySpan.SetError(ctx.Err())
+						copySpan.End()
+						return abort(ctx.Err())
+					case <-time.After(opt.Pause):
+					}
+				}
+			}
+			cell := newOrder.CellAt(pos)
+			// Overlay-aware read: pending deltas ride along into the copy.
+			records, err := storage.ReadCellRepairing(cctx, old, cell)
+			if err != nil {
+				copySpan.SetError(err)
+				copySpan.End()
+				return abort(fmt.Errorf("ingest: region copy of cell %d: %w", cell, err))
+			}
+			for _, rec := range records {
+				if err := dst.PutRecord(cell, rec); err != nil {
+					copySpan.SetError(err)
+					copySpan.End()
+					return abort(fmt.Errorf("ingest: region copy of cell %d: %w", cell, err))
+				}
+			}
+			done++
+			inTick++
+		}
+	}
+	if inTick > 0 {
+		ticks++
+	}
+	if opt.Progress != nil {
+		opt.Progress(done, total)
+	}
+	copySpan.SetAttr("ticks", int64(ticks))
+	copySpan.End()
+	fsp := trace.StartLeaf(ctx, trace.KindFlush, "")
+	if err := dst.Pool().Flush(); err != nil {
+		fsp.SetError(err)
+		fsp.End()
+		return abort(fmt.Errorf("ingest: migration flush: %w", err))
+	}
+	fsp.End()
+	return dst, ticks, nil
+}

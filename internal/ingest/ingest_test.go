@@ -1,0 +1,449 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/hierarchy"
+	"repro/internal/linear"
+	"repro/internal/storage"
+)
+
+// testOrder returns a small 4×6 row-major order.
+func testOrder(t *testing.T) *linear.Order {
+	t.Helper()
+	s := hierarchy.MustSchema(hierarchy.Uniform("A", 2, 2), hierarchy.Uniform("B", 1, 6))
+	o, err := linear.RowMajor(s, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// colMajor returns the transposed linearization of testOrder's schema.
+func colMajor(t *testing.T) *linear.Order {
+	t.Helper()
+	s := hierarchy.MustSchema(hierarchy.Uniform("A", 2, 2), hierarchy.Uniform("B", 1, 6))
+	o, err := linear.RowMajor(s, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// testStore creates a store whose cells hold room for perCell records of
+// recLen bytes, pre-filled with seeded records.
+func testStore(t *testing.T, o *linear.Order, perCell, filled, recLen int) (*storage.FileStore, string) {
+	t.Helper()
+	bytesPerCell := make([]int64, o.Len())
+	for c := range bytesPerCell {
+		bytesPerCell[c] = int64(perCell) * storage.FrameSize(recLen)
+	}
+	path := filepath.Join(t.TempDir(), "facts.db")
+	fs, err := storage.CreateFileStore(path, o, bytesPerCell, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	for c := 0; c < o.Len(); c++ {
+		for r := 0; r < filled; r++ {
+			if err := fs.PutRecord(c, []byte(baseRec(c, r, recLen))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return fs, path
+}
+
+func baseRec(cell, r, n int) string {
+	s := fmt.Sprintf("b%03d-%02d", cell, r)
+	for len(s) < n {
+		s += "."
+	}
+	return s[:n]
+}
+
+func deltaRec(cell, r, n int) string {
+	s := fmt.Sprintf("d%03d-%02d", cell, r)
+	for len(s) < n {
+		s += "."
+	}
+	return s[:n]
+}
+
+func readCell(t *testing.T, fs *storage.FileStore, cell int) []string {
+	t.Helper()
+	var got []string
+	if err := fs.ReadCellCtx(context.Background(), cell, func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "facts.db.delta")
+	l, err := Open(path, 3, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]byte{}
+	for cell := 0; cell < 7; cell++ {
+		// Two puts per cell: the second must win.
+		stale := storage.FrameRecords([]byte(fmt.Sprintf("old-%d", cell)))
+		fresh := storage.FrameRecords([]byte(fmt.Sprintf("new-%d", cell)), []byte("tail"))
+		if err := l.Put(cell, stale); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Put(cell, fresh); err != nil {
+			t.Fatal(err)
+		}
+		want[cell] = fresh
+	}
+	check := func(l *Log, stage string) {
+		t.Helper()
+		if n := l.PendingCells(); n != len(want) {
+			t.Fatalf("%s: %d pending cells, want %d", stage, n, len(want))
+		}
+		for cell, framed := range want {
+			got, ok := l.Get(cell)
+			if !ok || !bytes.Equal(got, framed) {
+				t.Fatalf("%s: Get(%d) = %q, %v; want %q", stage, cell, got, ok, framed)
+			}
+		}
+		if _, ok := l.Get(99); ok {
+			t.Fatalf("%s: Get(99) hit on a cell never put", stage)
+		}
+	}
+	check(l, "live")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path, 3, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	check(l2, "replayed")
+	// Wrong generation must be rejected, not silently replayed.
+	l2.Close()
+	if _, err := Open(path, 4, Options{}); err == nil {
+		t.Fatal("Open with mismatched generation succeeded")
+	}
+}
+
+func TestLogTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "facts.db.delta")
+	l, err := Open(path, 1, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := storage.FrameRecords([]byte("survives"))
+	if err := l.Put(5, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half a record's worth of garbage.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 200, 1, 0, 0, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore := fileSize(t, path)
+	l2, err := Open(path, 1, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got, ok := l2.Get(5); !ok || !bytes.Equal(got, good) {
+		t.Fatalf("after torn tail, Get(5) = %q, %v; want %q", got, ok, good)
+	}
+	if l2.PendingCells() != 1 {
+		t.Fatalf("pending cells = %d, want 1", l2.PendingCells())
+	}
+	if sz := fileSize(t, path); sz >= sizeBefore {
+		t.Fatalf("torn tail not truncated: size %d, was %d", sz, sizeBefore)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+func TestLogCheckpointKeepsNewerPuts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "facts.db.delta")
+	l, err := Open(path, 1, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	a := storage.FrameRecords([]byte("a"))
+	b := storage.FrameRecords([]byte("b"))
+	c := storage.FrameRecords([]byte("c"))
+	if err := l.Put(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put(2, b); err != nil {
+		t.Fatal(err)
+	}
+	snap := l.SnapshotPending()
+	applied := make(map[int]uint64, len(snap))
+	for _, p := range snap {
+		applied[p.Cell] = p.Seq
+	}
+	// A put racing the compactor's apply phase: newer seq, must survive.
+	if err := l.Put(2, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(applied); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Get(1); ok {
+		t.Fatal("checkpoint kept an applied entry")
+	}
+	if got, ok := l.Get(2); !ok || !bytes.Equal(got, c) {
+		t.Fatalf("checkpoint dropped a newer put: Get(2) = %q, %v", got, ok)
+	}
+	// The survivor must also survive a crash + replay.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got, ok := l2.Get(2); !ok || !bytes.Equal(got, c) {
+		t.Fatalf("replay after checkpoint: Get(2) = %q, %v; want %q", got, ok, c)
+	}
+	if l2.PendingCells() != 1 {
+		t.Fatalf("pending cells after replay = %d, want 1", l2.PendingCells())
+	}
+}
+
+func TestLogBacklog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "facts.db.delta")
+	l, err := Open(path, 1, Options{Policy: SyncNone, MaxPendingBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	small := storage.FrameRecords([]byte("fits"))
+	if err := l.Put(1, small); err != nil {
+		t.Fatal(err)
+	}
+	big := storage.FrameRecords(bytes.Repeat([]byte{7}, 80))
+	if err := l.Put(2, big); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("oversized put: err = %v, want ErrBacklog", err)
+	}
+	// Replacing a cell's payload counts only the delta against the budget.
+	if err := l.Put(1, storage.FrameRecords([]byte("also"))); err != nil {
+		t.Fatalf("same-size replacement rejected: %v", err)
+	}
+}
+
+func TestCompactorDrainsWorstFirst(t *testing.T) {
+	o := testOrder(t)
+	fs, path := testStore(t, o, 4, 2, 11)
+	log, err := Open(DeltaPath(path), 0, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	fs.SetOverlay(log.Overlay())
+
+	// Cells 0..5 share region 0 (RegionCells=8 below groups positions 0-7);
+	// give region 1 (positions 8-15) more delta mass so it drains first.
+	want := map[int][]string{}
+	put := func(cell, n int) {
+		t.Helper()
+		var recs [][]byte
+		want[cell] = nil
+		for r := 0; r < n; r++ {
+			rec := deltaRec(cell, r, 11)
+			recs = append(recs, []byte(rec))
+			want[cell] = append(want[cell], rec)
+		}
+		framed := storage.FrameRecords(recs...)
+		if err := log.Put(cell, framed); err != nil {
+			t.Fatal(err)
+		}
+		fs.InvalidateCellPlans(cell)
+	}
+	put(2, 1)  // region 0: light
+	put(9, 4)  // region 1: heavy
+	put(10, 4) // region 1: heavy
+	put(17, 2) // region 2: medium
+
+	// Merge-on-read sees the overlay before any compaction.
+	if got := readCell(t, fs, 9); len(got) != 4 || got[0] != deltaRec(9, 0, 11) {
+		t.Fatalf("overlay read of cell 9 = %v", got)
+	}
+
+	comp := NewCompactor(CompactorConfig{RegionCells: 8, MaxBytesPerTick: 1})
+	ctx := context.Background()
+	// Budget of 1 byte: each tick still makes ≥1 region of progress, so the
+	// heaviest region drains first and the backlog empties in 3 ticks.
+	st1, err := comp.Tick(ctx, fs, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CellsApplied != 2 || st1.Regions != 1 {
+		t.Fatalf("tick 1 applied %d cells over %d regions, want heaviest region (2 cells)", st1.CellsApplied, st1.Regions)
+	}
+	if _, ok := log.Get(9); ok {
+		t.Fatal("cell 9 still pending after the tick that applied its region")
+	}
+	if _, ok := log.Get(2); !ok {
+		t.Fatal("light region drained before heavy one")
+	}
+	for i := 0; i < 4; i++ {
+		st, err := comp.Tick(ctx, fs, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.PendingCells == 0 && st.CellsApplied == 0 {
+			break
+		}
+		_ = i
+	}
+	if n := log.PendingCells(); n != 0 {
+		t.Fatalf("%d cells still pending after drain", n)
+	}
+	// Post-compaction reads come from the base file and match the deltas.
+	for cell, recs := range want {
+		if got := readCell(t, fs, cell); len(got) != len(recs) || got[0] != recs[0] {
+			t.Fatalf("cell %d after compaction = %v, want %v", cell, got, recs)
+		}
+	}
+	// Untouched cells keep their seeded base records.
+	if got := readCell(t, fs, 0); len(got) != 2 || got[0] != baseRec(0, 0, 11) {
+		t.Fatalf("untouched cell 0 = %v", got)
+	}
+	ticks, cells, _ := comp.Ticks()
+	if ticks < 3 || cells != 4 {
+		t.Fatalf("ticks=%d cells=%d, want ≥3 ticks draining 4 cells", ticks, cells)
+	}
+}
+
+func TestRecoverReplaysPending(t *testing.T) {
+	o := testOrder(t)
+	fs, path := testStore(t, o, 4, 2, 11)
+	log, err := Open(DeltaPath(path), 0, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	framed := storage.FrameRecords([]byte(deltaRec(7, 0, 11)))
+	if err := log.Put(7, framed); err != nil {
+		t.Fatal(err)
+	}
+	applied, n, err := Recover(context.Background(), fs, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d entries, want 1", n)
+	}
+	if err := log.Checkpoint(applied); err != nil {
+		t.Fatal(err)
+	}
+	if log.PendingCells() != 0 {
+		t.Fatal("log not empty after recovery checkpoint")
+	}
+	if got := readCell(t, fs, 7); len(got) != 1 || got[0] != deltaRec(7, 0, 11) {
+		t.Fatalf("cell 7 after recovery = %v", got)
+	}
+	// Recovery is idempotent: a second replay of the same entry (as after a
+	// crash between apply and checkpoint) leaves identical content.
+	if err := log.Put(7, framed); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(context.Background(), fs, log); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCell(t, fs, 7); len(got) != 1 || got[0] != deltaRec(7, 0, 11) {
+		t.Fatalf("cell 7 after double recovery = %v", got)
+	}
+}
+
+func TestMigrateRegionsMatchesWholeFile(t *testing.T) {
+	o := testOrder(t)
+	fs, path := testStore(t, o, 4, 3, 11)
+	newOrder := colMajor(t)
+	log, err := Open(DeltaPath(path), 0, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	fs.SetOverlay(log.Overlay())
+	// A pending delta must ride into the migrated file.
+	fresh := []string{deltaRec(11, 0, 11), deltaRec(11, 1, 11)}
+	if err := log.Put(11, storage.FrameRecords([]byte(fresh[0]), []byte(fresh[1]))); err != nil {
+		t.Fatal(err)
+	}
+	fs.InvalidateCellPlans(11)
+
+	dir := t.TempDir()
+	incPath := filepath.Join(dir, "inc.db")
+	ctx := context.Background()
+	var lastDone, total int
+	dst, ticks, err := MigrateRegionsCtx(ctx, fs, incPath, newOrder, 8, log, RegionMigrateOptions{
+		RegionCells:     4,
+		MaxCellsPerTick: 5,
+		Pause:           time.Microsecond,
+		Progress:        func(d, tot int) { lastDone, total = d, tot },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if lastDone != o.Len() || total != o.Len() {
+		t.Fatalf("progress ended at %d/%d, want %d/%d", lastDone, total, o.Len(), o.Len())
+	}
+	// Never the whole file in one tick: 24 cells at ≤5 per tick.
+	if ticks < 24/5 {
+		t.Fatalf("migration took %d ticks for 24 cells at ≤5/tick", ticks)
+	}
+
+	// Whole-file migration of the same source is the ground truth.
+	wholePath := filepath.Join(dir, "whole.db")
+	whole, err := storage.MigrateCtx(ctx, fs, wholePath, newOrder, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+	for cell := 0; cell < o.Len(); cell++ {
+		a, b := readCell(t, dst, cell), readCell(t, whole, cell)
+		if len(a) != len(b) {
+			t.Fatalf("cell %d: incremental has %d records, whole-file %d", cell, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cell %d record %d: %q vs %q", cell, i, a[i], b[i])
+			}
+		}
+	}
+	// And the delta actually landed.
+	if got := readCell(t, dst, 11); len(got) != 2 || got[0] != fresh[0] || got[1] != fresh[1] {
+		t.Fatalf("cell 11 in migrated store = %v, want %v", got, fresh)
+	}
+}

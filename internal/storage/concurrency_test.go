@@ -443,8 +443,46 @@ func TestConcurrentStress(t *testing.T) {
 
 	const workers = 12
 	stop := make(chan struct{})
-	var queries, rejected, corrupt, cancelled atomic.Int64
+	var queries, rejected, corrupt, cancelled, writes atomic.Int64
 	var wg sync.WaitGroup
+
+	// A writer races every reader: whole-cell replacements through the
+	// ingest write path, framed to the same size so the layout and fill
+	// state never change while queries, faults, and Close are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7777))
+		buf := make([]byte, 8)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cell := rng.Intn(o.Len())
+			recs := make([][]byte, 2)
+			for i := range recs {
+				binary.LittleEndian.PutUint64(buf, math.Float64bits(float64(cell*100+i)))
+				recs[i] = append([]byte(nil), buf...)
+			}
+			err := fs.PutCellBytes(cell, FrameRecords(recs...))
+			if err == nil {
+				writes.Add(1)
+				continue
+			}
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+			if !allowed(err) {
+				t.Errorf("writer: untyped failure: %v", err)
+				return
+			}
+			if errors.Is(err, ErrCorruptPage) {
+				corrupt.Add(1)
+			}
+		}
+	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -532,10 +570,13 @@ func TestConcurrentStress(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
-	t.Logf("stress: %d queries, %d overload-rejected, %d corrupt, %d cancelled, pool=%+v, admission=%+v",
-		queries.Load(), rejected.Load(), corrupt.Load(), cancelled.Load(), fs.Pool().Stats(), adm.StatsSnapshot())
+	t.Logf("stress: %d queries, %d writes, %d overload-rejected, %d corrupt, %d cancelled, pool=%+v, admission=%+v",
+		queries.Load(), writes.Load(), rejected.Load(), corrupt.Load(), cancelled.Load(), fs.Pool().Stats(), adm.StatsSnapshot())
 	if queries.Load() == 0 {
 		t.Error("stress loop issued no queries")
+	}
+	if writes.Load() == 0 {
+		t.Error("stress loop completed no writes")
 	}
 
 	// Phase 3: post-shutdown scrub over a clean stack — the injected read

@@ -51,11 +51,23 @@ type FileStore struct {
 
 	// Prepared-plan cache for the parallel read path: region → seek runs.
 	// Runs are immutable while queries execute (workers only read them), so
-	// concurrent queries share one entry. Any PutRecord drops the whole cache
-	// — plans embed per-cell fill counts. Guarded by planMu, not fs.mu: the
-	// cache is touched under fs.mu's read lock from many queries at once.
-	planMu    sync.Mutex
-	planCache map[string][]readRun
+	// concurrent queries share one entry. Plans embed per-cell fill counts,
+	// so writes invalidate them — but only the entries whose region contains
+	// the written cell (see invalidateCellPlans); under mixed read/write
+	// load a drop-all policy would empty the cache on every upsert. Guarded
+	// by planMu, not fs.mu: the cache is touched under fs.mu's read lock
+	// from many queries at once.
+	planMu       sync.Mutex
+	planCache    map[string]planEntry
+	planInvCell  atomic.Int64 // entries dropped by cell-intersection invalidation
+	planInvAll   atomic.Int64 // entries dropped by the overflow drop-all
+	coordScratch []int        // invalidation scratch; guarded by fs.mu (writers only)
+
+	// Delta overlay (merge-on-read): when set, reads consult it per cell
+	// before touching base pages, and a hit substitutes the overlay's framed
+	// bytes for the cell's base content. Swapped atomically so readers never
+	// block on ingest; the function itself must be safe for concurrent use.
+	overlay atomic.Pointer[func(cell int) ([]byte, bool)]
 }
 
 // planCacheCap bounds the prepared-plan cache. On overflow the whole cache
@@ -192,6 +204,7 @@ func (fs *FileStore) PutRecord(cell int, payload []byte) error {
 	if off+need > hi {
 		return fmt.Errorf("storage: cell %d overflows its %d reserved bytes", cell, hi-lo)
 	}
+	old := fs.capturePreWrite(off, need)
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if err := fs.pool.WriteAt(hdr[:], off); err != nil {
@@ -202,18 +215,230 @@ func (fs *FileStore) PutRecord(cell int, payload []byte) error {
 	}
 	fs.fill[pos] += need
 	fs.plan[pos].fill += need
-	// Cached read plans embed fill counts; any write invalidates them all.
+	if old != nil {
+		neu := make([]byte, need)
+		copy(neu, hdr[:])
+		copy(neu[4:], payload)
+		fs.patchParity(off, old, neu)
+	}
+	fs.invalidateCellPlans(cell)
+	return nil
+}
+
+// PutCellBytes replaces the entire record content of a cell with framed —
+// a sequence of length-prefixed records (see FrameRecords) — resetting the
+// cell's fill to len(framed). Shrinking zeroes the abandoned tail so record
+// framing never resurrects stale bytes. The replace is idempotent: applying
+// the same bytes twice converges to the same state, which is what makes the
+// delta log's redo-on-recovery protocol safe. Like PutRecord, the write
+// patches an attached parity sidecar in place and invalidates only the
+// read plans whose region contains the cell.
+func (fs *FileStore) PutCellBytes(cell int, framed []byte) error {
+	if err := walkRecords(cell, framed, func(int, []byte) error { return nil }); err != nil {
+		return fmt.Errorf("storage: PutCellBytes rejects malformed framing: %w", err)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	pos := fs.layout.order.PosOf(cell)
+	lo, hi := fs.layout.start[pos], fs.layout.start[pos+1]
+	need := int64(len(framed))
+	if need > hi-lo {
+		return fmt.Errorf("storage: cell %d replacement of %d bytes overflows its %d reserved bytes", cell, need, hi-lo)
+	}
+	oldFill := fs.fill[pos]
+	span := need
+	if oldFill > span {
+		span = oldFill
+	}
+	old := fs.capturePreWrite(lo, span)
+	if need > 0 {
+		if err := fs.pool.WriteAt(framed, lo); err != nil {
+			return err
+		}
+	}
+	if oldFill > need {
+		// Zero the abandoned tail: fill is authoritative, but scrubbing and
+		// parity work on whole pages, so stale bytes must not linger.
+		zeros := make([]byte, oldFill-need)
+		if err := fs.pool.WriteAt(zeros, lo+need); err != nil {
+			return err
+		}
+	}
+	fs.fill[pos] = need
+	fs.plan[pos].fill = need
+	if old != nil {
+		neu := make([]byte, span)
+		copy(neu, framed)
+		fs.patchParity(lo, old, neu)
+	}
+	fs.invalidateCellPlans(cell)
+	return nil
+}
+
+// FrameRecords packs records into the store's length-prefixed cell framing
+// — the byte shape PutCellBytes replaces a cell with and walkRecords parses.
+func FrameRecords(records ...[]byte) []byte {
+	n := int64(0)
+	for _, rec := range records {
+		n += FrameSize(len(rec))
+	}
+	buf := make([]byte, 0, n)
+	var hdr [4]byte
+	for _, rec := range records {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, rec...)
+	}
+	return buf
+}
+
+// SetOverlay installs (or, with nil, removes) the delta overlay consulted
+// by every read path: a function returning the freshest framed content for
+// a cell, or ok=false when the base file is current. The ingest layer's
+// delta-log index is the intended implementation. The function must be
+// safe for concurrent calls and the returned bytes immutable; readers
+// parse them without copying.
+func (fs *FileStore) SetOverlay(f func(cell int) ([]byte, bool)) {
+	if f == nil {
+		fs.overlay.Store(nil)
+		return
+	}
+	fs.overlay.Store(&f)
+}
+
+// overlayFn returns the installed overlay, or nil.
+func (fs *FileStore) overlayFn() func(cell int) ([]byte, bool) {
+	if p := fs.overlay.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// invalidateCellPlans drops cached read plans whose region contains the
+// written cell — they embed its fill count — leaving disjoint plans hot.
+// Callers hold fs.mu exclusively (coordScratch relies on it).
+func (fs *FileStore) invalidateCellPlans(cell int) {
+	if fs.coordScratch == nil {
+		fs.coordScratch = make([]int, len(fs.layout.order.Shape()))
+	}
+	coords := fs.layout.order.Coords(cell, fs.coordScratch)
+	dropped := int64(0)
 	fs.planMu.Lock()
-	fs.planCache = nil
+	for key, e := range fs.planCache {
+		if e.region.Contains(coords) {
+			delete(fs.planCache, key)
+			dropped++
+		}
+	}
 	fs.planMu.Unlock()
-	// Any write invalidates an attached parity sidecar: repairing from it
-	// would resurrect pre-write bytes. WriteParity after loading resets it.
+	if dropped > 0 {
+		fs.planInvCell.Add(dropped)
+	}
+}
+
+// InvalidateCellPlans drops cached read plans whose region contains the
+// cell. Writes through the store invalidate automatically; this export is
+// for the ingest layer, whose delta-log upserts change what a plan's
+// region will return without touching the base file.
+func (fs *FileStore) InvalidateCellPlans(cell int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return
+	}
+	fs.invalidateCellPlans(cell)
+}
+
+// PlanCacheInvalidations reports how many prepared plans have been dropped,
+// split by scope: cell-intersection invalidation on writes vs the
+// drop-everything overflow path when the cache hits planCacheCap.
+func (fs *FileStore) PlanCacheInvalidations() (cell, all int64) {
+	return fs.planInvCell.Load(), fs.planInvAll.Load()
+}
+
+// capturePreWrite returns the current logical bytes of [off, off+n) when a
+// live parity sidecar is attached — the "read old" half of the XOR patch —
+// or nil when there is no sidecar to maintain. A failure to read the old
+// bytes degrades the sidecar to stale (its content can no longer be kept
+// consistent) rather than failing the caller's write.
+func (fs *FileStore) capturePreWrite(off, n int64) []byte {
+	fs.repairMu.Lock()
+	live := fs.parity != nil && !fs.parity.stale
+	fs.repairMu.Unlock()
+	if !live {
+		return nil
+	}
+	old := make([]byte, n)
+	if err := fs.pool.ReadAtCtx(context.Background(), old, off); err != nil {
+		fs.degradeParity()
+		return nil
+	}
+	return old
+}
+
+// patchParity folds old⊕new into the parity page(s) covering [off,
+// off+len(new)) — the in-place alternative to rebuilding the whole sidecar
+// on every write, keeping self-healing live under ingest. Parity tracks the
+// store's logical content (the pool included); RepairPage flushes the pool
+// before reconstructing so the on-disk siblings it XORs match. Any patch
+// failure degrades the sidecar to stale instead of failing the write: the
+// data write has already succeeded, and a stale sidecar is exactly the
+// pre-patch behavior. Callers hold fs.mu exclusively, so patches never
+// race repairs (which hold it shared).
+func (fs *FileStore) patchParity(off int64, old, neu []byte) {
+	fs.repairMu.Lock()
+	defer fs.repairMu.Unlock()
+	ps := fs.parity
+	if ps == nil || ps.stale {
+		return
+	}
+	u := fs.layout.usable()
+	k := int64(ps.group)
+	buf := make([]byte, u)
+	n := int64(len(neu))
+	for i := int64(0); i < n; {
+		page := (off + i) / u
+		j := (off + i) % u
+		run := u - j
+		if run > n-i {
+			run = n - i
+		}
+		changed := false
+		for b := int64(0); b < run; b++ {
+			if old[i+b] != neu[i+b] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			pp := 1 + page/k
+			if err := ps.file.ReadPage(pp, buf); err != nil {
+				ps.stale = true
+				return
+			}
+			for b := int64(0); b < run; b++ {
+				buf[j+b] ^= old[i+b] ^ neu[i+b]
+			}
+			if err := ps.file.WritePage(pp, buf); err != nil {
+				ps.stale = true
+				return
+			}
+		}
+		i += run
+	}
+}
+
+// degradeParity marks an attached sidecar stale: repair is refused until
+// WriteParity rebuilds it.
+func (fs *FileStore) degradeParity() {
 	fs.repairMu.Lock()
 	if fs.parity != nil {
 		fs.parity.stale = true
 	}
 	fs.repairMu.Unlock()
-	return nil
 }
 
 // walkRecords parses the length-prefixed framing of one cell's filled
@@ -251,6 +476,7 @@ func (fs *FileStore) ReadQueryCtx(ctx context.Context, r linear.Region, fn func(
 	if fs.closed {
 		return ErrClosed
 	}
+	ov := fs.overlayFn()
 	var buf []byte
 	var ft fragmentTracer
 	ft.start(ctx)
@@ -258,6 +484,22 @@ func (fs *FileStore) ReadQueryCtx(ctx context.Context, r linear.Region, fn func(
 		if err := ctx.Err(); err != nil {
 			ft.close(err)
 			return err
+		}
+		if ov != nil {
+			if ob, ok := ov(fs.layout.order.CellAt(pos)); ok {
+				// Overlay hit: the cell's freshest content lives in the delta
+				// index, so its base range is skipped entirely — a half-applied
+				// base rewrite behind the overlay is never parsed.
+				if t := tallyFrom(ctx); t != nil {
+					t.deltaHit()
+				}
+				ft.deltaHit()
+				if err := walkRecords(fs.layout.order.CellAt(pos), ob, fn); err != nil {
+					ft.close(nil)
+					return err
+				}
+				continue
+			}
 		}
 		filled := fs.fill[pos]
 		if filled == 0 {
@@ -292,6 +534,14 @@ func (fs *FileStore) ReadCellCtx(ctx context.Context, cell int, fn func(record [
 	}
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if ov := fs.overlayFn(); ov != nil {
+		if ob, ok := ov(cell); ok {
+			if t := tallyFrom(ctx); t != nil {
+				t.deltaHit()
+			}
+			return walkRecords(cell, ob, func(_ int, record []byte) error { return fn(record) })
+		}
 	}
 	pos := fs.layout.order.PosOf(cell)
 	filled := fs.fill[pos]

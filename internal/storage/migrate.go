@@ -71,7 +71,7 @@ func MigrateCtx(ctx context.Context, old *FileStore, newPath string, newOrder *l
 			return nil, abort(err)
 		}
 		cell := oldOrder.CellAt(pos)
-		records, err := readCellRepairing(cctx, old, cell)
+		records, err := ReadCellRepairing(cctx, old, cell)
 		if err != nil {
 			copySpan.SetError(err)
 			copySpan.End()
@@ -106,13 +106,15 @@ func MigrateCtx(ctx context.Context, old *FileStore, newPath string, newOrder *l
 // reread getting further.
 const migrateRepairAttempts = 16
 
-// readCellRepairing reads all of a cell's records into memory, repairing
+// ReadCellRepairing reads all of a cell's records into memory, repairing
 // the source store's corrupt pages from its parity sidecar and retrying
 // when possible. Records are buffered — not streamed to the destination —
 // because a retry re-reads the whole cell and the destination's fill state
 // cannot be rewound, so streaming would duplicate records copied before
-// the error. Each repair is a trace span with the page attached.
-func readCellRepairing(ctx context.Context, old *FileStore, cell int) ([][]byte, error) {
+// the error. Each repair is a trace span with the page attached. Both the
+// whole-file migration here and the ingest layer's incremental region
+// migration copy through it.
+func ReadCellRepairing(ctx context.Context, old *FileStore, cell int) ([][]byte, error) {
 	var records [][]byte
 	read := func() error {
 		records = records[:0]

@@ -85,6 +85,15 @@ type readRun struct {
 	bytes  int64 // filled bytes across the run's cells
 }
 
+// planEntry is one cached prepared plan: the immutable run list plus a
+// private copy of the region it was planned for, kept so writes can drop
+// exactly the plans whose region contains the written cell (plans embed
+// fill counts) and leave the rest hot.
+type planEntry struct {
+	region linear.Region
+	runs   []readRun
+}
+
 // readRuns groups the region's non-empty cells into seek runs. Callers
 // hold fs.mu (read). The grouping mirrors Layout.Query's page-range merge:
 // a cell joins the current run when its first page is adjacent to (or
@@ -107,19 +116,46 @@ func (fs *FileStore) readRuns(r linear.Region) []readRun {
 		key = binary.AppendVarint(key, int64(rg.Hi))
 	}
 	fs.planMu.Lock()
-	runs, ok := fs.planCache[string(key)]
+	e, ok := fs.planCache[string(key)]
 	fs.planMu.Unlock()
 	if ok {
-		return runs
+		return e.runs
 	}
-	runs = fs.computeRuns(r)
+	runs := fs.computeRuns(r)
+	region := make(linear.Region, len(r))
+	copy(region, r)
 	fs.planMu.Lock()
-	if fs.planCache == nil || len(fs.planCache) >= planCacheCap {
-		fs.planCache = make(map[string][]readRun)
+	if fs.planCache == nil {
+		fs.planCache = make(map[string]planEntry)
+	} else if len(fs.planCache) >= planCacheCap {
+		// Overflow drops everything: hitting the cap means the query-shape
+		// set churned and the old entries are dead weight anyway.
+		fs.planInvAll.Add(int64(len(fs.planCache)))
+		fs.planCache = make(map[string]planEntry)
 	}
-	fs.planCache[string(key)] = runs
+	fs.planCache[string(key)] = planEntry{region: region, runs: runs}
 	fs.planMu.Unlock()
 	return runs
+}
+
+// overlayNeedsSequential reports whether the region contains a cell that is
+// empty in the base file but present in the overlay. Such cells are absent
+// from the seek-run plan (runs only cover fill > 0), so the parallel path
+// would silently drop their records; the caller falls back to the
+// sequential path, which consults the overlay per position. Callers hold
+// fs.mu (read). Fully-loaded stores — the norm — pay one plan-array scan
+// and zero overlay probes.
+func (fs *FileStore) overlayNeedsSequential(r linear.Region, ov func(cell int) ([]byte, bool)) bool {
+	needs := false
+	fs.layout.order.EachPosition(r, func(pos int) {
+		if needs || fs.plan[pos].fill != 0 {
+			return
+		}
+		if _, ok := ov(int(fs.plan[pos].cell)); ok {
+			needs = true
+		}
+	})
+	return needs
 }
 
 // computeRuns builds the seek-run plan for a region (the cache-miss path of
@@ -313,6 +349,9 @@ func (fs *FileStore) runFragment(wctx context.Context, run *readRun, opt ReadOpt
 	sp.SetAttr("pages_read", ft.misses.Load())
 	sp.SetAttr("seeks", ft.seeks.Load())
 	sp.SetAttr("pool_hits", ft.hits.Load())
+	if d := ft.deltaHits.Load(); d > 0 {
+		sp.SetAttr("delta_cells", d)
+	}
 	sp.SetError(err)
 	sp.End()
 	if parent := tallyFrom(wctx); parent != nil {
@@ -406,10 +445,16 @@ func (fs *FileStore) ReadQueryOptCtx(ctx context.Context, r linear.Region, opt R
 		return fs.ReadQueryCtx(ctx, r, fn)
 	}
 	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	if fs.closed {
+		fs.mu.RUnlock()
 		return ErrClosed
 	}
+	ov := fs.overlayFn()
+	if ov != nil && fs.overlayNeedsSequential(r, ov) {
+		fs.mu.RUnlock()
+		return fs.ReadQueryCtx(ctx, r, fn)
+	}
+	defer fs.mu.RUnlock()
 	runs := fs.readRuns(r)
 	if len(runs) == 0 {
 		return nil
@@ -436,7 +481,7 @@ func (fs *FileStore) ReadQueryOptCtx(ctx context.Context, r linear.Region, opt R
 				if i >= len(runs) {
 					return
 				}
-				fs.streamRun(wctx, &runs[i], opt, sc, chans[i])
+				fs.streamRun(wctx, &runs[i], opt, ov, sc, chans[i])
 				if wctx.Err() != nil {
 					return
 				}
@@ -470,8 +515,12 @@ func (fs *FileStore) ReadQueryOptCtx(ctx context.Context, r linear.Region, opt R
 
 // streamRun fetches one run under fragment accounting and streams its
 // cells to out in bounded whole-cell chunks; a fetch error is sent as a
-// terminal chunk. The channel is always closed.
-func (fs *FileStore) streamRun(wctx context.Context, run *readRun, opt ReadOptions, sc *runScratch, out chan<- runChunk) {
+// terminal chunk. The channel is always closed. Cells present in the
+// overlay are served from it — their overlay bytes join the chunk directly
+// and their base range is never read (so a half-applied base rewrite is
+// invisible behind the overlay), though prefetchers may still touch the
+// underlying pages.
+func (fs *FileStore) streamRun(wctx context.Context, run *readRun, opt ReadOptions, ov func(cell int) ([]byte, bool), sc *runScratch, out chan<- runChunk) {
 	u := fs.layout.usable()
 	err := fs.runFragment(wctx, run, opt, sc, func(fctx context.Context, pr *runProgress) error {
 		var chunk runChunk
@@ -493,6 +542,16 @@ func (fs *FileStore) streamRun(wctx context.Context, run *readRun, opt ReadOptio
 			cc := &run.cells[i]
 			if err := fctx.Err(); err != nil {
 				return err
+			}
+			if ov != nil {
+				if ob, ok := ov(cc.cell); ok {
+					if t := tallyFrom(fctx); t != nil {
+						t.deltaHit()
+					}
+					chunk.cells = append(chunk.cells, chunkCell{cc.cell, ob})
+					pi = pr.mark(pi, (cc.lo+cc.n-1)/u)
+					continue
+				}
 			}
 			if int64(len(buf))+cc.n > int64(cap(buf)) {
 				if err := flush(); err != nil {
@@ -542,10 +601,16 @@ func (fs *FileStore) SumOptCtx(ctx context.Context, r linear.Region, opt ReadOpt
 		ctx = WithPoolTally(ctx, tally)
 	}
 	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	if fs.closed {
+		fs.mu.RUnlock()
 		return 0, PoolStats{}, ErrClosed
 	}
+	ov := fs.overlayFn()
+	if ov != nil && fs.overlayNeedsSequential(r, ov) {
+		fs.mu.RUnlock()
+		return fs.SumCtx(ctx, r, decode)
+	}
+	defer fs.mu.RUnlock()
 	runs := fs.readRuns(r)
 	if len(runs) == 0 {
 		return 0, tally.Stats(), nil
@@ -594,7 +659,7 @@ func (fs *FileStore) SumOptCtx(ctx context.Context, r linear.Region, opt ReadOpt
 				var sum float64
 				err := fs.runFragment(wctx, run, fopt, sc, func(fctx context.Context, pr *runProgress) error {
 					var e error
-					sum, e = fs.sumRun(fctx, run, pr, decode, sc, window)
+					sum, e = fs.sumRun(fctx, run, pr, ov, decode, sc, window)
 					return e
 				})
 				parts[i] = partial{sum: sum, err: err}
@@ -622,8 +687,9 @@ func (fs *FileStore) SumOptCtx(ctx context.Context, r linear.Region, opt ReadOpt
 // pages at a time (getSpan: one physical read per window of misses) and
 // decodes the whole window before advancing — synchronous readahead that
 // replaces the async prefetchers. decode runs under the frame latch and
-// must not retain the record slice.
-func (fs *FileStore) sumRun(ctx context.Context, run *readRun, pr *runProgress, decode func(record []byte) float64, sc *runScratch, window int) (float64, error) {
+// must not retain the record slice. Cells present in the overlay decode
+// from their overlay bytes instead of base pages.
+func (fs *FileStore) sumRun(ctx context.Context, run *readRun, pr *runProgress, ov func(cell int) ([]byte, bool), decode func(record []byte) float64, sc *runScratch, window int) (float64, error) {
 	u := int64(fs.file.PageSize())
 	total := 0.0
 	var fr *frame
@@ -637,6 +703,20 @@ func (fs *FileStore) sumRun(ctx context.Context, run *readRun, pr *runProgress, 
 loop:
 	for ci := range run.cells {
 		cc := &run.cells[ci]
+		if ov != nil {
+			if ob, ok := ov(cc.cell); ok {
+				if t := tallyFrom(ctx); t != nil {
+					t.deltaHit()
+				}
+				if err = walkRecords(cc.cell, ob, func(_ int, rec []byte) error {
+					total += decode(rec)
+					return nil
+				}); err != nil {
+					break loop
+				}
+				continue
+			}
+		}
 		w.begin(cc.cell)
 		off, rem := cc.lo, cc.n
 		for rem > 0 {

@@ -492,12 +492,12 @@ func TestSumRunKernelZeroAlloc(t *testing.T) {
 	pr := &runProgress{}
 	sc := &runScratch{}
 	for _, window := range []int{1, 4} {
-		if _, err := fs.sumRun(ctx, &runs[0], pr, decodeF64, sc, window); err != nil { // size the scratch buffers
+		if _, err := fs.sumRun(ctx, &runs[0], pr, nil, decodeF64, sc, window); err != nil { // size the scratch buffers
 			t.Fatal(err)
 		}
 		allocs := testing.AllocsPerRun(100, func() {
 			for i := range runs {
-				if _, err := fs.sumRun(ctx, &runs[i], pr, decodeF64, sc, window); err != nil {
+				if _, err := fs.sumRun(ctx, &runs[i], pr, nil, decodeF64, sc, window); err != nil {
 					t.Fatal(err)
 				}
 			}

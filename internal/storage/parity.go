@@ -80,9 +80,11 @@ func (e *UnrepairableError) Is(target error) bool { return target == ErrUnrepair
 func ParityPath(storePath string) string { return storePath + ".parity" }
 
 // parityState is the attached sidecar: its checksummed file, the group
-// size it was built with, and a staleness flag set by writes to the store
-// (a parity built before a PutRecord no longer matches the data and must
-// not be used to "repair" pages back to their pre-write contents).
+// size it was built with, and a staleness flag. Writes normally keep the
+// sidecar live by XOR-patching the affected parity pages in place (see
+// FileStore.patchParity); stale is set only when a patch cannot be applied
+// — the sidecar then no longer matches the data and must not be used to
+// "repair" pages until WriteParity rebuilds it.
 type parityState struct {
 	file  *ChecksumFile
 	inner *PageFile
@@ -336,6 +338,12 @@ func (fs *FileStore) RepairPage(page int64) error {
 	}
 	if ps.stale {
 		return fmt.Errorf("%w: sidecar %s predates writes to the store; rebuild parity first", ErrNoParity, ps.path)
+	}
+	// Writes keep parity in sync with the store's *logical* content (the
+	// XOR patch reads pre-write bytes through the pool), so before XOR-ing
+	// on-disk sibling pages the pool's dirty frames must reach disk.
+	if err := fs.pool.Flush(); err != nil {
+		return fmt.Errorf("storage: pre-repair flush: %w", err)
 	}
 	u := fs.layout.usable()
 	buf := make([]byte, u)

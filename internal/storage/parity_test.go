@@ -211,18 +211,11 @@ func TestParityRepairParityPageDamage(t *testing.T) {
 	}
 }
 
-// TestParityStaleAfterWrite: a PutRecord after WriteParity marks the
-// sidecar stale, and repair refuses (typed ErrNoParity) rather than
-// resurrecting pre-write bytes.
-func TestParityStaleAfterWrite(t *testing.T) {
-	fs, path, _ := parityFixture(t, 64, 4)
-	if !fs.HasParity() {
-		t.Fatal("fixture lost its parity sidecar")
-	}
-	// The fixture fills every cell; free space may be exhausted, so write
-	// into a cell only if it still has room — otherwise grow via a fresh
-	// fixture is overkill; instead use the error-free path of re-checking
-	// staleness semantics on a store with spare room.
+// TestParityLiveAfterWrite: writes XOR-patch the sidecar in place, so
+// self-healing survives ingest — parity stays usable after PutRecord and
+// PutCellBytes, and a repair after the write reconstructs the *post-write*
+// bytes, never resurrecting pre-write content.
+func TestParityLiveAfterWrite(t *testing.T) {
 	o := testOrder(t)
 	bytesPerCell := make([]int64, o.Len())
 	for c := range bytesPerCell {
@@ -244,21 +237,46 @@ func TestParityStaleAfterWrite(t *testing.T) {
 	if err := fs2.PutRecord(0, []byte("cell000-r01")); err != nil {
 		t.Fatal(err)
 	}
-	if fs2.HasParity() {
-		t.Error("parity still reported usable after a post-build write")
+	if err := fs2.PutCellBytes(1, FrameRecords([]byte("cell001-rXX"))); err != nil {
+		t.Fatal(err)
 	}
-	if err := fs2.RepairPage(0); !errors.Is(err, ErrNoParity) {
-		t.Errorf("RepairPage on stale parity = %v, want ErrNoParity", err)
+	if !fs2.HasParity() {
+		t.Fatal("parity degraded by a write; the XOR patch should keep it live")
 	}
-	// Rebuilding clears staleness.
+	// Corrupt the written page on disk and repair it: the reconstruction
+	// must contain the post-write records.
+	if err := fs2.Pool().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	corruptOnDisk(t, p2, 64, 0, 13)
+	if err := fs2.Pool().Reset(context.Background()); err != nil { // drop cached frames so reads see the damage
+		t.Fatal(err)
+	}
+	if err := fs2.CheckPage(0); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("CheckPage after corruption = %v, want ErrCorruptPage", err)
+	}
+	if err := fs2.RepairPage(0); err != nil {
+		t.Fatalf("repair after write: %v", err)
+	}
+	var got []string
+	if err := fs2.ReadCellCtx(context.Background(), 0, func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cell000-r00", "cell000-r01"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("repaired cell 0 reads %v, want %v", got, want)
+	}
+	// A patch failure degrades instead of corrupting: detach simulation via
+	// rebuild keeps the sidecar usable either way.
 	if err := fs2.WriteParity(ParityPath(p2), 4); err != nil {
 		t.Fatal(err)
 	}
 	if !fs2.HasParity() {
 		t.Error("rebuilt parity not usable")
 	}
-	_ = fs
-	_ = path
 }
 
 // TestRepairCtxSweep: RepairCtx heals a scattered set of single faults in

@@ -86,6 +86,14 @@ func (l *Layout) PageSize() int64 { return l.pageSize }
 // trailer (0 for the paper's analytic layout).
 func (l *Layout) TrailerBytes() int64 { return l.trailer }
 
+// CellCapacity returns the reserved byte capacity of one cell's extent in
+// the packing — a property of the data, independent of how much is filled.
+// The ingest layer sizes delta upserts and migration targets against it.
+func (l *Layout) CellCapacity(cell int) int64 {
+	pos := l.order.PosOf(cell)
+	return l.start[pos+1] - l.start[pos]
+}
+
 // Stats measures one query's disk cost.
 type Stats struct {
 	Bytes     int64   // payload bytes of the selected records

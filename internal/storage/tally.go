@@ -22,6 +22,7 @@ import (
 type PoolTally struct {
 	hits, misses, evictions, writes, retries, sfWaits atomic.Int64
 	seeks                                             atomic.Int64
+	deltaHits                                         atomic.Int64 // cells served from a delta overlay instead of base pages
 	lastPage                                          atomic.Int64 // page+2 of the last physical read; 0 = none yet
 
 	// sink, when set, replaces the run-detection above: physical reads are
@@ -50,6 +51,15 @@ func (t *PoolTally) Stats() PoolStats {
 // a contiguous range is one seek no matter how many pages it loads.
 func (t *PoolTally) Seeks() int64 { return t.seeks.Load() }
 
+// DeltaHits returns the number of cells this request answered from the
+// delta overlay (see FileStore.SetOverlay) instead of base-file pages.
+// Overlay reads cost no pool traffic, so they appear nowhere in Stats();
+// this counter is their only footprint.
+func (t *PoolTally) DeltaHits() int64 { return t.deltaHits.Load() }
+
+// deltaHit records one overlay-served cell.
+func (t *PoolTally) deltaHit() { t.deltaHits.Add(1) }
+
 // physRead records one physical page read for seek accounting: a read
 // that does not continue the previous page starts a new run.
 func (t *PoolTally) physRead(page int64) {
@@ -73,6 +83,7 @@ func (t *PoolTally) merge(c *PoolTally) {
 	t.retries.Add(c.retries.Load())
 	t.sfWaits.Add(c.sfWaits.Load())
 	t.seeks.Add(c.seeks.Load())
+	t.deltaHits.Add(c.deltaHits.Load())
 }
 
 // tallyKey is the context key WithPoolTally stores under.

@@ -18,15 +18,16 @@ import (
 // inert and allocation-free, keeping the hot read path clean when
 // tracing is off.
 type fragmentTracer struct {
-	on    bool
-	base  context.Context
-	cur   context.Context
-	tally *PoolTally
-	span  trace.SpanRef
-	open  bool
-	next  int64 // reserved hi of the last traced cell; a gap starts a new fragment
-	cells int64
-	bytes int64
+	on     bool
+	base   context.Context
+	cur    context.Context
+	tally  *PoolTally
+	span   trace.SpanRef
+	open   bool
+	next   int64 // reserved hi of the last traced cell; a gap starts a new fragment
+	cells  int64
+	bytes  int64
+	deltas int64 // overlay-served cells since the last sealed fragment
 
 	seeks, pages, hits int64 // tally snapshot at fragment start
 }
@@ -65,6 +66,18 @@ func (f *fragmentTracer) cellCtx(ctx context.Context, lo, hi, filled int64) cont
 	return f.cur
 }
 
+// deltaHit records a cell served from the delta overlay. The overlaid
+// cell's base range is skipped, so it breaks the physical run exactly like
+// a byte gap: any open fragment is sealed (carrying the hit as its
+// delta_cells attribute) and the next base read starts a new one.
+func (f *fragmentTracer) deltaHit() {
+	if !f.on {
+		return
+	}
+	f.deltas++
+	f.close(nil)
+}
+
 // close seals the open fragment span, attaching the cell/byte totals and
 // the tally deltas accumulated since the fragment began.
 func (f *fragmentTracer) close(err error) {
@@ -74,6 +87,10 @@ func (f *fragmentTracer) close(err error) {
 	f.open = false
 	f.span.SetAttr("cells", f.cells)
 	f.span.SetAttr("bytes", f.bytes)
+	if f.deltas > 0 {
+		f.span.SetAttr("delta_cells", f.deltas)
+		f.deltas = 0
+	}
 	if f.tally != nil {
 		f.span.SetAttr("pages_read", f.tally.misses.Load()-f.pages)
 		f.span.SetAttr("seeks", f.tally.seeks.Load()-f.seeks)

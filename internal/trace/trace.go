@@ -42,6 +42,7 @@ const (
 	KindVerify        = "verify"         // post-swap scrub of the new generation
 	KindScrub         = "scrub"          // one background scrub batch over the store
 	KindRepair        = "repair"         // parity reconstruction of a corrupt page
+	KindCompact       = "compact"        // one delta-compaction tick (apply + checkpoint)
 )
 
 // Kinds returns every span kind, in a stable order, for pre-registering
@@ -51,6 +52,7 @@ func Kinds() []string {
 		KindRequest, KindAdmission, KindFragment, KindPageLoad, KindRetry,
 		KindDP, KindMigrate, KindCopy, KindFlush, KindCatalogCommit,
 		KindSwap, KindDrain, KindVerify, KindScrub, KindRepair,
+		KindCompact,
 	}
 }
 

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateTracker estimates an exponentially decayed event rate — the write
+// path's analogue of the query-class estimator. The ingest layer feeds it
+// accepted upsert bytes and the daemon divides the delta backlog by the
+// decayed rate to report compaction lag in seconds rather than raw bytes.
+//
+// The estimate is a half-life–decayed sum of observed quantities divided
+// by the decayed elapsed time, so bursts fade on the same schedule the
+// adaptive controller uses for queries and an idle stream decays toward
+// zero instead of holding its last burst forever.
+type RateTracker struct {
+	mu       sync.Mutex
+	halfLife time.Duration
+	sum      float64   // decayed quantity mass
+	elapsed  float64   // decayed seconds of observation window
+	last     time.Time // time of the last decay
+}
+
+// NewRateTracker returns a tracker with the given half-life; halfLife <= 0
+// disables decay (a plain lifetime average).
+func NewRateTracker(halfLife time.Duration) *RateTracker {
+	return &RateTracker{halfLife: halfLife}
+}
+
+// decayTo folds the time since the last observation into the window and
+// applies half-life decay to both numerator and denominator.
+func (r *RateTracker) decayTo(now time.Time) {
+	if r.last.IsZero() {
+		r.last = now
+		return
+	}
+	dt := now.Sub(r.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	if r.halfLife > 0 {
+		f := math.Exp2(-dt / r.halfLife.Seconds())
+		r.sum *= f
+		r.elapsed *= f
+	}
+	r.elapsed += dt
+	r.last = now
+}
+
+// Observe records quantity n (bytes, rows, events) at time now.
+func (r *RateTracker) Observe(n float64, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.decayTo(now)
+	r.sum += n
+}
+
+// Rate returns the decayed quantity-per-second estimate as of now; 0 until
+// a full second of window has accumulated, so a single early burst does
+// not report an absurd instantaneous rate.
+func (r *RateTracker) Rate(now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.decayTo(now)
+	if r.elapsed < 1 {
+		return 0
+	}
+	return r.sum / r.elapsed
+}

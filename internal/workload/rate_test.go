@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateTrackerSteadyStream(t *testing.T) {
+	r := NewRateTracker(0) // no decay: lifetime average
+	t0 := time.Unix(1000, 0)
+	for i := 1; i <= 10; i++ {
+		r.Observe(100, t0.Add(time.Duration(i)*time.Second))
+	}
+	got := r.Rate(t0.Add(10 * time.Second))
+	if got < 99 || got > 112 {
+		t.Fatalf("steady 100/s stream: rate = %v", got)
+	}
+}
+
+func TestRateTrackerDecaysWhenIdle(t *testing.T) {
+	r := NewRateTracker(10 * time.Second)
+	t0 := time.Unix(1000, 0)
+	for i := 1; i <= 10; i++ {
+		r.Observe(1000, t0.Add(time.Duration(i)*time.Second))
+	}
+	busy := r.Rate(t0.Add(10 * time.Second))
+	if busy < 500 {
+		t.Fatalf("busy rate = %v, want near 1000/s", busy)
+	}
+	// Ten half-lives of silence: the burst must have faded to near zero.
+	idle := r.Rate(t0.Add(110 * time.Second))
+	if idle > busy/50 {
+		t.Fatalf("idle rate = %v after 10 half-lives (busy was %v)", idle, busy)
+	}
+}
+
+func TestRateTrackerEarlyWindow(t *testing.T) {
+	r := NewRateTracker(time.Minute)
+	t0 := time.Unix(1000, 0)
+	r.Observe(1e9, t0)
+	if got := r.Rate(t0.Add(10 * time.Millisecond)); got != 0 {
+		t.Fatalf("rate %v reported before a second of window", got)
+	}
+}

@@ -61,6 +61,7 @@ const (
 	TraceKindVerify        = trace.KindVerify
 	TraceKindScrub         = trace.KindScrub
 	TraceKindRepair        = trace.KindRepair
+	TraceKindCompact       = trace.KindCompact
 )
 
 // TraceSpanKinds returns every span kind the instrumented paths record —
