@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_NAME ?= local
 
-.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint trace-smoke bench bench-adaptive bench-chaos bench-sustained bench-ingest bench-smoke bench-lint reorg-smoke ingest-smoke chaos chaos-long
+.PHONY: check fmt vet build test race fuzz stress staticcheck metrics-lint trace-smoke obs-smoke bench bench-adaptive bench-chaos bench-sustained bench-ingest bench-obs bench-smoke bench-lint reorg-smoke ingest-smoke chaos chaos-long
 
 # check is the tier-1 verification gate (see ROADMAP.md): formatting,
 # static analysis, a full build, the metrics-name lint, the tracing
@@ -10,7 +10,7 @@ BENCH_NAME ?= local
 # Fuzz seed corpora run as ordinary tests. staticcheck runs when the
 # binary is installed and is skipped (with a notice) otherwise, so check
 # works on machines without network access.
-check: fmt vet staticcheck build metrics-lint trace-smoke ingest-smoke chaos bench-lint bench-smoke race
+check: fmt vet staticcheck build metrics-lint trace-smoke obs-smoke ingest-smoke chaos bench-lint bench-smoke race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -59,6 +59,14 @@ metrics-lint:
 trace-smoke:
 	$(GO) test -race -count=1 -run 'TestServeTraceSmoke|TestServeSlowAlwaysRetained|TestServePanicRecovery|TestColdQueryFragmentSpansMatchTallyAndAnalytic|TestUntracedReadPathZeroAlloc' ./cmd/snakestore ./internal/storage
 
+# obs-smoke drives the wide-event / calibration / SLO stack end to end
+# under the race detector: the /debug/events ring with field filters and
+# exact cold calibration ratios, deterministic burn-rate transitions on
+# an injected clock, ingest/repair event and trace coverage, and drift
+# flagged under an overlay then cleared by compaction.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestServeWideEventsAndCalibration|TestServeSLOBurnRateTransitions|TestServeIngestRepairObservability|TestServeCalibrationDriftAndCompaction' ./cmd/snakestore
+
 # bench runs the end-to-end store benchmark on the reduced warehouse and
 # writes a machine-readable report; override BENCH_NAME to label runs
 # (e.g. `make bench BENCH_NAME=pr12` -> BENCH_pr12.json).
@@ -97,12 +105,20 @@ bench-ingest:
 	$(GO) run ./cmd/snakebench -figures=false -tables "" \
 		-name $(BENCH_NAME) -ingest-json BENCH_ingest.json
 
+# bench-obs runs the observability benchmark — exact per-class cost-model
+# calibration on a cold store, drift detection under a full delta
+# overlay, recovery through paced compaction, and deterministic SLO
+# burn-rate transitions on an injected clock — and writes BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/snakebench -figures=false -tables "" \
+		-name $(BENCH_NAME) -obs-json BENCH_obs.json
+
 # bench-smoke drives every phase of the sustained benchmark on a tiny
 # warehouse: the deterministic gates (bit-identity, predicted == observed
 # pages/seeks) are hard errors, so a broken parallel read path fails here
 # in seconds instead of in a 30-second bench run.
 bench-smoke:
-	$(GO) test -count=1 -run 'TestSustainedBenchSmoke|TestIngestBenchSmoke' ./cmd/snakebench
+	$(GO) test -count=1 -run 'TestSustainedBenchSmoke|TestIngestBenchSmoke|TestObsBenchSmoke' ./cmd/snakebench
 
 # bench-lint parses every committed BENCH_*.json under its registered
 # schema (unknown fields, trailing bytes, and unknown suffixes all fail)

@@ -217,6 +217,14 @@ func (r *Reorganizer) OnEvaluate(fn func(ReorgEvaluation)) { r.c.OnEvaluate = fn
 // ("success", "failed", or "canceled") and its duration.
 func (r *Reorganizer) OnReorg(fn func(outcome string, d time.Duration)) { r.c.OnReorg = fn }
 
+// SetCostCorrection installs a hook that scales the deployed strategy's
+// analytic cost by a live observed/predicted ratio before regret is
+// computed — typically Calibration.SeekCorrection, so a buffer pool or
+// delta overlay that absorbs predicted seeks weakens the case for
+// migrating. Returns <= 0, NaN, or Inf are ignored. Install before Run
+// or Trigger.
+func (r *Reorganizer) SetCostCorrection(fn func() float64) { r.c.CostCorrection = fn }
+
 // Run evaluates the policy every CheckInterval until ctx ends,
 // reorganizing when it fires; evaluation and migration errors are absorbed
 // into Status (the loop keeps running).

@@ -67,6 +67,43 @@ var benchArtifactSchemas = map[string]benchArtifactSchema{
 	}),
 	"adaptive": schemaOf(func(r *AdaptiveBenchReport) error { return nil }),
 	"chaos":    schemaOf(func(r *ChaosReport) error { return nil }),
+	"obs": schemaOf(func(r *ObsReport) error {
+		if r.ColdQueries <= 0 || r.ColdClasses <= 0 {
+			return fmt.Errorf("obs artifact ran no cold queries: %+v", r)
+		}
+		if !r.ColdRatiosExact || r.ColdSeekCorrection != 1 {
+			return fmt.Errorf("cold calibration was not exact (seek correction %v)", r.ColdSeekCorrection)
+		}
+		for _, v := range r.ColdCalibration {
+			if v.PageRatio != 1 || v.SeekRatio != 1 || v.Drifted {
+				return fmt.Errorf("cold class %s: ratios %v/%v drifted=%v, want exactly 1/1 unflagged", v.Class, v.PageRatio, v.SeekRatio, v.Drifted)
+			}
+		}
+		if len(r.DriftedClasses) != r.ColdClasses || r.OverlayDeltaHits <= 0 {
+			return fmt.Errorf("overlay phase drifted %d of %d classes (%d delta hits), want all", len(r.DriftedClasses), r.ColdClasses, r.OverlayDeltaHits)
+		}
+		if r.MinPageRatio >= 1-r.CalibrationThreshold {
+			return fmt.Errorf("min page ratio %.3f never crossed the drift threshold", r.MinPageRatio)
+		}
+		if !r.DriftCleared || r.DrainTicks <= 0 {
+			return fmt.Errorf("compaction did not restore calibration (drained in %d ticks, cleared=%v)", r.DrainTicks, r.DriftCleared)
+		}
+		for _, v := range r.RecoveredCalibration {
+			if v.Drifted {
+				return fmt.Errorf("class %s still drifted after recovery", v.Class)
+			}
+		}
+		if !r.SLOBurnExact {
+			return fmt.Errorf("burn rates %v/%v diverged from the closed form %v", r.SLOBurn5m, r.SLOBurn1h, r.SLOExpectedBurn)
+		}
+		if want := "ok,burning,at-risk,ok"; strings.Join(r.SLOStatePath, ",") != want {
+			return fmt.Errorf("SLO state path %v, want %s", r.SLOStatePath, want)
+		}
+		if !r.EventsExact {
+			return fmt.Errorf("event ring counters diverged from the query loops: %+v", r)
+		}
+		return nil
+	}),
 	"ingest": schemaOf(func(r *IngestReport) error {
 		if r.WriteFraction < 0.10 {
 			return fmt.Errorf("mixed phase wrote only %.1f%% of operations, below the 10%% floor", 100*r.WriteFraction)

@@ -26,6 +26,11 @@
 // percentiles are measured from each query's scheduled arrival.
 // -sustained-seconds, -read-parallel and -read-ahead tune it.
 //
+// -obs-json runs the observability benchmark: exact per-class cost-model
+// calibration on a cold store, drift detection under a full delta
+// overlay, recovery through paced compaction, and deterministic SLO
+// burn-rate transitions on an injected clock.
+//
 // Flag combinations that would silently ignore input are usage errors:
 // positional arguments, benchmark knobs (-bench-queries, -bench-frames,
 // -name) without a benchmark mode flag, and sustained-phase knobs without
@@ -66,6 +71,7 @@ type benchOpts struct {
 	chaosPath  string
 	sustPath   string
 	ingestPath string
+	obsPath    string
 	queries    int
 	frames     int
 	framesSet  bool
@@ -95,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.chaosPath, "chaos-json", "", "run the self-healing benchmark (repair throughput, scrub overhead, time-to-healthy) and write its JSON report to this path")
 	fs.StringVar(&o.sustPath, "sustained-json", "", "run the sustained-load benchmark (parallel read path: cold speedup, model reconciliation, open-loop SLO percentiles) and write its JSON report to this path")
 	fs.StringVar(&o.ingestPath, "ingest-json", "", "run the write-path benchmark (delta-store ingest under mixed load, compaction convergence, incremental re-clustering) and write its JSON report to this path")
+	fs.StringVar(&o.obsPath, "obs-json", "", "run the observability benchmark (exact cold calibration, overlay drift detection, compaction recovery, deterministic SLO burn rates) and write its JSON report to this path")
 	fs.IntVar(&o.queries, "bench-queries", 256, "queries executed by the benchmark modes")
 	fs.IntVar(&o.frames, "bench-frames", 256, "buffer pool frames for the benchmark modes (the sustained benchmark defaults to a pool sized above the store instead)")
 	fs.Float64Var(&o.sustSeconds, "sustained-seconds", 30, "duration of the sustained benchmark's open-loop phase")
@@ -130,10 +137,10 @@ func validateFlags(fs *flag.FlagSet, stderr io.Writer) int {
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	anyMode := set["json"] || set["adaptive-json"] || set["chaos-json"] || set["sustained-json"] || set["ingest-json"]
+	anyMode := set["json"] || set["adaptive-json"] || set["chaos-json"] || set["sustained-json"] || set["ingest-json"] || set["obs-json"]
 	for _, name := range []string{"bench-queries", "bench-frames", "name"} {
 		if set[name] && !anyMode {
-			fmt.Fprintf(stderr, "snakebench: -%s has no effect without a benchmark mode (-json, -adaptive-json, -chaos-json, -sustained-json or -ingest-json)\n", name)
+			fmt.Fprintf(stderr, "snakebench: -%s has no effect without a benchmark mode (-json, -adaptive-json, -chaos-json, -sustained-json, -ingest-json or -obs-json)\n", name)
 			fs.Usage()
 			return 2
 		}
@@ -369,6 +376,24 @@ func bench(out io.Writer, o benchOpts) error {
 		}
 		fmt.Fprintf(out, "== Ingest bench %q: %s ==\n", o.name, rep.Summary())
 		fmt.Fprintf(out, "report written to %s\n", o.ingestPath)
+	}
+
+	if o.obsPath != "" {
+		oop := defaultObsOpts()
+		oop.queries = o.queries
+		if o.framesSet {
+			oop.frames = o.frames
+		}
+		rep, err := obsBench(warehouseConfig(o.full, o.seed), o.name, oop)
+		if err != nil {
+			return err
+		}
+		rep.Full = o.full
+		if err := rep.WriteFile(o.obsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Obs bench %q: %s ==\n", o.name, rep.Summary())
+		fmt.Fprintf(out, "report written to %s\n", o.obsPath)
 	}
 
 	if o.sustPath != "" {

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+// TestObsBenchSmoke drives every phase of the observability benchmark on
+// a tiny warehouse. All of its interesting assertions are hard gates
+// inside obsBench — exact cold ratios, all-classes drift under a full
+// overlay, drift cleared after compaction, bit-exact burn rates — so the
+// smoke only has to run it and sanity-check the report shape.
+func TestObsBenchSmoke(t *testing.T) {
+	o := obsOpts{
+		queries:      12,
+		frames:       256,
+		overlayPass:  2,
+		recoverLimit: 8,
+	}
+	rep, err := obsBench(tinyConfig(11), "smoke", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ColdQueries != o.queries || rep.ColdClasses == 0 {
+		t.Errorf("cold phase ran %d queries over %d classes, want %d over >0", rep.ColdQueries, rep.ColdClasses, o.queries)
+	}
+	if !rep.ColdRatiosExact || rep.ColdSeekCorrection != 1 {
+		t.Errorf("cold calibration not exact: %+v", rep)
+	}
+	if len(rep.DriftedClasses) != rep.ColdClasses || rep.OverlayDeltaHits == 0 {
+		t.Errorf("overlay phase drifted %d/%d classes with %d delta hits", len(rep.DriftedClasses), rep.ColdClasses, rep.OverlayDeltaHits)
+	}
+	if !rep.DriftCleared || rep.RecoveryPasses == 0 || rep.DrainTicks == 0 {
+		t.Errorf("recovery phase incomplete: %+v", rep)
+	}
+	for _, v := range rep.RecoveredCalibration {
+		if v.Drifted {
+			t.Errorf("class %s still drifted in the recovered snapshot", v.Class)
+		}
+	}
+	if !rep.SLOBurnExact || len(rep.SLOStatePath) != 4 {
+		t.Errorf("SLO phase: burn exact=%v, path %v", rep.SLOBurnExact, rep.SLOStatePath)
+	}
+	if !rep.EventsExact || rep.EventsPublished == 0 {
+		t.Errorf("event ring: exact=%v published=%d", rep.EventsExact, rep.EventsPublished)
+	}
+	wantOverwritten := uint64(0)
+	if rep.EventsPublished > uint64(rep.EventCapacity) {
+		wantOverwritten = rep.EventsPublished - uint64(rep.EventCapacity)
+	}
+	if rep.EventsOverwritten != wantOverwritten {
+		t.Errorf("overwritten %d with %d published into %d slots", rep.EventsOverwritten, rep.EventsPublished, rep.EventCapacity)
+	}
+}

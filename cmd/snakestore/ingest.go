@@ -191,11 +191,12 @@ type ingestRequest struct {
 }
 
 type ingestResponse struct {
-	Accepted     int   `json:"accepted"`
-	Bytes        int64 `json:"bytes"`
-	PendingCells int   `json:"pendingCells"`
-	PendingBytes int64 `json:"pendingBytes"`
-	Generation   int64 `json:"generation"`
+	Accepted     int    `json:"accepted"`
+	Bytes        int64  `json:"bytes"`
+	PendingCells int    `json:"pendingCells"`
+	PendingBytes int64  `json:"pendingBytes"`
+	Generation   int64  `json:"generation"`
+	TraceID      uint64 `json:"traceId,omitempty"` // set when this request was traced
 }
 
 // handleIngest accepts POST {"cells":[{"coords":[...],"rows":["..."]}]}:
@@ -203,6 +204,9 @@ type ingestResponse struct {
 // -ingest-sync policy, visible to queries immediately via merge-on-read.
 // The batch is validated in full before any cell is accepted, so a 400
 // never leaves a partial batch behind; a full backlog sheds with 503.
+// Like /query, the request runs under the per-request deadline with the
+// log append in its own span, so slow ingests surface in /debug/traces
+// and the slow-query log the same way slow reads do.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.ing == nil {
 		w.Header().Set("Content-Type", "application/json")
@@ -218,6 +222,8 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, fmt.Errorf("draining: %w", snakes.ErrClosed))
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeErr(w, usagef("decoding body: %v", err))
@@ -263,10 +269,23 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, framedCell{cell: cell, framed: framed})
 	}
 	resp := ingestResponse{Generation: s.generation.Load()}
+	if tr := snakes.TraceFromContext(ctx); tr != nil {
+		resp.TraceID = tr.ID()
+	}
+	// If the deadline already expired (e.g. a slow client body), shed
+	// before taking the ingest lock.
+	if err := ctx.Err(); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	asp := snakes.StartTraceLeaf(ctx, snakes.TraceKindDeltaAppend, "")
+	asp.SetAttr("cells", int64(len(batch)))
 	s.ing.mu.Lock()
 	for _, fc := range batch {
 		if err := s.ing.log.Put(fc.cell, fc.framed); err != nil {
 			s.ing.mu.Unlock()
+			asp.SetError(err)
+			asp.End()
 			s.metrics.ingestRejected.Inc()
 			if errors.Is(err, snakes.ErrIngestBacklog) {
 				err = fmt.Errorf("%w: %v", snakes.ErrOverloaded, err)
@@ -281,11 +300,14 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	resp.PendingCells = s.ing.log.PendingCells()
 	resp.PendingBytes = s.ing.log.PendingBytes()
 	s.ing.mu.Unlock()
+	asp.SetAttr("bytes", resp.Bytes)
+	asp.End()
 	s.ing.rate.Observe(float64(resp.Bytes), time.Now())
 	s.metrics.ingestPuts.Add(int64(resp.Accepted))
 	s.metrics.ingestBytes.Add(resp.Bytes)
-	s.log.Info("ingest", "req", reqIDFrom(r.Context()), "cells", resp.Accepted, "bytes", resp.Bytes,
-		"pendingCells", resp.PendingCells, "pendingBytes", resp.PendingBytes)
+	if ev := snakes.EventFromContext(ctx); ev != nil {
+		ev.Records = int64(resp.Accepted)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }

@@ -13,6 +13,10 @@
 //	snakestore verify -catalog cat.json -store facts.db
 //	snakestore serve -catalog cat.json -store facts.db -addr :7133
 //
+// slo validates a -slo objective spec ("default=250ms@99.9;0,2=50ms@99"),
+// optionally against a catalog's class set, and prints the resolved
+// per-class objectives — the dry-run companion of serve's -slo flag.
+//
 // serve answers grid queries and scrubs over HTTP (/query, /verify,
 // /healthz) against one shared store: requests run concurrently through the
 // goroutine-safe buffer pool, admission control sheds excess load with 503,
@@ -149,6 +153,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "slo":
+		err = cmdSLO(os.Args[2:])
 	default:
 		usage()
 	}
@@ -162,7 +168,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snakestore optimize|build|query|verify|serve [flags]")
+	fmt.Fprintln(os.Stderr, "usage: snakestore optimize|build|query|verify|serve|slo [flags]")
 	os.Exit(2)
 }
 

@@ -18,7 +18,7 @@ const metricsPrefix = "snakestore_"
 // deliberately has no dynamic series creation, so the error taxonomy stays
 // an explicit list.
 var (
-	handlerNames  = []string{"query", "verify", "healthz", "metrics", "reorg", "repair", "traces", "ingest"}
+	handlerNames  = []string{"query", "verify", "healthz", "metrics", "reorg", "repair", "traces", "ingest", "events"}
 	responseCodes = []int{200, 400, 404, 409, 500, 503, 504}
 	reorgOutcomes = []string{"success", "failed", "canceled"}
 	healthStates  = []string{"ok", "degraded", "healing"}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -382,5 +384,258 @@ func TestConcurrentScrapeUnderDrain(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("serve did not drain in time")
+	}
+}
+
+// splitSeries parses one sample key `family{k="v",...}` into the family
+// name and its label map. Label values are quoted and may contain commas
+// (query-class labels do), so this walks the quoting instead of splitting.
+func splitSeries(t *testing.T, key string) (family string, labels map[string]string) {
+	t.Helper()
+	labels = map[string]string{}
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, labels
+	}
+	family = key[:i]
+	rest := strings.TrimSuffix(key[i+1:], "}")
+	for len(rest) > 0 {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			t.Fatalf("malformed labels in series %q", key)
+		}
+		name := rest[:eq]
+		rest = rest[eq+2:]
+		var val strings.Builder
+		for {
+			if len(rest) == 0 {
+				t.Fatalf("unterminated label value in series %q", key)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '\\' && len(rest) > 0 {
+				val.WriteByte(rest[0])
+				rest = rest[1:]
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		labels[name] = val.String()
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return family, labels
+}
+
+// TestMetricsLintBuckets: every histogram's bucket series must be
+// cumulative — non-decreasing in le order — and its +Inf bucket must equal
+// the family's _count for the same label set. A registry bug that skips a
+// bucket or miscounts breaks PromQL quantiles silently; this catches it at
+// lint time. `make metrics-lint` runs this.
+func TestMetricsLintBuckets(t *testing.T) {
+	srv, _ := buildServed(t, 64, time.Second, 5*time.Second)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	// Move several histograms: request latency, pages, seeks, fragments.
+	getJSON(t, ts, "/query?where=x%3D1..2&where=y%3D2..6&sum=0", http.StatusOK, nil)
+	getJSON(t, ts, "/healthz", http.StatusOK, nil)
+
+	samples, types := scrape(t, ts.URL)
+	type bucket struct {
+		le float64
+		v  float64
+	}
+	groups := map[string][]bucket{} // family + non-le labels -> buckets
+	groupKey := func(family string, labels map[string]string) string {
+		names := make([]string, 0, len(labels))
+		for n := range labels {
+			if n != "le" {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		b.WriteString(family)
+		for _, n := range names {
+			fmt.Fprintf(&b, "|%s=%s", n, labels[n])
+		}
+		return b.String()
+	}
+	counts := map[string]float64{}
+	for key, v := range samples {
+		family, labels := splitSeries(t, key)
+		if base, ok := strings.CutSuffix(family, "_bucket"); ok && types[base] == "histogram" {
+			leStr, present := labels["le"]
+			if !present {
+				t.Errorf("bucket series %s has no le label", key)
+				continue
+			}
+			le, err := strconv.ParseFloat(strings.Replace(leStr, "+Inf", "Inf", 1), 64)
+			if err != nil {
+				t.Errorf("bucket series %s: le %q: %v", key, leStr, err)
+				continue
+			}
+			groups[groupKey(base, labels)] = append(groups[groupKey(base, labels)], bucket{le, v})
+		}
+		if base, ok := strings.CutSuffix(family, "_count"); ok && types[base] == "histogram" {
+			counts[groupKey(base, labels)] = v
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("no histogram buckets rendered")
+	}
+	for g, bs := range groups {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].v < bs[i-1].v {
+				t.Errorf("%s: bucket le=%v count %v < le=%v count %v (not cumulative)",
+					g, bs[i].le, bs[i].v, bs[i-1].le, bs[i-1].v)
+			}
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			t.Errorf("%s: largest bucket is le=%v, want +Inf", g, last.le)
+		}
+		cnt, ok := counts[g]
+		if !ok || last.v != cnt {
+			t.Errorf("%s: +Inf bucket %v != _count %v (present=%v)", g, last.v, cnt, ok)
+		}
+	}
+}
+
+// maxLabelCardinality is the lint ceiling on distinct values per label
+// name per family. The registry's label sets are closed (pre-registered
+// from the schema and fixed enums), so any family approaching this is
+// leaking unbounded input — request paths, error strings — into labels.
+const maxLabelCardinality = 32
+
+// TestMetricsLintCardinality walks every rendered family and fails if any
+// label name carries more than maxLabelCardinality distinct values.
+// `make metrics-lint` runs this.
+func TestMetricsLintCardinality(t *testing.T) {
+	srv, _ := buildServed(t, 64, time.Second, 5*time.Second)
+	cfg, err := snakes.ParseSLOSpec("default=250ms@99.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.enableSLO(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	getJSON(t, ts, "/query?where=x%3D1..2&where=y%3D2..6&sum=0", http.StatusOK, nil)
+
+	samples, _ := scrape(t, ts.URL)
+	vals := map[string]map[string]map[string]bool{} // family -> label -> values
+	for key := range samples {
+		family, labels := splitSeries(t, key)
+		for n, v := range labels {
+			if vals[family] == nil {
+				vals[family] = map[string]map[string]bool{}
+			}
+			if vals[family][n] == nil {
+				vals[family][n] = map[string]bool{}
+			}
+			vals[family][n][v] = true
+		}
+	}
+	for family, byLabel := range vals {
+		for n, set := range byLabel {
+			if len(set) > maxLabelCardinality {
+				t.Errorf("family %s label %q has %d distinct values, lint ceiling is %d",
+					family, n, len(set), maxLabelCardinality)
+			}
+		}
+	}
+}
+
+// TestMetricsLintObsFamilies pins the observability-v2 families to their
+// naming contract: slo families always carry a class label with closed
+// window/state/result enums, calibration families carry a class label
+// except the global seek correction, and the event-ring families are the
+// fixed counter/counter/gauge triple. `make metrics-lint` runs this.
+func TestMetricsLintObsFamilies(t *testing.T) {
+	srv, _ := buildServed(t, 64, time.Second, 5*time.Second)
+	cfg, err := snakes.ParseSLOSpec("default=250ms@99.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.enableSLO(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	getJSON(t, ts, "/query?where=x%3D1..2&where=y%3D2..6&sum=0", http.StatusOK, nil)
+
+	samples, types := scrape(t, ts.URL)
+	for name, typ := range map[string]string{
+		"snakestore_slo_burn_rate":               "gauge",
+		"snakestore_slo_state":                   "gauge",
+		"snakestore_slo_requests_total":          "counter",
+		"snakestore_calibration_page_ratio":      "gauge",
+		"snakestore_calibration_seek_ratio":      "gauge",
+		"snakestore_calibration_weight":          "gauge",
+		"snakestore_calibration_drifted":         "gauge",
+		"snakestore_calibration_seek_correction": "gauge",
+		"snakestore_event_published_total":       "counter",
+		"snakestore_event_overwritten_total":     "counter",
+		"snakestore_event_ring_capacity":         "gauge",
+	} {
+		if types[name] != typ {
+			t.Errorf("type of %s = %q, want %q", name, types[name], typ)
+		}
+	}
+	states := map[string]bool{}
+	for _, st := range snakes.SLOStates() {
+		states[st] = true
+	}
+	stateSum := map[string]float64{} // class -> Σ state gauges (one-hot)
+	for key, v := range samples {
+		family, labels := splitSeries(t, key)
+		switch {
+		case strings.HasPrefix(family, "snakestore_slo_"):
+			if labels["class"] == "" {
+				t.Errorf("slo series %s has no class label", key)
+			}
+			switch family {
+			case "snakestore_slo_burn_rate":
+				if w := labels["window"]; w != "5m" && w != "1h" {
+					t.Errorf("%s: window %q outside the closed {5m,1h} set", key, w)
+				}
+			case "snakestore_slo_state":
+				if !states[labels["state"]] {
+					t.Errorf("%s: state %q outside the closed SLO state set", key, labels["state"])
+				}
+				stateSum[labels["class"]] += v
+			case "snakestore_slo_requests_total":
+				if r := labels["result"]; r != "good" && r != "bad" {
+					t.Errorf("%s: result %q outside the closed {good,bad} set", key, r)
+				}
+			default:
+				t.Errorf("unknown slo family %s", family)
+			}
+		case strings.HasPrefix(family, "snakestore_calibration_"):
+			if family == "snakestore_calibration_seek_correction" {
+				if len(labels) != 0 {
+					t.Errorf("seek correction series %s grew labels", key)
+				}
+			} else if labels["class"] == "" {
+				t.Errorf("calibration series %s has no class label", key)
+			}
+		case strings.HasPrefix(family, "snakestore_event_"):
+			if len(labels) != 0 {
+				t.Errorf("event-ring series %s grew labels", key)
+			}
+		}
+	}
+	if len(stateSum) == 0 {
+		t.Fatal("no slo state gauges rendered")
+	}
+	for class, sum := range stateSum {
+		if sum != 1 {
+			t.Errorf("slo state gauges for class %s sum to %v, want exactly one active state", class, sum)
+		}
 	}
 }

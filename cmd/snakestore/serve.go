@@ -63,18 +63,32 @@ type server struct {
 	pprof      bool // mount /debug/pprof/ on the serving mux
 	traces     *snakes.TraceRecorder
 	started    time.Time
+	clock      func() time.Time // injectable for deterministic latency/SLO tests
+
+	// Observability v2: every served request publishes one wide Event into
+	// events (the ring behind /debug/events and the access log); query
+	// events additionally feed calib, the cost-model calibration watch.
+	// slo stays nil unless -slo configured objectives.
+	events *snakes.EventRing
+	calib  *snakes.Calibration
+	slo    *snakes.SLOEngine
 
 	// Write path state; ing stays nil when -ingest is off.
 	ing *ingestState
 
 	// Adaptive reorganization state; reorg stays nil when -adapt is off.
-	reorg      *snakes.Reorganizer
-	generation atomic.Int64
-	swapMu     sync.Mutex // serializes store swaps against drain
-	catPath    string
-	storeBase  string
-	frames     int
-	cat        *catalog
+	// calibrateRegret (the -adapt-calibrated flag) additionally scales the
+	// policy's deployed cost by the calibration watch's observed/predicted
+	// seek ratio — opt-in, because a warm pool legitimately suppresses
+	// regret and operators may want the pure analytic policy.
+	calibrateRegret bool
+	reorg           *snakes.Reorganizer
+	generation      atomic.Int64
+	swapMu          sync.Mutex // serializes store swaps against drain
+	catPath         string
+	storeBase       string
+	frames          int
+	cat             *catalog
 
 	draining atomic.Bool   // set once graceful shutdown begins
 	reqID    atomic.Uint64 // request id sequence for log correlation
@@ -103,6 +117,9 @@ func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dim
 		parityGroup: snakes.DefaultParityGroup,
 		traces:      snakes.NewTraceRecorder(tcfg),
 		started:     time.Now(),
+		clock:       time.Now,
+		events:      snakes.NewEventRing(defaultEventCapacity),
+		calib:       snakes.NewCalibration(snakes.DefaultCalibrationAlpha, snakes.DefaultCalibrationThreshold, snakes.DefaultCalibrationMinWeight),
 	}
 	s.store.Store(store)
 	s.generation.Store(int64(gen))
@@ -139,8 +156,93 @@ func newServer(store *snakes.FileStore, schema *snakes.Schema, dims []snakes.Dim
 	s.metrics.reg.CounterFunc("snakestore_traces_kept_total", "finished traces retained, by reason", tst(func(st snakes.TraceStats) uint64 { return st.KeptForced }), "reason", "forced")
 	s.metrics.reg.CounterFunc("snakestore_traces_discarded_total", "candidate traces finished without retention", tst(func(st snakes.TraceStats) uint64 { return st.Discarded }))
 	s.metrics.reg.CounterFunc("snakestore_trace_spans_dropped_total", "spans dropped from traces at the per-trace cap", tst(func(st snakes.TraceStats) uint64 { return st.DroppedSpans }))
+	// Wide-event ring retention, read straight from the ring's atomics.
+	s.metrics.reg.CounterFunc("snakestore_event_published_total", "wide events published into the /debug/events ring", func() int64 { return int64(s.events.Published()) })
+	s.metrics.reg.CounterFunc("snakestore_event_overwritten_total", "wide events overwritten in the ring before being queried", func() int64 { return int64(s.events.Overwritten()) })
+	s.metrics.reg.GaugeFunc("snakestore_event_ring_capacity", "wide events the ring retains", func() float64 { return float64(s.events.Capacity()) })
+	// Cost-model calibration watch: per-class decayed observed/predicted
+	// ratios plus the global seek correction the adaptive policy consumes.
+	// The class label set is closed (pre-registered from the schema), like
+	// the query-class counters.
+	for _, c := range schema.Classes() {
+		lbl := classLabel(c)
+		calibView := func() snakes.ClassCalibration {
+			v, _ := s.calib.Class(lbl)
+			return v
+		}
+		s.metrics.reg.GaugeFunc("snakestore_calibration_page_ratio", "decayed observed/predicted pages by query class (1 = model exact)", func() float64 { return calibView().PageRatio }, "class", lbl)
+		s.metrics.reg.GaugeFunc("snakestore_calibration_seek_ratio", "decayed observed/predicted seeks by query class (1 = model exact)", func() float64 { return calibView().SeekRatio }, "class", lbl)
+		s.metrics.reg.GaugeFunc("snakestore_calibration_weight", "decayed observation mass behind the class calibration", func() float64 { return calibView().Weight }, "class", lbl)
+		s.metrics.reg.GaugeFunc("snakestore_calibration_drifted", "1 while the class's cost model is flagged stale (ratio past the drift threshold)", func() float64 {
+			if calibView().Drifted {
+				return 1
+			}
+			return 0
+		}, "class", lbl)
+	}
+	s.metrics.reg.GaugeFunc("snakestore_calibration_seek_correction", "global observed/predicted seek ratio applied to the reorg policy's deployed cost", func() float64 { return s.calib.SeekCorrection() })
 	s.armFragmentObserver(store)
 	return s
+}
+
+// enableSLO wires per-class latency objectives onto the server: every
+// query event feeds the engine, /healthz carries the per-class burn
+// status, and the registry exports burn rates, one-hot states, and
+// good/bad totals for the classes the spec tracks. Per-class objective
+// keys must name schema classes — the metric label set is closed.
+func (s *server) enableSLO(cfg snakes.SLOConfig) error {
+	known := make(map[string]bool, s.schema.NumClasses())
+	for _, c := range s.schema.Classes() {
+		known[classLabel(c)] = true
+	}
+	tracked := make([]string, 0, s.schema.NumClasses())
+	for lbl := range cfg.PerClass {
+		if !known[lbl] {
+			return fmt.Errorf("slo: class %q is not a class of this schema", lbl)
+		}
+	}
+	if cfg.HasDefault {
+		for _, c := range s.schema.Classes() {
+			tracked = append(tracked, classLabel(c))
+		}
+	} else {
+		for lbl := range cfg.PerClass {
+			tracked = append(tracked, lbl)
+		}
+		sort.Strings(tracked)
+	}
+	if s.slo == nil {
+		s.slo = snakes.NewSLOEngineWithClock(cfg, func() time.Time { return s.clock() })
+	}
+	for _, lbl := range tracked {
+		lbl := lbl
+		s.metrics.reg.GaugeFunc("snakestore_slo_burn_rate", "error-budget burn rate by class and window (1 = burning exactly the budget)", func() float64 {
+			b5, _ := s.slo.BurnRates(lbl)
+			return b5
+		}, "class", lbl, "window", "5m")
+		s.metrics.reg.GaugeFunc("snakestore_slo_burn_rate", "error-budget burn rate by class and window (1 = burning exactly the budget)", func() float64 {
+			_, b60 := s.slo.BurnRates(lbl)
+			return b60
+		}, "class", lbl, "window", "1h")
+		for _, st := range snakes.SLOStates() {
+			st := st
+			s.metrics.reg.GaugeFunc("snakestore_slo_state", "1 for the class's current SLO state, by state", func() float64 {
+				if s.slo.State(lbl) == st {
+					return 1
+				}
+				return 0
+			}, "class", lbl, "state", st)
+		}
+		s.metrics.reg.CounterFunc("snakestore_slo_requests_total", "SLO-observed requests by class and result", func() int64 {
+			good, _ := s.slo.Totals(lbl)
+			return good
+		}, "class", lbl, "result", "good")
+		s.metrics.reg.CounterFunc("snakestore_slo_requests_total", "SLO-observed requests by class and result", func() int64 {
+			_, bad := s.slo.Totals(lbl)
+			return bad
+		}, "class", lbl, "result", "bad")
+	}
+	return nil
 }
 
 // armFragmentObserver routes a store's per-fragment completion samples
@@ -178,6 +280,11 @@ func (s *server) enableReorg(catPath, storeBase string, frames int, cat *catalog
 		return err
 	}
 	r.OnEvaluate(func(e snakes.ReorgEvaluation) { s.metrics.reorgRegret.Set(e.Regret) })
+	if s.calibrateRegret {
+		// Regret in observed cost: the calibration watch's global seek
+		// ratio maps the analytic model onto what the store actually pays.
+		r.SetCostCorrection(s.calib.SeekCorrection)
+	}
 	r.OnReorg(func(outcome string, d time.Duration) {
 		s.metrics.observeReorg(outcome, d.Seconds())
 		s.log.Info("reorg", "outcome", outcome, "dur", d.Round(time.Millisecond), "gen", s.generation.Load())
@@ -382,6 +489,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/repair", s.instrument("repair", true, s.handleRepair))
 	mux.HandleFunc("/ingest", s.instrument("ingest", true, s.handleIngest))
 	mux.HandleFunc("/debug/traces", s.instrument("traces", false, s.handleTraces))
+	mux.HandleFunc("/debug/events", s.instrument("events", false, s.handleEvents))
 	// /metrics keeps answering 200 through drain and even after the store
 	// closes: the registry reads atomics, never the file.
 	mux.Handle("/metrics", s.instrument("metrics", false, s.metrics.reg.Handler().ServeHTTP))
@@ -395,10 +503,17 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// statusWriter captures the response code for metrics and logs.
+// defaultEventCapacity is the wide-event ring size when -event-capacity
+// is not given.
+const defaultEventCapacity = 1024
+
+// statusWriter captures the response code for metrics and logs, and
+// carries the request's in-flight wide event so writeErr can record the
+// error string without changing its signature.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
+	ev   *snakes.Event
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -425,10 +540,15 @@ func reqIDFrom(ctx context.Context) uint64 {
 
 // instrument wraps an endpoint with the shared telemetry: request counter,
 // in-flight gauge, latency histogram, per-status response counters, and one
-// key=value access-log line carrying a process-unique request id. A handler
-// panic is recovered here — logged with its stack under the request id,
-// answered with a typed 500 if nothing was written yet, and counted — so
-// one bad request can never take the daemon down.
+// canonical wide Event per request — built here, filled by the handler via
+// the request context (class, predicted/observed cost, delta and plan-cache
+// hits, admission wait), published into the ring behind /debug/events, and
+// rendered as the single access-log line. Query events additionally feed
+// the cost-model calibration watch and, when -slo is configured, the
+// per-class burn-rate engine. A handler panic is recovered here — logged
+// with its stack under the request id, answered with a typed 500 if nothing
+// was written yet, and counted — so one bad request can never take the
+// daemon down.
 //
 // Endpoints marked traced additionally run under a trace from the server's
 // recorder: the root span covers the whole request, handlers hang child
@@ -442,21 +562,51 @@ func (s *server) instrument(name string, traced bool, fn http.HandlerFunc) http.
 		hm.requests.Inc()
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
-		sw := &statusWriter{ResponseWriter: w}
+		start := s.clock()
+		ev := &snakes.Event{
+			TimeUnixNs: start.UnixNano(),
+			Handler:    name,
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			RequestID:  id,
+		}
+		sw := &statusWriter{ResponseWriter: w, ev: ev}
 		ctx := context.WithValue(r.Context(), reqIDKey{}, id)
+		ctx = snakes.WithEvent(ctx, ev)
 		var tr *snakes.Trace
 		if traced {
 			ctx, tr = s.traces.Start(ctx, name)
+			if tr != nil {
+				ev.TraceID = tr.ID()
+			}
 		}
-		start := time.Now()
 		panicErr := s.callHandler(sw, r.WithContext(ctx), fn, id)
-		elapsed := time.Since(start)
+		elapsed := s.clock().Sub(start)
 		code := sw.code
 		if code == 0 {
 			code = http.StatusOK
 		}
 		hm.response(code)
 		hm.latency.Observe(elapsed.Seconds())
+		ev.Status = code
+		ev.Outcome = snakes.EventOutcomeOf(code)
+		ev.LatencyNs = elapsed.Nanoseconds()
+		if panicErr != nil && ev.Error == "" {
+			ev.Error = panicErr.Error()
+		}
+		// Attribution closes here: a reconciled 200 query teaches the
+		// calibration watch, and every class-attributed request with a
+		// definite server-side outcome (2xx/5xx; client errors are the
+		// caller's fault) feeds its SLO series.
+		if ev.Class != "" && code == http.StatusOK {
+			s.calib.Observe(ev.Class, ev.PredictedPages, ev.PagesRead, ev.PredictedSeeks, ev.SeeksObserved)
+		}
+		if s.slo != nil && ev.Class != "" && (code < 400 || code >= 500) {
+			s.slo.Observe(ev.Class, elapsed, code >= 500)
+		}
+		// Publish after every field is final: ring events are immutable.
+		s.events.Publish(ev)
+		s.logEvent(ev)
 		if tr != nil {
 			finishErr := panicErr
 			if finishErr == nil && code >= 500 {
@@ -469,15 +619,84 @@ func (s *server) instrument(name string, traced bool, fn http.HandlerFunc) http.
 					"req", id, "trace", tr.ID(), "handler", name, "url", r.URL.String(),
 					"dur", res.Duration.Round(time.Microsecond), "spans", spanBreakdown(tr.Spans()))
 			}
-			s.log.Info("request",
-				"req", id, "handler", name, "method", r.Method, "url", r.URL.String(),
-				"status", code, "dur", elapsed.Round(time.Microsecond), "trace", tr.ID())
+		}
+	}
+}
+
+// logEvent renders one published wide event as the access-log line — the
+// event is the single source, so the log carries exactly what
+// /debug/events retains. Attribution fields appear only when set, keeping
+// healthz/metrics probes to one short line.
+func (s *server) logEvent(ev *snakes.Event) {
+	args := []any{
+		"req", ev.RequestID, "handler", ev.Handler, "method", ev.Method, "path", ev.Path,
+		"status", ev.Status, "outcome", ev.Outcome,
+		"dur", (time.Duration(ev.LatencyNs) * time.Nanosecond).Round(time.Microsecond),
+	}
+	if ev.TraceID != 0 {
+		args = append(args, "trace", ev.TraceID)
+	}
+	if ev.Class != "" {
+		args = append(args,
+			"class", ev.Class, "gen", ev.Generation,
+			"pagesAnalytic", ev.PredictedPages, "pagesRead", ev.PagesRead,
+			"seeksAnalytic", ev.PredictedSeeks, "seeksObserved", ev.SeeksObserved,
+			"deltaHits", ev.DeltaHits, "planCacheHit", ev.PlanCacheHit,
+			"admissionWait", (time.Duration(ev.AdmissionWaitNs) * time.Nanosecond).Round(time.Microsecond))
+	}
+	if ev.Records != 0 {
+		args = append(args, "records", ev.Records)
+	}
+	if ev.Error != "" {
+		args = append(args, "err", ev.Error)
+	}
+	s.log.Info("request", args...)
+}
+
+// handleEvents serves GET /debug/events: the ring's retained wide events
+// newest-first, optionally narrowed by handler, class, outcome, a minimum
+// latency, a sequence floor, and a result cap. The ring is a window, not
+// an archive — overwritten counts what scrolled off.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := snakes.EventFilter{
+		Handler: q.Get("handler"),
+		Class:   q.Get("class"),
+		Outcome: q.Get("outcome"),
+	}
+	if v := q.Get("min_latency"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			s.writeErr(w, usagef("min_latency=%q: want a non-negative duration", v))
 			return
 		}
-		s.log.Info("request",
-			"req", id, "handler", name, "method", r.Method, "url", r.URL.String(),
-			"status", code, "dur", elapsed.Round(time.Microsecond))
+		f.MinLatency = d
 	}
+	if v := q.Get("since_seq"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.writeErr(w, usagef("since_seq=%q: want a sequence number", v))
+			return
+		}
+		f.SinceSeq = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeErr(w, usagef("limit=%q: want a non-negative count", v))
+			return
+		}
+		f.Limit = n
+	}
+	events := s.events.Query(f)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"published":   s.events.Published(),
+		"overwritten": s.events.Overwritten(),
+		"capacity":    s.events.Capacity(),
+		"returned":    len(events),
+		"events":      events,
+	})
 }
 
 // callHandler runs the handler under the panic guard, returning the panic
@@ -730,6 +949,9 @@ func (s *server) scrubBatch(ctx context.Context, cursor, n int64) int64 {
 // 400, a reorganization already running 409, shed or closed 503, timed out
 // 504, corruption 500 (after quarantining the page).
 func (s *server) writeErr(w http.ResponseWriter, err error) {
+	if sw, ok := w.(*statusWriter); ok && sw.ev != nil {
+		sw.ev.Error = err.Error()
+	}
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, errUsage):
@@ -782,10 +1004,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ev := snakes.EventFromContext(ctx)
 	// Every valid query is demand evidence, observed before admission so
 	// shed load still teaches the reorganizer what clients wanted.
 	if class, cerr := s.schema.ClassOfRegion(region); cerr == nil {
 		s.metrics.observeClass(class)
+		if ev != nil {
+			ev.Class = classLabel(class)
+		}
 		if s.reorg != nil {
 			if oerr := s.reorg.Observe(class); oerr != nil {
 				s.log.Warn("reorg", "msg", "observing query class", "err", oerr)
@@ -800,13 +1026,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Admission weight is the query's analytic page count, so one huge scan
 	// and many point queries draw from the same budget.
 	pred := st.Layout().Query(region)
+	if ev != nil {
+		ev.Generation = gen
+		ev.PredictedPages = pred.Pages
+		ev.PredictedSeeks = pred.Seeks
+	}
 	asp := snakes.StartTraceLeaf(ctx, snakes.TraceKindAdmission, "")
 	asp.SetAttr("weight_pages", pred.Pages)
+	admStart := s.clock()
 	if err := s.adm.Acquire(ctx, pred.Pages); err != nil {
 		asp.SetError(err)
 		asp.End()
 		s.writeErr(w, err)
 		return
+	}
+	if ev != nil {
+		ev.AdmissionWaitNs = s.clock().Sub(admStart).Nanoseconds()
 	}
 	asp.End()
 	defer s.adm.Release(pred.Pages)
@@ -839,16 +1074,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.PagesRead = tally.Stats().Misses
 	resp.Seeks = tally.Seeks()
 	resp.DeltaCells = tally.DeltaHits()
+	if ev != nil {
+		ev.PagesRead = resp.PagesRead
+		ev.SeeksObserved = resp.Seeks
+		ev.DeltaHits = resp.DeltaCells
+		ev.PlanCacheHit = tally.PlanHits() > 0
+		ev.Records = resp.Records
+	}
 	s.metrics.queryRecords.Add(resp.Records)
 	s.metrics.queryDeltaCells.Add(resp.DeltaCells)
 	s.metrics.pagesAnalytic.Observe(float64(pred.Pages))
 	s.metrics.pagesRead.Observe(float64(resp.PagesRead))
 	s.metrics.seeksAnalytic.Observe(float64(pred.Seeks))
 	s.metrics.seeksObserved.Observe(float64(resp.Seeks))
-	s.log.Info("query",
-		"req", reqIDFrom(ctx), "region", resp.Region, "records", resp.Records,
-		"gen", gen, "pagesAnalytic", pred.Pages, "pagesRead", resp.PagesRead,
-		"seeksAnalytic", pred.Seeks, "seeksObserved", resp.Seeks)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -978,14 +1216,21 @@ func (s *server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	}
 	s.log.Info("repair",
 		"req", reqIDFrom(ctx), "pages", rep.Pages, "repaired", len(rep.Repaired), "failed", len(rep.Failed))
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	if ev := snakes.EventFromContext(ctx); ev != nil {
+		ev.Records = rep.Pages
+	}
+	body := map[string]any{
 		"pages":    rep.Pages,
 		"repaired": rep.Repaired,
 		"failed":   failed,
 		"ok":       rep.OK(),
 		"health":   s.healthState(),
-	})
+	}
+	if tr := snakes.TraceFromContext(ctx); tr != nil {
+		body["traceId"] = tr.ID()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
 }
 
 // handleTraces serves /debug/traces: without parameters, the retained
@@ -1054,6 +1299,25 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"quarantinedPages": pages,
 		"lastScrub":        lastScrub,
 		"parity":           map[string]any{"attached": st.HasParity(), "group": st.ParityGroup()},
+		"events": map[string]any{
+			"published":   s.events.Published(),
+			"overwritten": s.events.Overwritten(),
+			"capacity":    s.events.Capacity(),
+		},
+	}
+	if calib := s.calib.Snapshot(); len(calib) > 0 {
+		body["calibration"] = map[string]any{
+			"classes": calib,
+			"drifted": s.calib.DriftedClasses(),
+		}
+	}
+	if s.slo != nil {
+		classes, worst := s.slo.Status()
+		body["slo"] = map[string]any{
+			"state":   worst,
+			"classes": classes,
+		}
+		body["sloState"] = worst
 	}
 	if s.ing != nil {
 		s.ing.mu.Lock()
@@ -1174,6 +1438,7 @@ func cmdServe(args []string) error {
 	adaptHysteresis := fs.Int("adapt-hysteresis", 3, "consecutive over-threshold evaluations required before acting")
 	adaptMinInterval := fs.Duration("adapt-min-interval", 10*time.Minute, "minimum time between reorganization attempts")
 	adaptMinWeight := fs.Float64("adapt-min-weight", 100, "minimum decayed observation mass before the policy may act")
+	adaptCalibrated := fs.Bool("adapt-calibrated", false, "scale the reorg policy's deployed cost by the calibration watch's observed/predicted seek ratio")
 	ingestOn := fs.Bool("ingest", false, "accept cell upserts on POST /ingest (delta store + background compaction)")
 	ingestSync := fs.String("ingest-sync", "batch", "delta log fsync policy: always, batch, or none")
 	ingestBatchKB := fs.Int("ingest-batch-kb", 256, "fsync batch size in KiB for -ingest-sync=batch")
@@ -1181,6 +1446,8 @@ func cmdServe(args []string) error {
 	compactInterval := fs.Duration("compact-interval", time.Second, "background compaction tick interval")
 	compactRegion := fs.Int("compact-region", 64, "compaction scoring window in linearization positions")
 	compactTickKB := fs.Int("compact-tick-kb", 1024, "delta bytes in KiB folded into the base file per compaction tick")
+	eventCap := fs.Int("event-capacity", defaultEventCapacity, "wide events retained for /debug/events")
+	sloSpec := fs.String("slo", "", "per-class latency objectives, e.g. 'default=250ms@99.9;0,2=50ms@99'; empty disables the SLO engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -1241,6 +1508,20 @@ func cmdServe(args []string) error {
 	if *parityGroup > 0 {
 		srv.parityGroup = *parityGroup
 	}
+	if *eventCap > 0 && *eventCap != defaultEventCapacity {
+		srv.events = snakes.NewEventRing(*eventCap)
+	}
+	if *sloSpec != "" {
+		cfg, serr := snakes.ParseSLOSpec(*sloSpec)
+		if serr != nil {
+			store.Close()
+			return usagef("%v", serr)
+		}
+		if serr := srv.enableSLO(cfg); serr != nil {
+			store.Close()
+			return usagef("%v", serr)
+		}
+	}
 	if *scrubRate > 0 {
 		go srv.runScrubLoop(ctx, *scrubRate)
 	}
@@ -1265,6 +1546,7 @@ func cmdServe(args []string) error {
 		go srv.runCompactorLoop(ctx, *compactInterval)
 	}
 	if *adapt {
+		srv.calibrateRegret = *adaptCalibrated
 		cfg := snakes.DefaultReorgConfig()
 		cfg.CheckInterval = *adaptInterval
 		cfg.HalfLife = *adaptHalfLife

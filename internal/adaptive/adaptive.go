@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -148,8 +149,9 @@ type Migrator func(ctx context.Context, d *Decision) error
 // OnEvaluate hook.
 type Evaluation struct {
 	Regret      float64
-	CurrentCost float64
+	CurrentCost float64 // after Correction, when a CostCorrection hook is set
 	OptimalCost float64
+	Correction  float64 // multiplier applied to CurrentCost (1 when no hook)
 	Weight      float64 // decayed mass backing the estimate
 	Eligible    bool    // enough mass and regret above threshold
 }
@@ -205,6 +207,15 @@ type Controller struct {
 	// activity for metrics; they are called without the controller lock.
 	OnEvaluate func(Evaluation)
 	OnReorg    func(outcome string, d time.Duration)
+
+	// CostCorrection, when set before Run/Trigger, scales the deployed
+	// strategy's analytic cost by a live observed/predicted seek ratio
+	// (the obsevent calibration watch) before regret is computed. The
+	// optimum stays analytic: regret then compares what the store is
+	// measured to pay against what the DP says it could pay, so a buffer
+	// pool or overlay that absorbs seeks weakens the case for migrating.
+	// Returns <= 0, NaN, or Inf are ignored. Called without the lock.
+	CostCorrection func() float64
 
 	now func() time.Time // injectable clock for tests
 }
@@ -306,12 +317,19 @@ func (c *Controller) evaluate(ctx context.Context) (_ Evaluation, _ *Decision, r
 	if err != nil {
 		return Evaluation{Weight: weight}, nil, err
 	}
+	corr := 1.0
+	if c.CostCorrection != nil {
+		if v := c.CostCorrection(); v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			corr = v
+		}
+	}
 	c.mu.Lock()
-	cur := cost.OfPath(c.path, c.snaked).ExpectedCost(w)
+	cur := cost.OfPath(c.path, c.snaked).ExpectedCost(w) * corr
 	optCost := cost.OfPath(opt.Path, true).ExpectedCost(w)
 	ev := Evaluation{
 		CurrentCost: cur,
 		OptimalCost: optCost,
+		Correction:  corr,
 		Weight:      weight,
 	}
 	if optCost > 0 {

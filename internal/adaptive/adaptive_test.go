@@ -3,6 +3,7 @@ package adaptive
 import (
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -416,5 +417,52 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(l, p, true, 0, mig, Defaults()); err != nil {
 		t.Errorf("Defaults rejected: %v", err)
+	}
+}
+
+func TestControllerCostCorrection(t *testing.T) {
+	m := &recordingMigrator{}
+	c := newTestController(t, testConfig(), m)
+	observeN(t, c, colClass, 500)
+
+	base, _, err := c.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Correction != 1 {
+		t.Fatalf("no hook: correction %v, want 1", base.Correction)
+	}
+
+	// A correction of 0.5 (the pool/overlay absorbs half the analytic
+	// seeks) halves the observed cost and with it the regret.
+	c.CostCorrection = func() float64 { return 0.5 }
+	ev, _, err := c.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Correction != 0.5 {
+		t.Fatalf("correction %v, want 0.5", ev.Correction)
+	}
+	if want := base.CurrentCost * 0.5; ev.CurrentCost != want {
+		t.Fatalf("corrected cost %v, want %v", ev.CurrentCost, want)
+	}
+	if ev.OptimalCost != base.OptimalCost {
+		t.Fatalf("optimal cost changed under correction: %v vs %v", ev.OptimalCost, base.OptimalCost)
+	}
+	if want := base.Regret * 0.5; ev.Regret != want {
+		t.Fatalf("corrected regret %v, want %v", ev.Regret, want)
+	}
+
+	// Degenerate hook values are ignored, not propagated.
+	for _, v := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		v := v
+		c.CostCorrection = func() float64 { return v }
+		ev, _, err := c.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Correction != 1 || ev.CurrentCost != base.CurrentCost {
+			t.Fatalf("hook value %v: correction %v cost %v, want neutral", v, ev.Correction, ev.CurrentCost)
+		}
 	}
 }

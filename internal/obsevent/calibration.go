@@ -1,0 +1,191 @@
+package obsevent
+
+import (
+	"sort"
+	"sync"
+)
+
+// Calibration watches how well the analytic cost model predicts the
+// physical cost actually observed at the buffer pool, per query class.
+// Every successfully served query contributes its predicted and observed
+// page and seek counts to exponentially decayed per-class sums, and the
+// ratio observed/predicted of those sums is the class's calibration:
+//
+//	ratio_pages(c) = Σ αᵏ·observedPagesₖ / Σ αᵏ·predictedPagesₖ
+//
+// (k counting observations backwards in time, α the per-observation
+// retention). On a cold store with no overlay the physical read path
+// reconciles exactly with the model, so both ratios are exactly 1.0. The
+// ratio drifts below 1 when something absorbs predicted cost — a warm
+// buffer pool, or cells served from the delta overlay instead of base
+// pages — and a class whose ratio strays more than Threshold from 1 (with
+// at least MinWeight decayed observations behind it) is flagged drifted:
+// the analytic model has gone stale for that class, e.g. under a heavy
+// uncompacted overlay. Compaction plus fresh cold traffic decays the
+// stale history out and clears the flag.
+//
+// Decay is per observation, not per wall-clock tick, so calibration
+// trajectories are a pure function of the observation sequence — the
+// bench asserts exact values without a clock.
+//
+// Safe for concurrent use.
+type Calibration struct {
+	alpha     float64 // per-observation retention in (0, 1]
+	threshold float64 // |ratio-1| beyond this flags the class
+	minWeight float64 // decayed observations required before flagging
+
+	mu      sync.Mutex
+	classes map[string]*calibClass
+}
+
+type calibClass struct {
+	weight    float64
+	predPages float64
+	obsPages  float64
+	predSeeks float64
+	obsSeeks  float64
+}
+
+// Calibration defaults: history halves roughly every 14 observations,
+// a quarter of predicted cost must go missing (or appear from nowhere)
+// before a class is flagged, and eight decayed observations are required
+// so one odd query cannot flag a class.
+const (
+	DefaultCalibrationAlpha     = 0.95
+	DefaultCalibrationThreshold = 0.25
+	DefaultCalibrationMinWeight = 8
+)
+
+// NewCalibration returns an empty watch. Out-of-range parameters fall
+// back to the defaults.
+func NewCalibration(alpha, threshold, minWeight float64) *Calibration {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultCalibrationAlpha
+	}
+	if threshold <= 0 {
+		threshold = DefaultCalibrationThreshold
+	}
+	if minWeight <= 0 {
+		minWeight = DefaultCalibrationMinWeight
+	}
+	return &Calibration{
+		alpha:     alpha,
+		threshold: threshold,
+		minWeight: minWeight,
+		classes:   make(map[string]*calibClass),
+	}
+}
+
+// Observe folds one served query into its class's decayed sums.
+func (c *Calibration) Observe(class string, predPages, obsPages, predSeeks, obsSeeks int64) {
+	c.mu.Lock()
+	cc := c.classes[class]
+	if cc == nil {
+		cc = &calibClass{}
+		c.classes[class] = cc
+	}
+	cc.weight = cc.weight*c.alpha + 1
+	cc.predPages = cc.predPages*c.alpha + float64(predPages)
+	cc.obsPages = cc.obsPages*c.alpha + float64(obsPages)
+	cc.predSeeks = cc.predSeeks*c.alpha + float64(predSeeks)
+	cc.obsSeeks = cc.obsSeeks*c.alpha + float64(obsSeeks)
+	c.mu.Unlock()
+}
+
+// ratio divides decayed observed by decayed predicted cost. No predicted
+// cost means nothing to calibrate against: the ratio reports 1.
+func ratio(obs, pred float64) float64 {
+	if pred <= 0 {
+		return 1
+	}
+	return obs / pred
+}
+
+// ClassCalibration is one class's watch state, shaped for gauges and
+// status endpoints.
+type ClassCalibration struct {
+	Class     string  `json:"class"`
+	Weight    float64 `json:"weight"`
+	PageRatio float64 `json:"pageRatio"`
+	SeekRatio float64 `json:"seekRatio"`
+	Drifted   bool    `json:"drifted"`
+}
+
+func (c *Calibration) view(class string, cc *calibClass) ClassCalibration {
+	v := ClassCalibration{
+		Class:     class,
+		Weight:    cc.weight,
+		PageRatio: ratio(cc.obsPages, cc.predPages),
+		SeekRatio: ratio(cc.obsSeeks, cc.predSeeks),
+	}
+	if cc.weight >= c.minWeight {
+		pd, sd := v.PageRatio-1, v.SeekRatio-1
+		v.Drifted = pd > c.threshold || pd < -c.threshold || sd > c.threshold || sd < -c.threshold
+	}
+	return v
+}
+
+// Class returns one class's calibration; ok is false when the class has
+// never been observed.
+func (c *Calibration) Class(class string) (ClassCalibration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cc := c.classes[class]
+	if cc == nil {
+		return ClassCalibration{Class: class, PageRatio: 1, SeekRatio: 1}, false
+	}
+	return c.view(class, cc), true
+}
+
+// Snapshot returns every observed class's calibration, sorted by class
+// label.
+func (c *Calibration) Snapshot() []ClassCalibration {
+	c.mu.Lock()
+	out := make([]ClassCalibration, 0, len(c.classes))
+	for class, cc := range c.classes {
+		out = append(out, c.view(class, cc))
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// DriftedClasses returns the labels of currently flagged classes, sorted.
+func (c *Calibration) DriftedClasses() []string {
+	var out []string
+	for _, v := range c.Snapshot() {
+		if v.Drifted {
+			out = append(out, v.Class)
+		}
+	}
+	return out
+}
+
+// SeekCorrection returns the global decayed observed/predicted seek
+// ratio across all classes — the factor that maps the analytic seek cost
+// onto the physical cost the store is actually paying. The adaptive
+// controller multiplies its deployed-strategy cost by this, so regret is
+// measured in observed cost: a pool or overlay that absorbs most seeks
+// proportionally weakens the case for a migration. Returns 1 with no
+// evidence; the result is clamped to [0.1, 10] so a pathological window
+// cannot swing the policy by more than an order of magnitude.
+func (c *Calibration) SeekCorrection() float64 {
+	c.mu.Lock()
+	var obs, pred float64
+	for _, cc := range c.classes {
+		obs += cc.obsSeeks
+		pred += cc.predSeeks
+	}
+	c.mu.Unlock()
+	if pred <= 0 {
+		return 1
+	}
+	r := obs / pred
+	if r < 0.1 {
+		return 0.1
+	}
+	if r > 10 {
+		return 10
+	}
+	return r
+}

@@ -1,0 +1,118 @@
+package obsevent
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationExactWhenReconciled(t *testing.T) {
+	c := NewCalibration(0.9, 0.25, 4)
+	// A cold, overlay-free store reconciles exactly: observed == predicted
+	// every query. The decayed sums then divide to exactly 1.0 — float
+	// division of equal values, no epsilon needed.
+	for i := 0; i < 20; i++ {
+		c.Observe("0,1", 12, 12, 3, 3)
+		c.Observe("1,0", 7, 7, 2, 2)
+	}
+	for _, v := range c.Snapshot() {
+		if v.PageRatio != 1.0 || v.SeekRatio != 1.0 {
+			t.Fatalf("class %s: ratios %v/%v, want exactly 1.0", v.Class, v.PageRatio, v.SeekRatio)
+		}
+		if v.Drifted {
+			t.Fatalf("class %s flagged drifted on perfect calibration", v.Class)
+		}
+	}
+	if got := c.SeekCorrection(); got != 1.0 {
+		t.Fatalf("SeekCorrection = %v, want exactly 1.0", got)
+	}
+	if drifted := c.DriftedClasses(); len(drifted) != 0 {
+		t.Fatalf("drifted classes %v, want none", drifted)
+	}
+}
+
+func TestCalibrationDriftAndRecovery(t *testing.T) {
+	c := NewCalibration(0.9, 0.25, 4)
+	// Healthy history first.
+	for i := 0; i < 10; i++ {
+		c.Observe("0,1", 10, 10, 4, 4)
+	}
+	// A heavy overlay absorbs half the predicted cost: the ratio decays
+	// toward 0.5, crossing the 25% drift threshold.
+	for i := 0; i < 30; i++ {
+		c.Observe("0,1", 10, 5, 4, 2)
+	}
+	v, ok := c.Class("0,1")
+	if !ok {
+		t.Fatal("class never observed")
+	}
+	if !v.Drifted {
+		t.Fatalf("overlay drift not flagged: %+v", v)
+	}
+	if v.PageRatio > 0.75 {
+		t.Fatalf("page ratio %v did not drift below 0.75", v.PageRatio)
+	}
+	if got := c.SeekCorrection(); got >= 0.75 {
+		t.Fatalf("SeekCorrection = %v, want well below 1 under overlay", got)
+	}
+	// Compaction restores reconciliation; fresh exact observations decay
+	// the stale history out and the flag clears.
+	for i := 0; i < 60; i++ {
+		c.Observe("0,1", 10, 10, 4, 4)
+	}
+	v, _ = c.Class("0,1")
+	if v.Drifted {
+		t.Fatalf("drift flag stuck after recovery: %+v", v)
+	}
+	if math.Abs(v.PageRatio-1) > 0.05 || math.Abs(v.SeekRatio-1) > 0.05 {
+		t.Fatalf("ratios %v/%v did not recover toward 1", v.PageRatio, v.SeekRatio)
+	}
+}
+
+func TestCalibrationMinWeightGate(t *testing.T) {
+	c := NewCalibration(0.9, 0.25, 8)
+	// Three wildly misreconciled observations: below the weight gate,
+	// never flagged.
+	for i := 0; i < 3; i++ {
+		c.Observe("0,0", 100, 1, 10, 1)
+	}
+	if v, _ := c.Class("0,0"); v.Drifted {
+		t.Fatalf("class flagged with weight %v below the gate", v.Weight)
+	}
+	for i := 0; i < 20; i++ {
+		c.Observe("0,0", 100, 1, 10, 1)
+	}
+	if v, _ := c.Class("0,0"); !v.Drifted {
+		t.Fatalf("class not flagged past the weight gate: %+v", v)
+	}
+}
+
+func TestCalibrationUnknownClass(t *testing.T) {
+	c := NewCalibration(0, 0, 0) // defaults
+	v, ok := c.Class("9,9")
+	if ok {
+		t.Fatal("unknown class reported as observed")
+	}
+	if v.PageRatio != 1 || v.SeekRatio != 1 || v.Drifted {
+		t.Fatalf("unknown class view %+v, want neutral", v)
+	}
+	if got := c.SeekCorrection(); got != 1 {
+		t.Fatalf("empty SeekCorrection = %v, want 1", got)
+	}
+}
+
+func TestCalibrationCorrectionClamp(t *testing.T) {
+	c := NewCalibration(1, 0.25, 1)
+	for i := 0; i < 5; i++ {
+		c.Observe("0,0", 1, 1000, 1, 1000)
+	}
+	if got := c.SeekCorrection(); got != 10 {
+		t.Fatalf("correction %v, want clamp at 10", got)
+	}
+	c2 := NewCalibration(1, 0.25, 1)
+	for i := 0; i < 5; i++ {
+		c2.Observe("0,0", 1000, 1, 1000, 1)
+	}
+	if got := c2.SeekCorrection(); got != 0.1 {
+		t.Fatalf("correction %v, want clamp at 0.1", got)
+	}
+}

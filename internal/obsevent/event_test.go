@@ -1,0 +1,180 @@
+package obsevent
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventRingBasics(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Capacity(); got != 4 {
+		t.Fatalf("capacity = %d, want 4", got)
+	}
+	for i := 0; i < 6; i++ {
+		seq := r.Publish(&Event{Handler: "query", LatencyNs: int64(i)})
+		if seq != uint64(i+1) {
+			t.Fatalf("publish %d returned seq %d", i, seq)
+		}
+	}
+	if r.Published() != 6 {
+		t.Fatalf("published = %d, want 6", r.Published())
+	}
+	if r.Overwritten() != 2 {
+		t.Fatalf("overwritten = %d, want 2", r.Overwritten())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d events, want 4", len(snap))
+	}
+	for i, e := range snap {
+		want := uint64(6 - i) // newest first
+		if e.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestEventRingFilter(t *testing.T) {
+	r := NewRing(16)
+	r.Publish(&Event{Handler: "query", Class: "0,1", Outcome: OutcomeOK, LatencyNs: int64(2 * time.Millisecond)})
+	r.Publish(&Event{Handler: "query", Class: "1,1", Outcome: OutcomeShed, LatencyNs: int64(50 * time.Millisecond)})
+	r.Publish(&Event{Handler: "ingest", Outcome: OutcomeOK, LatencyNs: int64(1 * time.Millisecond)})
+	r.Publish(&Event{Handler: "query", Class: "0,1", Outcome: OutcomeOK, LatencyNs: int64(80 * time.Millisecond)})
+
+	if got := r.Query(Filter{Handler: "query"}); len(got) != 3 {
+		t.Fatalf("handler filter: %d events, want 3", len(got))
+	}
+	if got := r.Query(Filter{Class: "0,1"}); len(got) != 2 {
+		t.Fatalf("class filter: %d events, want 2", len(got))
+	}
+	if got := r.Query(Filter{Outcome: OutcomeShed}); len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("outcome filter: got %+v, want the shed event (seq 2)", got)
+	}
+	if got := r.Query(Filter{MinLatency: 40 * time.Millisecond}); len(got) != 2 {
+		t.Fatalf("latency filter: %d events, want 2", len(got))
+	}
+	if got := r.Query(Filter{SinceSeq: 3}); len(got) != 1 || got[0].Seq != 4 {
+		t.Fatalf("since filter: got %+v, want only seq 4", got)
+	}
+	if got := r.Query(Filter{Handler: "query", Limit: 1}); len(got) != 1 || got[0].Seq != 4 {
+		t.Fatalf("limit: got %+v, want newest query event", got)
+	}
+}
+
+func TestOutcomeOf(t *testing.T) {
+	cases := map[int]string{
+		200: OutcomeOK, 204: OutcomeOK,
+		400: OutcomeClientError, 404: OutcomeClientError, 409: OutcomeClientError,
+		503: OutcomeShed, 504: OutcomeTimeout,
+		500: OutcomeError, 502: OutcomeError,
+	}
+	for code, want := range cases {
+		if got := OutcomeOf(code); got != want {
+			t.Errorf("OutcomeOf(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+// TestEventRingContention hammers one capacity-capped ring with 8 writer
+// goroutines while 2 readers continuously snapshot, under -race: every
+// publisher must get a unique sequence number with none lost (the 8×N
+// numbers are exactly 1..8N), and every concurrent snapshot must be
+// bounded by the capacity with no duplicated sequence inside it.
+func TestEventRingContention(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 5000
+		capacity  = 64
+	)
+	r := NewRing(capacity)
+	seqs := make([][]uint64, writers)
+	var writersWg, readersWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	readerErr := make(chan string, 2)
+	for i := 0; i < 2; i++ {
+		readersWg.Add(1)
+		go func() {
+			defer readersWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if len(snap) > capacity {
+					readerErr <- "snapshot exceeds capacity"
+					return
+				}
+				seen := make(map[uint64]bool, len(snap))
+				last := ^uint64(0)
+				for _, e := range snap {
+					if e.Seq == 0 || seen[e.Seq] {
+						readerErr <- "duplicate or zero sequence in snapshot"
+						return
+					}
+					seen[e.Seq] = true
+					if e.Seq > last {
+						readerErr <- "snapshot not sorted newest-first"
+						return
+					}
+					last = e.Seq
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		w := w
+		writersWg.Add(1)
+		go func() {
+			defer writersWg.Done()
+			mine := make([]uint64, 0, perWriter)
+			for i := 0; i < perWriter; i++ {
+				mine = append(mine, r.Publish(&Event{Handler: "query", RequestID: uint64(w*perWriter + i)}))
+			}
+			seqs[w] = mine
+		}()
+	}
+
+	writersWg.Wait()
+	close(stop)
+	readersWg.Wait()
+	select {
+	case msg := <-readerErr:
+		t.Fatal(msg)
+	default:
+	}
+
+	// No lost or duplicated sequence numbers: the union of every writer's
+	// returned seqs is exactly {1, ..., writers*perWriter}.
+	total := writers * perWriter
+	seen := make([]bool, total+1)
+	for w := range seqs {
+		for _, s := range seqs[w] {
+			if s == 0 || s > uint64(total) {
+				t.Fatalf("sequence %d outside [1,%d]", s, total)
+			}
+			if seen[s] {
+				t.Fatalf("sequence %d assigned twice", s)
+			}
+			seen[s] = true
+		}
+	}
+	for s := 1; s <= total; s++ {
+		if !seen[s] {
+			t.Fatalf("sequence %d never assigned", s)
+		}
+	}
+	if r.Published() != uint64(total) {
+		t.Fatalf("published = %d, want %d", r.Published(), total)
+	}
+	// Bounded memory at the cap: the final snapshot holds exactly capacity
+	// events, all with distinct sequence numbers.
+	snap := r.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("final snapshot has %d events, want %d", len(snap), capacity)
+	}
+}

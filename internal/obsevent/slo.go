@@ -1,0 +1,350 @@
+package obsevent
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The SLO engine consumes the query event stream and maintains per-class
+// error-budget burn rates over two windows, the multiwindow alerting
+// shape: a request is *good* when it answered without a server error
+// within its class's latency threshold, and the burn rate over a window
+// is
+//
+//	burn = (bad / total) / (1 - target)
+//
+// — the rate at which the error budget is being spent, 1.0 meaning
+// "exactly on budget". A class is **burning** when the short window burns
+// at FastBurn or more while the long window is also over budget (a fast
+// burn that the long window confirms is real, not a blip), **at-risk**
+// when either window is over budget, and **ok** otherwise.
+
+// SLO window lengths. The short window reacts in minutes; the long
+// window stops a brief spike from paging anyone.
+const (
+	SLOShortWindow = 5 * time.Minute
+	SLOLongWindow  = time.Hour
+)
+
+// SLO states, ordered from healthy to alerting.
+const (
+	SLOStateOK      = "ok"
+	SLOStateAtRisk  = "at-risk"
+	SLOStateBurning = "burning"
+)
+
+// SLOStates enumerates the closed state label set for metrics.
+func SLOStates() []string { return []string{SLOStateOK, SLOStateAtRisk, SLOStateBurning} }
+
+// Objective is one latency SLO: Target (a fraction, e.g. 0.999) of
+// requests answer within Threshold.
+type Objective struct {
+	Threshold time.Duration `json:"threshold"`
+	Target    float64       `json:"target"`
+}
+
+func (o Objective) validate() error {
+	if o.Threshold <= 0 {
+		return fmt.Errorf("slo: threshold %v must be positive", o.Threshold)
+	}
+	if o.Target <= 0 || o.Target >= 1 {
+		return fmt.Errorf("slo: target %v must be inside (0, 1)", o.Target)
+	}
+	return nil
+}
+
+// SLOConfig is the engine's objective set. Classes without a per-class
+// objective use Default when HasDefault is set and are untracked
+// otherwise, so operators control series cardinality.
+type SLOConfig struct {
+	HasDefault bool
+	Default    Objective
+	PerClass   map[string]Objective
+
+	// FastBurn and SlowBurn are the burning thresholds for the short and
+	// long windows; zero values take the conventional 14.4 / 1.0 pair
+	// (14.4 = spending a 30-day budget in ~2 days).
+	FastBurn float64
+	SlowBurn float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.FastBurn <= 0 {
+		c.FastBurn = 14.4
+	}
+	if c.SlowBurn <= 0 {
+		c.SlowBurn = 1
+	}
+	return c
+}
+
+// ParseSLOSpec parses the -slo flag syntax: semicolon-separated
+// entries, each "<class>=<threshold>@<percent>", where <class> is either
+// the literal "default" or a class label ("0,2" — levels comma-joined,
+// which is why the entry separator is ';'). Example:
+//
+//	default=250ms@99.9;0,2=50ms@99
+func ParseSLOSpec(spec string) (SLOConfig, error) {
+	cfg := SLOConfig{PerClass: make(map[string]Objective)}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(entry, "=")
+		if !ok {
+			return cfg, fmt.Errorf("slo: entry %q: want <class>=<threshold>@<percent>", entry)
+		}
+		thr, pct, ok := strings.Cut(val, "@")
+		if !ok {
+			return cfg, fmt.Errorf("slo: entry %q: want <threshold>@<percent> after '='", entry)
+		}
+		d, err := time.ParseDuration(thr)
+		if err != nil {
+			return cfg, fmt.Errorf("slo: entry %q: %v", entry, err)
+		}
+		p, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("slo: entry %q: percent %q: %v", entry, pct, err)
+		}
+		o := Objective{Threshold: d, Target: p / 100}
+		if err := o.validate(); err != nil {
+			return cfg, fmt.Errorf("slo: entry %q: %v", entry, err)
+		}
+		key = strings.TrimSpace(key)
+		if key == "default" {
+			if cfg.HasDefault {
+				return cfg, fmt.Errorf("slo: duplicate default entry")
+			}
+			cfg.HasDefault, cfg.Default = true, o
+			continue
+		}
+		if _, dup := cfg.PerClass[key]; dup {
+			return cfg, fmt.Errorf("slo: duplicate entry for class %q", key)
+		}
+		cfg.PerClass[key] = o
+	}
+	if !cfg.HasDefault && len(cfg.PerClass) == 0 {
+		return cfg, fmt.Errorf("slo: empty spec; want e.g. default=250ms@99.9")
+	}
+	return cfg, nil
+}
+
+// sloSeries is one tracked class: sixty per-minute good/bad buckets
+// (a rotating window stamped with the minute they describe, so stale
+// buckets are skipped rather than shifted) plus cumulative totals.
+type sloSeries struct {
+	obj       Objective
+	minuteOf  [60]int64
+	good, bad [60]int64
+	totalGood int64
+	totalBad  int64
+}
+
+// SLOEngine tracks burn rates for every configured class. Safe for
+// concurrent use; the clock is injectable so burn-rate trajectories are
+// testable as pure functions of (observations, clock).
+type SLOEngine struct {
+	cfg SLOConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	classes map[string]*sloSeries
+}
+
+// NewSLOEngine returns an engine on the wall clock.
+func NewSLOEngine(cfg SLOConfig) *SLOEngine { return NewSLOEngineWithClock(cfg, time.Now) }
+
+// NewSLOEngineWithClock returns an engine reading time from now —
+// deterministic burn-rate math for tests and the bench.
+func NewSLOEngineWithClock(cfg SLOConfig, now func() time.Time) *SLOEngine {
+	return &SLOEngine{cfg: cfg.withDefaults(), now: now, classes: make(map[string]*sloSeries)}
+}
+
+// objective resolves a class's objective; ok is false for untracked
+// classes.
+func (e *SLOEngine) objective(class string) (Objective, bool) {
+	if o, ok := e.cfg.PerClass[class]; ok {
+		return o, true
+	}
+	if e.cfg.HasDefault {
+		return e.cfg.Default, true
+	}
+	return Objective{}, false
+}
+
+// series returns (creating if needed) the class's series; callers hold
+// e.mu.
+func (e *SLOEngine) series(class string, obj Objective) *sloSeries {
+	s := e.classes[class]
+	if s == nil {
+		s = &sloSeries{obj: obj}
+		for i := range s.minuteOf {
+			s.minuteOf[i] = -1
+		}
+		e.classes[class] = s
+	}
+	return s
+}
+
+// Observe folds one served query into its class's current minute bucket.
+// serverError marks 5xx answers bad regardless of latency; requests the
+// client got wrong (4xx) should not be observed at all.
+func (e *SLOEngine) Observe(class string, latency time.Duration, serverError bool) {
+	obj, ok := e.objective(class)
+	if !ok {
+		return
+	}
+	minute := e.now().Unix() / 60
+	bad := serverError || latency > obj.Threshold
+	e.mu.Lock()
+	s := e.series(class, obj)
+	idx := minute % 60
+	if s.minuteOf[idx] != minute {
+		s.minuteOf[idx] = minute
+		s.good[idx], s.bad[idx] = 0, 0
+	}
+	if bad {
+		s.bad[idx]++
+		s.totalBad++
+	} else {
+		s.good[idx]++
+		s.totalGood++
+	}
+	e.mu.Unlock()
+}
+
+// windowCounts sums the buckets stamped within the last `minutes`
+// minutes (inclusive of the current one); callers hold e.mu.
+func windowCounts(s *sloSeries, minute int64, minutes int64) (good, bad int64) {
+	lo := minute - minutes + 1
+	for i := range s.minuteOf {
+		if m := s.minuteOf[i]; m >= lo && m <= minute {
+			good += s.good[i]
+			bad += s.bad[i]
+		}
+	}
+	return good, bad
+}
+
+// burn computes the burn rate from window counts against an objective.
+// An empty window spends no budget.
+func burn(good, bad int64, obj Objective) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - obj.Target)
+}
+
+func sloStateRank(s string) int {
+	switch s {
+	case SLOStateBurning:
+		return 2
+	case SLOStateAtRisk:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// stateLocked classifies one series at the given minute; callers hold
+// e.mu.
+func (e *SLOEngine) stateLocked(s *sloSeries, minute int64) string {
+	g5, b5 := windowCounts(s, minute, int64(SLOShortWindow/time.Minute))
+	g60, b60 := windowCounts(s, minute, int64(SLOLongWindow/time.Minute))
+	burn5 := burn(g5, b5, s.obj)
+	burn60 := burn(g60, b60, s.obj)
+	switch {
+	case burn5 >= e.cfg.FastBurn && burn60 >= e.cfg.SlowBurn:
+		return SLOStateBurning
+	case burn5 >= 1 || burn60 >= 1:
+		return SLOStateAtRisk
+	default:
+		return SLOStateOK
+	}
+}
+
+// BurnRates returns a class's current short- and long-window burn rates
+// (0, 0 for untracked or never-observed classes).
+func (e *SLOEngine) BurnRates(class string) (short, long float64) {
+	minute := e.now().Unix() / 60
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.classes[class]
+	if s == nil {
+		return 0, 0
+	}
+	g5, b5 := windowCounts(s, minute, int64(SLOShortWindow/time.Minute))
+	g60, b60 := windowCounts(s, minute, int64(SLOLongWindow/time.Minute))
+	return burn(g5, b5, s.obj), burn(g60, b60, s.obj)
+}
+
+// State returns a class's current state (ok for untracked classes).
+func (e *SLOEngine) State(class string) string {
+	minute := e.now().Unix() / 60
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.classes[class]
+	if s == nil {
+		return SLOStateOK
+	}
+	return e.stateLocked(s, minute)
+}
+
+// SLOClassStatus is one class's SLO position, shaped for /healthz.
+type SLOClassStatus struct {
+	Class       string  `json:"class"`
+	ThresholdMs float64 `json:"thresholdMs"`
+	Target      float64 `json:"target"`
+	Good        int64   `json:"good"`
+	Bad         int64   `json:"bad"`
+	Burn5m      float64 `json:"burn5m"`
+	Burn1h      float64 `json:"burn1h"`
+	State       string  `json:"state"`
+}
+
+// Status snapshots every observed class plus the worst current state
+// across them ("ok" when nothing was observed yet).
+func (e *SLOEngine) Status() ([]SLOClassStatus, string) {
+	minute := e.now().Unix() / 60
+	e.mu.Lock()
+	out := make([]SLOClassStatus, 0, len(e.classes))
+	worst := SLOStateOK
+	for class, s := range e.classes {
+		g5, b5 := windowCounts(s, minute, int64(SLOShortWindow/time.Minute))
+		g60, b60 := windowCounts(s, minute, int64(SLOLongWindow/time.Minute))
+		st := e.stateLocked(s, minute)
+		if sloStateRank(st) > sloStateRank(worst) {
+			worst = st
+		}
+		out = append(out, SLOClassStatus{
+			Class:       class,
+			ThresholdMs: float64(s.obj.Threshold.Nanoseconds()) / 1e6,
+			Target:      s.obj.Target,
+			Good:        s.totalGood,
+			Bad:         s.totalBad,
+			Burn5m:      burn(g5, b5, s.obj),
+			Burn1h:      burn(g60, b60, s.obj),
+			State:       st,
+		})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out, worst
+}
+
+// Totals returns a class's cumulative good/bad counts for counter-style
+// metrics.
+func (e *SLOEngine) Totals(class string) (good, bad int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s := e.classes[class]; s != nil {
+		return s.totalGood, s.totalBad
+	}
+	return 0, 0
+}

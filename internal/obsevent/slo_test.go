@@ -1,0 +1,183 @@
+package obsevent
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic burn math.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func testEngine(t *testing.T, spec string) (*SLOEngine, *fakeClock) {
+	t.Helper()
+	cfg, err := ParseSLOSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &fakeClock{t: time.Unix(1_000_000_000, 0)}
+	return NewSLOEngineWithClock(cfg, fc.now), fc
+}
+
+func TestParseSLOSpec(t *testing.T) {
+	cfg, err := ParseSLOSpec("default=250ms@99.9;0,2=50ms@99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Targets are percent/100 computed at runtime; route the expectation
+	// through a float64 variable so Go's exact constant arithmetic does
+	// not produce different bits than the parser's IEEE division.
+	pct := func(p float64) float64 { return p / 100 }
+	if !cfg.HasDefault || cfg.Default.Threshold != 250*time.Millisecond || cfg.Default.Target != pct(99.9) {
+		t.Fatalf("default objective %+v", cfg.Default)
+	}
+	o, ok := cfg.PerClass["0,2"]
+	if !ok || o.Threshold != 50*time.Millisecond || o.Target != pct(99) {
+		t.Fatalf("per-class objective %+v (ok=%v)", o, ok)
+	}
+	for _, bad := range []string{
+		"", ";;", "default=250ms", "default=oops@99", "default=250ms@0",
+		"default=250ms@100", "default=250ms@-1", "default=0s@99",
+		"default=1s@99;default=2s@99", "0,1=1s@99;0,1=2s@99", "noequals",
+	} {
+		if _, err := ParseSLOSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestSLOBurnRateMath(t *testing.T) {
+	// target 99% -> budget 1%. 950 good + 50 bad in one minute:
+	// burn = (50/1000)/0.01 = 5, identically in both windows.
+	e, _ := testEngine(t, "default=10ms@99")
+	for i := 0; i < 950; i++ {
+		e.Observe("0,1", time.Millisecond, false)
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe("0,1", 20*time.Millisecond, false)
+	}
+	// IEEE closed form (via variables, so nothing constant-folds exactly):
+	// the engine must reproduce it bit for bit.
+	target := 99.0 / 100
+	want := (float64(50) / float64(1000)) / (1 - target)
+	b5, b60 := e.BurnRates("0,1")
+	if b5 != want || b60 != want {
+		t.Fatalf("burn rates %v/%v, want exactly %v", b5, b60, want)
+	}
+	good, bad := e.Totals("0,1")
+	if good != 950 || bad != 50 {
+		t.Fatalf("totals %d/%d, want 950/50", good, bad)
+	}
+}
+
+func TestSLOServerErrorsAreBad(t *testing.T) {
+	e, _ := testEngine(t, "default=1h@50")
+	e.Observe("0,0", time.Millisecond, true) // fast but 5xx
+	if _, bad := e.Totals("0,0"); bad != 1 {
+		t.Fatal("server error not counted bad")
+	}
+}
+
+func TestSLOWindowsSlideWithClock(t *testing.T) {
+	e, fc := testEngine(t, "default=10ms@99")
+	for i := 0; i < 100; i++ {
+		e.Observe("0,1", time.Second, false) // all bad
+	}
+	// Closed form with the same runtime float ops the engine uses (via a
+	// variable — Go constant arithmetic would give exactly 100 instead).
+	target := 99.0 / 100
+	exhausted := 1 / (1 - target)
+	b5, b60 := e.BurnRates("0,1")
+	if b5 != exhausted || b60 != exhausted {
+		t.Fatalf("burn %v/%v, want %v (all budget)", b5, b60, exhausted)
+	}
+	// 6 minutes later the short window is clean but the hour still burns.
+	fc.advance(6 * time.Minute)
+	b5, b60 = e.BurnRates("0,1")
+	if b5 != 0 || b60 != exhausted {
+		t.Fatalf("after 6m: burn %v/%v, want 0/%v", b5, b60, exhausted)
+	}
+	// 61 minutes later everything has aged out.
+	fc.advance(61 * time.Minute)
+	b5, b60 = e.BurnRates("0,1")
+	if b5 != 0 || b60 != 0 {
+		t.Fatalf("after 67m: burn %v/%v, want 0/0", b5, b60)
+	}
+	if st := e.State("0,1"); st != SLOStateOK {
+		t.Fatalf("state %q after windows drained, want ok", st)
+	}
+}
+
+func TestSLOStateTransitions(t *testing.T) {
+	e, fc := testEngine(t, "default=10ms@99")
+	if st := e.State("0,1"); st != SLOStateOK {
+		t.Fatalf("initial state %q, want ok", st)
+	}
+	// Burn slightly over budget: 2 bad in 100 at 1% budget -> burn 2.
+	for i := 0; i < 98; i++ {
+		e.Observe("0,1", time.Millisecond, false)
+	}
+	for i := 0; i < 2; i++ {
+		e.Observe("0,1", time.Second, false)
+	}
+	if st := e.State("0,1"); st != SLOStateAtRisk {
+		t.Fatalf("state %q at burn 2, want at-risk", st)
+	}
+	// Pile on failures until the fast-burn threshold (14.4) trips in both
+	// windows: 100 good + N bad, burn = (N/(100+N))/0.01 >= 14.4 at N=17.
+	for i := 0; i < 17; i++ {
+		e.Observe("0,1", time.Second, false)
+	}
+	if st := e.State("0,1"); st != SLOStateBurning {
+		b5, b60 := e.BurnRates("0,1")
+		t.Fatalf("state %q (burn %v/%v), want burning", st, b5, b60)
+	}
+	// The regression ends; once the windows slide past it the class heals.
+	fc.advance(61 * time.Minute)
+	for i := 0; i < 10; i++ {
+		e.Observe("0,1", time.Millisecond, false)
+	}
+	if st := e.State("0,1"); st != SLOStateOK {
+		t.Fatalf("state %q after recovery, want ok", st)
+	}
+}
+
+func TestSLOUntrackedClass(t *testing.T) {
+	e, _ := testEngine(t, "0,2=50ms@99") // no default: only 0,2 tracked
+	e.Observe("1,1", time.Hour, true)
+	if g, b := e.Totals("1,1"); g != 0 || b != 0 {
+		t.Fatalf("untracked class observed: %d/%d", g, b)
+	}
+	if st := e.State("1,1"); st != SLOStateOK {
+		t.Fatalf("untracked class state %q, want ok", st)
+	}
+	e.Observe("0,2", time.Hour, false)
+	if _, b := e.Totals("0,2"); b != 1 {
+		t.Fatal("tracked class not observed")
+	}
+}
+
+func TestSLOStatusWorstState(t *testing.T) {
+	e, _ := testEngine(t, "default=10ms@99")
+	for i := 0; i < 100; i++ {
+		e.Observe("0,0", time.Millisecond, false)
+	}
+	for i := 0; i < 100; i++ {
+		e.Observe("1,1", time.Second, false)
+	}
+	classes, worst := e.Status()
+	if worst != SLOStateBurning {
+		t.Fatalf("worst state %q, want burning", worst)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("%d classes in status, want 2", len(classes))
+	}
+	if classes[0].Class != "0,0" || classes[0].State != SLOStateOK {
+		t.Fatalf("class[0] %+v, want healthy 0,0", classes[0])
+	}
+	if classes[1].Class != "1,1" || classes[1].State != SLOStateBurning {
+		t.Fatalf("class[1] %+v, want burning 1,1", classes[1])
+	}
+}

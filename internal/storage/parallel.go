@@ -97,7 +97,9 @@ type planEntry struct {
 // readRuns groups the region's non-empty cells into seek runs. Callers
 // hold fs.mu (read). The grouping mirrors Layout.Query's page-range merge:
 // a cell joins the current run when its first page is adjacent to (or
-// shared with) the run's last page.
+// shared with) the run's last page. Cache hits and misses are attributed
+// to the request's PoolTally (when ctx carries one) so each served query
+// reports whether it paid for planning.
 //
 // Plans are cached per region (see FileStore.planCache): repeated query
 // shapes — the norm for a dimensional workload — skip planning entirely and
@@ -108,7 +110,7 @@ type planEntry struct {
 // the cell count with a single word-sized branch per position. All of a
 // run's cells share one backing array, so the whole plan is three
 // allocations regardless of region size.
-func (fs *FileStore) readRuns(r linear.Region) []readRun {
+func (fs *FileStore) readRuns(ctx context.Context, r linear.Region) []readRun {
 	var kb [128]byte
 	key := kb[:0]
 	for _, rg := range r {
@@ -118,6 +120,9 @@ func (fs *FileStore) readRuns(r linear.Region) []readRun {
 	fs.planMu.Lock()
 	e, ok := fs.planCache[string(key)]
 	fs.planMu.Unlock()
+	if t := tallyFrom(ctx); t != nil {
+		t.planLookup(ok)
+	}
 	if ok {
 		return e.runs
 	}
@@ -455,7 +460,7 @@ func (fs *FileStore) ReadQueryOptCtx(ctx context.Context, r linear.Region, opt R
 		return fs.ReadQueryCtx(ctx, r, fn)
 	}
 	defer fs.mu.RUnlock()
-	runs := fs.readRuns(r)
+	runs := fs.readRuns(ctx, r)
 	if len(runs) == 0 {
 		return nil
 	}
@@ -611,7 +616,7 @@ func (fs *FileStore) SumOptCtx(ctx context.Context, r linear.Region, opt ReadOpt
 		return fs.SumCtx(ctx, r, decode)
 	}
 	defer fs.mu.RUnlock()
-	runs := fs.readRuns(r)
+	runs := fs.readRuns(ctx, r)
 	if len(runs) == 0 {
 		return 0, tally.Stats(), nil
 	}

@@ -194,7 +194,7 @@ func TestParallelRunsMatchAnalyticModel(t *testing.T) {
 	}
 	for _, r := range regions {
 		fs.mu.RLock()
-		runs := fs.readRuns(r)
+		runs := fs.readRuns(context.Background(), r)
 		fs.mu.RUnlock()
 		pred := fs.Layout().Query(r)
 		if int64(len(runs)) != pred.Seeks {
@@ -483,7 +483,7 @@ func TestSumRunKernelZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	fs.mu.RLock()
-	runs := fs.readRuns(r)
+	runs := fs.readRuns(context.Background(), r)
 	fs.mu.RUnlock()
 	if len(runs) == 0 {
 		t.Fatal("no runs")

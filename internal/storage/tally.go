@@ -23,6 +23,7 @@ type PoolTally struct {
 	hits, misses, evictions, writes, retries, sfWaits atomic.Int64
 	seeks                                             atomic.Int64
 	deltaHits                                         atomic.Int64 // cells served from a delta overlay instead of base pages
+	planHits, planMisses                              atomic.Int64 // prepared-plan cache lookups on the parallel read path
 	lastPage                                          atomic.Int64 // page+2 of the last physical read; 0 = none yet
 
 	// sink, when set, replaces the run-detection above: physical reads are
@@ -60,6 +61,21 @@ func (t *PoolTally) DeltaHits() int64 { return t.deltaHits.Load() }
 // deltaHit records one overlay-served cell.
 func (t *PoolTally) deltaHit() { t.deltaHits.Add(1) }
 
+// PlanHits returns how many of this request's read plans were served from
+// the prepared-plan cache; PlanMisses counts the plans it had to compute.
+// Both stay zero on the sequential read path, which does not plan.
+func (t *PoolTally) PlanHits() int64   { return t.planHits.Load() }
+func (t *PoolTally) PlanMisses() int64 { return t.planMisses.Load() }
+
+// planLookup records one plan-cache consultation.
+func (t *PoolTally) planLookup(hit bool) {
+	if hit {
+		t.planHits.Add(1)
+	} else {
+		t.planMisses.Add(1)
+	}
+}
+
 // physRead records one physical page read for seek accounting: a read
 // that does not continue the previous page starts a new run.
 func (t *PoolTally) physRead(page int64) {
@@ -84,6 +100,8 @@ func (t *PoolTally) merge(c *PoolTally) {
 	t.sfWaits.Add(c.sfWaits.Load())
 	t.seeks.Add(c.seeks.Load())
 	t.deltaHits.Add(c.deltaHits.Load())
+	t.planHits.Add(c.planHits.Load())
+	t.planMisses.Add(c.planMisses.Load())
 }
 
 // tallyKey is the context key WithPoolTally stores under.

@@ -43,6 +43,7 @@ const (
 	KindScrub         = "scrub"          // one background scrub batch over the store
 	KindRepair        = "repair"         // parity reconstruction of a corrupt page
 	KindCompact       = "compact"        // one delta-compaction tick (apply + checkpoint)
+	KindDeltaAppend   = "delta_append"   // one ingest batch appended to the delta log
 )
 
 // Kinds returns every span kind, in a stable order, for pre-registering
@@ -52,7 +53,7 @@ func Kinds() []string {
 		KindRequest, KindAdmission, KindFragment, KindPageLoad, KindRetry,
 		KindDP, KindMigrate, KindCopy, KindFlush, KindCatalogCommit,
 		KindSwap, KindDrain, KindVerify, KindScrub, KindRepair,
-		KindCompact,
+		KindCompact, KindDeltaAppend,
 	}
 }
 

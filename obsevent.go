@@ -1,0 +1,113 @@
+package snakes
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obsevent"
+)
+
+// Wide-event telemetry re-exports. An Event is the one canonical record
+// the daemon emits per served request — class, generation, predicted and
+// observed cost, delta and plan-cache hits, admission wait, outcome,
+// latency, trace id — published into a lock-free EventRing that backs
+// both the access log and the /debug/events endpoint. The Calibration
+// watch and SLOEngine consume the same stream: calibration tracks how
+// well the paper's analytic cost model predicts observed physical cost
+// per class, and the SLO engine turns per-class latency objectives into
+// multi-window error-budget burn rates.
+
+// Event is one request's wide telemetry record; immutable once
+// published.
+type Event = obsevent.Event
+
+// EventRing is the fixed-size lock-free overwrite buffer of published
+// events.
+type EventRing = obsevent.Ring
+
+// EventFilter selects events from a ring snapshot; zero fields match
+// everything.
+type EventFilter = obsevent.Filter
+
+// NewEventRing returns a ring retaining the last capacity events.
+func NewEventRing(capacity int) *EventRing { return obsevent.NewRing(capacity) }
+
+// Event outcome labels — the closed error taxonomy of the event stream.
+const (
+	EventOutcomeOK          = obsevent.OutcomeOK
+	EventOutcomeClientError = obsevent.OutcomeClientError
+	EventOutcomeShed        = obsevent.OutcomeShed
+	EventOutcomeTimeout     = obsevent.OutcomeTimeout
+	EventOutcomeError       = obsevent.OutcomeError
+)
+
+// EventOutcomeOf maps an HTTP status onto the closed outcome set.
+func EventOutcomeOf(status int) string { return obsevent.OutcomeOf(status) }
+
+// WithEvent attaches a request's in-flight event to its context so
+// handlers down the stack can fill in attribution fields.
+func WithEvent(ctx context.Context, e *Event) context.Context {
+	return obsevent.WithEvent(ctx, e)
+}
+
+// EventFromContext returns the request's in-flight event, or nil.
+func EventFromContext(ctx context.Context) *Event { return obsevent.FromContext(ctx) }
+
+// Calibration is the cost-model calibration watch: per-class
+// exponentially decayed observed/predicted page and seek ratios with a
+// drift flag for classes where the analytic model has gone stale.
+type Calibration = obsevent.Calibration
+
+// ClassCalibration is one class's calibration view.
+type ClassCalibration = obsevent.ClassCalibration
+
+// NewCalibration returns an empty watch; out-of-range parameters fall
+// back to the package defaults.
+func NewCalibration(alpha, threshold, minWeight float64) *Calibration {
+	return obsevent.NewCalibration(alpha, threshold, minWeight)
+}
+
+// Calibration defaults.
+const (
+	DefaultCalibrationAlpha     = obsevent.DefaultCalibrationAlpha
+	DefaultCalibrationThreshold = obsevent.DefaultCalibrationThreshold
+	DefaultCalibrationMinWeight = obsevent.DefaultCalibrationMinWeight
+)
+
+// SLOEngine computes per-class error-budget burn rates over 5m/1h
+// windows from the event stream.
+type SLOEngine = obsevent.SLOEngine
+
+// SLOConfig is the engine's objective set; SLOObjective is one latency
+// objective; SLOClassStatus is one class's position for /healthz.
+type (
+	SLOConfig      = obsevent.SLOConfig
+	SLOObjective   = obsevent.Objective
+	SLOClassStatus = obsevent.SLOClassStatus
+)
+
+// SLO states and windows.
+const (
+	SLOStateOK      = obsevent.SLOStateOK
+	SLOStateAtRisk  = obsevent.SLOStateAtRisk
+	SLOStateBurning = obsevent.SLOStateBurning
+	SLOShortWindow  = obsevent.SLOShortWindow
+	SLOLongWindow   = obsevent.SLOLongWindow
+)
+
+// SLOStates enumerates the closed state label set for metrics.
+func SLOStates() []string { return obsevent.SLOStates() }
+
+// ParseSLOSpec parses the -slo flag syntax, e.g.
+// "default=250ms@99.9;0,2=50ms@99" (';'-separated because class labels
+// contain commas).
+func ParseSLOSpec(spec string) (SLOConfig, error) { return obsevent.ParseSLOSpec(spec) }
+
+// NewSLOEngine returns an engine on the wall clock.
+func NewSLOEngine(cfg SLOConfig) *SLOEngine { return obsevent.NewSLOEngine(cfg) }
+
+// NewSLOEngineWithClock returns an engine reading time from now, for
+// deterministic burn-rate math in tests and benches.
+func NewSLOEngineWithClock(cfg SLOConfig, now func() time.Time) *SLOEngine {
+	return obsevent.NewSLOEngineWithClock(cfg, now)
+}

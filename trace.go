@@ -62,6 +62,7 @@ const (
 	TraceKindScrub         = trace.KindScrub
 	TraceKindRepair        = trace.KindRepair
 	TraceKindCompact       = trace.KindCompact
+	TraceKindDeltaAppend   = trace.KindDeltaAppend
 )
 
 // TraceSpanKinds returns every span kind the instrumented paths record —
